@@ -1,0 +1,67 @@
+// X5 — Ablation over PCO's search knobs (beyond the paper).
+//
+// PCO's extra cost over AO buys spatial phase interleaving plus a headroom
+// refill.  Two questions the paper leaves implicit:
+//   1. how fine must the phase-offset grid be before returns vanish, and
+//   2. how much of PCO's gain comes from the refill vs the phase search?
+// Measured on the long-period regime where phases matter most (large base
+// period => small m => long sub-periods).
+#include "bench_common.hpp"
+
+#include "core/ao.hpp"
+#include "core/pco.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+int main() {
+  bench::print_header("Ablation: PCO search knobs",
+                      "DESIGN.md §4 (beyond the paper)");
+  const double t_max = 55.0;
+  const core::Platform p = bench::paper_platform(2, 3, 2);
+
+  // Force long sub-periods so phase interleaving has room to act: a large
+  // base period with m capped low.
+  core::AoOptions slow_ao;
+  slow_ao.base_period = 2.0;
+  slow_ao.max_m = 4;
+  std::printf("6 cores, 2 levels, T_max = %.0f C, base period %.1f s, "
+              "m <= %d (phase-sensitive regime)\n\n",
+              t_max, slow_ao.base_period, slow_ao.max_m);
+
+  const core::SchedulerResult ao = core::run_ao(p, t_max, slow_ao);
+
+  TextTable table({"variant", "phase grid", "rounds", "throughput",
+                   "vs AO", "evals"});
+  table.add_row({"AO (no phases)", "-", "-", fmt(ao.throughput), "+0.0%",
+                 std::to_string(ao.evaluations)});
+  for (int grid : {2, 4, 8, 16, 32}) {
+    core::PcoOptions options;
+    options.ao = slow_ao;
+    options.phase_grid = grid;
+    const core::SchedulerResult r = core::run_pco(p, t_max, options);
+    table.add_row({"PCO", std::to_string(grid),
+                   std::to_string(options.phase_rounds), fmt(r.throughput),
+                   fmt_percent(bench::improvement(r.throughput,
+                                                  ao.throughput)),
+                   std::to_string(r.evaluations)});
+  }
+  {
+    core::PcoOptions one_round;
+    one_round.ao = slow_ao;
+    one_round.phase_rounds = 1;
+    const core::SchedulerResult r = core::run_pco(p, t_max, one_round);
+    table.add_row({"PCO (1 round)", std::to_string(one_round.phase_grid),
+                   "1", fmt(r.throughput),
+                   fmt_percent(bench::improvement(r.throughput,
+                                                  ao.throughput)),
+                   std::to_string(r.evaluations)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: gains saturate by a ~8-16 point grid; one "
+              "coordinate-descent\nround captures most of the benefit.  In "
+              "the paper's default regime (m large,\nsub-periods of "
+              "milliseconds) all variants collapse to AO — which is why the "
+              "paper\nreports AO ~= PCO.\n");
+  return 0;
+}

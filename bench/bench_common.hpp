@@ -1,0 +1,35 @@
+// Shared helpers for the experiment binaries (one per paper table/figure).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/platform.hpp"
+
+namespace foscil::bench {
+
+/// The paper's four evaluation grids (Sec. VI): 2x1, 3x1, 3x2, 3x3.
+inline std::vector<std::pair<std::size_t, std::size_t>> paper_grids() {
+  return {{1, 2}, {1, 3}, {2, 3}, {3, 3}};
+}
+
+inline core::Platform paper_platform(std::size_t rows, std::size_t cols,
+                                     int levels) {
+  return core::make_grid_platform(
+      rows, cols, power::VoltageLevels::paper_table4(levels));
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("platform defaults: 4x4 mm^2 cores, T_amb = 35 C, "
+              "HotSpot-style package, P = alpha + beta*T + gamma*v^3\n\n");
+}
+
+inline double improvement(double ours, double baseline) {
+  return baseline > 0.0 ? (ours - baseline) / baseline : 0.0;
+}
+
+}  // namespace foscil::bench

@@ -1,0 +1,58 @@
+// E6 — Figure 6 (Sec. VI-C): throughput of LNS / EXS / AO / PCO across
+// core counts (2, 3, 6, 9) and voltage-level sets (Table IV, 2..5 levels)
+// at T_max = 55 C with a 5 us transition overhead.
+//
+// Paper shape to reproduce: AO and PCO always >= EXS >= LNS; the fewer the
+// levels, the larger AO/PCO's edge (avg +55.2% at 2 levels vs +24.8% at 5);
+// AO ~= PCO throughout.
+#include "bench_common.hpp"
+
+#include "core/ao.hpp"
+#include "core/exs.hpp"
+#include "core/lns.hpp"
+#include "core/pco.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+int main() {
+  bench::print_header("E6: throughput vs cores x levels",
+                      "Figure 6 (Sec. VI-C)");
+  const double t_max_c = 55.0;
+  std::printf("T_max = %.0f C, tau = 5 us, level sets per Table IV\n\n",
+              t_max_c);
+
+  TextTable table({"cores", "levels", "LNS", "EXS", "AO", "PCO",
+                   "AO vs EXS", "AO vs LNS"});
+  double gain_sum_per_levels[6] = {};
+  int gain_count_per_levels[6] = {};
+
+  for (const auto& [rows, cols] : bench::paper_grids()) {
+    for (int levels = 2; levels <= 5; ++levels) {
+      const core::Platform p = bench::paper_platform(rows, cols, levels);
+      const auto lns = core::run_lns(p, t_max_c);
+      const auto exs = core::run_exs(p, t_max_c);
+      const auto ao = core::run_ao(p, t_max_c);
+      const auto pco = core::run_pco(p, t_max_c);
+      const double vs_exs = bench::improvement(ao.throughput, exs.throughput);
+      const double vs_lns = bench::improvement(ao.throughput, lns.throughput);
+      gain_sum_per_levels[levels] += vs_exs;
+      ++gain_count_per_levels[levels];
+      table.add_row({std::to_string(rows * cols), std::to_string(levels),
+                     fmt(lns.throughput), fmt(exs.throughput),
+                     fmt(ao.throughput), fmt(pco.throughput),
+                     fmt_percent(vs_exs), fmt_percent(vs_lns)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("average AO improvement over EXS by level count "
+              "(paper: +55.2%% at 2 levels, +24.8%% at 5):\n");
+  for (int levels = 2; levels <= 5; ++levels) {
+    std::printf("  %d levels: %s\n", levels,
+                fmt_percent(gain_sum_per_levels[levels] /
+                            gain_count_per_levels[levels])
+                    .c_str());
+  }
+  return 0;
+}

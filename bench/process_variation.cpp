@@ -1,0 +1,70 @@
+// X4 — Process variation experiment (beyond the paper, motivated by its
+// abstract: "different cores may exhibit different thermal behaviors").
+//
+// A 3x3 chip whose per-core power coefficients are drawn with growing
+// uniform spread (seeded).  The constant-mode schedulers barely move — the
+// discrete level grid quantizes away per-core differences — while AO's
+// continuous per-core ratios track each core's actual efficiency, widening
+// its edge as the spread grows.
+#include "bench_common.hpp"
+
+#include "core/ao.hpp"
+#include "core/exs.hpp"
+#include "core/lns.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+namespace {
+
+core::Platform variation_platform(double spread, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<power::PowerCoefficients> coeffs;
+  for (int i = 0; i < 9; ++i) {
+    power::PowerCoefficients c;  // nominal
+    const double factor = 1.0 + rng.uniform(-spread, spread);
+    c.alpha *= factor;
+    c.gamma *= factor;
+    c.beta *= 1.0 + rng.uniform(-spread, spread);
+    coeffs.push_back(c);
+  }
+  const thermal::Floorplan floorplan(3, 3, 4e-3);
+  thermal::RcNetwork network(floorplan, thermal::HotSpotParams{});
+  core::Platform p;
+  p.model = std::make_shared<const thermal::ThermalModel>(
+      std::move(network), power::PowerModel(std::move(coeffs)));
+  p.levels = power::VoltageLevels::paper_table4(3);
+  p.name = "3x3 +/-" + std::to_string(static_cast<int>(spread * 100)) + "%";
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Process variation on a 3x3 chip",
+                      "abstract motivation (beyond the paper)");
+  const double t_max = 55.0;
+  const std::uint64_t seed = 65;  // 65 nm
+  std::printf("3 levels, T_max = %.0f C, coefficient spread seeded with "
+              "%llu\n\n",
+              t_max, static_cast<unsigned long long>(seed));
+
+  TextTable table({"chip", "LNS", "EXS", "AO", "AO vs EXS"});
+  for (double spread : {0.0, 0.1, 0.2, 0.3}) {
+    const core::Platform p = variation_platform(spread, seed);
+    const auto lns = core::run_lns(p, t_max);
+    const auto exs = core::run_exs(p, t_max);
+    const auto ao = core::run_ao(p, t_max);
+    table.add_row({p.name, fmt(lns.throughput), fmt(exs.throughput),
+                   fmt(ao.throughput),
+                   fmt_percent(bench::improvement(ao.throughput,
+                                                  exs.throughput))});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("reading: the discrete schedulers are quantized to whole "
+              "level steps and barely react\nto variation; AO's continuous "
+              "per-core ratios track each core's true efficiency,\nso its "
+              "edge over EXS grows with the spread.\n");
+  return 0;
+}

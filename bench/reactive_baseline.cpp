@@ -1,0 +1,62 @@
+// Reactive-DTM baseline vs proactive AO (beyond the paper's evaluation,
+// quantifying its Sec. I argument).
+//
+// A threshold governor (step down hot cores, step up cold ones) is run on
+// the motivation platform across polling periods, safety margins, and
+// sensor biases; AO provides the proactive reference.  Expected shape:
+//   * optimistic sensors or thin margins => peak-temperature violations the
+//     governor itself never sees;
+//   * safe margins => feasible but below AO's throughput;
+//   * AO is feasible by construction and fastest overall.
+#include "bench_common.hpp"
+
+#include "core/ao.hpp"
+#include "core/reactive.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+int main() {
+  bench::print_header("Reactive baseline vs proactive AO",
+                      "Sec. I discussion (beyond the paper)");
+  const double t_max = 65.0;
+  const core::Platform p = core::make_grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range());
+  std::printf("3x1 chip, 15 DVFS levels, T_max = %.0f C, horizon 60 s\n\n",
+              t_max);
+
+  const core::SchedulerResult ao = core::run_ao(p, t_max);
+
+  TextTable table({"governor", "poll", "margin", "bias", "throughput",
+                   "true peak", "violations", "feasible"});
+  auto add_reactive = [&](double poll, double margin, double bias) {
+    core::ReactiveOptions options;
+    options.poll_period = poll;
+    options.margin = margin;
+    options.sensor_bias = bias;
+    options.horizon = 60.0;
+    const core::ReactiveResult r = core::run_reactive(p, t_max, options);
+    table.add_row({"reactive", fmt(poll * 1e3, 0) + " ms",
+                   fmt(margin, 1) + " K", fmt(bias, 1) + " K",
+                   fmt(r.result.throughput),
+                   fmt_celsius(r.result.peak_celsius),
+                   std::to_string(r.violations),
+                   r.result.feasible ? "yes" : "NO"});
+  };
+
+  add_reactive(0.010, 2.0, 0.0);   // safe: margins eat throughput
+  add_reactive(0.010, 0.5, 0.0);   // aggressive margin
+  add_reactive(0.010, 0.5, -3.0);  // optimistic sensor => violations
+  add_reactive(0.500, 2.0, 0.0);   // slow polling
+  add_reactive(0.500, 0.5, 0.0);   // slow + aggressive
+  table.add_row({"AO (proactive)", "-", "-", "-", fmt(ao.throughput),
+                 fmt_celsius(ao.peak_celsius), "0",
+                 ao.feasible ? "yes" : "NO"});
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("reading: the reactive governor needs a safety margin to stay "
+              "legal, and that margin\n(plus decision latency) is throughput "
+              "AO gets to keep — the proactive guarantee of\nTheorems 1-5 "
+              "costs nothing at run time.\n");
+  return 0;
+}

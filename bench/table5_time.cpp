@@ -1,0 +1,79 @@
+// E8 — Table V (Sec. VI-D): scheduler computation time across core counts
+// and voltage-level sets at T_max = 65 C.
+//
+// Uses google-benchmark for the timing harness.  The paper's absolute
+// MATLAB seconds do not transfer; the *shape* does: EXS cost explodes
+// exponentially with cores x levels (|levels|^N candidates) while AO and
+// PCO stay near-flat, with PCO a constant factor above AO.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/ao.hpp"
+#include "core/exs.hpp"
+#include "core/lns.hpp"
+#include "core/pco.hpp"
+
+using namespace foscil;
+
+namespace {
+
+constexpr double kTmax = 65.0;
+
+core::Platform platform_for(const benchmark::State& state) {
+  const auto grid = bench::paper_grids()[static_cast<std::size_t>(
+      state.range(0))];
+  return bench::paper_platform(grid.first, grid.second,
+                               static_cast<int>(state.range(1)));
+}
+
+void label(benchmark::State& state, const core::SchedulerResult& result) {
+  state.counters["cores"] =
+      static_cast<double>(result.schedule.num_cores());
+  state.counters["throughput"] = result.throughput;
+  state.counters["evals"] = static_cast<double>(result.evaluations);
+}
+
+void BM_LNS(benchmark::State& state) {
+  const core::Platform p = platform_for(state);
+  core::SchedulerResult r;
+  for (auto _ : state) r = core::run_lns(p, kTmax);
+  label(state, r);
+}
+
+void BM_EXS(benchmark::State& state) {
+  const core::Platform p = platform_for(state);
+  core::SchedulerResult r;
+  for (auto _ : state) r = core::run_exs(p, kTmax);
+  label(state, r);
+}
+
+void BM_AO(benchmark::State& state) {
+  const core::Platform p = platform_for(state);
+  core::SchedulerResult r;
+  for (auto _ : state) r = core::run_ao(p, kTmax);
+  label(state, r);
+}
+
+void BM_PCO(benchmark::State& state) {
+  const core::Platform p = platform_for(state);
+  core::SchedulerResult r;
+  for (auto _ : state) r = core::run_pco(p, kTmax);
+  label(state, r);
+}
+
+void configure(benchmark::internal::Benchmark* b) {
+  // Args: {grid index (0..3 => 2,3,6,9 cores), level count (2..5)}.
+  for (std::int64_t grid = 0; grid < 4; ++grid)
+    for (std::int64_t levels = 2; levels <= 5; ++levels)
+      b->Args({grid, levels});
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_LNS)->Apply(configure);
+BENCHMARK(BM_EXS)->Apply(configure);
+BENCHMARK(BM_AO)->Apply(configure);
+BENCHMARK(BM_PCO)->Apply(configure);
+
+}  // namespace
+
+BENCHMARK_MAIN();

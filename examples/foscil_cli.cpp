@@ -1,0 +1,88 @@
+// foscil_cli: run the schedulers on a platform described by a config file.
+//
+//   $ ./examples/foscil_cli examples/configs/motivation_3x1.ini
+//   $ ./examples/foscil_cli examples/configs/stacked_2x2x2.ini ao
+//
+// The second argument restricts the run to one scheduler
+// (lns | exs | ao | pco | reactive | all; default all).  See
+// src/core/config_loader.hpp for the recognized config keys.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/ao.hpp"
+#include "core/config_loader.hpp"
+#include "core/exs.hpp"
+#include "core/lns.hpp"
+#include "core/pco.hpp"
+#include "core/reactive.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+namespace {
+
+void add_result(TextTable& table, const core::SchedulerResult& r) {
+  table.add_row({r.scheduler, fmt(r.throughput),
+                 fmt_celsius(r.peak_celsius), std::to_string(r.m),
+                 std::to_string(r.evaluations),
+                 fmt(r.seconds * 1e3, 1) + " ms",
+                 r.feasible ? "yes" : "NO"});
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <config.ini> [lns|exs|ao|pco|reactive|all]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string which = argc > 2 ? argv[2] : "all";
+
+  Config config;
+  try {
+    config = Config::load(argv[1]);
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  try {
+    const core::Platform platform = core::platform_from_config(config);
+    const double t_max = core::t_max_from_config(config);
+    const core::AoOptions ao_options = core::ao_options_from_config(config);
+
+    std::printf("platform %s: %zu cores, %zu thermal nodes, %zu levels, "
+                "T_amb = %.1f C, T_max = %.1f C\n\n",
+                platform.name.c_str(), platform.num_cores(),
+                platform.model->num_nodes(), platform.levels.count(),
+                platform.t_ambient_c, t_max);
+
+    TextTable table({"scheduler", "throughput", "peak", "m", "evals",
+                     "time", "feasible"});
+    const bool all = which == "all";
+    if (all || which == "lns")
+      add_result(table, core::run_lns(platform, t_max));
+    if (all || which == "exs")
+      add_result(table, core::run_exs(platform, t_max));
+    if (all || which == "ao")
+      add_result(table, core::run_ao(platform, t_max, ao_options));
+    if (all || which == "pco") {
+      core::PcoOptions pco_options;
+      pco_options.ao = ao_options;
+      add_result(table, core::run_pco(platform, t_max, pco_options));
+    }
+    if (all || which == "reactive")
+      add_result(table, core::run_reactive(platform, t_max).result);
+    if (table.rows() == 0) return usage(argv[0]);
+    std::printf("%s", table.str().c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

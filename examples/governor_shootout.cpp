@@ -1,0 +1,84 @@
+// governor_shootout: compare all four schedulers on a user-chosen platform.
+//
+//   $ ./examples/governor_shootout [rows cols t_max_c levels...]
+//   $ ./examples/governor_shootout 3 3 55 0.6 0.9 1.3
+//
+// Prints per-scheduler throughput, peak temperature, wall time, and the
+// schedule each governor would program into the DVFS hardware — the
+// decision table a kernel engineer would want before picking a policy.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/ao.hpp"
+#include "core/exs.hpp"
+#include "core/ideal.hpp"
+#include "core/lns.hpp"
+#include "core/pco.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+namespace {
+
+void print_schedule(const core::SchedulerResult& r) {
+  std::printf("%s schedule (period %.3f ms, m = %d):\n", r.scheduler.c_str(),
+              r.schedule.period() * 1e3, r.m);
+  for (std::size_t i = 0; i < r.schedule.num_cores(); ++i) {
+    std::printf("  core %zu:", i);
+    for (const auto& seg : r.schedule.core_segments(i))
+      std::printf(" %6.3fms@%.2fV", seg.duration * 1e3, seg.voltage);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rows =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+  const std::size_t cols =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+  const double t_max_c = argc > 3 ? std::atof(argv[3]) : 55.0;
+  std::vector<double> levels;
+  for (int i = 4; i < argc; ++i) levels.push_back(std::atof(argv[i]));
+  if (levels.empty()) levels = {0.6, 1.3};
+
+  const core::Platform platform = core::make_grid_platform(
+      rows, cols, power::VoltageLevels(levels));
+  std::printf("governor shootout on %s (%zu cores), T_max = %.1f C, "
+              "%zu DVFS levels\n\n",
+              platform.name.c_str(), platform.num_cores(), t_max_c,
+              platform.levels.count());
+
+  const core::IdealVoltages ideal = core::ideal_constant_voltages(
+      *platform.model, platform.rise_budget(t_max_c),
+      platform.levels.highest());
+  double ideal_thr = 0.0;
+  for (std::size_t i = 0; i < platform.num_cores(); ++i)
+    ideal_thr += ideal.voltages[i];
+  ideal_thr /= static_cast<double>(platform.num_cores());
+
+  const core::SchedulerResult lns = core::run_lns(platform, t_max_c);
+  const core::SchedulerResult exs = core::run_exs(platform, t_max_c);
+  const core::SchedulerResult ao = core::run_ao(platform, t_max_c);
+  const core::SchedulerResult pco = core::run_pco(platform, t_max_c);
+
+  TextTable table({"governor", "throughput", "% of ideal", "peak",
+                   "headroom", "evals", "time"});
+  for (const auto* r : {&lns, &exs, &ao, &pco}) {
+    table.add_row(
+        {r->scheduler, fmt(r->throughput),
+         fmt(100.0 * r->throughput / ideal_thr, 1) + "%",
+         fmt_celsius(r->peak_celsius),
+         fmt(t_max_c - r->peak_celsius, 2) + " K",
+         std::to_string(r->evaluations), fmt(r->seconds * 1e3, 1) + " ms"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("continuous-ideal throughput bound: %.4f\n\n", ideal_thr);
+
+  print_schedule(ao);
+  std::printf("\n");
+  print_schedule(pco);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a 3-core platform, ask every scheduler for a plan at
+// T_max = 65 C, and print what each one would run.
+//
+//   $ ./examples/quickstart
+//
+// This mirrors the paper's motivation example (Sec. III): with only two
+// modes available (0.6 V / 1.3 V), a constant-speed baseline leaves a lot of
+// temperature headroom on the table, while the oscillating schedules close
+// most of the gap to the continuous-ideal throughput.
+#include <cstdio>
+
+#include "core/ao.hpp"
+#include "core/exs.hpp"
+#include "core/ideal.hpp"
+#include "core/lns.hpp"
+#include "core/pco.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace foscil;
+
+  // A 3x1 grid of 4x4 mm^2 cores with only two DVFS modes.
+  const core::Platform platform = core::make_grid_platform(
+      1, 3, power::VoltageLevels({0.6, 1.3}));
+  const double t_max_c = 65.0;
+
+  std::printf("platform %s: %zu cores, %zu thermal nodes, T_amb=%.0f C, "
+              "T_max=%.0f C, modes {0.6 V, 1.3 V}\n\n",
+              platform.name.c_str(), platform.num_cores(),
+              platform.model->num_nodes(), platform.t_ambient_c, t_max_c);
+
+  // The continuous-ideal constant voltages (upper bound on any constant
+  // schedule's throughput).
+  const core::IdealVoltages ideal = core::ideal_constant_voltages(
+      *platform.model, platform.rise_budget(t_max_c),
+      platform.levels.highest());
+  double ideal_thr = 0.0;
+  std::printf("continuous-ideal voltages: [");
+  for (std::size_t i = 0; i < platform.num_cores(); ++i) {
+    std::printf("%s%.4f", i ? ", " : "", ideal.voltages[i]);
+    ideal_thr += ideal.voltages[i];
+  }
+  ideal_thr /= static_cast<double>(platform.num_cores());
+  std::printf("] V  ->  throughput %.4f\n\n", ideal_thr);
+
+  const core::SchedulerResult lns = core::run_lns(platform, t_max_c);
+  const core::SchedulerResult exs = core::run_exs(platform, t_max_c);
+  const core::SchedulerResult ao = core::run_ao(platform, t_max_c);
+  const core::SchedulerResult pco = core::run_pco(platform, t_max_c);
+
+  TextTable table({"scheduler", "throughput", "% of ideal", "peak temp", "m",
+                   "feasible", "time"});
+  for (const auto* r : {&lns, &exs, &ao, &pco}) {
+    table.add_row({r->scheduler, fmt(r->throughput),
+                   fmt(100.0 * r->throughput / ideal_thr, 1) + "%",
+                   fmt_celsius(r->peak_celsius), std::to_string(r->m),
+                   r->feasible ? "yes" : "NO",
+                   fmt(r->seconds * 1e3, 1) + " ms"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("AO schedule (one oscillation sub-period of %.3f ms):\n",
+              ao.schedule.period() * 1e3);
+  for (std::size_t i = 0; i < platform.num_cores(); ++i) {
+    std::printf("  core %zu:", i);
+    for (const auto& seg : ao.schedule.core_segments(i))
+      std::printf("  %.3f ms @ %.2f V", seg.duration * 1e3, seg.voltage);
+    std::printf("\n");
+  }
+  return 0;
+}

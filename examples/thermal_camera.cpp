@@ -1,0 +1,114 @@
+// thermal_camera: watch a chip heat up under a schedule, like pointing a
+// thermal camera at the die.
+//
+//   $ ./examples/thermal_camera [rows cols seconds [trace.csv]]
+//
+// Builds a grid platform, runs the AO schedule for T_max = 55 C, and prints
+// an ASCII heat map of the die at regular instants from ambient to the
+// thermal stable status, plus a per-core temperature table.  Demonstrates
+// the TransientSimulator / trace API on a realistic monitoring scenario.
+// With a fourth argument, one stable-status period of the per-core trace is
+// also written as CSV for external plotting.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/ao.hpp"
+#include "sim/steady.hpp"
+#include "sim/trace_io.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+namespace {
+
+char shade(double celsius, double lo, double hi) {
+  static const char kRamp[] = " .:-=+*#%@";
+  const double unit = (celsius - lo) / (hi - lo);
+  const int idx = static_cast<int>(unit * 9.0);
+  return kRamp[std::max(0, std::min(9, idx))];
+}
+
+void draw(const core::Platform& platform, const linalg::Vector& rises,
+          std::size_t rows, std::size_t cols, double lo, double hi) {
+  const auto cores = platform.model->core_rises(rises);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("    ");
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double celsius = platform.to_celsius(cores[r * cols + c]);
+      std::printf("[%c %5.1f]", shade(celsius, lo, hi), celsius);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rows =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 3;
+  const std::size_t cols =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+  const double horizon = argc > 3 ? std::atof(argv[3]) : 40.0;
+  const double t_max_c = 55.0;
+
+  const core::Platform platform = core::make_grid_platform(
+      rows, cols, power::VoltageLevels({0.6, 1.3}));
+  std::printf("thermal camera on a %s chip, T_max = %.0f C, "
+              "watching %.0f s of the AO schedule\n\n",
+              platform.name.c_str(), t_max_c, horizon);
+
+  const core::SchedulerResult plan = core::run_ao(platform, t_max_c);
+  std::printf("AO plan: throughput %.4f at m = %d "
+              "(sub-period %.2f ms), predicted peak %s\n\n",
+              plan.throughput, plan.m, plan.schedule.period() * 1e3,
+              fmt_celsius(plan.peak_celsius).c_str());
+
+  const sim::TransientSimulator sim(platform.model);
+  const auto intervals = plan.schedule.state_intervals();
+
+  linalg::Vector temps = sim.ambient_start();
+  double now = 0.0;
+  const double frame_every = horizon / 8.0;
+  double next_frame = 0.0;
+  const double lo = platform.t_ambient_c;
+  const double hi = t_max_c;
+
+  while (now < horizon) {
+    for (const auto& interval : intervals) {
+      temps = sim.advance(temps, interval.voltages, interval.length);
+      now += interval.length;
+      if (now >= next_frame) {
+        std::printf("t = %7.2f s  (chip max %s)\n", now,
+                    fmt_celsius(platform.to_celsius(
+                                    platform.model->max_core_rise(temps)))
+                        .c_str());
+        draw(platform, temps, rows, cols, lo, hi);
+        std::printf("\n");
+        next_frame += frame_every;
+      }
+      if (now >= horizon) break;
+    }
+  }
+
+  // Converged view: the analytic stable status for comparison.
+  const sim::SteadyStateAnalyzer analyzer(platform.model);
+  const linalg::Vector stable = analyzer.stable_boundary(plan.schedule);
+  std::printf("analytic stable status (period boundary):\n");
+  draw(platform, stable, rows, cols, lo, hi);
+  std::printf("\nhottest core sits at %s against the %.0f C budget\n",
+              fmt_celsius(platform.to_celsius(
+                              platform.model->max_core_rise(stable)))
+                  .c_str(),
+              t_max_c);
+
+  if (argc > 4) {
+    const auto stable_trace =
+        analyzer.stable_trace(plan.schedule, plan.schedule.period() / 64.0);
+    sim::write_trace_csv(argv[4], *platform.model, stable_trace,
+                         platform.t_ambient_c);
+    std::printf("wrote one stable-status period (%zu samples) to %s\n",
+                stable_trace.size(), argv[4]);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "core/audit.hpp"
+
+#include "sched/transforms.hpp"
+#include "sim/peak.hpp"
+
+namespace foscil::core {
+
+ScheduleAudit audit_schedule(const Platform& platform,
+                             const sched::PeriodicSchedule& schedule,
+                             double t_max_c, int samples_per_interval) {
+  FOSCIL_EXPECTS(schedule.num_cores() == platform.num_cores());
+  const double rise_target = platform.rise_budget(t_max_c);
+  const sim::SteadyStateAnalyzer analyzer(platform.model);
+
+  ScheduleAudit audit;
+  audit.throughput = schedule.throughput();
+
+  // Theorem-2 certificate first: cheap, and a proof when it passes.
+  const sched::PeriodicSchedule step_up = sched::to_step_up(schedule);
+  audit.bound_rise = sim::step_up_peak(analyzer, step_up).rise;
+  audit.bound_celsius = platform.to_celsius(audit.bound_rise);
+  audit.certified_safe = audit.bound_rise <= rise_target * (1.0 + 1e-9);
+
+  const sim::PeakInfo peak =
+      sim::sampled_peak(analyzer, schedule, samples_per_interval);
+  audit.peak_rise = peak.rise;
+  audit.peak_celsius = platform.to_celsius(peak.rise);
+  audit.hottest_core = peak.core;
+  audit.peak_time = peak.time;
+  audit.measured_safe = peak.rise <= rise_target * (1.0 + 1e-9);
+
+  // The certificate must dominate the measurement (Theorem 2), up to the
+  // millikelvin tolerance documented in EXPERIMENTS.md E4.
+  FOSCIL_ENSURES(audit.peak_rise <= audit.bound_rise + 1e-2);
+  return audit;
+}
+
+}  // namespace foscil::core

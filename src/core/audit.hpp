@@ -1,0 +1,38 @@
+// Schedule auditing: certify an arbitrary periodic schedule against a
+// platform and a peak-temperature threshold.
+//
+// This is the library surface an OS/firmware engineer uses when the
+// schedule comes from somewhere else (a legacy governor table, a hand-tuned
+// profile, another tool).  Two verdicts are produced:
+//   * the exact stable-status peak, found by dense sampling, and
+//   * the Theorem-2 certificate: the peak of the schedule's step-up
+//     permutation, computable in closed form, which upper-bounds the true
+//     peak.  When the certificate already clears T_max the schedule is
+//     provably safe without any sampling.
+#pragma once
+
+#include "core/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace foscil::core {
+
+struct ScheduleAudit {
+  double throughput = 0.0;        ///< eq. (5) of the schedule as given
+  double peak_rise = 0.0;         ///< sampled stable-status peak (K)
+  double peak_celsius = 0.0;
+  double bound_rise = 0.0;        ///< Theorem-2 step-up certificate (K)
+  double bound_celsius = 0.0;
+  std::size_t hottest_core = 0;   ///< argmax core of the sampled peak
+  double peak_time = 0.0;         ///< offset of the sampled peak in-period
+  bool certified_safe = false;    ///< bound <= T_max (proof, no sampling)
+  bool measured_safe = false;     ///< sampled peak <= T_max
+};
+
+/// Audit `schedule` on `platform` against `t_max_c`.
+/// `samples_per_interval` controls the exact-peak resolution.
+[[nodiscard]] ScheduleAudit audit_schedule(const Platform& platform,
+                                           const sched::PeriodicSchedule& schedule,
+                                           double t_max_c,
+                                           int samples_per_interval = 64);
+
+}  // namespace foscil::core

@@ -1,0 +1,127 @@
+#include "core/config_loader.hpp"
+
+namespace foscil::core {
+
+namespace {
+
+power::VoltageLevels levels_from_config(const Config& config) {
+  const bool has_values = config.has("levels.values");
+  const bool has_table4 = config.has("levels.table4");
+  const bool has_full = config.has("levels.full_range");
+  const int chosen = (has_values ? 1 : 0) + (has_table4 ? 1 : 0) +
+                     (has_full ? 1 : 0);
+  if (chosen > 1)
+    throw ConfigError(
+        "choose exactly one of levels.values / levels.table4 / "
+        "levels.full_range");
+  if (has_values)
+    return power::VoltageLevels(config.get_doubles("levels.values"));
+  if (has_table4)
+    return power::VoltageLevels::paper_table4(
+        static_cast<int>(config.get_int("levels.table4")));
+  if (has_full && config.get_bool("levels.full_range"))
+    return power::VoltageLevels::paper_full_range();
+  // Default: the paper's 2-mode set.
+  return power::VoltageLevels({0.6, 1.3});
+}
+
+thermal::HotSpotParams package_from_config(const Config& config) {
+  thermal::HotSpotParams params;
+  params.die_tiers = static_cast<std::size_t>(
+      config.get_int_or("platform.tiers", 1));
+  params.r_convection_block = config.get_double_or(
+      "package.r_convection_block", params.r_convection_block);
+  params.rim_width_blocks = config.get_double_or(
+      "package.rim_width_blocks", params.rim_width_blocks);
+  params.sink_mass_factor = config.get_double_or(
+      "package.sink_mass_factor", params.sink_mass_factor);
+  params.k_tim = config.get_double_or("package.k_tim", params.k_tim);
+  if (config.has("package.t_tim_um"))
+    params.t_tim = config.get_double("package.t_tim_um") * 1e-6;
+  if (config.has("package.t_spreader_mm"))
+    params.t_spreader = config.get_double("package.t_spreader_mm") * 1e-3;
+  if (config.has("package.t_sink_base_mm"))
+    params.t_sink_base = config.get_double("package.t_sink_base_mm") * 1e-3;
+  params.k_inter_tier = config.get_double_or("package.k_inter_tier",
+                                             params.k_inter_tier);
+  if (config.has("package.t_inter_tier_um"))
+    params.t_inter_tier =
+        config.get_double("package.t_inter_tier_um") * 1e-6;
+  return params;
+}
+
+power::PowerModel power_from_config(const Config& config,
+                                    std::size_t num_cores) {
+  power::PowerCoefficients coeff;
+  coeff.alpha = config.get_double_or("power.alpha", coeff.alpha);
+  coeff.beta = config.get_double_or("power.beta", coeff.beta);
+  coeff.gamma = config.get_double_or("power.gamma", coeff.gamma);
+
+  // Optional heterogeneity: per-core lists override the scalar baseline.
+  const bool any_per_core = config.has("power.alpha_per_core") ||
+                            config.has("power.beta_per_core") ||
+                            config.has("power.gamma_per_core");
+  if (!any_per_core) return power::PowerModel(coeff);
+
+  std::vector<power::PowerCoefficients> per_core(num_cores, coeff);
+  const auto apply = [&](const char* key, auto member) {
+    if (!config.has(key)) return;
+    const std::vector<double> values = config.get_doubles(key);
+    if (values.size() != num_cores)
+      throw ConfigError(std::string(key) + " must list exactly " +
+                        std::to_string(num_cores) + " values");
+    for (std::size_t i = 0; i < num_cores; ++i)
+      per_core[i].*member = values[i];
+  };
+  apply("power.alpha_per_core", &power::PowerCoefficients::alpha);
+  apply("power.beta_per_core", &power::PowerCoefficients::beta);
+  apply("power.gamma_per_core", &power::PowerCoefficients::gamma);
+  return power::PowerModel(std::move(per_core));
+}
+
+}  // namespace
+
+Platform platform_from_config(const Config& config) {
+  const auto rows =
+      static_cast<std::size_t>(config.get_int("platform.rows"));
+  const auto cols =
+      static_cast<std::size_t>(config.get_int("platform.cols"));
+  const double edge_m =
+      config.get_double_or("platform.core_edge_mm", 4.0) * 1e-3;
+
+  const thermal::Floorplan floorplan(rows, cols, edge_m);
+  thermal::RcNetwork network(floorplan, package_from_config(config));
+  const std::size_t num_cores = network.num_cores();
+  Platform platform;
+  platform.model = std::make_shared<const thermal::ThermalModel>(
+      std::move(network), power_from_config(config, num_cores));
+  platform.levels = levels_from_config(config);
+  platform.t_ambient_c = config.get_double_or("platform.t_ambient_c", 35.0);
+  platform.name = floorplan.label();
+  const long tiers = config.get_int_or("platform.tiers", 1);
+  if (tiers > 1) {
+    platform.name += 'x';
+    platform.name += std::to_string(tiers);
+    platform.name += "tiers";
+  }
+  return platform;
+}
+
+AoOptions ao_options_from_config(const Config& config) {
+  AoOptions options;
+  if (config.has("ao.base_period_ms"))
+    options.base_period = config.get_double("ao.base_period_ms") * 1e-3;
+  if (config.has("ao.tau_us"))
+    options.transition_overhead = config.get_double("ao.tau_us") * 1e-6;
+  options.t_unit_fraction = config.get_double_or("ao.t_unit_fraction",
+                                                 options.t_unit_fraction);
+  options.max_m =
+      static_cast<int>(config.get_int_or("ao.max_m", options.max_m));
+  return options;
+}
+
+double t_max_from_config(const Config& config) {
+  return config.get_double_or("run.t_max_c", 55.0);
+}
+
+}  // namespace foscil::core

@@ -1,0 +1,35 @@
+// Build platforms and scheduler options from a text Config (util/config.hpp).
+//
+// Recognized keys (defaults in parentheses):
+//
+//   [platform] rows, cols, tiers (1), core_edge_mm (4.0), t_ambient_c (35)
+//   [levels]   values = 0.6, 1.3       -- explicit list, or:
+//              table4 = 2..5           -- the paper's Table IV sets, or:
+//              full_range = true       -- 0.6:0.05:1.3
+//   [package]  r_convection_block, rim_width_blocks, sink_mass_factor,
+//              k_tim, t_tim_um, t_spreader_mm, t_sink_base_mm,
+//              k_inter_tier, t_inter_tier_um   (all optional overrides)
+//   [power]    alpha, beta, gamma             (optional overrides)
+//              alpha_per_core / beta_per_core / gamma_per_core =
+//              comma-separated per-core lists (heterogeneous chips;
+//              must match the core count, tier-major order)
+//   [ao]       base_period_ms, tau_us, t_unit_fraction, max_m
+//   [run]      t_max_c (55)
+#pragma once
+
+#include "core/ao.hpp"
+#include "core/platform.hpp"
+#include "util/config.hpp"
+
+namespace foscil::core {
+
+/// Assemble a Platform; throws ConfigError / ContractViolation on bad input.
+[[nodiscard]] Platform platform_from_config(const Config& config);
+
+/// AO options with [ao] overrides applied.
+[[nodiscard]] AoOptions ao_options_from_config(const Config& config);
+
+/// The requested peak-temperature threshold ([run] t_max_c, default 55 C).
+[[nodiscard]] double t_max_from_config(const Config& config);
+
+}  // namespace foscil::core

@@ -1,0 +1,138 @@
+#include "core/exs.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "util/parallel_for.hpp"
+#include "util/stopwatch.hpp"
+
+namespace foscil::core {
+
+namespace {
+
+struct Candidate {
+  double throughput = -1.0;
+  double peak = 0.0;
+  std::uint64_t index = 0;
+  std::vector<std::size_t> level_indices;
+
+  [[nodiscard]] bool better_than(const Candidate& other) const {
+    if (throughput != other.throughput) return throughput > other.throughput;
+    if (peak != other.peak) return peak < other.peak;
+    return index < other.index;
+  }
+};
+
+}  // namespace
+
+SchedulerResult run_exs(const Platform& platform, double t_max_c,
+                        const ExsOptions& options) {
+  const Stopwatch timer;
+  const double rise_target = platform.rise_budget(t_max_c);
+  const auto& model = *platform.model;
+  const auto& levels = platform.levels.values();
+  const std::size_t cores = platform.num_cores();
+  const std::size_t num_levels = levels.size();
+
+  std::uint64_t total = 1;
+  for (std::size_t c = 0; c < cores; ++c) {
+    FOSCIL_ASSERT(total < UINT64_MAX / num_levels);
+    total *= num_levels;
+  }
+  if (options.max_candidates != 0 && total > options.max_candidates)
+    throw ExsSpaceTooLarge(total, options.max_candidates);
+
+  // Die-block of (G - beta E)^{-1}: candidate evaluation becomes
+  // T_d = M_dd * Psi_d because package nodes carry no heat.
+  const linalg::Matrix inv = linalg::inverse(model.system_matrix());
+  linalg::Matrix m_dd(cores, cores);
+  for (std::size_t r = 0; r < cores; ++r)
+    for (std::size_t c = 0; c < cores; ++c)
+      m_dd(r, c) =
+          inv(model.network().die_node(r), model.network().die_node(c));
+
+  // Per-(core, level) heat lookup table (cores may be heterogeneous).
+  linalg::Matrix psi_of(cores, num_levels);
+  for (std::size_t c = 0; c < cores; ++c)
+    for (std::size_t l = 0; l < num_levels; ++l)
+      psi_of(c, l) = model.power().psi(c, levels[l]);
+
+  const unsigned threads =
+      options.threads == 0 ? hardware_parallelism() : options.threads;
+  const std::size_t chunks = std::min<std::uint64_t>(
+      total, std::max<std::uint64_t>(1, threads * 4ull));
+  const std::uint64_t chunk_size = (total + chunks - 1) / chunks;
+
+  const Candidate best = parallel_reduce(
+      chunks, Candidate{},
+      [&](std::size_t chunk, Candidate acc) {
+        const std::uint64_t begin = chunk * chunk_size;
+        const std::uint64_t end = std::min<std::uint64_t>(total, begin + chunk_size);
+        if (begin >= end) return acc;
+
+        // Decode the starting odometer (digit 0 = core 0, least significant).
+        std::vector<std::size_t> digits(cores);
+        std::uint64_t rest = begin;
+        for (std::size_t c = 0; c < cores; ++c) {
+          digits[c] = static_cast<std::size_t>(rest % num_levels);
+          rest /= num_levels;
+        }
+
+        linalg::Vector psi(cores);
+        linalg::Vector temps(cores);
+        for (std::uint64_t idx = begin; idx < end; ++idx) {
+          double speed_sum = 0.0;
+          for (std::size_t c = 0; c < cores; ++c) {
+            psi[c] = psi_of(c, digits[c]);
+            speed_sum += levels[digits[c]];
+          }
+          // One N x N mat-vec per candidate — the honest per-candidate cost
+          // of Algorithm 1's line 7.
+          for (std::size_t r = 0; r < cores; ++r) {
+            double acc_t = 0.0;
+            for (std::size_t c = 0; c < cores; ++c)
+              acc_t += m_dd(r, c) * psi[c];
+            temps[r] = acc_t;
+          }
+          const double peak = temps.max();
+          if (peak <= rise_target * (1.0 + 1e-12)) {
+            const double throughput =
+                speed_sum / static_cast<double>(cores);
+            Candidate candidate{throughput, peak, idx, digits};
+            if (candidate.better_than(acc)) acc = std::move(candidate);
+          }
+          // Advance the odometer.
+          for (std::size_t c = 0; c < cores; ++c) {
+            if (++digits[c] < num_levels) break;
+            digits[c] = 0;
+          }
+        }
+        return acc;
+      },
+      [](Candidate a, const Candidate& b) {
+        return b.better_than(a) ? b : a;
+      },
+      threads);
+
+  SchedulerResult result;
+  result.scheduler = "EXS";
+  result.evaluations = total;
+  result.seconds = timer.seconds();
+  if (best.throughput < 0.0) {
+    result.feasible = false;
+    return result;
+  }
+  linalg::Vector voltages(cores);
+  for (std::size_t c = 0; c < cores; ++c)
+    voltages[c] = levels[best.level_indices[c]];
+  result.feasible = true;
+  result.schedule = sched::PeriodicSchedule::constant(voltages, 1.0);
+  result.throughput = best.throughput;
+  result.peak_rise = best.peak;
+  result.peak_celsius = platform.to_celsius(best.peak);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace foscil::core

@@ -1,0 +1,347 @@
+#include "core/ideal.hpp"
+
+#include <vector>
+
+#include "linalg/lu.hpp"
+
+namespace foscil::core {
+
+namespace {
+
+/// Clamp state of one core during the pinned-temperature iteration.
+enum class CoreState {
+  kFree,        // pinned at the rise target, heat unknown
+  kClampedMax,  // runs at v_max, heat known, temperature floats below target
+  kClampedOff,  // would need negative/zero heat: powered down, heat = 0
+};
+
+/// True when running `v` forever keeps every core within the budget.
+bool feasible(const thermal::ThermalModel& model,
+              const linalg::Vector& v, double rise_target) {
+  return model.max_core_rise(model.steady_state(v)) <=
+         rise_target * (1.0 + 1e-12);
+}
+
+/// Alternative seed: start from the largest *uniform* feasible voltage and
+/// raise cores one at a time (bisection against the steady-state constraint)
+/// until no single core can rise further.  On planar grids this matches the
+/// pinned-temperature solution; on 3D stacks — where pinning every core at
+/// T_max drives upper tiers into the alpha dead-zone and off — it finds the
+/// asymmetric assignments that are actually throughput-optimal.
+linalg::Vector coordinate_ascent_voltages(const thermal::ThermalModel& model,
+                                          double rise_target, double v_max) {
+  const std::size_t cores = model.num_cores();
+
+  // Largest uniform feasible voltage.
+  double lo = 0.0;
+  double hi = v_max;
+  if (feasible(model, linalg::Vector(cores, v_max), rise_target)) {
+    lo = v_max;
+  } else {
+    for (int it = 0; it < 40; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (feasible(model, linalg::Vector(cores, mid), rise_target))
+        lo = mid;
+      else
+        hi = mid;
+    }
+  }
+  linalg::Vector v(cores, lo);
+
+  // Largest feasible value of core j holding the others fixed.
+  const auto raise_limit = [&](linalg::Vector& probe, std::size_t j,
+                               double from) {
+    double lo_j = from;
+    double hi_j = v_max;
+    probe[j] = v_max;
+    if (feasible(model, probe, rise_target)) return v_max;
+    for (int it = 0; it < 30; ++it) {
+      const double mid = 0.5 * (lo_j + hi_j);
+      probe[j] = mid;
+      if (feasible(model, probe, rise_target))
+        lo_j = mid;
+      else
+        hi_j = mid;
+    }
+    probe[j] = lo_j;
+    return lo_j;
+  };
+
+  // Round-robin single-core ascent to a maximal feasible point.
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    for (std::size_t j = 0; j < cores; ++j) {
+      linalg::Vector probe = v;
+      const double lifted = raise_limit(probe, j, v[j]);
+      if (lifted > v[j] + 1e-9) {
+        v[j] = lifted;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Pairwise exchange: raise-only moves stall at uniform binding points
+  // (e.g. every upper-tier core of a stack pinned at the budget); trading
+  // speed from a strongly-binding core to a weakly-coupled one can still
+  // gain total throughput.  Accept a (donor, receiver) trade when the
+  // receiver recovers more voltage than the donor gave up.
+  for (int round = 0; round < 6; ++round) {
+    bool improved = false;
+    for (std::size_t donor = 0; donor < cores; ++donor) {
+      for (std::size_t receiver = 0; receiver < cores; ++receiver) {
+        if (donor == receiver) continue;
+        for (const double delta : {0.1, 0.05, 0.02}) {
+          if (v[donor] < delta) continue;
+          linalg::Vector probe = v;
+          probe[donor] = v[donor] - delta;
+          const double lifted =
+              raise_limit(probe, receiver, v[receiver]);
+          if (lifted - v[receiver] > delta + 1e-6) {
+            v = probe;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  // Group exchange: when a whole set of cores binds at once (all upper-tier
+  // cores of a stack), no single-receiver trade can win — raising any one
+  // core re-heats the other binding ones.  Trade as a bloc instead: shave
+  // every binding core by delta, then lift every slack core by a common
+  // bisected amount; accept when the bloc gains more than it gave.
+  for (int round = 0; round < 6; ++round) {
+    const linalg::Vector rises = model.core_rises(model.steady_state(v));
+    std::vector<std::size_t> binding;
+    std::vector<std::size_t> slack;
+    for (std::size_t j = 0; j < cores; ++j) {
+      if (rises[j] >= rise_target - 1e-3)
+        binding.push_back(j);
+      else if (v[j] < v_max - 1e-9)
+        slack.push_back(j);
+    }
+    if (binding.empty() || slack.empty()) break;
+
+    bool improved = false;
+    for (const double delta : {0.1, 0.05, 0.02}) {
+      linalg::Vector probe = v;
+      bool can_shave = true;
+      for (std::size_t j : binding) {
+        if (probe[j] < delta) {
+          can_shave = false;
+          break;
+        }
+        probe[j] -= delta;
+      }
+      if (!can_shave) continue;
+
+      double lo_u = 0.0;
+      double hi_u = v_max;
+      for (int it = 0; it < 30; ++it) {
+        const double mid = 0.5 * (lo_u + hi_u);
+        linalg::Vector lifted = probe;
+        bool in_range = true;
+        for (std::size_t j : slack) {
+          lifted[j] = probe[j] + mid;
+          if (lifted[j] > v_max) {
+            in_range = false;
+            break;
+          }
+        }
+        if (in_range && feasible(model, lifted, rise_target))
+          lo_u = mid;
+        else
+          hi_u = mid;
+      }
+      const double gained = lo_u * static_cast<double>(slack.size());
+      const double given = delta * static_cast<double>(binding.size());
+      if (gained > given + 1e-6) {
+        for (std::size_t j : slack) probe[j] += lo_u;
+        v = probe;
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) break;
+  }
+  return v;
+}
+
+}  // namespace
+
+IdealVoltages ideal_constant_voltages(const thermal::ThermalModel& model,
+                                      double rise_target, double v_max) {
+  FOSCIL_EXPECTS(rise_target > 0.0);
+  FOSCIL_EXPECTS(v_max > 0.0);
+  const std::size_t n = model.num_nodes();
+  const std::size_t cores = model.num_cores();
+  const linalg::Matrix m = model.system_matrix();  // G - beta E
+  const auto& power = model.power();
+
+  IdealVoltages result;
+  result.voltages = linalg::Vector(cores);
+  result.clamped.assign(cores, false);
+  std::vector<CoreState> state(cores, CoreState::kFree);
+
+  // Iterate: free cores have known temperature (rise_target) and unknown
+  // heat; clamped cores and package nodes have known heat and unknown
+  // temperature.  Ceiling clamps (v > v_max) arise on thermally easy cores;
+  // floor clamps (required heat <= 0) arise e.g. on upper tiers of 3D
+  // stacks that neighbor heat pushes past the target on their own.  The
+  // clamp set only grows, so this terminates in <= cores rounds.
+  for (std::size_t round = 0; round <= cores; ++round) {
+    // Partition node indices.
+    std::vector<std::size_t> pinned;    // die nodes at T = rise_target
+    std::vector<std::size_t> floating;  // everything else
+    std::vector<double> floating_heat;  // known Psi on floating nodes
+    std::vector<bool> is_pinned(n, false);
+    for (std::size_t core = 0; core < cores; ++core) {
+      if (state[core] == CoreState::kFree) {
+        const std::size_t d = model.network().die_node(core);
+        pinned.push_back(d);
+        is_pinned[d] = true;
+      }
+    }
+    for (std::size_t node = 0; node < n; ++node) {
+      if (is_pinned[node]) continue;
+      floating.push_back(node);
+      double heat = 0.0;
+      if (model.network().layer(node) == thermal::NodeLayer::kDie) {
+        const std::size_t core = node;  // die nodes are [0, cores)
+        if (state[core] == CoreState::kClampedMax)
+          heat = power.psi(core, v_max);
+      }
+      floating_heat.push_back(heat);
+    }
+
+    linalg::Vector temperatures(n);
+    for (std::size_t d : pinned) temperatures[d] = rise_target;
+
+    if (!floating.empty()) {
+      // Solve M_ff T_f = Psi_f - M_fp T_p for the floating temperatures.
+      linalg::Matrix m_ff(floating.size(), floating.size());
+      linalg::Vector rhs(floating.size());
+      for (std::size_t r = 0; r < floating.size(); ++r) {
+        for (std::size_t c = 0; c < floating.size(); ++c)
+          m_ff(r, c) = m(floating[r], floating[c]);
+        double acc = floating_heat[r];
+        for (std::size_t d : pinned) acc -= m(floating[r], d) * rise_target;
+        rhs[r] = acc;
+      }
+      const linalg::Vector t_f = linalg::LuDecomposition(m_ff).solve(rhs);
+      for (std::size_t r = 0; r < floating.size(); ++r)
+        temperatures[floating[r]] = t_f[r];
+    }
+
+    // Required heat on pinned die rows: Psi_p = (M T)_p.
+    bool new_clamp = false;
+    for (std::size_t core = 0; core < cores; ++core) {
+      switch (state[core]) {
+        case CoreState::kClampedMax:
+          result.voltages[core] = v_max;
+          continue;
+        case CoreState::kClampedOff:
+          result.voltages[core] = 0.0;
+          continue;
+        case CoreState::kFree:
+          break;
+      }
+      const std::size_t d = model.network().die_node(core);
+      double psi = 0.0;
+      for (std::size_t c = 0; c < n; ++c) psi += m(d, c) * temperatures[c];
+      if (psi <= 0.0) {
+        // Even zero injection overshoots the target here: power the core
+        // down and let its temperature float (it ends below the target
+        // because its neighbors are at or below it).
+        state[core] = CoreState::kClampedOff;
+        result.clamped[core] = true;
+        result.any_clamped = true;
+        new_clamp = true;
+        continue;
+      }
+      const double v = power.voltage_for_psi(core, psi);
+      if (v > v_max) {
+        state[core] = CoreState::kClampedMax;
+        result.clamped[core] = true;
+        result.any_clamped = true;
+        new_clamp = true;
+      } else {
+        result.voltages[core] = v;
+      }
+    }
+    if (!new_clamp) break;
+  }
+
+  // Repair phase.  On 3D stacks a powered-down core can *still* end above
+  // the target: the model keeps the beta*T leakage term for every die node
+  // (eq. 2's LTI assumption), so an off core surrounded by at-target
+  // neighbors floats at target * g_ii / (g_ii - beta) > target.  The active
+  // set must then unload other cores.  Greedy KKT-style descent: while some
+  // core overshoots, shed heat on the core that cools the hottest one most
+  // per unit of speed given up (influence read from the steady-state
+  // operator's inverse), which is monotone and terminates at v = 0.
+  linalg::Vector steady = model.steady_state(result.voltages);
+  if (model.max_core_rise(steady) > rise_target * (1.0 + 1e-9)) {
+    const linalg::Matrix influence =
+        linalg::LuDecomposition(m).inverse();  // T = influence * Psi
+    for (std::size_t guard = 0; guard < 64 * cores; ++guard) {
+      const linalg::Vector rises = model.core_rises(steady);
+      const std::size_t hottest = rises.argmax();
+      const double overshoot = rises[hottest] - rise_target;
+      if (overshoot <= rise_target * 1e-9) break;
+
+      // Pick the donor core maximizing dT_hottest/dPsi_j per speed lost
+      // (dv/dPsi = 1 / (3 gamma v^2)).
+      const std::size_t h_node = model.network().die_node(hottest);
+      std::size_t donor = cores;
+      double best_score = 0.0;
+      for (std::size_t j = 0; j < cores; ++j) {
+        const double v = result.voltages[j];
+        if (v <= 0.0) continue;
+        const double coupling =
+            influence(h_node, model.network().die_node(j));
+        const double score = coupling * 3.0 * power.gamma(j, v) * v * v;
+        if (score > best_score) {
+          best_score = score;
+          donor = j;
+        }
+      }
+      FOSCIL_ASSERT(donor < cores);  // some heat source must remain
+      const double coupling =
+          influence(h_node, model.network().die_node(donor));
+      const double psi_cut = overshoot / coupling;
+      const double v_old = result.voltages[donor];
+      const double psi_new = power.psi(donor, v_old) - psi_cut;
+      result.voltages[donor] = power.voltage_for_psi(donor, psi_new);
+      result.clamped[donor] = true;  // no longer sits at the analytic pin
+      result.any_clamped = true;
+      steady = model.steady_state(result.voltages);
+    }
+  }
+
+  // The pinned-temperature construction is a heuristic, not the optimum
+  // (it is the paper's / Hanumaiah's choice and is excellent on planar
+  // grids).  When the alternative coordinate-ascent seed delivers strictly
+  // more throughput — the 3D-stack regime — prefer it.
+  const linalg::Vector ascent =
+      coordinate_ascent_voltages(model, rise_target, v_max);
+  if (ascent.sum() > result.voltages.sum() + 1e-6) {
+    result.voltages = ascent;
+    result.any_clamped = false;
+    for (std::size_t core = 0; core < cores; ++core) {
+      result.clamped[core] = ascent[core] >= v_max - 1e-9;
+      result.any_clamped |= result.clamped[core];
+    }
+    steady = model.steady_state(result.voltages);
+  }
+
+  // Postcondition: running the ideal voltages forever keeps every core at or
+  // below the rise target (up to solver round-off).
+  FOSCIL_ENSURES(model.max_core_rise(steady) <= rise_target * (1.0 + 1e-6));
+  return result;
+}
+
+}  // namespace foscil::core

@@ -1,0 +1,34 @@
+// Ideal constant voltages: the starting point of the AO/PCO/LNS pipeline.
+//
+// Following the paper's Sec. V (after Hanumaiah et al.), assume every core's
+// steady-state temperature is pinned at the threshold:
+// T_inf(v_const) = [T_max].  Pinning the die-node temperatures turns the
+// steady-state balance (G - beta E) T = Psi(v) into a Schur-complement
+// solve: the non-die temperatures follow from the die temperatures, and the
+// required per-core heat Psi_i falls out of the die rows; then
+// v_i = cbrt((Psi_i - alpha)/gamma).
+//
+// Cores whose required voltage exceeds `v_max` are clamped there and
+// re-enter the system as fixed-power (instead of fixed-temperature) nodes,
+// and the reduced system is re-solved until no new clamp appears — the
+// clamped cores end up strictly cooler than T_max.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "thermal/model.hpp"
+
+namespace foscil::core {
+
+struct IdealVoltages {
+  linalg::Vector voltages;        ///< per-core ideal constant voltage
+  std::vector<bool> clamped;      ///< true where v hit v_max
+  bool any_clamped = false;
+};
+
+/// Compute the throughput-optimal constant voltage per core such that no
+/// steady-state core temperature exceeds `rise_target` (K over ambient).
+/// `v_max` bounds the physically available range (e.g. 1.3 V).
+[[nodiscard]] IdealVoltages ideal_constant_voltages(
+    const thermal::ThermalModel& model, double rise_target, double v_max);
+
+}  // namespace foscil::core

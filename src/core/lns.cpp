@@ -1,0 +1,53 @@
+#include "core/lns.hpp"
+
+#include "core/ideal.hpp"
+#include "util/stopwatch.hpp"
+
+namespace foscil::core {
+
+SchedulerResult run_lns(const Platform& platform, double t_max_c) {
+  const Stopwatch timer;
+  const double rise_target = platform.rise_budget(t_max_c);
+  const auto& model = *platform.model;
+  const auto& levels = platform.levels;
+
+  const IdealVoltages ideal =
+      ideal_constant_voltages(model, rise_target, levels.highest());
+
+  linalg::Vector assigned(platform.num_cores());
+  for (std::size_t core = 0; core < platform.num_cores(); ++core) {
+    const auto floor = levels.floor_level(ideal.voltages[core]);
+    // Below the lowest level the paper's baseline has no mode to fall back
+    // on; run the lowest level and let the feasibility check below decide.
+    assigned[core] = floor.value_or(levels.lowest());
+  }
+
+  // Rounding down is heat-monotone, but the fallback-to-lowest corner can
+  // still violate the budget; shed the hottest core's level if needed.
+  linalg::Vector steady = model.steady_state(assigned);
+  std::size_t evaluations = 1;
+  bool feasible = model.max_core_rise(steady) <= rise_target * (1.0 + 1e-9);
+  while (!feasible) {
+    const linalg::Vector cores = model.core_rises(steady);
+    const std::size_t hottest = cores.argmax();
+    const auto lower = levels.floor_level(assigned[hottest] - 1e-9);
+    if (!lower) break;  // already at the lowest level everywhere useful
+    assigned[hottest] = *lower;
+    steady = model.steady_state(assigned);
+    ++evaluations;
+    feasible = model.max_core_rise(steady) <= rise_target * (1.0 + 1e-9);
+  }
+
+  SchedulerResult result;
+  result.scheduler = "LNS";
+  result.feasible = feasible;
+  result.schedule = sched::PeriodicSchedule::constant(assigned, 1.0);
+  result.throughput = result.schedule.throughput();
+  result.peak_rise = model.max_core_rise(steady);
+  result.peak_celsius = platform.to_celsius(result.peak_rise);
+  result.evaluations = evaluations;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace foscil::core

@@ -1,0 +1,17 @@
+// LNS — lower neighboring speed baseline (Sec. III).
+//
+// Compute the ideal continuous constant voltages, then round each core down
+// to the nearest available discrete level.  Rounding down can only shed
+// heat, so the result stays feasible; it is also pessimistic, which is the
+// paper's motivation for oscillation.
+#pragma once
+
+#include "core/platform.hpp"
+#include "core/result.hpp"
+
+namespace foscil::core {
+
+[[nodiscard]] SchedulerResult run_lns(const Platform& platform,
+                                      double t_max_c);
+
+}  // namespace foscil::core

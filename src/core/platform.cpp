@@ -1,0 +1,25 @@
+#include "core/platform.hpp"
+
+namespace foscil::core {
+
+Platform make_grid_platform(std::size_t rows, std::size_t cols,
+                            power::VoltageLevels levels,
+                            const thermal::HotSpotParams& params,
+                            const power::PowerModel& power_model) {
+  constexpr double kCoreEdgeM = 4e-3;  // 4x4 mm^2 cores (Sec. VI)
+  const thermal::Floorplan floorplan(rows, cols, kCoreEdgeM);
+  thermal::RcNetwork network(floorplan, params);
+  Platform platform;
+  platform.model = std::make_shared<const thermal::ThermalModel>(
+      std::move(network), power_model);
+  platform.levels = std::move(levels);
+  platform.name = floorplan.label();
+  if (params.die_tiers > 1) {
+    platform.name += 'x';
+    platform.name += std::to_string(params.die_tiers);
+    platform.name += "tiers";
+  }
+  return platform;
+}
+
+}  // namespace foscil::core

@@ -1,0 +1,45 @@
+// Platform: everything a scheduler needs about the chip.
+//
+// Bundles the thermal model (with its spectral/LU caches), the available
+// DVFS levels, and the ambient temperature.  Peak-temperature thresholds are
+// per-request, not per-platform, because the experiments sweep them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "power/dvfs.hpp"
+#include "thermal/model.hpp"
+
+namespace foscil::core {
+
+struct Platform {
+  std::shared_ptr<const thermal::ThermalModel> model;
+  power::VoltageLevels levels = power::VoltageLevels::paper_full_range();
+  double t_ambient_c = 35.0;
+  std::string name;
+
+  [[nodiscard]] std::size_t num_cores() const { return model->num_cores(); }
+
+  /// Convert an absolute threshold in Celsius to a rise budget in kelvin.
+  [[nodiscard]] double rise_budget(double t_max_c) const {
+    FOSCIL_EXPECTS(t_max_c > t_ambient_c);
+    return t_max_c - t_ambient_c;
+  }
+
+  /// Convert a rise over ambient back to Celsius.
+  [[nodiscard]] double to_celsius(double rise_kelvin) const {
+    return t_ambient_c + rise_kelvin;
+  }
+};
+
+/// Build a rows x cols grid platform with the paper's defaults
+/// (4x4 mm^2 cores, HotSpot-style package, McPAT-style power constants,
+/// T_amb = 35 C).
+[[nodiscard]] Platform make_grid_platform(
+    std::size_t rows, std::size_t cols,
+    power::VoltageLevels levels = power::VoltageLevels::paper_full_range(),
+    const thermal::HotSpotParams& params = {},
+    const power::PowerModel& power_model = power::PowerModel{});
+
+}  // namespace foscil::core

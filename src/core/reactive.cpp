@@ -1,0 +1,94 @@
+#include "core/reactive.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/transient.hpp"
+#include "util/stopwatch.hpp"
+
+namespace foscil::core {
+
+ReactiveResult run_reactive(const Platform& platform, double t_max_c,
+                            const ReactiveOptions& options) {
+  FOSCIL_EXPECTS(options.poll_period > 0.0);
+  FOSCIL_EXPECTS(options.margin >= 0.0);
+  FOSCIL_EXPECTS(options.hysteresis >= 0.0);
+  FOSCIL_EXPECTS(options.horizon >= options.poll_period);
+  FOSCIL_EXPECTS(options.samples_per_tick >= 1);
+  const Stopwatch timer;
+
+  const double rise_target = platform.rise_budget(t_max_c);
+  const auto& model = *platform.model;
+  const sim::TransientSimulator sim(platform.model);
+  const auto& levels = platform.levels.values();
+  const std::size_t cores = platform.num_cores();
+
+  const double step_down_at = rise_target - options.margin;
+  const double step_up_at = step_down_at - options.hysteresis;
+
+  std::vector<std::size_t> level_of(cores, 0);  // start at the lowest mode
+  linalg::Vector temps = sim.ambient_start();
+
+  ReactiveResult out;
+  const auto ticks =
+      static_cast<std::size_t>(options.horizon / options.poll_period);
+  double work = 0.0;        // volt-seconds over the measured window
+  double measured_time = 0.0;
+  const std::size_t warmup = ticks / 2;  // score the settled second half
+
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    linalg::Vector v(cores);
+    for (std::size_t i = 0; i < cores; ++i) v[i] = levels[level_of[i]];
+
+    // Advance one poll interval, tracking the true inter-poll peak.
+    double tick_peak = 0.0;
+    linalg::Vector next = temps;
+    for (int k = 1; k <= options.samples_per_tick; ++k) {
+      const double local = options.poll_period * k /
+                           options.samples_per_tick;
+      next = sim.advance(temps, v, local);
+      tick_peak = std::max(tick_peak, model.max_core_rise(next));
+    }
+    temps = next;
+    out.true_peak_rise = std::max(out.true_peak_rise, tick_peak);
+    if (tick_peak > rise_target * (1.0 + 1e-12)) ++out.violations;
+
+    if (tick >= warmup) {
+      for (std::size_t i = 0; i < cores; ++i)
+        work += v[i] * options.poll_period;
+      measured_time += options.poll_period;
+    }
+
+    // Sensor read + per-core decision.
+    const linalg::Vector reading = model.core_rises(temps);
+    for (std::size_t i = 0; i < cores; ++i) {
+      const double seen = reading[i] + options.sensor_bias;
+      out.seen_peak_rise = std::max(out.seen_peak_rise, seen);
+      if (seen > step_down_at && level_of[i] > 0) {
+        --level_of[i];
+        ++out.transitions;
+      } else if (seen < step_up_at && level_of[i] + 1 < levels.size()) {
+        ++level_of[i];
+        ++out.transitions;
+      }
+    }
+  }
+
+  SchedulerResult& r = out.result;
+  r.scheduler = "REACTIVE";
+  r.feasible = out.violations == 0;
+  r.throughput = measured_time > 0.0
+                     ? work / (measured_time * static_cast<double>(cores))
+                     : 0.0;
+  r.peak_rise = out.true_peak_rise;
+  r.peak_celsius = platform.to_celsius(out.true_peak_rise);
+  // Report the final operating point as a constant schedule snapshot.
+  linalg::Vector final_v(cores);
+  for (std::size_t i = 0; i < cores; ++i) final_v[i] = levels[level_of[i]];
+  r.schedule = sched::PeriodicSchedule::constant(final_v, 1.0);
+  r.evaluations = ticks;
+  r.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace foscil::core

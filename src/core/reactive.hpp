@@ -1,0 +1,45 @@
+// Reactive DTM baseline (beyond the paper's evaluation, motivated by its
+// Sec. I): a threshold governor in the style of "reactive (online)" DTM.
+//
+// Every `poll_period` seconds the governor reads each core's temperature
+// sensor (optionally biased, modeling sensor error) and
+//   * steps the core one level DOWN when the reading is above
+//     T_max - margin,
+//   * steps it one level UP when the reading is below
+//     T_max - margin - hysteresis.
+//
+// The paper argues such schemes either violate the peak constraint (sensor
+// error, inter-poll transients) or surrender throughput (safe margins);
+// run_reactive quantifies both failure modes against AO on the same
+// platform.  The governor is simulated exactly with the analytic transient
+// engine, and the *true* inter-poll peak is tracked alongside what the
+// sensor saw.
+#pragma once
+
+#include "core/platform.hpp"
+#include "core/result.hpp"
+
+namespace foscil::core {
+
+struct ReactiveOptions {
+  double poll_period = 0.01;   ///< s between sensor reads / decisions
+  double margin = 1.0;         ///< K below T_max that triggers a step-down
+  double hysteresis = 2.0;     ///< extra K of cushion before stepping up
+  double horizon = 120.0;      ///< simulated seconds
+  double sensor_bias = 0.0;    ///< K added to readings (<0 = optimistic)
+  int samples_per_tick = 4;    ///< inter-poll samples for true-peak tracking
+};
+
+struct ReactiveResult {
+  SchedulerResult result;       ///< scheduler-comparable summary
+  double true_peak_rise = 0.0;  ///< max rise including inter-poll transients
+  double seen_peak_rise = 0.0;  ///< max rise the (biased) sensor reported
+  std::size_t violations = 0;   ///< ticks whose true peak exceeded T_max
+  std::size_t transitions = 0;  ///< total DVFS level changes issued
+};
+
+[[nodiscard]] ReactiveResult run_reactive(const Platform& platform,
+                                          double t_max_c,
+                                          const ReactiveOptions& options = {});
+
+}  // namespace foscil::core

@@ -1,0 +1,22 @@
+// Common result type for all schedulers (LNS / EXS / AO / PCO).
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace foscil::core {
+
+struct SchedulerResult {
+  std::string scheduler;          ///< "LNS", "EXS", "AO", "PCO"
+  bool feasible = false;          ///< peak <= T_max achieved
+  double throughput = 0.0;        ///< eq. (5); stall-compensated for AO/PCO
+  double peak_rise = 0.0;         ///< stable-status peak, K over ambient
+  double peak_celsius = 0.0;      ///< same, absolute
+  sched::PeriodicSchedule schedule{1, 1.0};
+  int m = 1;                      ///< oscillation factor (AO/PCO)
+  double seconds = 0.0;           ///< scheduler wall time
+  std::size_t evaluations = 0;    ///< thermal evaluations performed
+};
+
+}  // namespace foscil::core

@@ -1,0 +1,98 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace foscil::linalg {
+
+namespace {
+
+/// Sum of squares of off-diagonal entries (upper triangle, doubled).
+double off_diagonal_energy(const Matrix& a) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = r + 1; c < a.cols(); ++c)
+      total += 2.0 * a(r, c) * a(r, c);
+  return total;
+}
+
+}  // namespace
+
+SymmetricEigen eigen_symmetric(const Matrix& s, double symmetry_tol) {
+  FOSCIL_EXPECTS(s.square());
+  FOSCIL_EXPECTS(!s.empty());
+  const double scale = std::max(s.inf_norm(), 1.0);
+  FOSCIL_EXPECTS(s.asymmetry() <= symmetry_tol * scale);
+
+  const std::size_t n = s.rows();
+  Matrix a = s;
+  // Symmetrize exactly so rounding in the caller cannot bias the sweep.
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r + 1; c < n; ++c) {
+      const double avg = 0.5 * (a(r, c) + a(c, r));
+      a(r, c) = avg;
+      a(c, r) = avg;
+    }
+
+  Matrix q = Matrix::identity(n);
+  const double stop = 1e-30 * scale * scale * static_cast<double>(n * n);
+
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (off_diagonal_energy(a) <= stop) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t r = p + 1; r < n; ++r) {
+        const double apr = a(p, r);
+        if (std::abs(apr) <= 1e-300) continue;
+        // Classic Jacobi rotation annihilating a(p, r).
+        const double theta = (a(r, r) - a(p, p)) / (2.0 * apr);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double sn = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akr = a(k, r);
+          a(k, p) = c * akp - sn * akr;
+          a(k, r) = sn * akp + c * akr;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double ark = a(r, k);
+          a(p, k) = c * apk - sn * ark;
+          a(r, k) = sn * apk + c * ark;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double qkp = q(k, p);
+          const double qkr = q(k, r);
+          q(k, p) = c * qkp - sn * qkr;
+          q(k, r) = sn * qkp + c * qkr;
+        }
+      }
+    }
+  }
+  FOSCIL_ENSURES(off_diagonal_energy(a) <= 1e-16 * scale * scale *
+                                               static_cast<double>(n * n));
+
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a(i, i) < a(j, j);
+  });
+
+  SymmetricEigen result;
+  result.eigenvalues = Vector(n);
+  result.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      result.eigenvectors(i, j) = q(i, order[j]);
+  }
+  return result;
+}
+
+}  // namespace foscil::linalg

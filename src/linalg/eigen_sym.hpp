@@ -1,0 +1,26 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// The thermal system matrix A = C⁻¹(βE − G) of eq. (2) is similar to the
+// symmetric matrix C^{-1/2}(βE − G)C^{-1/2}, so a symmetric eigensolver is
+// all the spectral machinery the whole library needs.  Jacobi is a good fit
+// at n ≲ 100: simple, unconditionally convergent on symmetric input, and
+// accurate to a small multiple of machine epsilon.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace foscil::linalg {
+
+/// Result of a symmetric eigendecomposition  S = Q · diag(w) · Qᵀ with
+/// eigenvalues ascending and Q orthogonal (columns are eigenvectors).
+struct SymmetricEigen {
+  Vector eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Decompose a symmetric matrix.  `s` must be square and symmetric to within
+/// `symmetry_tol` (inf-norm scaled); the strictly-lower triangle is ignored.
+[[nodiscard]] SymmetricEigen eigen_symmetric(const Matrix& s,
+                                             double symmetry_tol = 1e-8);
+
+}  // namespace foscil::linalg

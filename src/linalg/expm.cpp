@@ -1,0 +1,66 @@
+#include "linalg/expm.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+
+namespace foscil::linalg {
+
+namespace {
+
+// Padé coefficients for the [13/13] approximant (Higham 2005, Table 10.4).
+constexpr std::array<double, 14> kPade13 = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+    1187353796428800.0,  129060195264000.0,   10559470521600.0,
+    670442572800.0,      33522128640.0,       1323241920.0,
+    40840800.0,          960960.0,            16380.0,
+    182.0,               1.0};
+
+// theta_13: scale until ||A||_1 <= theta so the approximant holds to eps.
+constexpr double kTheta13 = 5.371920351148152;
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  FOSCIL_EXPECTS(a.square());
+  FOSCIL_EXPECTS(!a.empty());
+  const std::size_t n = a.rows();
+
+  // Scaling: A / 2^s with ||A/2^s||_1 <= theta_13.
+  const double norm = a.one_norm();
+  int squarings = 0;
+  if (norm > kTheta13) {
+    squarings = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
+  }
+  Matrix a_scaled = std::ldexp(1.0, -squarings) * a;
+
+  // Padé(13): U = A(b13 A6³ …), V = even part; exp ≈ (V-U)⁻¹(V+U).
+  const Matrix identity = Matrix::identity(n);
+  const Matrix a2 = a_scaled * a_scaled;
+  const Matrix a4 = a2 * a2;
+  const Matrix a6 = a4 * a2;
+
+  Matrix u_inner = kPade13[13] * a6 + kPade13[11] * a4 + kPade13[9] * a2;
+  u_inner = a6 * u_inner;
+  u_inner += kPade13[7] * a6 + kPade13[5] * a4 + kPade13[3] * a2 +
+             kPade13[1] * identity;
+  const Matrix u = a_scaled * u_inner;
+
+  Matrix v = kPade13[12] * a6 + kPade13[10] * a4 + kPade13[8] * a2;
+  v = a6 * v;
+  v += kPade13[6] * a6 + kPade13[4] * a4 + kPade13[2] * a2 +
+       kPade13[0] * identity;
+
+  Matrix numer = v + u;
+  Matrix denom = v - u;
+  Matrix result = LuDecomposition(denom).solve(numer);
+
+  // Undo the scaling by repeated squaring.
+  for (int s = 0; s < squarings; ++s) result = result * result;
+  return result;
+}
+
+Matrix expm(const Matrix& a, double t) { return expm(t * a); }
+
+}  // namespace foscil::linalg

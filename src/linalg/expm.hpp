@@ -1,0 +1,21 @@
+// General dense matrix exponential.
+//
+// Higham's scaling-and-squaring with a degree-13 Padé approximant — the same
+// algorithm behind MATLAB's expm, which is what the paper's reference
+// implementation would have called.  foscil uses the spectral fast path
+// (linalg/spectral.hpp) in production; this general routine exists to
+// cross-validate that path in tests and to support experiments with
+// non-diagonalizable perturbations.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace foscil::linalg {
+
+/// e^{A} for a square A.
+[[nodiscard]] Matrix expm(const Matrix& a);
+
+/// e^{A·t} convenience wrapper.
+[[nodiscard]] Matrix expm(const Matrix& a, double t);
+
+}  // namespace foscil::linalg

@@ -1,0 +1,96 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace foscil::linalg {
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
+  FOSCIL_EXPECTS(a.square());
+  FOSCIL_EXPECTS(!a.empty());
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| of column k to the pivot.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw SingularMatrixError(k);
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      sign_ = -sign_;
+    }
+
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      const double* uk = lu_.row_data(k);
+      double* ur = lu_.row_data(r);
+      for (std::size_t c = k + 1; c < n; ++c) ur[c] -= factor * uk[c];
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = size();
+  FOSCIL_EXPECTS(b.size() == n);
+
+  // Forward substitution on the permuted RHS (L has unit diagonal).
+  Vector y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    const double* row = lu_.row_data(r);
+    for (std::size_t c = 0; c < r; ++c) acc -= row[c] * y[c];
+    y[r] = acc;
+  }
+  // Back substitution through U.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    const double* row = lu_.row_data(ri);
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= row[c] * y[c];
+    y[ri] = acc / row[ri];
+  }
+  return y;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  FOSCIL_EXPECTS(b.rows() == size());
+  Matrix x(b.rows(), b.cols());
+  Vector column(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) column[r] = b(r, c);
+    const Vector solved = solve(column);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = solved[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(size()));
+}
+
+double LuDecomposition::determinant() const {
+  double det = sign_;
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+Matrix inverse(const Matrix& a) { return LuDecomposition(a).inverse(); }
+
+}  // namespace foscil::linalg

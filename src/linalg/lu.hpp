@@ -1,0 +1,57 @@
+// LU factorization with partial pivoting.
+//
+// Used for the steady-state solves of the thermal model: T∞ = -A⁻¹B(v)
+// (eq. 2 of the paper) and the Schur-complement solve that pins the core
+// nodes at T_max when deriving the ideal constant voltages (Sec. V).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace foscil::linalg {
+
+/// Factor PA = LU once, then solve/invert repeatedly.
+class LuDecomposition {
+ public:
+  /// Factors a square matrix.  Throws SingularMatrixError when a pivot
+  /// column is numerically zero.
+  explicit LuDecomposition(const Matrix& a);
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-by-column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Dense inverse (prefer solve() when a single RHS suffices).
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Determinant from the product of pivots and permutation sign.
+  [[nodiscard]] double determinant() const;
+
+ private:
+  Matrix lu_;                      // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int sign_ = 1;                   // permutation parity
+};
+
+/// Thrown by LuDecomposition when the matrix is singular to working
+/// precision.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(std::size_t column)
+      : std::runtime_error("LU pivot underflow in column " +
+                           std::to_string(column)) {}
+};
+
+/// One-shot convenience: solve A x = b.
+[[nodiscard]] Vector solve(const Matrix& a, const Vector& b);
+
+/// One-shot convenience: dense inverse of A.
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+}  // namespace foscil::linalg

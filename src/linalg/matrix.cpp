@@ -1,0 +1,209 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace foscil::linalg {
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  FOSCIL_EXPECTS(size() == rhs.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  FOSCIL_EXPECTS(size() == rhs.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scale) {
+  for (auto& x : data_) x *= scale;
+  return *this;
+}
+
+double Vector::max() const {
+  FOSCIL_EXPECTS(!empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Vector::min() const {
+  FOSCIL_EXPECTS(!empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+std::size_t Vector::argmax() const {
+  FOSCIL_EXPECTS(!empty());
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double Vector::sum() const {
+  double total = 0.0;
+  for (double x : data_) total += x;
+  return total;
+}
+
+double Vector::inf_norm() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+double Vector::two_norm() const { return std::sqrt(dot(*this, *this)); }
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(double scale, Vector v) { return v *= scale; }
+
+double dot(const Vector& a, const Vector& b) {
+  FOSCIL_EXPECTS(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    FOSCIL_EXPECTS(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  FOSCIL_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  FOSCIL_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) {
+  for (auto& x : data_) x *= scale;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Vector Matrix::diagonal_vector() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = (*this)(i, i);
+  return d;
+}
+
+double Matrix::inf_norm() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) row_sum += std::abs((*this)(r, c));
+    best = std::max(best, row_sum);
+  }
+  return best;
+}
+
+double Matrix::one_norm() const {
+  double best = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double col_sum = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) col_sum += std::abs((*this)(r, c));
+    best = std::max(best, col_sum);
+  }
+  return best;
+}
+
+double Matrix::frobenius_norm() const {
+  double total = 0.0;
+  for (double x : data_) total += x * x;
+  return std::sqrt(total);
+}
+
+double Matrix::asymmetry() const {
+  FOSCIL_EXPECTS(square());
+  double worst = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      worst = std::max(worst, std::abs((*this)(r, c) - (*this)(c, r)));
+  return worst;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(double scale, Matrix m) { return m *= scale; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  FOSCIL_EXPECTS(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.row_data(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* bk = b.row_data(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  FOSCIL_EXPECTS(a.cols() == x.size());
+  Vector y(a.rows());
+  gemv_accumulate(1.0, a, x, y);
+  return y;
+}
+
+void gemv_accumulate(double alpha, const Matrix& a, const Vector& x,
+                     Vector& y) {
+  FOSCIL_EXPECTS(a.cols() == x.size());
+  FOSCIL_EXPECTS(a.rows() == y.size());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += row[c] * x[c];
+    y[r] += alpha * acc;
+  }
+}
+
+bool allclose(const Matrix& a, const Matrix& b, double rtol, double atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (std::abs(a(r, c) - b(r, c)) > atol + rtol * std::abs(b(r, c)))
+        return false;
+  return true;
+}
+
+bool allclose(const Vector& a, const Vector& b, double rtol, double atol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) > atol + rtol * std::abs(b[i])) return false;
+  return true;
+}
+
+}  // namespace foscil::linalg

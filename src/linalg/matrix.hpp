@@ -1,0 +1,149 @@
+// Dense row-major matrix and vector value types.
+//
+// foscil carries its own small linear-algebra layer because the thermal
+// model (eq. 2 of the paper) only needs dense kernels on systems of a few
+// dozen nodes: LU solves, a symmetric eigensolver, and matrix exponentials.
+// Everything is double precision and value-semantic (C++ Core Guidelines
+// C.10): copies are cheap at these sizes and aliasing bugs are not worth a
+// expression-template layer.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace foscil::linalg {
+
+class Matrix;
+
+/// Dense real vector.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    FOSCIL_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    FOSCIL_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double scale);
+
+  /// Largest element (requires non-empty).
+  [[nodiscard]] double max() const;
+  /// Smallest element (requires non-empty).
+  [[nodiscard]] double min() const;
+  /// Index of the largest element (requires non-empty).
+  [[nodiscard]] std::size_t argmax() const;
+  /// Sum of elements.
+  [[nodiscard]] double sum() const;
+  /// Max-norm.
+  [[nodiscard]] double inf_norm() const;
+  /// Euclidean norm.
+  [[nodiscard]] double two_norm() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Vector operator+(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator-(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator*(double scale, Vector v);
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Dense real matrix, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer lists; all rows must agree in width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Diagonal matrix from a vector.
+  [[nodiscard]] static Matrix diagonal(const Vector& d);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool square() const { return rows_ == cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    FOSCIL_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    FOSCIL_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* row_data(std::size_t r) {
+    FOSCIL_EXPECTS(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row_data(std::size_t r) const {
+    FOSCIL_EXPECTS(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scale);
+
+  [[nodiscard]] Matrix transposed() const;
+  /// Extract the main diagonal.
+  [[nodiscard]] Vector diagonal_vector() const;
+  /// Sum of |a_ij| maximized over rows (the induced inf-norm).
+  [[nodiscard]] double inf_norm() const;
+  /// Sum of |a_ij| maximized over columns (the induced 1-norm).
+  [[nodiscard]] double one_norm() const;
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+  /// Largest |a_ij - a_ji|; zero for symmetric matrices.
+  [[nodiscard]] double asymmetry() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator-(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(double scale, Matrix m);
+[[nodiscard]] Matrix operator*(const Matrix& a, const Matrix& b);
+[[nodiscard]] Vector operator*(const Matrix& a, const Vector& x);
+
+/// y += alpha * A * x without allocating.
+void gemv_accumulate(double alpha, const Matrix& a, const Vector& x,
+                     Vector& y);
+
+/// True when |a_ij - b_ij| <= atol + rtol * |b_ij| for all entries.
+[[nodiscard]] bool allclose(const Matrix& a, const Matrix& b,
+                            double rtol = 1e-9, double atol = 1e-12);
+[[nodiscard]] bool allclose(const Vector& a, const Vector& b,
+                            double rtol = 1e-9, double atol = 1e-12);
+
+}  // namespace foscil::linalg

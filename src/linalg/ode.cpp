@@ -1,0 +1,87 @@
+#include "linalg/ode.hpp"
+
+namespace foscil::linalg {
+
+namespace {
+
+/// dx = (A x + b) evaluated without allocation churn.
+void derivative(const Matrix& a, const Vector& b, const Vector& x,
+                Vector& dx) {
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    double acc = b[r];
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += row[c] * x[c];
+    dx[r] = acc;
+  }
+}
+
+}  // namespace
+
+Vector rk4_integrate(const Matrix& a, const Vector& b, const Vector& x0,
+                     double duration, int steps) {
+  FOSCIL_EXPECTS(a.square());
+  FOSCIL_EXPECTS(a.rows() == b.size() && a.rows() == x0.size());
+  FOSCIL_EXPECTS(duration >= 0.0);
+  FOSCIL_EXPECTS(steps >= 1);
+
+  const std::size_t n = x0.size();
+  const double h = duration / steps;
+  Vector x = x0;
+  Vector k1(n);
+  Vector k2(n);
+  Vector k3(n);
+  Vector k4(n);
+  Vector stage(n);
+
+  for (int s = 0; s < steps; ++s) {
+    derivative(a, b, x, k1);
+    for (std::size_t i = 0; i < n; ++i) stage[i] = x[i] + 0.5 * h * k1[i];
+    derivative(a, b, stage, k2);
+    for (std::size_t i = 0; i < n; ++i) stage[i] = x[i] + 0.5 * h * k2[i];
+    derivative(a, b, stage, k3);
+    for (std::size_t i = 0; i < n; ++i) stage[i] = x[i] + h * k3[i];
+    derivative(a, b, stage, k4);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+  return x;
+}
+
+Vector rk4_integrate_varying(const Matrix& a,
+                             const std::function<Vector(double)>& input,
+                             const Vector& x0, double duration, int steps) {
+  FOSCIL_EXPECTS(a.square());
+  FOSCIL_EXPECTS(a.rows() == x0.size());
+  FOSCIL_EXPECTS(duration >= 0.0);
+  FOSCIL_EXPECTS(steps >= 1);
+
+  const std::size_t n = x0.size();
+  const double h = duration / steps;
+  Vector x = x0;
+  Vector k1(n);
+  Vector k2(n);
+  Vector k3(n);
+  Vector k4(n);
+  Vector stage(n);
+
+  for (int s = 0; s < steps; ++s) {
+    const double t = h * s;
+    const Vector b0 = input(t);
+    const Vector b_half = input(t + 0.5 * h);
+    const Vector b1 = input(t + h);
+    FOSCIL_EXPECTS(b0.size() == n && b_half.size() == n && b1.size() == n);
+
+    derivative(a, b0, x, k1);
+    for (std::size_t i = 0; i < n; ++i) stage[i] = x[i] + 0.5 * h * k1[i];
+    derivative(a, b_half, stage, k2);
+    for (std::size_t i = 0; i < n; ++i) stage[i] = x[i] + 0.5 * h * k2[i];
+    derivative(a, b_half, stage, k3);
+    for (std::size_t i = 0; i < n; ++i) stage[i] = x[i] + h * k3[i];
+    derivative(a, b1, stage, k4);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+  return x;
+}
+
+}  // namespace foscil::linalg

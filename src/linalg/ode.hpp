@@ -1,0 +1,28 @@
+// Classical fixed-step RK4 for the linear system  dx/dt = A x + b.
+//
+// The production thermal engine evaluates eq. (3) exactly through the
+// spectral cache; this integrator is a deliberately independent numerical
+// path (no eigendecomposition, no expm) used by tests to cross-validate the
+// analytic solution and by experiments that inject time-varying inputs the
+// closed form does not cover.
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace foscil::linalg {
+
+/// Integrate dx/dt = A x + b from x0 over `duration` seconds using `steps`
+/// uniform RK4 steps.  O(steps * n^2); global error O(h^4).
+[[nodiscard]] Vector rk4_integrate(const Matrix& a, const Vector& b,
+                                   const Vector& x0, double duration,
+                                   int steps);
+
+/// Integrate dx/dt = A x + b(t) with a caller-supplied input; `input(t)`
+/// must return an n-vector.  Inputs are sampled at the RK4 stage times.
+[[nodiscard]] Vector rk4_integrate_varying(
+    const Matrix& a, const std::function<Vector(double)>& input,
+    const Vector& x0, double duration, int steps);
+
+}  // namespace foscil::linalg

@@ -1,0 +1,84 @@
+#include "linalg/spectral.hpp"
+
+#include <cmath>
+
+namespace foscil::linalg {
+
+SpectralDecomposition::SpectralDecomposition(const Matrix& s,
+                                             const Vector& c) {
+  FOSCIL_EXPECTS(s.square());
+  FOSCIL_EXPECTS(s.rows() == c.size());
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i) FOSCIL_EXPECTS(c[i] > 0.0);
+
+  // Ŝ = C^{-1/2} S C^{-1/2} stays symmetric.
+  Vector inv_sqrt_c(n);
+  Vector sqrt_c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sqrt_c[i] = std::sqrt(c[i]);
+    inv_sqrt_c[i] = 1.0 / sqrt_c[i];
+  }
+  Matrix s_hat(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t col = 0; col < n; ++col)
+      s_hat(r, col) = inv_sqrt_c[r] * s(r, col) * inv_sqrt_c[col];
+
+  const SymmetricEigen eig = eigen_symmetric(s_hat);
+  eigenvalues_ = eig.eigenvalues;
+
+  w_ = Matrix(n, n);
+  w_inv_ = Matrix(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t col = 0; col < n; ++col) {
+      w_(r, col) = inv_sqrt_c[r] * eig.eigenvectors(r, col);
+      w_inv_(r, col) = eig.eigenvectors(col, r) * sqrt_c[col];
+    }
+}
+
+bool SpectralDecomposition::stable() const {
+  for (double lambda : eigenvalues_)
+    if (lambda >= 0.0) return false;
+  return true;
+}
+
+Matrix SpectralDecomposition::matrix() const {
+  const std::size_t n = size();
+  Matrix scaled = w_;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) scaled(r, c) *= eigenvalues_[c];
+  return scaled * w_inv_;
+}
+
+Matrix SpectralDecomposition::exp(double t) const {
+  const std::size_t n = size();
+  Matrix scaled = w_;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      scaled(r, c) *= std::exp(eigenvalues_[c] * t);
+  return scaled * w_inv_;
+}
+
+Vector SpectralDecomposition::exp_apply(double t, const Vector& x) const {
+  FOSCIL_EXPECTS(x.size() == size());
+  Vector y = w_inv_ * x;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] *= std::exp(eigenvalues_[i] * t);
+  return w_ * y;
+}
+
+Vector SpectralDecomposition::phi_apply(double t, const Vector& x) const {
+  FOSCIL_EXPECTS(x.size() == size());
+  FOSCIL_EXPECTS(t >= 0.0);
+  Vector y = w_inv_ * x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double lambda = eigenvalues_[i];
+    // (e^{λt} − 1)/λ with the λ→0 limit handled via expm1 for accuracy.
+    const double lt = lambda * t;
+    const double factor =
+        std::abs(lambda) > 1e-14 ? std::expm1(lt) / lambda : t * (1.0 + 0.5 * lt);
+    y[i] *= factor;
+  }
+  return w_ * y;
+}
+
+}  // namespace foscil::linalg

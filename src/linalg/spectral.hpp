@@ -1,0 +1,52 @@
+// Spectral decomposition of "similar to symmetric" system matrices and fast
+// matrix exponentials built on it.
+//
+// The thermal ODE of the paper, dT/dt = A·T + B, has A = C⁻¹·S with C a
+// positive diagonal capacitance matrix and S = (βE − G) symmetric.  Then
+//     A = C^{-1/2} · Ŝ · C^{1/2},    Ŝ = C^{-1/2} S C^{-1/2} symmetric,
+// so A = W Λ W⁻¹ with real eigenvalues Λ (negative for a physically stable
+// network), W = C^{-1/2} Q and W⁻¹ = Qᵀ C^{1/2}.  This file computes that
+// decomposition once and then evaluates e^{A·t} (and its action on vectors)
+// in O(n²) per call — the workhorse behind eqs. (3) and (4).
+#pragma once
+
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matrix.hpp"
+
+namespace foscil::linalg {
+
+/// Eigendecomposition A = W · diag(λ) · W⁻¹ of A = diag(1/c) · S.
+class SpectralDecomposition {
+ public:
+  /// `s` symmetric, `c` strictly positive capacitances.
+  SpectralDecomposition(const Matrix& s, const Vector& c);
+
+  [[nodiscard]] std::size_t size() const { return eigenvalues_.size(); }
+  [[nodiscard]] const Vector& eigenvalues() const { return eigenvalues_; }
+  [[nodiscard]] const Matrix& w() const { return w_; }
+  [[nodiscard]] const Matrix& w_inverse() const { return w_inv_; }
+
+  /// True when every eigenvalue is strictly negative (Hurwitz A).
+  [[nodiscard]] bool stable() const;
+
+  /// Reconstruct A (mostly for testing).
+  [[nodiscard]] Matrix matrix() const;
+
+  /// Dense e^{A·t}.
+  [[nodiscard]] Matrix exp(double t) const;
+
+  /// e^{A·t} · x  in O(n²).
+  [[nodiscard]] Vector exp_apply(double t, const Vector& x) const;
+
+  /// φ(t)·x where φ(t) = A⁻¹(e^{A·t} − I); the convolution kernel in the
+  /// closed-form transient  T(t) = e^{At}T0 + (I − e^{At})T∞  rearranged as
+  /// T(t) = e^{At}T0 + φ(t)·B.  Requires stability (no zero eigenvalue).
+  [[nodiscard]] Vector phi_apply(double t, const Vector& x) const;
+
+ private:
+  Vector eigenvalues_;
+  Matrix w_;      // C^{-1/2} Q
+  Matrix w_inv_;  // Qᵀ C^{1/2}
+};
+
+}  // namespace foscil::linalg

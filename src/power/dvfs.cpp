@@ -1,0 +1,75 @@
+#include "power/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace foscil::power {
+
+VoltageLevels::VoltageLevels(std::vector<double> levels)
+    : levels_(std::move(levels)) {
+  FOSCIL_EXPECTS(!levels_.empty());
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+  FOSCIL_EXPECTS(levels_.front() > 0.0);
+}
+
+bool VoltageLevels::contains(double v, double tol) const {
+  for (double level : levels_)
+    if (std::abs(level - v) <= tol) return true;
+  return false;
+}
+
+std::optional<double> VoltageLevels::floor_level(double v) const {
+  auto it = std::upper_bound(levels_.begin(), levels_.end(), v);
+  if (it == levels_.begin()) return std::nullopt;
+  return *std::prev(it);
+}
+
+std::optional<double> VoltageLevels::ceil_level(double v) const {
+  auto it = std::lower_bound(levels_.begin(), levels_.end(), v);
+  if (it == levels_.end()) return std::nullopt;
+  return *it;
+}
+
+NeighboringModes VoltageLevels::neighbors(double target) const {
+  NeighboringModes modes;
+  if (target <= lowest()) {
+    modes.low = modes.high = lowest();
+    return modes;
+  }
+  if (target >= highest()) {
+    modes.low = modes.high = highest();
+    return modes;
+  }
+  if (contains(target)) {
+    modes.low = modes.high = *floor_level(target + 1e-12);
+    return modes;
+  }
+  modes.low = *floor_level(target);
+  modes.high = *ceil_level(target);
+  return modes;
+}
+
+VoltageLevels VoltageLevels::paper_table4(int num_levels) {
+  switch (num_levels) {
+    case 2:
+      return VoltageLevels({0.6, 1.3});
+    case 3:
+      return VoltageLevels({0.6, 0.8, 1.3});
+    case 4:
+      return VoltageLevels({0.6, 0.8, 1.0, 1.3});
+    case 5:
+      return VoltageLevels({0.6, 0.8, 1.0, 1.2, 1.3});
+    default:
+      throw ContractViolation("Precondition", "num_levels in [2, 5]",
+                              std::source_location::current());
+  }
+}
+
+VoltageLevels VoltageLevels::paper_full_range() {
+  std::vector<double> levels;
+  for (int i = 0; i <= 14; ++i) levels.push_back(0.6 + 0.05 * i);
+  return VoltageLevels(std::move(levels));
+}
+
+}  // namespace foscil::power

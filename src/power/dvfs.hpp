@@ -1,0 +1,67 @@
+// Discrete DVFS running-mode sets.
+//
+// Each running mode is a (v, f) pair; following the paper (Sec. II-A) the
+// normalized working frequency equals the supply voltage, so a mode is
+// identified by its voltage and "speed" means volts-worth of work per second.
+// The paper's evaluation uses levels in [0.6 V, 1.3 V] with a 0.05 V step
+// plus the reduced sets of Table IV.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace foscil::power {
+
+/// Normalized processing speed of a mode (paper uses f == v).
+[[nodiscard]] inline double speed_of(double voltage) {
+  FOSCIL_EXPECTS(voltage >= 0.0);
+  return voltage;
+}
+
+/// The two discrete levels bracketing a target voltage.
+struct NeighboringModes {
+  double low = 0.0;
+  double high = 0.0;
+  /// True when the target coincided with an available level (low == high).
+  [[nodiscard]] bool exact() const { return low == high; }
+};
+
+/// Sorted, de-duplicated set of available supply voltages.
+class VoltageLevels {
+ public:
+  /// Levels are sorted and must be strictly positive.
+  explicit VoltageLevels(std::vector<double> levels);
+
+  [[nodiscard]] std::size_t count() const { return levels_.size(); }
+  [[nodiscard]] const std::vector<double>& values() const { return levels_; }
+  [[nodiscard]] double lowest() const { return levels_.front(); }
+  [[nodiscard]] double highest() const { return levels_.back(); }
+  [[nodiscard]] double level(std::size_t i) const {
+    FOSCIL_EXPECTS(i < levels_.size());
+    return levels_[i];
+  }
+
+  [[nodiscard]] bool contains(double v, double tol = 1e-12) const;
+
+  /// Largest level <= v; empty when v is below the lowest level.
+  [[nodiscard]] std::optional<double> floor_level(double v) const;
+  /// Smallest level >= v; empty when v is above the highest level.
+  [[nodiscard]] std::optional<double> ceil_level(double v) const;
+
+  /// Neighboring modes around `target` (Theorem 4's choice): the closest
+  /// levels with low <= target <= high, clamped to the extremes when the
+  /// target leaves the range.
+  [[nodiscard]] NeighboringModes neighbors(double target) const;
+
+  /// The paper's Table IV mode sets: n in [2, 5].
+  [[nodiscard]] static VoltageLevels paper_table4(int num_levels);
+  /// Full range 0.6 V .. 1.3 V with a 0.05 V step (15 levels).
+  [[nodiscard]] static VoltageLevels paper_full_range();
+
+ private:
+  std::vector<double> levels_;
+};
+
+}  // namespace foscil::power

@@ -1,0 +1,125 @@
+// Per-core power model (eq. 1 of the paper).
+//
+//   P_i(t) = alpha_i(v_i) + beta_i * T_i(t) + gamma_i(v_i) * v_i^3
+//
+// with T measured as rise over ambient (the ambient-temperature leakage is
+// folded into alpha).  The paper's evaluation uses one coefficient set for
+// every core; the model also supports *heterogeneous* per-core coefficients
+// (process variation, binned cores — the "different thermal behaviors" its
+// abstract motivates), which flow through the thermal model and every
+// scheduler.  Constants are abstracted from McPAT at 65 nm (see DESIGN.md
+// calibration notes).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace foscil::power {
+
+/// Coefficients of eq. (1) for one core.
+struct PowerCoefficients {
+  double alpha = 1.0;   ///< W, voltage-dependent leakage offset
+  double beta = 0.3;    ///< W/K, leakage growth per kelvin of rise
+  double gamma = 9.0;   ///< W/V^3, dynamic switching coefficient
+
+  void check() const {
+    FOSCIL_EXPECTS(alpha >= 0.0);
+    FOSCIL_EXPECTS(beta >= 0.0);
+    FOSCIL_EXPECTS(gamma > 0.0);
+  }
+};
+
+class PowerModel {
+ public:
+  /// Backwards-compatible alias (single coefficient set).
+  using Coefficients = PowerCoefficients;
+
+  /// Homogeneous model: every core shares one coefficient set.
+  PowerModel() : PowerModel(PowerCoefficients{}) {}
+  explicit PowerModel(const PowerCoefficients& c) : uniform_(c) {
+    uniform_.check();
+  }
+
+  /// Heterogeneous model: one coefficient set per core (index = core id).
+  explicit PowerModel(std::vector<PowerCoefficients> per_core)
+      : per_core_(std::move(per_core)) {
+    FOSCIL_EXPECTS(!per_core_.empty());
+    for (const auto& c : per_core_) c.check();
+    uniform_ = per_core_.front();
+  }
+
+  [[nodiscard]] bool heterogeneous() const { return !per_core_.empty(); }
+
+  /// Number of per-core entries (0 for a homogeneous model).
+  [[nodiscard]] std::size_t per_core_count() const {
+    return per_core_.size();
+  }
+
+  [[nodiscard]] const PowerCoefficients& coefficients(
+      std::size_t core = 0) const {
+    if (per_core_.empty()) return uniform_;
+    FOSCIL_EXPECTS(core < per_core_.size());
+    return per_core_[core];
+  }
+
+  [[nodiscard]] double alpha(std::size_t core, double voltage) const {
+    return voltage > 0.0 ? coefficients(core).alpha : 0.0;  // power-gated
+  }
+  [[nodiscard]] double beta(std::size_t core) const {
+    return coefficients(core).beta;
+  }
+  [[nodiscard]] double gamma(std::size_t core, double voltage) const {
+    FOSCIL_EXPECTS(voltage >= 0.0);
+    return coefficients(core).gamma;
+  }
+
+  /// Temperature-independent heat injection: psi(v) = alpha + gamma v^3.
+  /// The beta*T part lives inside the thermal system matrix A.
+  [[nodiscard]] double psi(std::size_t core, double voltage) const {
+    FOSCIL_EXPECTS(voltage >= 0.0);
+    if (voltage == 0.0) return 0.0;
+    const auto& c = coefficients(core);
+    return c.alpha + c.gamma * voltage * voltage * voltage;
+  }
+
+  /// Total power at a given temperature rise.
+  [[nodiscard]] double total(std::size_t core, double voltage,
+                             double rise_kelvin) const {
+    if (voltage == 0.0) return 0.0;
+    return psi(core, voltage) + coefficients(core).beta * rise_kelvin;
+  }
+
+  /// Invert psi for a core: the voltage whose heat injection equals
+  /// `psi_watts` (clamped at zero below the leakage floor).
+  [[nodiscard]] double voltage_for_psi(std::size_t core,
+                                       double psi_watts) const {
+    const auto& c = coefficients(core);
+    const double dynamic = psi_watts - c.alpha;
+    if (dynamic <= 0.0) return 0.0;
+    return std::cbrt(dynamic / c.gamma);
+  }
+
+  // --- homogeneous-model conveniences (core 0) -------------------------
+  [[nodiscard]] double alpha(double voltage) const {
+    return alpha(0, voltage);
+  }
+  [[nodiscard]] double beta() const { return beta(0); }
+  [[nodiscard]] double gamma(double voltage) const {
+    return gamma(0, voltage);
+  }
+  [[nodiscard]] double psi(double voltage) const { return psi(0, voltage); }
+  [[nodiscard]] double total(double voltage, double rise_kelvin) const {
+    return total(0, voltage, rise_kelvin);
+  }
+  [[nodiscard]] double voltage_for_psi(double psi_watts) const {
+    return voltage_for_psi(0, psi_watts);
+  }
+
+ private:
+  PowerCoefficients uniform_;
+  std::vector<PowerCoefficients> per_core_;
+};
+
+}  // namespace foscil::power

@@ -1,0 +1,136 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace foscil::sched {
+
+namespace {
+/// Relative tolerance for period bookkeeping.
+constexpr double kRelTol = 1e-9;
+}  // namespace
+
+PeriodicSchedule::PeriodicSchedule(std::size_t num_cores, double period)
+    : period_(period), segments_(num_cores) {
+  FOSCIL_EXPECTS(num_cores >= 1);
+  FOSCIL_EXPECTS(period > 0.0);
+  for (auto& core : segments_) core = {Segment{period, 0.0}};
+}
+
+PeriodicSchedule PeriodicSchedule::constant(const linalg::Vector& voltages,
+                                            double period) {
+  PeriodicSchedule schedule(voltages.size(), period);
+  for (std::size_t core = 0; core < voltages.size(); ++core) {
+    FOSCIL_EXPECTS(voltages[core] >= 0.0);
+    schedule.set_core_segments(core, {Segment{period, voltages[core]}});
+  }
+  return schedule;
+}
+
+void PeriodicSchedule::set_core_segments(std::size_t core,
+                                         std::vector<Segment> segments) {
+  FOSCIL_EXPECTS(core < segments_.size());
+  FOSCIL_EXPECTS(!segments.empty());
+  double total = 0.0;
+  for (const auto& seg : segments) {
+    FOSCIL_EXPECTS(seg.duration > 0.0);
+    FOSCIL_EXPECTS(seg.voltage >= 0.0);
+    total += seg.duration;
+  }
+  FOSCIL_EXPECTS(std::abs(total - period_) <= kRelTol * period_ * 1e3);
+  // Rescale so the durations sum to the period exactly; this keeps the
+  // state-interval merge free of spurious slivers.
+  const double scale = period_ / total;
+  for (auto& seg : segments) seg.duration *= scale;
+  segments_[core] = std::move(segments);
+}
+
+double PeriodicSchedule::voltage_at(std::size_t core, double t) const {
+  FOSCIL_EXPECTS(core < segments_.size());
+  double local = std::fmod(t, period_);
+  if (local < 0.0) local += period_;
+  double cursor = 0.0;
+  for (const auto& seg : segments_[core]) {
+    cursor += seg.duration;
+    if (local < cursor) return seg.voltage;
+  }
+  return segments_[core].back().voltage;
+}
+
+std::vector<StateInterval> PeriodicSchedule::state_intervals() const {
+  // Gather all per-core breakpoints (cumulative durations).
+  std::vector<double> breaks{0.0, period_};
+  for (const auto& core : segments_) {
+    double cursor = 0.0;
+    for (std::size_t s = 0; s + 1 < core.size(); ++s) {
+      cursor += core[s].duration;
+      breaks.push_back(cursor);
+    }
+  }
+  std::sort(breaks.begin(), breaks.end());
+  const double merge_tol = kRelTol * period_;
+  std::vector<double> merged;
+  for (double b : breaks) {
+    if (merged.empty() || b - merged.back() > merge_tol) merged.push_back(b);
+  }
+  if (period_ - merged.back() <= merge_tol) merged.back() = period_;
+  else merged.push_back(period_);
+
+  std::vector<StateInterval> intervals;
+  intervals.reserve(merged.size() - 1);
+  for (std::size_t k = 0; k + 1 < merged.size(); ++k) {
+    StateInterval interval;
+    interval.start = merged[k];
+    interval.length = merged[k + 1] - merged[k];
+    interval.voltages = linalg::Vector(num_cores());
+    const double midpoint = interval.start + 0.5 * interval.length;
+    for (std::size_t core = 0; core < num_cores(); ++core)
+      interval.voltages[core] = voltage_at(core, midpoint);
+    intervals.push_back(std::move(interval));
+  }
+  return intervals;
+}
+
+double PeriodicSchedule::throughput() const {
+  double total = 0.0;
+  for (std::size_t core = 0; core < num_cores(); ++core)
+    total += core_work(core);
+  return total / (static_cast<double>(num_cores()) * period_);
+}
+
+double PeriodicSchedule::core_work(std::size_t core) const {
+  FOSCIL_EXPECTS(core < segments_.size());
+  double work = 0.0;
+  for (const auto& seg : segments_[core])
+    work += seg.voltage * seg.duration;  // speed == voltage (Sec. II-A)
+  return work;
+}
+
+bool PeriodicSchedule::is_step_up(double tol) const {
+  for (const auto& core : segments_) {
+    for (std::size_t s = 0; s + 1 < core.size(); ++s)
+      if (core[s + 1].voltage < core[s].voltage - tol) return false;
+  }
+  return true;
+}
+
+PeriodicSchedule PeriodicSchedule::simplified(double voltage_tol) const {
+  PeriodicSchedule out(num_cores(), period_);
+  for (std::size_t core = 0; core < num_cores(); ++core) {
+    std::vector<Segment> merged;
+    for (const auto& seg : segments_[core]) {
+      if (seg.duration <= 0.0) continue;
+      if (!merged.empty() &&
+          std::abs(merged.back().voltage - seg.voltage) <= voltage_tol) {
+        merged.back().duration += seg.duration;
+      } else {
+        merged.push_back(seg);
+      }
+    }
+    FOSCIL_ASSERT(!merged.empty());
+    out.set_core_segments(core, std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace foscil::sched

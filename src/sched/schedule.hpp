@@ -1,0 +1,82 @@
+// Periodic multi-core voltage schedules (Sec. II of the paper).
+//
+// A PeriodicSchedule assigns every core a cyclic sequence of (duration,
+// voltage) segments over a common period t_p.  Cores switch independently,
+// so the chip as a whole runs through "state intervals" — maximal spans in
+// which no core changes mode — which is the granularity the thermal
+// recurrences (eqs. 3, 4) operate on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/contracts.hpp"
+
+namespace foscil::sched {
+
+/// One per-core run: hold `voltage` for `duration` seconds.
+struct Segment {
+  double duration = 0.0;
+  double voltage = 0.0;
+};
+
+/// Chip-wide span in which every core holds one mode.
+struct StateInterval {
+  double start = 0.0;            ///< offset from period start
+  double length = 0.0;           ///< seconds
+  linalg::Vector voltages;       ///< per-core supply voltage
+};
+
+/// Piecewise-constant periodic voltage schedule for N cores.
+class PeriodicSchedule {
+ public:
+  /// All cores initially hold 0 V for the whole period; fill with
+  /// `set_core_segments`.
+  PeriodicSchedule(std::size_t num_cores, double period);
+
+  /// Every core holds its entry of `voltages` for the whole period.
+  [[nodiscard]] static PeriodicSchedule constant(
+      const linalg::Vector& voltages, double period);
+
+  [[nodiscard]] std::size_t num_cores() const { return segments_.size(); }
+  [[nodiscard]] double period() const { return period_; }
+
+  /// Replace one core's cycle; durations must be positive and sum to the
+  /// period (within a relative tolerance, after which they are rescaled to
+  /// sum exactly).
+  void set_core_segments(std::size_t core, std::vector<Segment> segments);
+
+  [[nodiscard]] const std::vector<Segment>& core_segments(
+      std::size_t core) const {
+    FOSCIL_EXPECTS(core < segments_.size());
+    return segments_[core];
+  }
+
+  /// Supply voltage of `core` at time t (t taken modulo the period).
+  [[nodiscard]] double voltage_at(std::size_t core, double t) const;
+
+  /// Merge the per-core breakpoints into chip-wide state intervals.
+  [[nodiscard]] std::vector<StateInterval> state_intervals() const;
+
+  /// Chip-wide throughput of eq. (5): mean speed per core, with speed == v.
+  /// (Transition-stall accounting lives in the AO scheduler, which builds
+  /// stall compensation into the segment durations.)
+  [[nodiscard]] double throughput() const;
+
+  /// Total work (volt-seconds) completed by one core per period.
+  [[nodiscard]] double core_work(std::size_t core) const;
+
+  /// True when every core's voltage is non-decreasing over its cycle
+  /// (Definition 1).
+  [[nodiscard]] bool is_step_up(double tol = 1e-12) const;
+
+  /// Merge adjacent segments with equal voltage; drops zero-length runs.
+  [[nodiscard]] PeriodicSchedule simplified(double voltage_tol = 1e-12) const;
+
+ private:
+  double period_;
+  std::vector<std::vector<Segment>> segments_;
+};
+
+}  // namespace foscil::sched

@@ -1,0 +1,79 @@
+#include "sched/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace foscil::sched {
+
+PeriodicSchedule to_step_up(const PeriodicSchedule& schedule) {
+  PeriodicSchedule out(schedule.num_cores(), schedule.period());
+  for (std::size_t core = 0; core < schedule.num_cores(); ++core) {
+    std::vector<Segment> segments = schedule.core_segments(core);
+    std::stable_sort(segments.begin(), segments.end(),
+                     [](const Segment& a, const Segment& b) {
+                       return a.voltage < b.voltage;
+                     });
+    out.set_core_segments(core, std::move(segments));
+  }
+  return out;
+}
+
+PeriodicSchedule m_oscillate(const PeriodicSchedule& schedule, int m) {
+  FOSCIL_EXPECTS(m >= 1);
+  const double scale = 1.0 / static_cast<double>(m);
+  PeriodicSchedule out(schedule.num_cores(), schedule.period() * scale);
+  for (std::size_t core = 0; core < schedule.num_cores(); ++core) {
+    std::vector<Segment> segments = schedule.core_segments(core);
+    for (auto& seg : segments) seg.duration *= scale;
+    out.set_core_segments(core, std::move(segments));
+  }
+  return out;
+}
+
+PeriodicSchedule phase_shift(const PeriodicSchedule& schedule,
+                             std::size_t core, double offset) {
+  FOSCIL_EXPECTS(core < schedule.num_cores());
+  const double period = schedule.period();
+  double shift = std::fmod(offset, period);
+  if (shift < 0.0) shift += period;
+  PeriodicSchedule out = schedule;
+  if (shift == 0.0) return out;
+
+  // v'(t) = v(t - shift): the tail of length `shift` (ending at the period
+  // wrap) moves to the front.  Split the cycle at time (period - shift).
+  const double cut = period - shift;
+  const auto& segments = schedule.core_segments(core);
+  std::vector<Segment> head;  // [0, cut)  -> goes second
+  std::vector<Segment> tail;  // [cut, tp) -> goes first
+  double cursor = 0.0;
+  for (const auto& seg : segments) {
+    const double begin = cursor;
+    const double end = cursor + seg.duration;
+    cursor = end;
+    if (end <= cut) {
+      head.push_back(seg);
+    } else if (begin >= cut) {
+      tail.push_back(seg);
+    } else {
+      head.push_back(Segment{cut - begin, seg.voltage});
+      tail.push_back(Segment{end - cut, seg.voltage});
+    }
+  }
+  std::vector<Segment> rotated = std::move(tail);
+  rotated.insert(rotated.end(), head.begin(), head.end());
+  // Drop numerical slivers created by the split.
+  std::vector<Segment> cleaned;
+  for (const auto& seg : rotated) {
+    if (seg.duration <= 1e-12 * period) continue;
+    if (!cleaned.empty() &&
+        std::abs(cleaned.back().voltage - seg.voltage) <= 1e-12) {
+      cleaned.back().duration += seg.duration;
+    } else {
+      cleaned.push_back(seg);
+    }
+  }
+  out.set_core_segments(core, std::move(cleaned));
+  return out;
+}
+
+}  // namespace foscil::sched

@@ -1,0 +1,26 @@
+// Schedule transforms: the paper's Definitions 2 and 3 plus phase shifting.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace foscil::sched {
+
+/// Definition 2: reorder every core's segments into non-decreasing voltage
+/// order, producing the step-up schedule that bounds the input's peak
+/// temperature (Theorem 2).  Stable sort, so equal-voltage runs keep their
+/// relative order.
+[[nodiscard]] PeriodicSchedule to_step_up(const PeriodicSchedule& schedule);
+
+/// Definition 3: scale every state interval's length down by m without
+/// changing voltages.  The result has period t_p / m; repeating it m times
+/// covers the original period with the same per-core work.
+[[nodiscard]] PeriodicSchedule m_oscillate(const PeriodicSchedule& schedule,
+                                           int m);
+
+/// Rotate one core's cycle so that its pattern starts `offset` seconds
+/// later: v'(t) = v(t - offset mod t_p).  Used by the PCO scheduler to
+/// interleave high/low intervals spatially across cores.
+[[nodiscard]] PeriodicSchedule phase_shift(const PeriodicSchedule& schedule,
+                                           std::size_t core, double offset);
+
+}  // namespace foscil::sched

@@ -1,0 +1,58 @@
+#include "sim/peak.hpp"
+
+namespace foscil::sim {
+
+PeakInfo step_up_peak(const SteadyStateAnalyzer& analyzer,
+                      const sched::PeriodicSchedule& s) {
+  FOSCIL_EXPECTS(s.is_step_up());
+  const auto& model = analyzer.model();
+  const linalg::Vector boundary = analyzer.stable_boundary(s);
+  const linalg::Vector cores = model.core_rises(boundary);
+  PeakInfo info;
+  info.core = cores.argmax();
+  info.rise = cores[info.core];
+  info.time = s.period();
+  return info;
+}
+
+PeakInfo sampled_peak(const SteadyStateAnalyzer& analyzer,
+                      const sched::PeriodicSchedule& s,
+                      int samples_per_interval) {
+  FOSCIL_EXPECTS(samples_per_interval >= 1);
+  const auto& model = analyzer.model();
+  const auto& sim = analyzer.simulator();
+  const auto intervals = s.state_intervals();
+
+  PeakInfo info;
+  linalg::Vector at_start = analyzer.stable_boundary(s);
+  double now = 0.0;
+
+  // Consider the period boundary itself first.
+  {
+    const linalg::Vector cores = model.core_rises(at_start);
+    info.core = cores.argmax();
+    info.rise = cores[info.core];
+    info.time = 0.0;
+  }
+
+  for (const auto& interval : intervals) {
+    for (int k = 1; k <= samples_per_interval; ++k) {
+      const double local = interval.length * static_cast<double>(k) /
+                           static_cast<double>(samples_per_interval);
+      const linalg::Vector temps =
+          sim.advance(at_start, interval.voltages, local);
+      const linalg::Vector cores = model.core_rises(temps);
+      const std::size_t hottest = cores.argmax();
+      if (cores[hottest] > info.rise) {
+        info.rise = cores[hottest];
+        info.core = hottest;
+        info.time = now + local;
+      }
+      if (k == samples_per_interval) at_start = temps;
+    }
+    now += interval.length;
+  }
+  return info;
+}
+
+}  // namespace foscil::sim

@@ -1,0 +1,34 @@
+// Peak temperature identification for periodic schedules (Sec. IV).
+//
+// Two paths:
+//  * step_up_peak — Theorem 1: for a step-up schedule the stable-status peak
+//    (over cores) sits exactly at the period end, so one cold-start period
+//    simulation plus one resolvent application identifies it.  Linear in the
+//    number of state intervals.
+//  * sampled_peak — the general path for arbitrary periodic schedules (on a
+//    multi-core platform the peak need not land on a scheduling point):
+//    walk one stable-status period, sampling each state interval densely.
+#pragma once
+
+#include "sim/steady.hpp"
+
+namespace foscil::sim {
+
+/// Where/when/how hot the schedule gets in stable status.
+struct PeakInfo {
+  double rise = 0.0;        ///< K over ambient
+  double time = 0.0;        ///< offset within the period
+  std::size_t core = 0;     ///< hottest core index
+};
+
+/// Theorem 1 fast path; requires `s.is_step_up()`.
+[[nodiscard]] PeakInfo step_up_peak(const SteadyStateAnalyzer& analyzer,
+                                    const sched::PeriodicSchedule& s);
+
+/// General path: densely sampled stable-status peak.  `samples_per_interval`
+/// controls resolution within each state interval.
+[[nodiscard]] PeakInfo sampled_peak(const SteadyStateAnalyzer& analyzer,
+                                    const sched::PeriodicSchedule& s,
+                                    int samples_per_interval = 64);
+
+}  // namespace foscil::sim

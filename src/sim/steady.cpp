@@ -1,0 +1,43 @@
+#include "sim/steady.hpp"
+
+#include <cmath>
+
+namespace foscil::sim {
+
+SteadyStateAnalyzer::SteadyStateAnalyzer(
+    std::shared_ptr<const thermal::ThermalModel> model)
+    : sim_(std::move(model)) {}
+
+linalg::Vector SteadyStateAnalyzer::resolvent_apply(
+    double period, const linalg::Vector& x) const {
+  FOSCIL_EXPECTS(period > 0.0);
+  const auto& spectral = model().spectral();
+  FOSCIL_EXPECTS(x.size() == spectral.size());
+  linalg::Vector y = spectral.w_inverse() * x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double decay = std::exp(spectral.eigenvalues()[i] * period);
+    FOSCIL_ASSERT(decay < 1.0);  // guaranteed by stability
+    y[i] /= 1.0 - decay;
+  }
+  return spectral.w() * y;
+}
+
+linalg::Vector SteadyStateAnalyzer::stable_boundary(
+    const sched::PeriodicSchedule& s) const {
+  const linalg::Vector cold_end =
+      sim_.period_end(s, sim_.ambient_start());
+  return resolvent_apply(s.period(), cold_end);
+}
+
+std::vector<linalg::Vector> SteadyStateAnalyzer::stable_boundaries(
+    const sched::PeriodicSchedule& s) const {
+  const linalg::Vector start = stable_boundary(s);
+  return sim_.boundary_temperatures(s, start);
+}
+
+std::vector<TraceSample> SteadyStateAnalyzer::stable_trace(
+    const sched::PeriodicSchedule& s, double dt_sample) const {
+  return sim_.trace(s, stable_boundary(s), dt_sample, s.period());
+}
+
+}  // namespace foscil::sim

@@ -1,0 +1,48 @@
+// Thermal stable status of periodic schedules (eq. 4 of the paper).
+//
+// Repeating a periodic schedule forever drives the temperature into a
+// periodic steady state.  With K = e^{A t_p} and T(t_p) the cold-start
+// (T(0) = 0) end-of-period temperature, the stable-status temperature at the
+// period boundary is
+//     T_ss(t_p) = (I - K)^{-1} T(t_p),
+// which is eq. (4) specialized to q = z; interior boundaries follow by
+// propagating forward with eq. (3).  (I - K)^{-1} is evaluated through the
+// spectral cache: 1/(1 - e^{lambda_i t_p}) on the eigenbasis.
+#pragma once
+
+#include "sim/transient.hpp"
+
+namespace foscil::sim {
+
+class SteadyStateAnalyzer {
+ public:
+  explicit SteadyStateAnalyzer(
+      std::shared_ptr<const thermal::ThermalModel> model);
+
+  [[nodiscard]] const TransientSimulator& simulator() const { return sim_; }
+  [[nodiscard]] const thermal::ThermalModel& model() const {
+    return sim_.model();
+  }
+
+  /// Stable-status temperature at the period start/end boundary.
+  [[nodiscard]] linalg::Vector stable_boundary(
+      const sched::PeriodicSchedule& s) const;
+
+  /// Stable-status temperatures at every state-interval boundary
+  /// (element q is T_ss(t_q); element 0 equals the last element).
+  [[nodiscard]] std::vector<linalg::Vector> stable_boundaries(
+      const sched::PeriodicSchedule& s) const;
+
+  /// One period of densely sampled stable-status trace.
+  [[nodiscard]] std::vector<TraceSample> stable_trace(
+      const sched::PeriodicSchedule& s, double dt_sample) const;
+
+  /// Apply (I - e^{A t_p})^{-1} to a vector through the spectral cache.
+  [[nodiscard]] linalg::Vector resolvent_apply(double period,
+                                               const linalg::Vector& x) const;
+
+ private:
+  TransientSimulator sim_;
+};
+
+}  // namespace foscil::sim

@@ -1,0 +1,50 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace foscil::sim {
+
+std::string trace_to_csv(const thermal::ThermalModel& model,
+                         const std::vector<TraceSample>& trace,
+                         double t_ambient_c, TraceColumns columns) {
+  std::ostringstream out;
+  out << std::setprecision(9);
+
+  const bool cores_only = columns == TraceColumns::kCores;
+  const std::size_t width =
+      cores_only ? model.num_cores() : model.num_nodes();
+  out << "time_s";
+  for (std::size_t i = 0; i < width; ++i)
+    out << ',' << (cores_only ? "core" : "node") << i << "_c";
+  out << '\n';
+
+  for (const auto& sample : trace) {
+    FOSCIL_EXPECTS(sample.rises.size() == model.num_nodes());
+    out << sample.time;
+    if (cores_only) {
+      const linalg::Vector cores = model.core_rises(sample.rises);
+      for (std::size_t i = 0; i < cores.size(); ++i)
+        out << ',' << t_ambient_c + cores[i];
+    } else {
+      for (std::size_t i = 0; i < sample.rises.size(); ++i)
+        out << ',' << t_ambient_c + sample.rises[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_trace_csv(const std::string& path,
+                     const thermal::ThermalModel& model,
+                     const std::vector<TraceSample>& trace,
+                     double t_ambient_c, TraceColumns columns) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out << trace_to_csv(model, trace, t_ambient_c, columns);
+  if (!out) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+}  // namespace foscil::sim

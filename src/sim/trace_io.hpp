@@ -1,0 +1,32 @@
+// Trace serialization: turn TraceSample series into CSV for external
+// plotting (gnuplot/matplotlib), with per-core or per-node columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/transient.hpp"
+
+namespace foscil::sim {
+
+/// Column selection for trace export.
+enum class TraceColumns {
+  kCores,     ///< one column per core (die nodes only)
+  kAllNodes,  ///< one column per thermal node
+};
+
+/// Render a trace as CSV.  Header: time_s, then core<i>_c or node<i>_c.
+/// Temperatures are absolute Celsius (rise + t_ambient_c).
+[[nodiscard]] std::string trace_to_csv(
+    const thermal::ThermalModel& model,
+    const std::vector<TraceSample>& trace, double t_ambient_c,
+    TraceColumns columns = TraceColumns::kCores);
+
+/// Write a trace CSV to a file.  Throws std::runtime_error on I/O failure.
+void write_trace_csv(const std::string& path,
+                     const thermal::ThermalModel& model,
+                     const std::vector<TraceSample>& trace,
+                     double t_ambient_c,
+                     TraceColumns columns = TraceColumns::kCores);
+
+}  // namespace foscil::sim

@@ -1,0 +1,77 @@
+#include "sim/transient.hpp"
+
+#include <cmath>
+
+namespace foscil::sim {
+
+TransientSimulator::TransientSimulator(
+    std::shared_ptr<const thermal::ThermalModel> model)
+    : model_(std::move(model)) {
+  FOSCIL_EXPECTS(model_ != nullptr);
+}
+
+linalg::Vector TransientSimulator::advance(
+    const linalg::Vector& t0, const linalg::Vector& core_voltages,
+    double dt) const {
+  FOSCIL_EXPECTS(dt >= 0.0);
+  FOSCIL_EXPECTS(t0.size() == model_->num_nodes());
+  if (dt == 0.0) return t0;
+  const auto& spectral = model_->spectral();
+  linalg::Vector next = spectral.exp_apply(dt, t0);
+  next += spectral.phi_apply(dt, model_->b_vector(core_voltages));
+  return next;
+}
+
+linalg::Vector TransientSimulator::period_end(
+    const sched::PeriodicSchedule& s, const linalg::Vector& t0) const {
+  linalg::Vector temps = t0;
+  for (const auto& interval : s.state_intervals())
+    temps = advance(temps, interval.voltages, interval.length);
+  return temps;
+}
+
+std::vector<linalg::Vector> TransientSimulator::boundary_temperatures(
+    const sched::PeriodicSchedule& s, const linalg::Vector& t0) const {
+  std::vector<linalg::Vector> boundaries;
+  boundaries.push_back(t0);
+  for (const auto& interval : s.state_intervals())
+    boundaries.push_back(
+        advance(boundaries.back(), interval.voltages, interval.length));
+  return boundaries;
+}
+
+std::vector<TraceSample> TransientSimulator::trace(
+    const sched::PeriodicSchedule& s, const linalg::Vector& t0,
+    double dt_sample, double duration) const {
+  FOSCIL_EXPECTS(dt_sample > 0.0);
+  FOSCIL_EXPECTS(duration > 0.0);
+  const auto intervals = s.state_intervals();
+
+  std::vector<TraceSample> samples;
+  samples.push_back({0.0, t0});
+  linalg::Vector at_interval_start = t0;
+  double now = 0.0;
+
+  while (now < duration - 1e-15 * duration) {
+    for (const auto& interval : intervals) {
+      const double remaining = duration - now;
+      const double span = std::min(interval.length, remaining);
+      // Sample inside the interval relative to its start: exact evaluation,
+      // no error accumulation across samples.
+      const int steps = std::max(1, static_cast<int>(std::ceil(span / dt_sample)));
+      for (int k = 1; k <= steps; ++k) {
+        const double local = span * static_cast<double>(k) /
+                             static_cast<double>(steps);
+        linalg::Vector temps =
+            advance(at_interval_start, interval.voltages, local);
+        samples.push_back({now + local, std::move(temps)});
+      }
+      at_interval_start = samples.back().rises;
+      now += span;
+      if (now >= duration - 1e-15 * duration) break;
+    }
+  }
+  return samples;
+}
+
+}  // namespace foscil::sim

@@ -1,0 +1,60 @@
+// Analytic transient thermal simulation (eq. 3 of the paper).
+//
+// Within a state interval with voltage vector v, the temperature evolves as
+//   T(t0 + dt) = e^{A dt} T(t0) + (I - e^{A dt}) T_inf(v)
+//              = e^{A dt} T(t0) + phi(dt) B(v),   phi(t) = A^{-1}(e^{At} - I),
+// which the spectral cache evaluates in O(n^2) per step with no time
+// discretization error.  The simulator walks schedules one state interval at
+// a time and can record densely sampled traces.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "thermal/model.hpp"
+
+namespace foscil::sim {
+
+/// One sample of a recorded trace.
+struct TraceSample {
+  double time = 0.0;        ///< seconds since trace start
+  linalg::Vector rises;     ///< node temperature rises (K over ambient)
+};
+
+class TransientSimulator {
+ public:
+  explicit TransientSimulator(std::shared_ptr<const thermal::ThermalModel> model);
+
+  [[nodiscard]] const thermal::ThermalModel& model() const { return *model_; }
+
+  /// Exact temperature after holding `core_voltages` for dt, from t0.
+  [[nodiscard]] linalg::Vector advance(const linalg::Vector& t0,
+                                       const linalg::Vector& core_voltages,
+                                       double dt) const;
+
+  /// Temperature at the end of one schedule period, starting from `t0`.
+  [[nodiscard]] linalg::Vector period_end(const sched::PeriodicSchedule& s,
+                                          const linalg::Vector& t0) const;
+
+  /// Temperatures at every state-interval boundary across one period
+  /// (index q holds T(t_q); index 0 is t0 itself).
+  [[nodiscard]] std::vector<linalg::Vector> boundary_temperatures(
+      const sched::PeriodicSchedule& s, const linalg::Vector& t0) const;
+
+  /// Densely sampled trace over `duration` seconds of repeating `s` from t0.
+  /// Samples land every `dt_sample` seconds plus at every interval boundary.
+  [[nodiscard]] std::vector<TraceSample> trace(
+      const sched::PeriodicSchedule& s, const linalg::Vector& t0,
+      double dt_sample, double duration) const;
+
+  /// Zero vector sized to the model (ambient start).
+  [[nodiscard]] linalg::Vector ambient_start() const {
+    return linalg::Vector(model_->num_nodes());
+  }
+
+ private:
+  std::shared_ptr<const thermal::ThermalModel> model_;
+};
+
+}  // namespace foscil::sim

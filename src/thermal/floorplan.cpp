@@ -1,0 +1,33 @@
+#include "thermal/floorplan.hpp"
+
+#include <cstdlib>
+
+namespace foscil::thermal {
+
+Floorplan::Floorplan(std::size_t rows, std::size_t cols, double core_edge_m)
+    : rows_(rows), cols_(cols), core_edge_m_(core_edge_m) {
+  FOSCIL_EXPECTS(rows >= 1 && cols >= 1);
+  FOSCIL_EXPECTS(core_edge_m > 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::size_t here = index(r, c);
+      if (c + 1 < cols_) adjacency_.emplace_back(here, index(r, c + 1));
+      if (r + 1 < rows_) adjacency_.emplace_back(here, index(r + 1, c));
+    }
+  }
+}
+
+std::size_t Floorplan::manhattan(std::size_t a, std::size_t b) const {
+  const CoreSite sa = site(a);
+  const CoreSite sb = site(b);
+  const auto diff = [](std::size_t x, std::size_t y) {
+    return x > y ? x - y : y - x;
+  };
+  return diff(sa.row, sb.row) + diff(sa.col, sb.col);
+}
+
+std::string Floorplan::label() const {
+  return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+}  // namespace foscil::thermal

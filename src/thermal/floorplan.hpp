@@ -1,0 +1,67 @@
+// Core-level floorplans.
+//
+// The paper evaluates 2x1, 3x1, 3x2 and 3x3 grids of 4x4 mm^2 cores
+// (Sec. VI).  Since the study is system-level, the floorplan is a regular
+// grid at core granularity; the RC generator consumes only positions,
+// areas, and the adjacency it derives here.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace foscil::thermal {
+
+/// Position of one core in the grid.
+struct CoreSite {
+  std::size_t row = 0;
+  std::size_t col = 0;
+};
+
+/// Regular grid of identical square cores.
+class Floorplan {
+ public:
+  /// `rows` x `cols` cores, each `core_edge_m` on a side (meters).
+  Floorplan(std::size_t rows, std::size_t cols, double core_edge_m);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t num_cores() const { return rows_ * cols_; }
+  [[nodiscard]] double core_edge_m() const { return core_edge_m_; }
+  [[nodiscard]] double core_area_m2() const {
+    return core_edge_m_ * core_edge_m_;
+  }
+
+  /// Row-major core index.
+  [[nodiscard]] std::size_t index(std::size_t row, std::size_t col) const {
+    FOSCIL_EXPECTS(row < rows_ && col < cols_);
+    return row * cols_ + col;
+  }
+
+  [[nodiscard]] CoreSite site(std::size_t core) const {
+    FOSCIL_EXPECTS(core < num_cores());
+    return {core / cols_, core % cols_};
+  }
+
+  /// 4-neighborhood adjacency as (a, b) pairs with a < b, each listed once.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  adjacent_pairs() const {
+    return adjacency_;
+  }
+
+  /// Manhattan distance between two cores, in core pitches.
+  [[nodiscard]] std::size_t manhattan(std::size_t a, std::size_t b) const;
+
+  /// "3x2" style label used in experiment output.
+  [[nodiscard]] std::string label() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  double core_edge_m_;
+  std::vector<std::pair<std::size_t, std::size_t>> adjacency_;
+};
+
+}  // namespace foscil::thermal

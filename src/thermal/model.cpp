@@ -1,0 +1,86 @@
+#include "thermal/model.hpp"
+
+#include <algorithm>
+
+namespace foscil::thermal {
+
+ThermalModel::ThermalModel(RcNetwork network, power::PowerModel power)
+    : network_(std::move(network)), power_(std::move(power)) {
+  const std::size_t n = network_.num_nodes();
+  // A heterogeneous power model must cover exactly this chip's cores.
+  FOSCIL_EXPECTS(!power_.heterogeneous() ||
+                 power_.per_core_count() == network_.num_cores());
+
+  // S = beta E - G stays symmetric because E is diagonal.
+  linalg::Matrix s = network_.conductance();
+  s *= -1.0;
+  for (std::size_t core = 0; core < network_.num_cores(); ++core) {
+    const std::size_t d = network_.die_node(core);
+    s(d, d) += power_.beta(core);
+  }
+  spectral_ = std::make_shared<const linalg::SpectralDecomposition>(
+      s, network_.capacitance());
+  // A physically meaningful platform must be stable: leakage feedback
+  // cannot outrun conduction to ambient (otherwise thermal runaway).
+  FOSCIL_ENSURES(spectral_->stable());
+
+  linalg::Matrix steady = s;
+  steady *= -1.0;  // G - beta E
+  steady_lu_ = std::make_shared<const linalg::LuDecomposition>(steady);
+  (void)n;
+}
+
+linalg::Matrix ThermalModel::a_matrix() const { return spectral_->matrix(); }
+
+linalg::Matrix ThermalModel::system_matrix() const {
+  linalg::Matrix steady = network_.conductance();
+  for (std::size_t core = 0; core < network_.num_cores(); ++core) {
+    const std::size_t d = network_.die_node(core);
+    steady(d, d) -= power_.beta(core);
+  }
+  return steady;
+}
+
+linalg::Vector ThermalModel::heat_injection(
+    const linalg::Vector& core_voltages) const {
+  FOSCIL_EXPECTS(core_voltages.size() == num_cores());
+  linalg::Vector psi(num_nodes());
+  for (std::size_t core = 0; core < num_cores(); ++core) {
+    psi[network_.die_node(core)] = power_.psi(core, core_voltages[core]);
+  }
+  return psi;
+}
+
+linalg::Vector ThermalModel::b_vector(
+    const linalg::Vector& core_voltages) const {
+  linalg::Vector b = heat_injection(core_voltages);
+  const linalg::Vector& c = network_.capacitance();
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] /= c[i];
+  return b;
+}
+
+linalg::Vector ThermalModel::steady_state(
+    const linalg::Vector& core_voltages) const {
+  return steady_lu_->solve(heat_injection(core_voltages));
+}
+
+linalg::Vector ThermalModel::steady_state_from_heat(
+    const linalg::Vector& psi) const {
+  FOSCIL_EXPECTS(psi.size() == num_nodes());
+  return steady_lu_->solve(psi);
+}
+
+linalg::Vector ThermalModel::core_rises(
+    const linalg::Vector& node_rises) const {
+  FOSCIL_EXPECTS(node_rises.size() == num_nodes());
+  linalg::Vector rises(num_cores());
+  for (std::size_t core = 0; core < num_cores(); ++core)
+    rises[core] = node_rises[network_.die_node(core)];
+  return rises;
+}
+
+double ThermalModel::max_core_rise(const linalg::Vector& node_rises) const {
+  return core_rises(node_rises).max();
+}
+
+}  // namespace foscil::thermal

@@ -1,0 +1,81 @@
+// The LTI thermal model of eq. (2):  dT/dt = A T + B(v).
+//
+// Combines an RcNetwork (G, C) with the power model's leakage feedback:
+//
+//   C dT/dt = -G T + beta E T + Psi(v)   =>   A = C^{-1}(beta E - G),
+//                                             B(v) = C^{-1} Psi(v),
+//
+// where E selects die nodes (only cores leak) and Psi carries the
+// temperature-independent heat alpha + gamma v^3 per active core.  All
+// temperatures are rises over ambient.  The class owns:
+//   * a spectral decomposition of A (A is similar to a symmetric matrix via
+//     C^{1/2}, see linalg/spectral.hpp) used by every e^{At} evaluation, and
+//   * an LU factorization of (G - beta E) for steady-state solves
+//     T_inf(v) = -A^{-1} B(v) = (G - beta E)^{-1} Psi(v).
+#pragma once
+
+#include <memory>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/spectral.hpp"
+#include "power/power_model.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace foscil::thermal {
+
+class ThermalModel {
+ public:
+  ThermalModel(RcNetwork network, power::PowerModel power);
+
+  [[nodiscard]] std::size_t num_nodes() const {
+    return network_.num_nodes();
+  }
+  [[nodiscard]] std::size_t num_cores() const {
+    return network_.num_cores();
+  }
+  [[nodiscard]] const RcNetwork& network() const { return network_; }
+  [[nodiscard]] const power::PowerModel& power() const { return power_; }
+
+  /// Spectral decomposition of A (shared, immutable).
+  [[nodiscard]] const linalg::SpectralDecomposition& spectral() const {
+    return *spectral_;
+  }
+
+  /// Dense A = C^{-1}(beta E - G); reconstructed, mainly for tests.
+  [[nodiscard]] linalg::Matrix a_matrix() const;
+
+  /// The symmetric steady-state operator  G - beta E  (dense copy).
+  [[nodiscard]] linalg::Matrix system_matrix() const;
+
+  /// Node-sized heat injection Psi from per-core voltages.
+  [[nodiscard]] linalg::Vector heat_injection(
+      const linalg::Vector& core_voltages) const;
+
+  /// B(v) = C^{-1} Psi(v).
+  [[nodiscard]] linalg::Vector b_vector(
+      const linalg::Vector& core_voltages) const;
+
+  /// T_inf(v): temperature rises after running `core_voltages` forever.
+  [[nodiscard]] linalg::Vector steady_state(
+      const linalg::Vector& core_voltages) const;
+
+  /// Steady state for an explicit node-sized heat vector.
+  [[nodiscard]] linalg::Vector steady_state_from_heat(
+      const linalg::Vector& psi) const;
+
+  /// Extract the die-node entries of a node-sized rise vector.
+  [[nodiscard]] linalg::Vector core_rises(
+      const linalg::Vector& node_rises) const;
+
+  /// Largest die-node rise.
+  [[nodiscard]] double max_core_rise(const linalg::Vector& node_rises) const;
+
+ private:
+  RcNetwork network_;
+  power::PowerModel power_;
+  std::shared_ptr<const linalg::SpectralDecomposition> spectral_;
+  std::shared_ptr<const linalg::LuDecomposition> steady_lu_;
+};
+
+}  // namespace foscil::thermal

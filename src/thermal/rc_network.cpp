@@ -1,0 +1,120 @@
+#include "thermal/rc_network.hpp"
+
+namespace foscil::thermal {
+
+RcNetwork::RcNetwork(const Floorplan& floorplan, const HotSpotParams& params)
+    : floorplan_(floorplan),
+      params_(params),
+      tiers_(params.die_tiers),
+      sites_(floorplan.num_cores()),
+      num_cores_(params.die_tiers * floorplan.num_cores()) {
+  params_.check();
+  const std::size_t n = num_cores_ + 2 * sites_ + 2;  // + rims
+  conductance_ = linalg::Matrix(n, n);
+  capacitance_ = linalg::Vector(n);
+
+  const double area = floorplan_.core_area_m2();
+  const double edge = floorplan_.core_edge_m();
+
+  // --- vertical conductances per column ---
+  const double g_tim = params_.k_tim * area / params_.t_tim;
+  const double g_base = params_.k_copper * area / params_.t_spreader;
+  const double g_conv = 1.0 / params_.r_convection_block;
+  const double g_tier =
+      params_.k_inter_tier * area / params_.t_inter_tier;
+  for (std::size_t site = 0; site < sites_; ++site) {
+    // Tier 0 die -> spreader through the TIM.
+    add_conductance(die_node(site), spreader_node(site), g_tim);
+    // Tier t+1 die -> tier t die through the bonding layer.
+    for (std::size_t tier = 0; tier + 1 < tiers_; ++tier) {
+      const std::size_t below = tier * sites_ + site;
+      const std::size_t above = (tier + 1) * sites_ + site;
+      add_conductance(die_node(below), die_node(above), g_tier);
+    }
+    add_conductance(spreader_node(site), sink_node(site), g_base);
+    add_ground_conductance(sink_node(site), g_conv);
+  }
+
+  // --- lateral conductances along floorplan adjacency ---
+  // Cross-section = layer thickness * core edge, length = core pitch.
+  const double g_die_lat = params_.k_silicon * params_.t_die * edge / edge;
+  const double g_spr_lat = params_.k_copper * params_.t_spreader * edge / edge;
+  const double g_sink_lat =
+      params_.k_copper * params_.t_sink_base * edge / edge;
+  for (const auto& [a, b] : floorplan_.adjacent_pairs()) {
+    for (std::size_t tier = 0; tier < tiers_; ++tier) {
+      add_conductance(die_node(tier * sites_ + a),
+                      die_node(tier * sites_ + b), g_die_lat);
+    }
+    add_conductance(spreader_node(a), spreader_node(b), g_spr_lat);
+    add_conductance(sink_node(a), sink_node(b), g_sink_lat);
+  }
+
+  // --- package rim: spreader/sink annulus beyond the die footprint ---
+  // Each boundary block couples into the rim once per chip-edge side it
+  // exposes; the rim convects over an area proportional to the perimeter.
+  std::vector<std::size_t> exposed(sites_, 4);
+  for (const auto& [a, b] : floorplan_.adjacent_pairs()) {
+    --exposed[a];
+    --exposed[b];
+  }
+  double perimeter_edges = 0.0;
+  for (std::size_t site = 0; site < sites_; ++site) {
+    if (exposed[site] == 0) continue;
+    const auto edges = static_cast<double>(exposed[site]);
+    add_conductance(spreader_node(site), spreader_rim_node(),
+                    edges * g_spr_lat);
+    add_conductance(sink_node(site), sink_rim_node(), edges * g_sink_lat);
+    perimeter_edges += edges;
+  }
+  FOSCIL_ASSERT(perimeter_edges >= 4.0);
+  const double rim_blocks = perimeter_edges * params_.rim_width_blocks;
+  add_conductance(spreader_rim_node(), sink_rim_node(), rim_blocks * g_base);
+  add_ground_conductance(sink_rim_node(), rim_blocks * g_conv);
+  // A token path keeps the spreader rim grounded even in degenerate
+  // parameterizations (it normally drains through the sink rim).
+  add_ground_conductance(spreader_rim_node(), 1e-6);
+
+  // --- heat capacities ---
+  const double c_die = params_.c_silicon * area * params_.t_die;
+  const double c_spr = params_.c_copper * area * params_.t_spreader;
+  const double c_sink = params_.c_copper * area * params_.t_sink_base *
+                        params_.sink_mass_factor;
+  for (std::size_t core = 0; core < num_cores_; ++core)
+    capacitance_[die_node(core)] = c_die;
+  for (std::size_t site = 0; site < sites_; ++site) {
+    capacitance_[spreader_node(site)] = c_spr;
+    capacitance_[sink_node(site)] = c_sink;
+  }
+  capacitance_[spreader_rim_node()] = rim_blocks * c_spr;
+  capacitance_[sink_rim_node()] = rim_blocks * c_sink;
+
+  // The network must be grounded (every node has a path to ambient), which
+  // the per-block convection guarantees; spot-check positive diagonals.
+  for (std::size_t i = 0; i < n; ++i) FOSCIL_ENSURES(conductance_(i, i) > 0.0);
+}
+
+NodeLayer RcNetwork::layer(std::size_t node) const {
+  FOSCIL_EXPECTS(node < num_nodes());
+  if (node < num_cores_) return NodeLayer::kDie;
+  if (node < num_cores_ + sites_) return NodeLayer::kSpreader;
+  if (node < num_cores_ + 2 * sites_) return NodeLayer::kSink;
+  return node == spreader_rim_node() ? NodeLayer::kSpreaderRim
+                                     : NodeLayer::kSinkRim;
+}
+
+void RcNetwork::add_conductance(std::size_t a, std::size_t b, double g) {
+  FOSCIL_EXPECTS(a != b);
+  FOSCIL_EXPECTS(g > 0.0);
+  conductance_(a, a) += g;
+  conductance_(b, b) += g;
+  conductance_(a, b) -= g;
+  conductance_(b, a) -= g;
+}
+
+void RcNetwork::add_ground_conductance(std::size_t node, double g) {
+  FOSCIL_EXPECTS(g > 0.0);
+  conductance_(node, node) += g;
+}
+
+}  // namespace foscil::thermal

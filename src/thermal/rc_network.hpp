@@ -1,0 +1,105 @@
+// Compact RC thermal network generation.
+//
+// Builds the (G, C) pair behind eq. (2) of the paper:  C dT/dt = -G T + P,
+// where T is the vector of node temperature rises over ambient, G the
+// symmetric conductance Laplacian (with ambient as ground), and C the
+// diagonal capacitances.  The stack per core column is
+//
+//     die node --(TIM)--> spreader node --(base)--> sink node --(conv)--> amb
+//
+// with lateral conductances inside the die, spreader, and sink-base layers
+// following the floorplan adjacency, plus a package rim (spreader/sink
+// annulus beyond the die) that boundary blocks couple into.  Only die nodes
+// dissipate power.
+//
+// 3D stacking (HotSpotParams::die_tiers > 1) replicates the die layer into
+// vertically bonded tiers: tier 0 touches the TIM/spreader; tier t couples
+// to tier t+1 through the bonding layer.  Cores are indexed tier-major
+// (core = tier * floorplan_cores + site), so a 2-tier 2x2 chip has 8 cores
+// over 4 columns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/hotspot_params.hpp"
+
+namespace foscil::thermal {
+
+/// Node roles in the generated network.
+enum class NodeLayer { kDie, kSpreader, kSink, kSpreaderRim, kSinkRim };
+
+/// Symmetric conductance matrix + capacitances + node bookkeeping.
+class RcNetwork {
+ public:
+  RcNetwork(const Floorplan& floorplan, const HotSpotParams& params);
+
+  [[nodiscard]] std::size_t num_nodes() const { return conductance_.rows(); }
+  /// Total processing cores: floorplan sites x die tiers.
+  [[nodiscard]] std::size_t num_cores() const { return num_cores_; }
+  [[nodiscard]] std::size_t num_tiers() const { return tiers_; }
+  /// Cores per tier (floorplan sites).
+  [[nodiscard]] std::size_t sites_per_tier() const { return sites_; }
+
+  /// Die node index of a core (power injection point).
+  [[nodiscard]] std::size_t die_node(std::size_t core) const {
+    FOSCIL_EXPECTS(core < num_cores_);
+    return core;  // die nodes occupy [0, num_cores)
+  }
+  /// Tier of a core (0 = closest to the package).
+  [[nodiscard]] std::size_t tier_of(std::size_t core) const {
+    FOSCIL_EXPECTS(core < num_cores_);
+    return core / sites_;
+  }
+  /// Floorplan site of a core.
+  [[nodiscard]] std::size_t site_of(std::size_t core) const {
+    FOSCIL_EXPECTS(core < num_cores_);
+    return core % sites_;
+  }
+  /// Spreader node under a core's column.
+  [[nodiscard]] std::size_t spreader_node(std::size_t core) const {
+    FOSCIL_EXPECTS(core < num_cores_);
+    return num_cores_ + site_of(core);
+  }
+  /// Sink node under a core's column.
+  [[nodiscard]] std::size_t sink_node(std::size_t core) const {
+    FOSCIL_EXPECTS(core < num_cores_);
+    return num_cores_ + sites_ + site_of(core);
+  }
+  [[nodiscard]] std::size_t spreader_rim_node() const {
+    return num_cores_ + 2 * sites_;
+  }
+  [[nodiscard]] std::size_t sink_rim_node() const {
+    return num_cores_ + 2 * sites_ + 1;
+  }
+
+  [[nodiscard]] NodeLayer layer(std::size_t node) const;
+
+  /// Symmetric positive definite conductance matrix (W/K), ambient grounded.
+  [[nodiscard]] const linalg::Matrix& conductance() const {
+    return conductance_;
+  }
+  /// Node heat capacities (J/K), strictly positive.
+  [[nodiscard]] const linalg::Vector& capacitance() const {
+    return capacitance_;
+  }
+
+  [[nodiscard]] const Floorplan& floorplan() const { return floorplan_; }
+  [[nodiscard]] const HotSpotParams& params() const { return params_; }
+
+ private:
+  void add_conductance(std::size_t a, std::size_t b, double g);
+  void add_ground_conductance(std::size_t node, double g);
+
+  Floorplan floorplan_;
+  HotSpotParams params_;
+  std::size_t tiers_;
+  std::size_t sites_;
+  std::size_t num_cores_;
+  linalg::Matrix conductance_;
+  linalg::Vector capacitance_;
+};
+
+}  // namespace foscil::thermal

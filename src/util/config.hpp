@@ -1,0 +1,65 @@
+// Minimal INI-style configuration parser.
+//
+// Powers the CLI front-end (examples/foscil_cli.cpp): platforms, level sets
+// and scheduler options can be described in a text file instead of C++.
+// Format:
+//
+//   # comment
+//   [section]
+//   key = value          ; values are scalars or comma-separated lists
+//
+// Keys are looked up as "section.key".  Parsing is strict: malformed lines,
+// duplicate keys, and type mismatches raise ConfigError with a line number.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace foscil {
+
+/// Raised on malformed input or failed typed lookups.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text (e.g. file contents).  Throws ConfigError.
+  [[nodiscard]] static Config parse(const std::string& text);
+
+  /// Load from a file path.  Throws ConfigError (also on I/O failure).
+  [[nodiscard]] static Config load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Raw string value; throws when missing.
+  [[nodiscard]] const std::string& raw(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] long get_int(const std::string& key) const;
+  [[nodiscard]] bool get_bool(const std::string& key) const;
+  /// Comma-separated list of doubles.
+  [[nodiscard]] std::vector<double> get_doubles(const std::string& key) const;
+
+  /// Typed lookups with defaults for optional keys.
+  [[nodiscard]] std::string get_string_or(const std::string& key,
+                                          std::string fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key,
+                                     double fallback) const;
+  [[nodiscard]] long get_int_or(const std::string& key, long fallback) const;
+
+  /// All keys, sorted (for diagnostics / strict-mode validation).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace foscil

@@ -1,0 +1,60 @@
+// Lightweight contract checking for foscil.
+//
+// FOSCIL_EXPECTS / FOSCIL_ENSURES mirror the GSL Expects/Ensures idiom from
+// the C++ Core Guidelines (I.6, I.8): violations are programming errors, not
+// recoverable conditions, so they throw foscil::ContractViolation carrying
+// the failing expression and source location.  They stay enabled in release
+// builds — every check in this library guards O(1) work next to O(n^2..3)
+// numerical kernels, so the cost is immaterial.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace foscil {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr,
+                    const std::source_location& loc)
+      : std::logic_error(format(kind, expr, loc)) {}
+
+ private:
+  static std::string format(const char* kind, const char* expr,
+                            const std::source_location& loc) {
+    std::string msg = kind;
+    msg += " failed: ";
+    msg += expr;
+    msg += " at ";
+    msg += loc.file_name();
+    msg += ":";
+    msg += std::to_string(loc.line());
+    msg += " (";
+    msg += loc.function_name();
+    msg += ")";
+    return msg;
+  }
+};
+
+namespace detail {
+inline void contract_check(bool ok, const char* kind, const char* expr,
+                           const std::source_location& loc) {
+  if (!ok) throw ContractViolation(kind, expr, loc);
+}
+}  // namespace detail
+
+}  // namespace foscil
+
+#define FOSCIL_EXPECTS(expr)                                 \
+  ::foscil::detail::contract_check((expr), "Precondition",   \
+                                   #expr, std::source_location::current())
+
+#define FOSCIL_ENSURES(expr)                                 \
+  ::foscil::detail::contract_check((expr), "Postcondition",  \
+                                   #expr, std::source_location::current())
+
+#define FOSCIL_ASSERT(expr)                                  \
+  ::foscil::detail::contract_check((expr), "Invariant",      \
+                                   #expr, std::source_location::current())

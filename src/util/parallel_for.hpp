@@ -1,0 +1,93 @@
+// Minimal shared-memory fork/join helper.
+//
+// The benches sweep large design spaces (EXS enumerates |levels|^N
+// single-mode assignments; Fig. 3 sweeps thousands of schedule phases).
+// Those loops are embarrassingly parallel, so we provide a static-partition
+// parallel_for over [0, n) in the OpenMP "parallel for schedule(static)"
+// spirit, built on std::thread only (no runtime dependency).
+//
+// Exceptions thrown by the body are captured and rethrown on the caller
+// thread (first one wins), so contract violations inside workers are not
+// lost.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace foscil {
+
+/// Number of workers parallel_for will use by default.
+inline unsigned hardware_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+/// Invoke `body(i)` for every i in [0, n), split contiguously across up to
+/// `threads` workers.  Runs inline when n is small or one worker suffices.
+template <typename Body>
+void parallel_for(std::size_t n, const Body& body,
+                  unsigned threads = hardware_parallelism()) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(1u, threads), n);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Parallel reduction: each worker folds its range with `body(i, acc)` into a
+/// local accumulator (initialized from `init`), then locals are combined with
+/// `join` in index order so results are deterministic.
+template <typename Acc, typename Body, typename Join>
+Acc parallel_reduce(std::size_t n, Acc init, const Body& body,
+                    const Join& join,
+                    unsigned threads = hardware_parallelism()) {
+  if (n == 0) return init;
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(1u, threads), n);
+  std::vector<Acc> locals(workers, init);
+  parallel_for(
+      workers,
+      [&](std::size_t w) {
+        const std::size_t chunk = (n + workers - 1) / workers;
+        const std::size_t begin = w * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        Acc acc = init;
+        for (std::size_t i = begin; i < end; ++i) acc = body(i, acc);
+        locals[w] = acc;
+      },
+      static_cast<unsigned>(workers));
+  Acc result = init;
+  for (const auto& acc : locals) result = join(result, acc);
+  return result;
+}
+
+}  // namespace foscil

@@ -1,0 +1,65 @@
+// Deterministic random number generation for tests and benches.
+//
+// Every randomized experiment in this repository must be reproducible from a
+// seed printed in its output, so we standardize on one engine (mt19937_64)
+// and expose small typed helpers instead of passing distributions around.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace foscil {
+
+/// Seeded pseudo-random source with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    FOSCIL_EXPECTS(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    FOSCIL_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    FOSCIL_EXPECTS(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Pick a random element of a non-empty vector (by value).
+  template <typename T>
+  T pick(const std::vector<T>& v) {
+    FOSCIL_EXPECTS(!v.empty());
+    return v[index(v.size())];
+  }
+
+  /// n positive weights summing to 1 (used for random interval splits).
+  std::vector<double> simplex(std::size_t n) {
+    FOSCIL_EXPECTS(n > 0);
+    std::vector<double> w(n);
+    double total = 0.0;
+    for (auto& x : w) {
+      x = uniform(0.05, 1.0);  // keep intervals bounded away from zero
+      total += x;
+    }
+    for (auto& x : w) x /= total;
+    return w;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace foscil

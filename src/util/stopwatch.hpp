@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch used by the computation-time experiments
+// (Table V) and by examples that report scheduler latency.
+#pragma once
+
+#include <chrono>
+
+namespace foscil {
+
+/// Starts running on construction; `seconds()` reads elapsed wall time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace foscil

@@ -1,0 +1,43 @@
+// Fixed-width console table and CSV writers.
+//
+// Every bench binary reproduces one table/figure of the paper; this keeps
+// their output formatting consistent and lets EXPERIMENTS.md quote rows
+// verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace foscil {
+
+/// Accumulates rows of strings and renders them as an aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header rule.
+  [[nodiscard]] std::string str() const;
+
+  /// Render as RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 4 digits).
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+/// Format a temperature in degrees Celsius, e.g. "64.98 C".
+[[nodiscard]] std::string fmt_celsius(double celsius);
+
+/// Format a percentage with sign, e.g. "+11.2%".
+[[nodiscard]] std::string fmt_percent(double fraction);
+
+}  // namespace foscil

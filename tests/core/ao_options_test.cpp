@@ -1,0 +1,123 @@
+// Coverage for AO's ablation knobs (TptPolicy / ModeChoice) and option
+// sweeps: every configuration must stay feasible; the paper's choices must
+// never lose to their ablated variants.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "core/ao.hpp"
+
+namespace foscil::core {
+namespace {
+
+struct KnobCase {
+  TptPolicy tpt;
+  ModeChoice modes;
+};
+
+class AoKnobs : public ::testing::TestWithParam<KnobCase> {};
+
+TEST_P(AoKnobs, FeasibleOnAllPlatforms) {
+  AoOptions options;
+  options.tpt_policy = GetParam().tpt;
+  options.mode_choice = GetParam().modes;
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 2},
+                            {1, 3},
+                            {3, 3}}) {
+    const Platform p = testing::grid_platform(
+        rows, cols, power::VoltageLevels::paper_table4(3).values());
+    const SchedulerResult r = run_ao(p, 55.0, options);
+    EXPECT_TRUE(r.feasible) << rows << "x" << cols;
+    EXPECT_LE(r.peak_celsius, 55.0 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnobs, AoKnobs,
+    ::testing::Values(
+        KnobCase{TptPolicy::kBestTradeoff, ModeChoice::kNeighboring},
+        KnobCase{TptPolicy::kHottestCore, ModeChoice::kNeighboring},
+        KnobCase{TptPolicy::kBestTradeoff, ModeChoice::kExtremes},
+        KnobCase{TptPolicy::kHottestCore, ModeChoice::kExtremes}),
+    [](const ::testing::TestParamInfo<KnobCase>& param_info) {
+      std::string name =
+          param_info.param.tpt == TptPolicy::kBestTradeoff ? "best" : "hottest";
+      name += param_info.param.modes == ModeChoice::kNeighboring ? "_neighbor"
+                                                           : "_extremes";
+      return name;
+    });
+
+TEST(AoKnobs, NeighboringModesNeverLoseToExtremes) {
+  // Theorem 4 in scheduler form.
+  AoOptions extremes;
+  extremes.mode_choice = ModeChoice::kExtremes;
+  for (int levels = 3; levels <= 5; ++levels) {
+    const Platform p = testing::grid_platform(
+        2, 3, power::VoltageLevels::paper_table4(levels).values());
+    const double neighboring = run_ao(p, 55.0).throughput;
+    const double wide = run_ao(p, 55.0, extremes).throughput;
+    EXPECT_GE(neighboring, wide - 1e-9) << levels << " levels";
+  }
+}
+
+TEST(AoKnobs, BestTradeoffNeverLosesToHottestCore) {
+  AoOptions hottest;
+  hottest.tpt_policy = TptPolicy::kHottestCore;
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 3},
+                            {2, 3}}) {
+    const Platform p = testing::grid_platform(rows, cols);
+    const double best = run_ao(p, 55.0).throughput;
+    const double naive = run_ao(p, 55.0, hottest).throughput;
+    EXPECT_GE(best, naive - 1e-6) << rows << "x" << cols;
+  }
+}
+
+TEST(AoKnobs, ExtremesEqualNeighboringOnTwoLevelSets) {
+  // With only two levels the neighboring pair *is* the extreme pair.
+  AoOptions extremes;
+  extremes.mode_choice = ModeChoice::kExtremes;
+  const Platform p = testing::grid_platform(1, 3);
+  EXPECT_NEAR(run_ao(p, 65.0).throughput,
+              run_ao(p, 65.0, extremes).throughput, 1e-9);
+}
+
+TEST(AoKnobs, BasePeriodSweepStaysFeasible) {
+  const Platform p = testing::grid_platform(1, 3);
+  for (double period_ms : {5.0, 20.0, 50.0, 200.0}) {
+    AoOptions options;
+    options.base_period = period_ms * 1e-3;
+    const SchedulerResult r = run_ao(p, 65.0, options);
+    EXPECT_TRUE(r.feasible) << period_ms << " ms";
+    EXPECT_LE(r.peak_celsius, 65.0 + 1e-6);
+    EXPECT_GT(r.throughput, 1.0);
+  }
+}
+
+TEST(AoKnobs, FinerTUnitNeverHurtsThroughputMuch) {
+  // t_unit controls the granularity of the TPT surrender; finer steps give
+  // up less throughput (at more evaluations).
+  const Platform p = testing::grid_platform(1, 3);
+  AoOptions coarse;
+  coarse.t_unit_fraction = 1e-2;
+  AoOptions fine;
+  fine.t_unit_fraction = 5e-4;
+  const SchedulerResult r_coarse = run_ao(p, 65.0, coarse);
+  const SchedulerResult r_fine = run_ao(p, 65.0, fine);
+  EXPECT_GE(r_fine.throughput, r_coarse.throughput - 1e-9);
+  EXPECT_GE(r_fine.evaluations, r_coarse.evaluations);
+}
+
+TEST(AoKnobs, InvalidOptionsViolateContract) {
+  const Platform p = testing::grid_platform(1, 2);
+  AoOptions options;
+  options.base_period = 0.0;
+  EXPECT_THROW((void)run_ao(p, 55.0, options), ContractViolation);
+  options = AoOptions{};
+  options.transition_overhead = -1e-6;
+  EXPECT_THROW((void)run_ao(p, 55.0, options), ContractViolation);
+  options = AoOptions{};
+  options.t_unit_fraction = 1.5;
+  EXPECT_THROW((void)run_ao(p, 55.0, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::core

@@ -1,0 +1,81 @@
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "core/ao.hpp"
+
+namespace foscil::core {
+namespace {
+
+TEST(Audit, CertifiesAoOutput) {
+  const Platform p = testing::grid_platform(1, 3);
+  const SchedulerResult ao = run_ao(p, 65.0);
+  const ScheduleAudit audit = audit_schedule(p, ao.schedule, 65.0);
+  // AO schedules are step-up, so the certificate is tight and both verdicts
+  // agree with the scheduler's own report.
+  EXPECT_TRUE(audit.measured_safe);
+  EXPECT_TRUE(audit.certified_safe);
+  EXPECT_NEAR(audit.peak_rise, ao.peak_rise, 1e-6);
+  EXPECT_NEAR(audit.bound_rise, ao.peak_rise, 1e-6);
+  EXPECT_NEAR(audit.throughput, ao.schedule.throughput(), 1e-12);
+}
+
+TEST(Audit, FlagsAnOverheatingSchedule) {
+  const Platform p = testing::grid_platform(1, 3);
+  const auto all_max =
+      sched::PeriodicSchedule::constant(linalg::Vector(3, 1.3), 0.1);
+  const ScheduleAudit audit = audit_schedule(p, all_max, 65.0);
+  EXPECT_FALSE(audit.measured_safe);
+  EXPECT_FALSE(audit.certified_safe);
+  EXPECT_GT(audit.peak_celsius, 65.0);
+}
+
+TEST(Audit, CertificateDominatesMeasurementOnRandomSchedules) {
+  const Platform p = testing::grid_platform(2, 3);
+  Rng rng(1201);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto s = testing::random_schedule(rng, 6, rng.uniform(0.05, 2.0), 4);
+    const ScheduleAudit audit = audit_schedule(p, s, 55.0);
+    EXPECT_LE(audit.peak_rise, audit.bound_rise + 1e-2) << trial;
+    // certified_safe implies measured_safe (up to the same tolerance).
+    if (audit.certified_safe) {
+      EXPECT_LE(audit.peak_celsius, 55.0 + 0.02) << trial;
+    }
+  }
+}
+
+TEST(Audit, GapAppearsForPhaseSpreadSchedules) {
+  // A deliberately phase-interleaved schedule on a long period: measured
+  // peak strictly below the step-up certificate (the Fig. 3 effect).
+  const Platform p = testing::grid_platform(1, 3);
+  sched::PeriodicSchedule s(3, 6.0);
+  s.set_core_segments(0, {{3.0, 0.6}, {3.0, 1.3}});
+  s.set_core_segments(1, {{1.0, 1.3}, {3.0, 0.6}, {2.0, 1.3}});
+  s.set_core_segments(2, {{2.0, 1.3}, {3.0, 0.6}, {1.0, 1.3}});
+  const ScheduleAudit audit = audit_schedule(p, s, 70.0, 128);
+  EXPECT_LT(audit.peak_rise, audit.bound_rise - 0.3);
+}
+
+TEST(Audit, HottestCoreAndTimeAreMeaningful) {
+  const Platform p = testing::grid_platform(1, 3);
+  // Load only core 2 heavily: it must be the hottest.
+  sched::PeriodicSchedule s(3, 0.1);
+  s.set_core_segments(0, {{0.1, 0.6}});
+  s.set_core_segments(1, {{0.1, 0.6}});
+  s.set_core_segments(2, {{0.1, 1.3}});
+  const ScheduleAudit audit = audit_schedule(p, s, 65.0);
+  EXPECT_EQ(audit.hottest_core, 2u);
+  EXPECT_GE(audit.peak_time, 0.0);
+  EXPECT_LE(audit.peak_time, 0.1 + 1e-12);
+}
+
+TEST(Audit, CoreCountMismatchViolatesContract) {
+  const Platform p = testing::grid_platform(1, 3);
+  const auto two_core =
+      sched::PeriodicSchedule::constant(linalg::Vector(2, 1.0), 0.1);
+  EXPECT_THROW((void)audit_schedule(p, two_core, 55.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::core

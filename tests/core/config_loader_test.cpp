@@ -1,0 +1,131 @@
+#include "core/config_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+
+namespace foscil::core {
+namespace {
+
+TEST(ConfigLoader, BuildsDefaultPlatform) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 1\ncols = 3\n");
+  const Platform p = platform_from_config(c);
+  EXPECT_EQ(p.num_cores(), 3u);
+  EXPECT_EQ(p.name, "1x3");
+  EXPECT_DOUBLE_EQ(p.t_ambient_c, 35.0);
+  EXPECT_EQ(p.levels.count(), 2u);  // default {0.6, 1.3}
+}
+
+TEST(ConfigLoader, MatchesProgrammaticConstruction) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 1\ncols = 3\n[levels]\nvalues = 0.6, 1.3\n");
+  const Platform from_config = platform_from_config(c);
+  const Platform direct = testing::grid_platform(1, 3);
+  const linalg::Vector v{1.2, 0.9, 1.1};
+  EXPECT_TRUE(linalg::allclose(from_config.model->steady_state(v),
+                               direct.model->steady_state(v)));
+}
+
+TEST(ConfigLoader, LevelSelectionVariants) {
+  const Config table4 = Config::parse(
+      "[platform]\nrows = 1\ncols = 2\n[levels]\ntable4 = 3\n");
+  EXPECT_EQ(platform_from_config(table4).levels.count(), 3u);
+
+  const Config full = Config::parse(
+      "[platform]\nrows = 1\ncols = 2\n[levels]\nfull_range = true\n");
+  EXPECT_EQ(platform_from_config(full).levels.count(), 15u);
+
+  const Config conflict = Config::parse(
+      "[platform]\nrows = 1\ncols = 2\n"
+      "[levels]\ntable4 = 3\nfull_range = true\n");
+  EXPECT_THROW((void)platform_from_config(conflict), ConfigError);
+}
+
+TEST(ConfigLoader, PackageOverridesApply) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 1\ncols = 2\n"
+      "[package]\nr_convection_block = 0.9\nt_tim_um = 40\n");
+  const Platform p = platform_from_config(c);
+  EXPECT_DOUBLE_EQ(p.model->network().params().r_convection_block, 0.9);
+  EXPECT_DOUBLE_EQ(p.model->network().params().t_tim, 40e-6);
+}
+
+TEST(ConfigLoader, StackedPlatform) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 2\ncols = 2\ntiers = 2\n"
+      "[package]\nr_convection_block = 0.8\nk_inter_tier = 10\n");
+  const Platform p = platform_from_config(c);
+  EXPECT_EQ(p.num_cores(), 8u);
+  EXPECT_EQ(p.name, "2x2x2tiers");
+}
+
+TEST(ConfigLoader, PowerOverridesApply) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 1\ncols = 2\n"
+      "[power]\nalpha = 0.5\nbeta = 0.1\ngamma = 12\n");
+  const Platform p = platform_from_config(c);
+  EXPECT_DOUBLE_EQ(p.model->power().coefficients().alpha, 0.5);
+  EXPECT_DOUBLE_EQ(p.model->power().coefficients().beta, 0.1);
+  EXPECT_DOUBLE_EQ(p.model->power().coefficients().gamma, 12.0);
+}
+
+TEST(ConfigLoader, PerCorePowerLists) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 1\ncols = 3\n"
+      "[power]\ngamma_per_core = 9, 12, 9\n");
+  const Platform p = platform_from_config(c);
+  EXPECT_TRUE(p.model->power().heterogeneous());
+  EXPECT_DOUBLE_EQ(p.model->power().coefficients(1).gamma, 12.0);
+  EXPECT_DOUBLE_EQ(p.model->power().coefficients(0).gamma, 9.0);
+  // Scalar baseline still applies to the fields without a list.
+  EXPECT_DOUBLE_EQ(p.model->power().coefficients(1).alpha, 1.0);
+}
+
+TEST(ConfigLoader, PerCoreListLengthMismatchThrows) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 1\ncols = 3\n"
+      "[power]\nalpha_per_core = 1, 2\n");
+  EXPECT_THROW((void)platform_from_config(c), ConfigError);
+}
+
+TEST(ConfigLoader, AoOptionsAndThreshold) {
+  const Config c = Config::parse(
+      "[ao]\nbase_period_ms = 20\ntau_us = 10\nmax_m = 100\n"
+      "[run]\nt_max_c = 62.5\n");
+  const AoOptions options = ao_options_from_config(c);
+  EXPECT_DOUBLE_EQ(options.base_period, 0.020);
+  EXPECT_DOUBLE_EQ(options.transition_overhead, 10e-6);
+  EXPECT_EQ(options.max_m, 100);
+  EXPECT_DOUBLE_EQ(t_max_from_config(c), 62.5);
+  EXPECT_DOUBLE_EQ(t_max_from_config(Config::parse("")), 55.0);
+}
+
+TEST(ConfigLoader, MissingMandatoryKeysThrow) {
+  EXPECT_THROW((void)platform_from_config(Config::parse("")), ConfigError);
+  EXPECT_THROW((void)platform_from_config(
+                   Config::parse("[platform]\nrows = 2\n")),
+               ConfigError);
+}
+
+TEST(ConfigLoader, BadPhysicalValuesSurfaceAsContractViolations) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 1\ncols = 2\n"
+      "[package]\nr_convection_block = -1\n");
+  EXPECT_THROW((void)platform_from_config(c), ContractViolation);
+}
+
+TEST(ConfigLoader, EndToEndSchedulesFromConfig) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 1\ncols = 3\n"
+      "[levels]\nvalues = 0.6, 1.3\n"
+      "[run]\nt_max_c = 65\n");
+  const Platform p = platform_from_config(c);
+  const SchedulerResult r =
+      run_ao(p, t_max_from_config(c), ao_options_from_config(c));
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.throughput, 1.0);
+}
+
+}  // namespace
+}  // namespace foscil::core

@@ -1,0 +1,120 @@
+#include "core/exs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_support.hpp"
+#include "core/lns.hpp"
+
+namespace foscil::core {
+namespace {
+
+TEST(Exs, EnumeratesTheFullSpace) {
+  const Platform p = testing::grid_platform(1, 3, {0.6, 0.8, 1.3});
+  const SchedulerResult r = run_exs(p, 65.0);
+  EXPECT_EQ(r.evaluations, 27u);  // 3^3 candidates
+}
+
+TEST(Exs, BeatsOrMatchesLnsEverywhere) {
+  // EXS searches all constant assignments, LNS picks one of them.
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 2},
+                            {1, 3},
+                            {2, 3},
+                            {3, 3}}) {
+    for (int levels = 2; levels <= 4; ++levels) {
+      const Platform p = testing::grid_platform(
+          rows, cols, power::VoltageLevels::paper_table4(levels).values());
+      const double lns = run_lns(p, 55.0).throughput;
+      const double exs = run_exs(p, 55.0).throughput;
+      EXPECT_GE(exs, lns - 1e-12)
+          << rows << "x" << cols << " levels " << levels;
+    }
+  }
+}
+
+TEST(Exs, RespectsTemperatureConstraint) {
+  for (double t_max : {50.0, 55.0, 65.0}) {
+    const Platform p = testing::grid_platform(2, 3, {0.6, 0.8, 1.0, 1.3});
+    const SchedulerResult r = run_exs(p, t_max);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_LE(r.peak_celsius, t_max + 1e-6) << t_max;
+    // Cross-check the reported peak against a fresh steady-state solve.
+    linalg::Vector v(p.num_cores());
+    for (std::size_t i = 0; i < p.num_cores(); ++i)
+      v[i] = r.schedule.voltage_at(i, 0.0);
+    const double steady_peak =
+        p.model->max_core_rise(p.model->steady_state(v));
+    EXPECT_NEAR(steady_peak, r.peak_rise, 1e-9);
+  }
+}
+
+TEST(Exs, FindsExactOptimumOnBruteForceCheckableCase) {
+  // 2 cores x 3 levels = 9 candidates; verify against manual enumeration.
+  const Platform p = testing::grid_platform(1, 2, {0.6, 0.9, 1.3});
+  const double t_max = 58.0;
+  const SchedulerResult r = run_exs(p, t_max);
+
+  double best = -1.0;
+  for (double v0 : {0.6, 0.9, 1.3}) {
+    for (double v1 : {0.6, 0.9, 1.3}) {
+      const linalg::Vector v{v0, v1};
+      const double peak =
+          p.model->max_core_rise(p.model->steady_state(v));
+      if (p.to_celsius(peak) <= t_max + 1e-9)
+        best = std::max(best, (v0 + v1) / 2.0);
+    }
+  }
+  ASSERT_GT(best, 0.0);
+  EXPECT_NEAR(r.throughput, best, 1e-12);
+}
+
+TEST(Exs, AsymmetricOptimumUsesDifferentLevelsPerCore) {
+  // The motivation example's EXS solution mixes levels across cores.
+  const Platform p = testing::grid_platform(1, 3, {0.6, 1.3});
+  const SchedulerResult r = run_exs(p, 65.0);
+  EXPECT_TRUE(r.feasible);
+  double low_count = 0;
+  double high_count = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double v = r.schedule.voltage_at(i, 0.0);
+    if (v == 0.6) ++low_count;
+    if (v == 1.3) ++high_count;
+  }
+  EXPECT_EQ(low_count + high_count, 3.0);
+  EXPECT_GT(high_count, 0.0);  // strictly better than LNS's all-0.6
+  EXPECT_GT(low_count, 0.0);   // but not all-max (infeasible at 65 C)
+}
+
+TEST(Exs, DeterministicAcrossThreadCounts) {
+  const Platform p = testing::grid_platform(2, 2, {0.6, 0.8, 1.0, 1.3});
+  ExsOptions one;
+  one.threads = 1;
+  ExsOptions four;
+  four.threads = 4;
+  const SchedulerResult r1 = run_exs(p, 55.0, one);
+  const SchedulerResult r4 = run_exs(p, 55.0, four);
+  EXPECT_EQ(r1.throughput, r4.throughput);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(r1.schedule.voltage_at(i, 0.0),
+              r4.schedule.voltage_at(i, 0.0));
+}
+
+TEST(Exs, SpaceGuardThrows) {
+  const Platform p = testing::grid_platform(
+      3, 3, power::VoltageLevels::paper_full_range().values());
+  ExsOptions options;
+  options.max_candidates = 1000;  // 15^9 >> 1000
+  EXPECT_THROW((void)run_exs(p, 55.0, options), ExsSpaceTooLarge);
+}
+
+TEST(Exs, InfeasibleWhenEvenLowestModeOverheats) {
+  const Platform p = testing::grid_platform(3, 3);
+  // 36 C threshold (1 K of rise budget) is impossible for 9 active cores.
+  const SchedulerResult r = run_exs(p, 36.0);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace foscil::core

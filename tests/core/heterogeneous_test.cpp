@@ -1,0 +1,138 @@
+// Heterogeneous per-core power coefficients (process variation): the
+// "different cores may exhibit different thermal behaviors" premise of the
+// paper's abstract, threaded through the model and every scheduler.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "core/ao.hpp"
+#include "core/exs.hpp"
+#include "core/ideal.hpp"
+#include "core/lns.hpp"
+
+namespace foscil::core {
+namespace {
+
+/// 1x3 chip whose middle core is a leaky process-variation loser:
+/// +50% alpha, +30% gamma, +33% beta.
+Platform lopsided_platform(std::vector<double> levels = {0.6, 1.3}) {
+  power::PowerCoefficients nominal;
+  power::PowerCoefficients leaky = nominal;
+  leaky.alpha *= 1.5;
+  leaky.gamma *= 1.3;
+  leaky.beta *= 4.0 / 3.0;
+  const thermal::Floorplan floorplan(1, 3, 4e-3);
+  thermal::RcNetwork network(floorplan, thermal::HotSpotParams{});
+  Platform p;
+  p.model = std::make_shared<const thermal::ThermalModel>(
+      std::move(network),
+      power::PowerModel({nominal, leaky, nominal}));
+  p.levels = power::VoltageLevels(std::move(levels));
+  p.name = "1x3-lopsided";
+  return p;
+}
+
+TEST(Heterogeneous, UniformVectorModelMatchesScalarModel) {
+  // A per-core model with identical entries must behave exactly like the
+  // homogeneous model.
+  const power::PowerCoefficients c;
+  const thermal::Floorplan floorplan(1, 2, 4e-3);
+  const Platform uniform = testing::grid_platform(1, 2);
+  thermal::RcNetwork network(floorplan, thermal::HotSpotParams{});
+  const thermal::ThermalModel vector_model(
+      std::move(network), power::PowerModel({c, c}));
+  const linalg::Vector v{1.1, 0.8};
+  EXPECT_TRUE(linalg::allclose(vector_model.steady_state(v),
+                               uniform.model->steady_state(v)));
+}
+
+TEST(Heterogeneous, PerCorePsiFollowsCoefficients) {
+  power::PowerCoefficients a;
+  power::PowerCoefficients b;
+  b.alpha = 2.0;
+  b.gamma = 12.0;
+  const power::PowerModel model({a, b});
+  EXPECT_TRUE(model.heterogeneous());
+  const double v = 1.1;
+  EXPECT_NEAR(model.psi(0, v), 1.0 + 9.0 * v * v * v, 1e-12);
+  EXPECT_NEAR(model.psi(1, v), 2.0 + 12.0 * v * v * v, 1e-12);
+  EXPECT_NEAR(model.voltage_for_psi(1, model.psi(1, v)), v, 1e-12);
+}
+
+TEST(Heterogeneous, CoreCountMismatchViolatesContract) {
+  const power::PowerCoefficients c;
+  thermal::RcNetwork network(thermal::Floorplan(1, 3, 4e-3),
+                             thermal::HotSpotParams{});
+  EXPECT_THROW(thermal::ThermalModel(std::move(network),
+                                     power::PowerModel({c, c})),
+               ContractViolation);
+}
+
+TEST(Heterogeneous, LeakyCoreRunsHotterAtEqualVoltage) {
+  const Platform p = lopsided_platform();
+  const linalg::Vector t =
+      p.model->steady_state(linalg::Vector(3, 1.0));
+  const linalg::Vector cores = p.model->core_rises(t);
+  // The middle core is hotter than it would be from position alone: compare
+  // against the homogeneous chip's middle-vs-edge gap.
+  const Platform uniform = testing::grid_platform(1, 3);
+  const linalg::Vector t_u =
+      uniform.model->steady_state(linalg::Vector(3, 1.0));
+  const linalg::Vector cores_u = uniform.model->core_rises(t_u);
+  EXPECT_GT(cores[1] - cores[0], cores_u[1] - cores_u[0] + 0.5);
+}
+
+TEST(Heterogeneous, IdealVoltagesPenalizeTheLeakyCore) {
+  const Platform lopsided = lopsided_platform();
+  const Platform uniform = testing::grid_platform(1, 3);
+  const IdealVoltages iv_l =
+      ideal_constant_voltages(*lopsided.model, 30.0, 1.3);
+  const IdealVoltages iv_u =
+      ideal_constant_voltages(*uniform.model, 30.0, 1.3);
+  // The leaky middle core gives up more voltage relative to its neighbors
+  // than geometry alone requires.
+  const double gap_l = iv_l.voltages[0] - iv_l.voltages[1];
+  const double gap_u = iv_u.voltages[0] - iv_u.voltages[1];
+  EXPECT_GT(gap_l, gap_u + 0.02);
+}
+
+TEST(Heterogeneous, SchedulersStayFeasibleAndOrdered) {
+  const Platform p = lopsided_platform();
+  const double t_max = 65.0;
+  const SchedulerResult lns = run_lns(p, t_max);
+  const SchedulerResult exs = run_exs(p, t_max);
+  const SchedulerResult ao = run_ao(p, t_max);
+  for (const auto* r : {&lns, &exs, &ao}) {
+    EXPECT_TRUE(r->feasible) << r->scheduler;
+    EXPECT_LE(r->peak_celsius, t_max + 1e-6) << r->scheduler;
+  }
+  EXPECT_GE(exs.throughput, lns.throughput - 1e-12);
+  EXPECT_GE(ao.throughput, exs.throughput - 1e-9);
+}
+
+TEST(Heterogeneous, AoGivesTheLeakyCoreLessHighTime) {
+  const Platform p = lopsided_platform();
+  const SchedulerResult r = run_ao(p, 65.0);
+  ASSERT_TRUE(r.feasible);
+  auto high_ratio = [&](std::size_t core) {
+    double high = 0.0;
+    for (const auto& seg : r.schedule.core_segments(core))
+      if (seg.voltage > 1.0) high += seg.duration;
+    return high / r.schedule.period();
+  };
+  EXPECT_LT(high_ratio(1), high_ratio(0));
+  EXPECT_LT(high_ratio(1), high_ratio(2));
+}
+
+TEST(Heterogeneous, ExsPrefersLoadingTheEfficientCores) {
+  // With one mode slot available thermally, EXS should give the 1.3 V mode
+  // to an edge (efficient) core, never the leaky middle one.
+  const Platform p = lopsided_platform();
+  const SchedulerResult r = run_exs(p, 62.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.schedule.voltage_at(1, 0.0),
+            std::max(r.schedule.voltage_at(0, 0.0),
+                     r.schedule.voltage_at(2, 0.0)));
+}
+
+}  // namespace
+}  // namespace foscil::core

@@ -1,0 +1,85 @@
+#include "core/lns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "core/ideal.hpp"
+
+namespace foscil::core {
+namespace {
+
+TEST(Lns, MotivationExampleRoundsDownTo0p6) {
+  // Paper Sec. III: ideal ~1.2 V but only {0.6, 1.3} available => all cores
+  // at 0.6 V, throughput 0.6.
+  const Platform p = testing::grid_platform(1, 3);
+  const SchedulerResult r = run_lns(p, 65.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.throughput, 0.6, 1e-12);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(r.schedule.voltage_at(i, 0.0), 0.6);
+}
+
+TEST(Lns, ResultIsFeasibleAcrossPlatformsAndThresholds) {
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 2},
+                            {1, 3},
+                            {2, 3},
+                            {3, 3}}) {
+    for (double t_max : {50.0, 55.0, 60.0, 65.0}) {
+      const Platform p = testing::grid_platform(rows, cols);
+      const SchedulerResult r = run_lns(p, t_max);
+      EXPECT_TRUE(r.feasible) << rows << "x" << cols << " @" << t_max;
+      EXPECT_LE(r.peak_celsius, t_max + 1e-6);
+    }
+  }
+}
+
+TEST(Lns, UsesFinerLevelsWhenAvailable) {
+  const Platform coarse = testing::grid_platform(1, 3, {0.6, 1.3});
+  const Platform fine = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  const double coarse_thr = run_lns(coarse, 65.0).throughput;
+  const double fine_thr = run_lns(fine, 65.0).throughput;
+  EXPECT_GT(fine_thr, coarse_thr);
+  // With 0.05 V steps LNS sits within one step of the ideal.
+  const IdealVoltages ideal =
+      ideal_constant_voltages(*fine.model, fine.rise_budget(65.0), 1.3);
+  double ideal_thr = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) ideal_thr += ideal.voltages[i];
+  ideal_thr /= 3.0;
+  EXPECT_GT(fine_thr, ideal_thr - 0.05);
+}
+
+TEST(Lns, NeverExceedsIdealThroughput) {
+  for (double t_max : {50.0, 60.0}) {
+    const Platform p = testing::grid_platform(
+        2, 3, power::VoltageLevels::paper_full_range().values());
+    const SchedulerResult r = run_lns(p, t_max);
+    const IdealVoltages ideal = ideal_constant_voltages(
+        *p.model, p.rise_budget(t_max), 1.3);
+    double ideal_thr = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) ideal_thr += ideal.voltages[i];
+    ideal_thr /= 6.0;
+    EXPECT_LE(r.throughput, ideal_thr + 1e-9);
+  }
+}
+
+TEST(Lns, ThroughputMonotoneInThreshold) {
+  const Platform p = testing::grid_platform(3, 3);
+  double prev = 0.0;
+  for (double t_max : {50.0, 55.0, 60.0, 65.0}) {
+    const double thr = run_lns(p, t_max).throughput;
+    EXPECT_GE(thr, prev - 1e-12);
+    prev = thr;
+  }
+}
+
+TEST(Lns, ScheduleIsConstantPerCore) {
+  const Platform p = testing::grid_platform(2, 2);
+  const SchedulerResult r = run_lns(p, 55.0);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(r.schedule.core_segments(i).size(), 1u);
+  EXPECT_EQ(r.m, 1);
+}
+
+}  // namespace
+}  // namespace foscil::core

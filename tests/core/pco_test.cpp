@@ -1,0 +1,77 @@
+#include "core/pco.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "sim/peak.hpp"
+
+namespace foscil::core {
+namespace {
+
+TEST(Pco, MeetsTheConstraint) {
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 2},
+                            {1, 3},
+                            {2, 3}}) {
+    const Platform p = testing::grid_platform(rows, cols);
+    const SchedulerResult r = run_pco(p, 55.0);
+    EXPECT_TRUE(r.feasible) << rows << "x" << cols;
+    EXPECT_LE(r.peak_celsius, 55.0 + 1e-6);
+  }
+}
+
+TEST(Pco, NeverWorseThanAo) {
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 3},
+                            {2, 3}}) {
+    for (double t_max : {55.0, 65.0}) {
+      const Platform p = testing::grid_platform(rows, cols);
+      const double ao = run_ao(p, t_max).throughput;
+      const double pco = run_pco(p, t_max).throughput;
+      EXPECT_GE(pco, ao - 1e-9)
+          << rows << "x" << cols << " @" << t_max;
+    }
+  }
+}
+
+TEST(Pco, StaysCloseToAo) {
+  // Paper Sec. VI-C: once m is large the sub-periods are so short that
+  // phase interleaving buys almost nothing; AO ~= PCO.
+  const Platform p = testing::grid_platform(1, 3);
+  const double ao = run_ao(p, 65.0).throughput;
+  const double pco = run_pco(p, 65.0).throughput;
+  EXPECT_LT(pco - ao, 0.1 * ao);
+}
+
+TEST(Pco, ReportedPeakMatchesIndependentSimulation) {
+  const Platform p = testing::grid_platform(1, 3);
+  const SchedulerResult r = run_pco(p, 65.0);
+  const sim::SteadyStateAnalyzer analyzer(p.model);
+  const double sampled = sim::sampled_peak(analyzer, r.schedule, 128).rise;
+  EXPECT_NEAR(sampled, r.peak_rise, 0.05);
+}
+
+TEST(Pco, CostsMoreEvaluationsThanAo) {
+  const Platform p = testing::grid_platform(1, 3);
+  const SchedulerResult ao = run_ao(p, 65.0);
+  const SchedulerResult pco = run_pco(p, 65.0);
+  EXPECT_GT(pco.evaluations, ao.evaluations);
+}
+
+TEST(Pco, SaturatedPlatformDegeneratesGracefully) {
+  const Platform p = testing::grid_platform(1, 2);
+  const SchedulerResult r = run_pco(p, 80.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.throughput, 1.3, 1e-9);
+}
+
+TEST(Pco, InvalidOptionsViolateContract) {
+  const Platform p = testing::grid_platform(1, 2);
+  PcoOptions options;
+  options.phase_grid = 1;
+  EXPECT_THROW((void)run_pco(p, 55.0, options), ContractViolation);
+  options = PcoOptions{};
+  options.phase_rounds = 0;
+  EXPECT_THROW((void)run_pco(p, 55.0, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::core

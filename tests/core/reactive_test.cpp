@@ -1,0 +1,111 @@
+#include "core/reactive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "core/ao.hpp"
+
+namespace foscil::core {
+namespace {
+
+TEST(Reactive, SafeMarginsKeepTheChipUnderTmax) {
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  ReactiveOptions options;
+  options.margin = 2.0;
+  options.horizon = 60.0;
+  const ReactiveResult r = run_reactive(p, 65.0, options);
+  EXPECT_TRUE(r.result.feasible);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_LE(r.result.peak_celsius, 65.0 + 1e-9);
+  EXPECT_GT(r.result.throughput, 0.6);  // it does better than all-lowest
+}
+
+TEST(Reactive, OptimisticSensorBiasCausesViolations) {
+  // A sensor reading 3 K cold makes the governor overshoot T_max — the
+  // failure mode the paper's Sec. I attributes to reactive schemes.
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  ReactiveOptions options;
+  options.margin = 0.5;
+  options.sensor_bias = -3.0;
+  options.horizon = 60.0;
+  const ReactiveResult r = run_reactive(p, 65.0, options);
+  EXPECT_FALSE(r.result.feasible);
+  EXPECT_GT(r.violations, 0u);
+  EXPECT_GT(r.result.peak_celsius, 65.0);
+  // The governor itself believed it was fine.
+  EXPECT_LE(r.seen_peak_rise, p.rise_budget(65.0) + 1e-9);
+}
+
+TEST(Reactive, SlowPollingOvershootsBetweenDecisions) {
+  // With 2 s between polls the die (ms-scale) runs away mid-interval even
+  // though every *sampled* decision point looked acceptable.
+  const Platform p = testing::grid_platform(1, 3);  // coarse 2-level set
+  ReactiveOptions fast;
+  fast.poll_period = 0.005;
+  fast.margin = 0.5;
+  fast.horizon = 40.0;
+  fast.samples_per_tick = 2;
+  ReactiveOptions slow = fast;
+  slow.poll_period = 2.0;
+  slow.samples_per_tick = 64;
+  const ReactiveResult r_fast = run_reactive(p, 55.0, fast);
+  const ReactiveResult r_slow = run_reactive(p, 55.0, slow);
+  EXPECT_GE(r_slow.true_peak_rise, r_fast.true_peak_rise - 1e-9);
+}
+
+TEST(Reactive, SurrendersThroughputToAoAtEqualSafety) {
+  // Configure the governor safely (no violations) and compare with AO at
+  // the same threshold: AO should win on throughput.
+  const Platform p = testing::grid_platform(1, 3);
+  ReactiveOptions options;
+  options.margin = 2.0;
+  options.hysteresis = 3.0;
+  options.horizon = 60.0;
+  const ReactiveResult reactive = run_reactive(p, 65.0, options);
+  const SchedulerResult ao = run_ao(p, 65.0);
+  ASSERT_TRUE(reactive.result.feasible);
+  ASSERT_TRUE(ao.feasible);
+  EXPECT_GT(ao.throughput, reactive.result.throughput);
+}
+
+TEST(Reactive, TightMarginOscillatesBetweenLevels) {
+  // On a 2-level platform a feasible-but-tight margin makes the governor
+  // bounce between modes — transitions counted.
+  const Platform p = testing::grid_platform(1, 3);
+  ReactiveOptions options;
+  options.margin = 1.0;
+  options.hysteresis = 0.5;
+  options.horizon = 30.0;
+  const ReactiveResult r = run_reactive(p, 55.0, options);
+  EXPECT_GT(r.transitions, 10u);
+}
+
+TEST(Reactive, ColdStartRampsUpward) {
+  // From ambient with a relaxed threshold, the governor should climb off
+  // the lowest level within the horizon.
+  const Platform p = testing::grid_platform(
+      1, 2, power::VoltageLevels::paper_full_range().values());
+  ReactiveOptions options;
+  options.horizon = 30.0;
+  const ReactiveResult r = run_reactive(p, 65.0, options);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_GT(r.result.schedule.voltage_at(i, 0.0), 0.6);
+}
+
+TEST(Reactive, InvalidOptionsViolateContract) {
+  const Platform p = testing::grid_platform(1, 2);
+  ReactiveOptions options;
+  options.poll_period = 0.0;
+  EXPECT_THROW((void)run_reactive(p, 55.0, options), ContractViolation);
+  options = ReactiveOptions{};
+  options.horizon = 0.001;  // shorter than one poll
+  EXPECT_THROW((void)run_reactive(p, 55.0, options), ContractViolation);
+  options = ReactiveOptions{};
+  options.samples_per_tick = 0;
+  EXPECT_THROW((void)run_reactive(p, 55.0, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::core

@@ -1,0 +1,118 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace foscil::linalg {
+namespace {
+
+Matrix random_symmetric(Rng& rng, std::size_t n, double diag_boost = 0.0) {
+  Matrix s(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) {
+      const double value = rng.uniform(-1.0, 1.0);
+      s(r, c) = value;
+      s(c, r) = value;
+    }
+  for (std::size_t i = 0; i < n; ++i) s(i, i) += diag_boost;
+  return s;
+}
+
+TEST(EigenSym, DiagonalMatrixIsItsOwnDecomposition) {
+  const Matrix d = Matrix::diagonal(Vector{3.0, -1.0, 2.0});
+  const SymmetricEigen eig = eigen_symmetric(d);
+  EXPECT_NEAR(eig.eigenvalues[0], -1.0, 1e-14);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-14);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-14);
+}
+
+TEST(EigenSym, KnownTwoByTwo) {
+  // Eigenvalues of [[2, 1], [1, 2]] are 1 and 3.
+  const Matrix s{{2.0, 1.0}, {1.0, 2.0}};
+  const SymmetricEigen eig = eigen_symmetric(s);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-13);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-13);
+}
+
+TEST(EigenSym, ReconstructsInput) {
+  Rng rng(11);
+  for (std::size_t n : {2u, 5u, 13u, 24u}) {
+    const Matrix s = random_symmetric(rng, n);
+    const SymmetricEigen eig = eigen_symmetric(s);
+    const Matrix lambda = Matrix::diagonal(eig.eigenvalues);
+    const Matrix rebuilt =
+        eig.eigenvectors * lambda * eig.eigenvectors.transposed();
+    EXPECT_TRUE(allclose(rebuilt, s, 1e-9, 1e-10)) << "n=" << n;
+  }
+}
+
+TEST(EigenSym, EigenvectorsAreOrthonormal) {
+  Rng rng(13);
+  const Matrix s = random_symmetric(rng, 10);
+  const SymmetricEigen eig = eigen_symmetric(s);
+  const Matrix qtq = eig.eigenvectors.transposed() * eig.eigenvectors;
+  EXPECT_TRUE(allclose(qtq, Matrix::identity(10), 1e-10, 1e-11));
+}
+
+TEST(EigenSym, EigenvaluesAscending) {
+  Rng rng(17);
+  const Matrix s = random_symmetric(rng, 16);
+  const SymmetricEigen eig = eigen_symmetric(s);
+  for (std::size_t i = 0; i + 1 < eig.eigenvalues.size(); ++i)
+    EXPECT_LE(eig.eigenvalues[i], eig.eigenvalues[i + 1]);
+}
+
+TEST(EigenSym, EigenvalueSumEqualsTrace) {
+  Rng rng(19);
+  const Matrix s = random_symmetric(rng, 12);
+  const SymmetricEigen eig = eigen_symmetric(s);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) trace += s(i, i);
+  EXPECT_NEAR(eig.eigenvalues.sum(), trace, 1e-10);
+}
+
+TEST(EigenSym, EachPairSatisfiesDefinition) {
+  Rng rng(23);
+  const std::size_t n = 9;
+  const Matrix s = random_symmetric(rng, n);
+  const SymmetricEigen eig = eigen_symmetric(s);
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = eig.eigenvectors(i, j);
+    const Vector sv = s * v;
+    const Vector lv = eig.eigenvalues[j] * v;
+    EXPECT_LT((sv - lv).inf_norm(), 1e-10) << "pair " << j;
+  }
+}
+
+TEST(EigenSym, RepeatedEigenvaluesHandled) {
+  // 3x3 identity scaled: triple eigenvalue.
+  const Matrix s = 4.0 * Matrix::identity(3);
+  const SymmetricEigen eig = eigen_symmetric(s);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(eig.eigenvalues[i], 4.0, 1e-14);
+}
+
+TEST(EigenSym, AsymmetricInputViolatesContract) {
+  const Matrix s{{1.0, 2.0}, {3.0, 1.0}};
+  EXPECT_THROW((void)eigen_symmetric(s), ContractViolation);
+}
+
+TEST(EigenSym, NegativeDefiniteLaplacianStyleMatrix) {
+  // -Laplacian of a path graph plus ground: all eigenvalues negative, like
+  // the thermal system matrices this solver exists for.
+  Matrix s(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) s(i, i) = -2.1;
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    s(i, i + 1) = 1.0;
+    s(i + 1, i) = 1.0;
+  }
+  const SymmetricEigen eig = eigen_symmetric(s);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LT(eig.eigenvalues[i], 0.0);
+}
+
+}  // namespace
+}  // namespace foscil::linalg

@@ -1,0 +1,100 @@
+#include "linalg/expm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/rng.hpp"
+
+namespace foscil::linalg {
+namespace {
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  EXPECT_TRUE(allclose(expm(Matrix(4, 4)), Matrix::identity(4), 1e-14, 1e-14));
+}
+
+TEST(Expm, DiagonalMatrixExponentiatesElementwise) {
+  const Matrix d = Matrix::diagonal(Vector{1.0, -2.0, 0.5});
+  const Matrix e = expm(d);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-13);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-13);
+  EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-13);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentMatrixTruncatesSeries) {
+  // For strictly upper triangular N, e^N = I + N + N^2/2 exactly.
+  const Matrix n{{0.0, 1.0, 2.0}, {0.0, 0.0, 3.0}, {0.0, 0.0, 0.0}};
+  const Matrix e = expm(n);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-13);
+  EXPECT_NEAR(e(0, 2), 2.0 + 1.5, 1e-13);  // N + N^2/2
+  EXPECT_NEAR(e(1, 2), 3.0, 1e-13);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-13);
+}
+
+TEST(Expm, RotationGeneratorGivesSineCosine) {
+  // exp(t * [[0, -1], [1, 0]]) is a rotation by t.
+  const Matrix j{{0.0, -1.0}, {1.0, 0.0}};
+  const double t = 0.7;
+  const Matrix r = expm(j, t);
+  EXPECT_NEAR(r(0, 0), std::cos(t), 1e-13);
+  EXPECT_NEAR(r(0, 1), -std::sin(t), 1e-13);
+  EXPECT_NEAR(r(1, 0), std::sin(t), 1e-13);
+  EXPECT_NEAR(r(1, 1), std::cos(t), 1e-13);
+}
+
+TEST(Expm, SemigroupPropertyUnderScaling) {
+  Rng rng(31);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  const Matrix half = expm(a, 0.5);
+  EXPECT_TRUE(allclose(half * half, expm(a), 1e-9, 1e-11));
+}
+
+TEST(Expm, LargeNormTriggersSquaringAndStaysAccurate) {
+  // ||A|| well above theta_13 exercises the scaling/squaring path; compare
+  // against the semigroup identity with a smaller step.
+  Rng rng(33);
+  const std::size_t n = 5;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-4.0, 4.0);
+  const Matrix tenth = expm(a, 0.1);
+  Matrix composed = Matrix::identity(n);
+  for (int i = 0; i < 10; ++i) composed = composed * tenth;
+  EXPECT_TRUE(allclose(composed, expm(a), 1e-7, 1e-9));
+}
+
+TEST(Expm, InverseIsExpOfNegative) {
+  Rng rng(35);
+  const std::size_t n = 4;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  const Matrix product = expm(a) * expm(-1.0 * a);
+  EXPECT_TRUE(allclose(product, Matrix::identity(n), 1e-10, 1e-12));
+}
+
+TEST(Expm, DeterminantEqualsExpTrace) {
+  // det(e^A) = e^{tr A} (Jacobi's formula) — a strong global check.
+  Rng rng(37);
+  const std::size_t n = 5;
+  Matrix a(n, n);
+  double trace = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-0.8, 0.8);
+    trace += a(r, r);
+  }
+  const double det = LuDecomposition(expm(a)).determinant();
+  EXPECT_NEAR(det, std::exp(trace), 1e-9 * std::exp(trace));
+}
+
+TEST(Expm, NonSquareViolatesContract) {
+  EXPECT_THROW((void)expm(Matrix(2, 3)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::linalg

@@ -1,0 +1,104 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace foscil::linalg {
+namespace {
+
+TEST(Lu, SolvesHandComputedSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{5.0, 10.0};
+  const Vector x = solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolveResidualIsTiny) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+      a(r, r) += static_cast<double>(n);  // diagonally dominant => regular
+    }
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-5.0, 5.0);
+    const Vector x = solve(a, b);
+    const Vector residual = a * x - b;
+    EXPECT_LT(residual.inf_norm(), 1e-10) << "trial " << trial;
+  }
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = solve(a, Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition{a}, SingularMatrixError);
+}
+
+TEST(Lu, NonSquareViolatesContract) {
+  EXPECT_THROW(LuDecomposition{Matrix(2, 3)}, ContractViolation);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  Rng rng(21);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += 4.0;
+  }
+  const Matrix inv = inverse(a);
+  EXPECT_TRUE(allclose(a * inv, Matrix::identity(n), 1e-9, 1e-10));
+  EXPECT_TRUE(allclose(inv * a, Matrix::identity(n), 1e-9, 1e-10));
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  const Matrix a{{3.0, 1.0}, {1.0, 2.0}};
+  const Matrix b{{1.0, 0.0}, {0.0, 1.0}};
+  const Matrix x = LuDecomposition(a).solve(b);
+  EXPECT_TRUE(allclose(a * x, b, 1e-12, 1e-14));
+}
+
+TEST(Lu, DeterminantOfTriangularProduct) {
+  const Matrix a{{2.0, 1.0}, {0.0, 3.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 6.0, 1e-12);
+}
+
+TEST(Lu, DeterminantTracksPermutationSign) {
+  // Row-swapped identity has determinant -1.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, DeterminantMultiplicative) {
+  Rng rng(5);
+  const std::size_t n = 5;
+  Matrix a(n, n);
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0) + (r == c ? 3.0 : 0.0);
+      b(r, c) = rng.uniform(-1.0, 1.0) + (r == c ? 3.0 : 0.0);
+    }
+  const double det_ab = LuDecomposition(a * b).determinant();
+  const double det_a = LuDecomposition(a).determinant();
+  const double det_b = LuDecomposition(b).determinant();
+  EXPECT_NEAR(det_ab, det_a * det_b, 1e-8 * std::abs(det_ab));
+}
+
+TEST(Lu, RhsSizeMismatchViolatesContract) {
+  const LuDecomposition lu(Matrix::identity(3));
+  EXPECT_THROW((void)lu.solve(Vector{1.0, 2.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::linalg

@@ -1,0 +1,209 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace foscil::linalg {
+namespace {
+
+TEST(Vector, ConstructsZeroFilled) {
+  const Vector v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, InitializerListKeepsOrder) {
+  const Vector v{1.0, -2.0, 3.5};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], -2.0);
+  EXPECT_EQ(v[2], 3.5);
+}
+
+TEST(Vector, ElementwiseArithmetic) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{0.5, -1.0, 2.0};
+  const Vector sum = a + b;
+  const Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(sum[0], 1.5);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  EXPECT_DOUBLE_EQ(sum[2], 5.0);
+  EXPECT_DOUBLE_EQ(diff[0], 0.5);
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+  EXPECT_DOUBLE_EQ(diff[2], 1.0);
+}
+
+TEST(Vector, ScalarScale) {
+  Vector v{1.0, -4.0};
+  v *= 0.5;
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+  const Vector w = 3.0 * Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+}
+
+TEST(Vector, SizeMismatchViolatesContract) {
+  Vector a{1.0, 2.0};
+  const Vector b{1.0};
+  EXPECT_THROW(a += b, ContractViolation);
+  EXPECT_THROW((void)dot(a, b), ContractViolation);
+}
+
+TEST(Vector, Reductions) {
+  const Vector v{3.0, -7.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.max(), 5.0);
+  EXPECT_DOUBLE_EQ(v.min(), -7.0);
+  EXPECT_EQ(v.argmax(), 2u);
+  EXPECT_DOUBLE_EQ(v.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(v.inf_norm(), 7.0);
+  EXPECT_DOUBLE_EQ(v.two_norm(), std::sqrt(9.0 + 49.0 + 25.0 + 1.0));
+}
+
+TEST(Vector, EmptyReductionsViolateContract) {
+  const Vector empty;
+  EXPECT_THROW((void)empty.max(), ContractViolation);
+  EXPECT_THROW((void)empty.argmax(), ContractViolation);
+}
+
+TEST(Vector, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vector{1.0, 2.0, 3.0}, Vector{4.0, -5.0, 6.0}),
+                   4.0 - 10.0 + 18.0);
+}
+
+TEST(Matrix, NestedInitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerViolatesContract) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), ContractViolation);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+
+  const Matrix d = Matrix::diagonal(Vector{2.0, -1.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), -1.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, OutOfRangeAccessViolatesContract) {
+  const Matrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), ContractViolation);
+  EXPECT_THROW((void)m(0, 2), ContractViolation);
+}
+
+TEST(Matrix, MatrixProductAgainstHandComputed) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, RectangularProductShapes) {
+  const Matrix a(2, 3, 1.0);
+  const Matrix b(3, 4, 2.0);
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_DOUBLE_EQ(c(1, 3), 6.0);  // 3 * (1*2)
+}
+
+TEST(Matrix, ProductShapeMismatchViolatesContract) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), ContractViolation);
+}
+
+TEST(Matrix, MatVecAgainstHandComputed) {
+  const Matrix a{{1.0, -1.0}, {2.0, 0.5}};
+  const Vector x{3.0, 4.0};
+  const Vector y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 8.0);
+}
+
+TEST(Matrix, GemvAccumulateAddsInPlace) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  const Vector x{2.0, 3.0};
+  Vector y{10.0, 20.0};
+  gemv_accumulate(0.5, a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 11.0);
+  EXPECT_DOUBLE_EQ(y[1], 21.5);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Norms) {
+  const Matrix a{{1.0, -2.0}, {-3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.inf_norm(), 7.0);  // row 1: 3 + 4
+  EXPECT_DOUBLE_EQ(a.one_norm(), 6.0);  // col 1: 2 + 4
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), std::sqrt(30.0));
+}
+
+TEST(Matrix, AsymmetryMeasuresWorstPair) {
+  Matrix a{{1.0, 2.0}, {2.5, 1.0}};
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.5);
+  a(1, 0) = 2.0;
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.0);
+}
+
+TEST(Matrix, DiagonalVector) {
+  const Matrix a{{1.0, 9.0}, {9.0, 2.0}};
+  const Vector d = a.diagonal_vector();
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], 1.0);
+  EXPECT_EQ(d[1], 2.0);
+}
+
+TEST(Allclose, RespectsRelativeAndAbsoluteTolerance) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  Matrix b = a;
+  b(0, 0) += 1e-13;
+  EXPECT_TRUE(allclose(a, b));
+  b(0, 0) += 1e-3;
+  EXPECT_FALSE(allclose(a, b));
+  EXPECT_FALSE(allclose(Matrix(2, 2), Matrix(2, 3)));
+}
+
+TEST(Allclose, VectorOverload) {
+  EXPECT_TRUE(allclose(Vector{1.0, 2.0}, Vector{1.0, 2.0 + 1e-13}));
+  EXPECT_FALSE(allclose(Vector{1.0}, Vector{1.0, 2.0}));
+}
+
+// Associativity of the product up to round-off: a quick regression net over
+// the ikj kernel's loop bounds.
+TEST(Matrix, ProductAssociativity) {
+  Matrix a(3, 4);
+  Matrix b(4, 2);
+  Matrix c(2, 5);
+  double seed = 0.1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t col = 0; col < 4; ++col) a(r, col) = (seed += 0.7);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t col = 0; col < 2; ++col) b(r, col) = (seed -= 0.3);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t col = 0; col < 5; ++col) c(r, col) = (seed += 0.11);
+  EXPECT_TRUE(allclose((a * b) * c, a * (b * c), 1e-12, 1e-12));
+}
+
+}  // namespace
+}  // namespace foscil::linalg

@@ -1,0 +1,152 @@
+#include "linalg/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/expm.hpp"
+#include "util/rng.hpp"
+
+namespace foscil::linalg {
+namespace {
+
+struct System {
+  Matrix s;   // symmetric
+  Vector c;   // positive diagonal capacitances
+};
+
+System random_stable_system(Rng& rng, std::size_t n) {
+  System sys;
+  sys.s = Matrix(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t col = r; col < n; ++col) {
+      const double value = rng.uniform(-0.5, 0.5);
+      sys.s(r, col) = value;
+      sys.s(col, r) = value;
+    }
+  // Shift to negative definite (stable thermal dynamics).
+  for (std::size_t i = 0; i < n; ++i) sys.s(i, i) -= 2.0 + 0.5 * static_cast<double>(n);
+  sys.c = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) sys.c[i] = rng.uniform(0.1, 5.0);
+  return sys;
+}
+
+TEST(Spectral, ReconstructsSystemMatrix) {
+  Rng rng(3);
+  const System sys = random_stable_system(rng, 7);
+  const SpectralDecomposition spec(sys.s, sys.c);
+  Matrix a(7, 7);
+  for (std::size_t r = 0; r < 7; ++r)
+    for (std::size_t c = 0; c < 7; ++c) a(r, c) = sys.s(r, c) / sys.c[r];
+  EXPECT_TRUE(allclose(spec.matrix(), a, 1e-9, 1e-11));
+}
+
+TEST(Spectral, StableWhenNegativeDefinite) {
+  Rng rng(5);
+  const System sys = random_stable_system(rng, 6);
+  const SpectralDecomposition spec(sys.s, sys.c);
+  EXPECT_TRUE(spec.stable());
+  for (double lambda : spec.eigenvalues()) EXPECT_LT(lambda, 0.0);
+}
+
+TEST(Spectral, DetectsUnstableSystem) {
+  const Matrix s{{1.0, 0.0}, {0.0, -1.0}};  // one positive eigenvalue
+  const SpectralDecomposition spec(s, Vector{1.0, 1.0});
+  EXPECT_FALSE(spec.stable());
+}
+
+TEST(Spectral, WTimesWInverseIsIdentity) {
+  Rng rng(7);
+  const System sys = random_stable_system(rng, 9);
+  const SpectralDecomposition spec(sys.s, sys.c);
+  EXPECT_TRUE(allclose(spec.w() * spec.w_inverse(), Matrix::identity(9),
+                       1e-9, 1e-10));
+}
+
+TEST(Spectral, ExpAtZeroIsIdentity) {
+  Rng rng(9);
+  const System sys = random_stable_system(rng, 5);
+  const SpectralDecomposition spec(sys.s, sys.c);
+  EXPECT_TRUE(allclose(spec.exp(0.0), Matrix::identity(5), 1e-12, 1e-12));
+}
+
+TEST(Spectral, ExpMatchesPadeExpm) {
+  Rng rng(11);
+  for (std::size_t n : {3u, 8u, 15u}) {
+    const System sys = random_stable_system(rng, n);
+    const SpectralDecomposition spec(sys.s, sys.c);
+    for (double t : {1e-3, 0.1, 2.0}) {
+      const Matrix via_spectral = spec.exp(t);
+      const Matrix via_pade = expm(spec.matrix(), t);
+      EXPECT_TRUE(allclose(via_spectral, via_pade, 1e-8, 1e-10))
+          << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(Spectral, ExpSemigroupProperty) {
+  Rng rng(13);
+  const System sys = random_stable_system(rng, 6);
+  const SpectralDecomposition spec(sys.s, sys.c);
+  const Matrix two_steps = spec.exp(0.3) * spec.exp(0.7);
+  EXPECT_TRUE(allclose(two_steps, spec.exp(1.0), 1e-10, 1e-12));
+}
+
+TEST(Spectral, ExpApplyMatchesDenseExp) {
+  Rng rng(15);
+  const System sys = random_stable_system(rng, 10);
+  const SpectralDecomposition spec(sys.s, sys.c);
+  Vector x(10);
+  for (std::size_t i = 0; i < 10; ++i) x[i] = rng.uniform(-1.0, 1.0);
+  const Vector fast = spec.exp_apply(0.42, x);
+  const Vector dense = spec.exp(0.42) * x;
+  EXPECT_LT((fast - dense).inf_norm(), 1e-11);
+}
+
+TEST(Spectral, PhiApplySolvesConstantInputOde) {
+  // For dT/dt = A T + b with T(0) = 0, the exact solution is
+  // T(t) = phi(t) b; cross-check against a fine explicit-Euler integration.
+  Rng rng(17);
+  const System sys = random_stable_system(rng, 4);
+  const SpectralDecomposition spec(sys.s, sys.c);
+  const Matrix a = spec.matrix();
+  Vector b(4);
+  for (std::size_t i = 0; i < 4; ++i) b[i] = rng.uniform(0.0, 2.0);
+
+  const double t_end = 0.8;
+  const int steps = 200000;
+  const double h = t_end / steps;
+  Vector t_euler(4);
+  for (int s = 0; s < steps; ++s) {
+    Vector dt = a * t_euler;
+    dt += b;
+    dt *= h;
+    t_euler += dt;
+  }
+  const Vector exact = spec.phi_apply(t_end, b);
+  EXPECT_LT((exact - t_euler).inf_norm(), 1e-4);
+}
+
+TEST(Spectral, PhiApproachesMinusAInverseForLargeT) {
+  // phi(t) b -> -A^{-1} b as t -> inf (the steady state).
+  Rng rng(19);
+  const System sys = random_stable_system(rng, 5);
+  const SpectralDecomposition spec(sys.s, sys.c);
+  Vector b(5);
+  for (std::size_t i = 0; i < 5; ++i) b[i] = rng.uniform(0.5, 1.5);
+  const Vector at_inf = spec.phi_apply(1e6, b);
+  // Steady state solves A T = -b.
+  const Vector residual = spec.matrix() * at_inf + b;
+  EXPECT_LT(residual.inf_norm(), 1e-7);
+}
+
+TEST(Spectral, NonPositiveCapacitanceViolatesContract) {
+  const Matrix s = -1.0 * Matrix::identity(2);
+  EXPECT_THROW(SpectralDecomposition(s, Vector{1.0, 0.0}),
+               ContractViolation);
+  EXPECT_THROW(SpectralDecomposition(s, Vector{1.0, -2.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::linalg

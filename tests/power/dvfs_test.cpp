@@ -1,0 +1,96 @@
+#include "power/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace foscil::power {
+namespace {
+
+TEST(VoltageLevels, SortsAndDeduplicates) {
+  const VoltageLevels levels({1.3, 0.6, 0.8, 0.8});
+  ASSERT_EQ(levels.count(), 3u);
+  EXPECT_EQ(levels.level(0), 0.6);
+  EXPECT_EQ(levels.level(1), 0.8);
+  EXPECT_EQ(levels.level(2), 1.3);
+  EXPECT_EQ(levels.lowest(), 0.6);
+  EXPECT_EQ(levels.highest(), 1.3);
+}
+
+TEST(VoltageLevels, RejectsEmptyOrNonPositive) {
+  EXPECT_THROW(VoltageLevels({}), ContractViolation);
+  EXPECT_THROW(VoltageLevels({0.0, 1.0}), ContractViolation);
+  EXPECT_THROW(VoltageLevels({-0.5}), ContractViolation);
+}
+
+TEST(VoltageLevels, Contains) {
+  const VoltageLevels levels({0.6, 0.8, 1.3});
+  EXPECT_TRUE(levels.contains(0.8));
+  EXPECT_TRUE(levels.contains(0.8 + 1e-13));
+  EXPECT_FALSE(levels.contains(0.7));
+}
+
+TEST(VoltageLevels, FloorAndCeil) {
+  const VoltageLevels levels({0.6, 0.8, 1.3});
+  EXPECT_EQ(levels.floor_level(0.7).value(), 0.6);
+  EXPECT_EQ(levels.floor_level(0.8).value(), 0.8);
+  EXPECT_EQ(levels.floor_level(2.0).value(), 1.3);
+  EXPECT_FALSE(levels.floor_level(0.5).has_value());
+  EXPECT_EQ(levels.ceil_level(0.7).value(), 0.8);
+  EXPECT_EQ(levels.ceil_level(0.8).value(), 0.8);
+  EXPECT_EQ(levels.ceil_level(0.1).value(), 0.6);
+  EXPECT_FALSE(levels.ceil_level(1.4).has_value());
+}
+
+TEST(VoltageLevels, NeighborsBracketInteriorTarget) {
+  const VoltageLevels levels({0.6, 0.8, 1.0, 1.3});
+  const NeighboringModes modes = levels.neighbors(0.93);
+  EXPECT_EQ(modes.low, 0.8);
+  EXPECT_EQ(modes.high, 1.0);
+  EXPECT_FALSE(modes.exact());
+}
+
+TEST(VoltageLevels, NeighborsExactWhenTargetIsALevel) {
+  const VoltageLevels levels({0.6, 0.8, 1.3});
+  const NeighboringModes modes = levels.neighbors(0.8);
+  EXPECT_TRUE(modes.exact());
+  EXPECT_EQ(modes.low, 0.8);
+}
+
+TEST(VoltageLevels, NeighborsClampOutOfRangeTargets) {
+  const VoltageLevels levels({0.6, 1.3});
+  const NeighboringModes below = levels.neighbors(0.4);
+  EXPECT_TRUE(below.exact());
+  EXPECT_EQ(below.low, 0.6);
+  const NeighboringModes above = levels.neighbors(1.5);
+  EXPECT_TRUE(above.exact());
+  EXPECT_EQ(above.high, 1.3);
+}
+
+TEST(VoltageLevels, PaperTable4Sets) {
+  EXPECT_EQ(VoltageLevels::paper_table4(2).count(), 2u);
+  EXPECT_EQ(VoltageLevels::paper_table4(3).count(), 3u);
+  EXPECT_EQ(VoltageLevels::paper_table4(4).count(), 4u);
+  EXPECT_EQ(VoltageLevels::paper_table4(5).count(), 5u);
+  // Every Table IV set spans [0.6, 1.3].
+  for (int n = 2; n <= 5; ++n) {
+    const VoltageLevels levels = VoltageLevels::paper_table4(n);
+    EXPECT_EQ(levels.lowest(), 0.6);
+    EXPECT_EQ(levels.highest(), 1.3);
+  }
+  EXPECT_THROW((void)VoltageLevels::paper_table4(6), ContractViolation);
+}
+
+TEST(VoltageLevels, PaperFullRangeHas15StepsOf50mV) {
+  const VoltageLevels levels = VoltageLevels::paper_full_range();
+  ASSERT_EQ(levels.count(), 15u);
+  for (std::size_t i = 0; i + 1 < levels.count(); ++i)
+    EXPECT_NEAR(levels.level(i + 1) - levels.level(i), 0.05, 1e-12);
+}
+
+TEST(SpeedOf, EqualsVoltage) {
+  EXPECT_EQ(speed_of(1.2), 1.2);
+  EXPECT_EQ(speed_of(0.0), 0.0);
+  EXPECT_THROW((void)speed_of(-0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::power

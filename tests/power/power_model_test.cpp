@@ -1,0 +1,88 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace foscil::power {
+namespace {
+
+TEST(PowerModel, PsiMatchesEquationOne) {
+  const PowerModel model(PowerModel::Coefficients{1.5, 0.2, 7.0});
+  const double v = 1.1;
+  EXPECT_NEAR(model.psi(v), 1.5 + 7.0 * v * v * v, 1e-12);
+}
+
+TEST(PowerModel, TotalAddsLeakageFeedback) {
+  const PowerModel model(PowerModel::Coefficients{1.0, 0.3, 9.0});
+  const double v = 1.2;
+  EXPECT_NEAR(model.total(v, 25.0), model.psi(v) + 0.3 * 25.0, 1e-12);
+}
+
+TEST(PowerModel, PowerGatedCoreConsumesNothing) {
+  const PowerModel model;
+  EXPECT_EQ(model.psi(0.0), 0.0);
+  EXPECT_EQ(model.total(0.0, 40.0), 0.0);
+  EXPECT_EQ(model.alpha(0.0), 0.0);
+}
+
+TEST(PowerModel, PsiIsStrictlyIncreasingInVoltage) {
+  const PowerModel model;
+  double prev = model.psi(0.1);
+  for (double v = 0.2; v <= 1.4; v += 0.1) {
+    const double cur = model.psi(v);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PowerModel, PsiIsConvexOnActiveRange) {
+  // Convexity of psi(v) underpins Theorem 3 (T_e <= x T_L + (1-x) T_H).
+  const PowerModel model;
+  for (double a = 0.6; a <= 1.2; a += 0.1) {
+    const double b = a + 0.1;
+    for (double x : {0.25, 0.5, 0.75}) {
+      const double mid = x * a + (1.0 - x) * b;
+      EXPECT_LE(model.psi(mid),
+                x * model.psi(a) + (1.0 - x) * model.psi(b) + 1e-12);
+    }
+  }
+}
+
+TEST(PowerModel, VoltageForPsiInvertsActiveRange) {
+  const PowerModel model;
+  for (double v = 0.6; v <= 1.3; v += 0.05) {
+    EXPECT_NEAR(model.voltage_for_psi(model.psi(v)), v, 1e-12);
+  }
+}
+
+TEST(PowerModel, VoltageForPsiClampsBelowLeakageFloor) {
+  const PowerModel model(PowerModel::Coefficients{2.0, 0.3, 9.0});
+  EXPECT_EQ(model.voltage_for_psi(1.9), 0.0);
+  EXPECT_EQ(model.voltage_for_psi(0.0), 0.0);
+  EXPECT_EQ(model.voltage_for_psi(-5.0), 0.0);
+}
+
+TEST(PowerModel, DefaultsMatchDesignDoc) {
+  const PowerModel model;
+  EXPECT_EQ(model.coefficients().alpha, 1.0);
+  EXPECT_EQ(model.coefficients().beta, 0.3);
+  EXPECT_EQ(model.coefficients().gamma, 9.0);
+}
+
+TEST(PowerModel, NegativeCoefficientsViolateContract) {
+  EXPECT_THROW(PowerModel(PowerModel::Coefficients{-1.0, 0.3, 9.0}),
+               ContractViolation);
+  EXPECT_THROW(PowerModel(PowerModel::Coefficients{1.0, -0.1, 9.0}),
+               ContractViolation);
+  EXPECT_THROW(PowerModel(PowerModel::Coefficients{1.0, 0.3, 0.0}),
+               ContractViolation);
+}
+
+TEST(PowerModel, NegativeVoltageViolatesContract) {
+  const PowerModel model;
+  EXPECT_THROW((void)model.psi(-0.2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::power

@@ -1,0 +1,121 @@
+// Randomized stress tests of the schedule algebra: many-segment schedules,
+// repeated transform compositions, and invariants that must survive any
+// combination (period coverage, work conservation, voltage-set closure).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "../test_support.hpp"
+
+namespace foscil::sched {
+namespace {
+
+TEST(ScheduleFuzz, ManySegmentStateIntervalsStayConsistent) {
+  Rng rng(1301);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t cores = 1 + rng.index(6);
+    const double period = rng.uniform(0.01, 5.0);
+    const auto s = testing::random_schedule(
+        rng, cores, period, 50);  // up to 50 segments per core
+
+    const auto intervals = s.state_intervals();
+    double covered = 0.0;
+    for (const auto& interval : intervals) {
+      EXPECT_GT(interval.length, 0.0);
+      // Interval voltage must match the point query at its midpoint.
+      const double mid = interval.start + 0.5 * interval.length;
+      for (std::size_t core = 0; core < cores; ++core)
+        EXPECT_EQ(interval.voltages[core], s.voltage_at(core, mid));
+      covered += interval.length;
+    }
+    EXPECT_NEAR(covered, period, 1e-9 * period) << "trial " << trial;
+  }
+}
+
+TEST(ScheduleFuzz, TransformCompositionsConserveWork) {
+  Rng rng(1303);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t cores = 2 + rng.index(4);
+    const double period = rng.uniform(0.05, 2.0);
+    auto s = testing::random_schedule(rng, cores, period, 8);
+    const std::vector<double> work = [&] {
+      std::vector<double> w;
+      for (std::size_t c = 0; c < cores; ++c) w.push_back(s.core_work(c));
+      return w;
+    }();
+
+    // Random chain of transforms (m-oscillate scales work by 1/m).
+    double scale = 1.0;
+    for (int step = 0; step < 6; ++step) {
+      switch (rng.index(3)) {
+        case 0:
+          s = to_step_up(s);
+          break;
+        case 1: {
+          const int m = rng.uniform_int(2, 5);
+          s = m_oscillate(s, m);
+          scale /= m;
+          break;
+        }
+        default:
+          s = phase_shift(s, rng.index(cores),
+                          rng.uniform(0.0, s.period()));
+          break;
+      }
+    }
+    for (std::size_t c = 0; c < cores; ++c)
+      EXPECT_NEAR(s.core_work(c), work[c] * scale, 1e-9)
+          << "trial " << trial << " core " << c;
+  }
+}
+
+TEST(ScheduleFuzz, TransformsNeverInventVoltages) {
+  Rng rng(1305);
+  const std::vector<double> levels{0.6, 0.8, 1.0, 1.3};
+  auto s = testing::random_schedule(rng, 3, 1.0, 10, levels);
+  s = phase_shift(m_oscillate(to_step_up(s), 3), 1, 0.123);
+  std::set<double> seen;
+  for (std::size_t core = 0; core < 3; ++core)
+    for (const auto& seg : s.core_segments(core)) seen.insert(seg.voltage);
+  for (double v : seen)
+    EXPECT_NE(std::find(levels.begin(), levels.end(), v), levels.end())
+        << v;
+}
+
+TEST(ScheduleFuzz, SimplifiedIsIdempotentAndEquivalent) {
+  Rng rng(1307);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = testing::random_schedule(rng, 2, 1.0, 30,
+                                            {0.6, 0.6, 1.3});  // forced dups
+    const auto once = s.simplified();
+    const auto twice = once.simplified();
+    EXPECT_EQ(once.core_segments(0).size(), twice.core_segments(0).size());
+    for (double t : {0.05, 0.31, 0.77, 0.99}) {
+      EXPECT_EQ(s.voltage_at(0, t), once.voltage_at(0, t));
+      EXPECT_EQ(s.voltage_at(1, t), once.voltage_at(1, t));
+    }
+  }
+}
+
+TEST(ScheduleFuzz, StepUpThenOscillateEqualsOscillateThenStepUp) {
+  // The two transforms commute (both act per-core, one on order, one on
+  // scale).
+  Rng rng(1309);
+  const auto s = testing::random_schedule(rng, 3, 0.6, 6);
+  const auto a = m_oscillate(to_step_up(s), 4);
+  const auto b = to_step_up(m_oscillate(s, 4));
+  ASSERT_EQ(a.period(), b.period());
+  for (std::size_t core = 0; core < 3; ++core) {
+    const auto& sa = a.core_segments(core);
+    const auto& sb = b.core_segments(core);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t k = 0; k < sa.size(); ++k) {
+      EXPECT_NEAR(sa[k].duration, sb[k].duration, 1e-12);
+      EXPECT_EQ(sa[k].voltage, sb[k].voltage);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace foscil::sched

@@ -1,0 +1,135 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace foscil::sched {
+namespace {
+
+PeriodicSchedule two_core_example() {
+  // core0: 0.6 V for 40 ms then 1.3 V for 60 ms
+  // core1: 1.0 V for 70 ms then 1.2 V for 30 ms
+  PeriodicSchedule s(2, 0.1);
+  s.set_core_segments(0, {{0.04, 0.6}, {0.06, 1.3}});
+  s.set_core_segments(1, {{0.07, 1.0}, {0.03, 1.2}});
+  return s;
+}
+
+TEST(PeriodicSchedule, DefaultsToIdleCores) {
+  const PeriodicSchedule s(3, 1.0);
+  EXPECT_EQ(s.num_cores(), 3u);
+  EXPECT_EQ(s.period(), 1.0);
+  EXPECT_EQ(s.voltage_at(0, 0.5), 0.0);
+  EXPECT_EQ(s.throughput(), 0.0);
+}
+
+TEST(PeriodicSchedule, ConstantBuilder) {
+  const auto s =
+      PeriodicSchedule::constant(linalg::Vector{1.0, 0.8}, 0.5);
+  EXPECT_EQ(s.voltage_at(0, 0.2), 1.0);
+  EXPECT_EQ(s.voltage_at(1, 0.49), 0.8);
+  EXPECT_DOUBLE_EQ(s.throughput(), 0.9);
+}
+
+TEST(PeriodicSchedule, VoltageAtWrapsPeriodically) {
+  const PeriodicSchedule s = two_core_example();
+  EXPECT_EQ(s.voltage_at(0, 0.02), 0.6);
+  EXPECT_EQ(s.voltage_at(0, 0.05), 1.3);
+  EXPECT_EQ(s.voltage_at(0, 0.12), 0.6);   // wrapped
+  EXPECT_EQ(s.voltage_at(0, -0.03), 1.3);  // negative time wraps too
+}
+
+TEST(PeriodicSchedule, SegmentsMustFillPeriod) {
+  PeriodicSchedule s(1, 1.0);
+  EXPECT_THROW(s.set_core_segments(0, {{0.5, 1.0}}), ContractViolation);
+  EXPECT_THROW(s.set_core_segments(0, {{0.5, 1.0}, {0.6, 0.5}}),
+               ContractViolation);
+  EXPECT_THROW(s.set_core_segments(0, {}), ContractViolation);
+  EXPECT_THROW(s.set_core_segments(0, {{1.0, -0.1}}), ContractViolation);
+  EXPECT_THROW(s.set_core_segments(0, {{-0.1, 1.0}, {1.1, 1.0}}),
+               ContractViolation);
+}
+
+TEST(PeriodicSchedule, TinyRoundingInDurationsIsRescaled) {
+  PeriodicSchedule s(1, 1.0);
+  s.set_core_segments(0, {{0.5 + 1e-13, 1.0}, {0.5, 0.6}});
+  double total = 0.0;
+  for (const auto& seg : s.core_segments(0)) total += seg.duration;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(PeriodicSchedule, StateIntervalsMergeBreakpoints) {
+  const PeriodicSchedule s = two_core_example();
+  const auto intervals = s.state_intervals();
+  // Breakpoints at 0.04 (core0) and 0.07 (core1) => 3 intervals.
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_NEAR(intervals[0].length, 0.04, 1e-12);
+  EXPECT_NEAR(intervals[1].length, 0.03, 1e-12);
+  EXPECT_NEAR(intervals[2].length, 0.03, 1e-12);
+  EXPECT_EQ(intervals[0].voltages[0], 0.6);
+  EXPECT_EQ(intervals[0].voltages[1], 1.0);
+  EXPECT_EQ(intervals[1].voltages[0], 1.3);
+  EXPECT_EQ(intervals[1].voltages[1], 1.0);
+  EXPECT_EQ(intervals[2].voltages[0], 1.3);
+  EXPECT_EQ(intervals[2].voltages[1], 1.2);
+}
+
+TEST(PeriodicSchedule, StateIntervalsCoverPeriodExactly) {
+  const PeriodicSchedule s = two_core_example();
+  double total = 0.0;
+  for (const auto& interval : s.state_intervals()) total += interval.length;
+  EXPECT_NEAR(total, s.period(), 1e-12);
+}
+
+TEST(PeriodicSchedule, CoincidentBreakpointsProduceNoSlivers) {
+  PeriodicSchedule s(2, 1.0);
+  s.set_core_segments(0, {{0.5, 0.6}, {0.5, 1.3}});
+  s.set_core_segments(1, {{0.5, 1.3}, {0.5, 0.6}});
+  EXPECT_EQ(s.state_intervals().size(), 2u);
+}
+
+TEST(PeriodicSchedule, ThroughputIsWorkOverTime) {
+  const PeriodicSchedule s = two_core_example();
+  const double core0 = 0.04 * 0.6 + 0.06 * 1.3;
+  const double core1 = 0.07 * 1.0 + 0.03 * 1.2;
+  EXPECT_NEAR(s.throughput(), (core0 + core1) / (2.0 * 0.1), 1e-12);
+  EXPECT_NEAR(s.core_work(0), core0, 1e-12);
+  EXPECT_NEAR(s.core_work(1), core1, 1e-12);
+}
+
+TEST(PeriodicSchedule, StepUpDetection) {
+  PeriodicSchedule s(2, 1.0);
+  s.set_core_segments(0, {{0.3, 0.6}, {0.7, 1.3}});
+  s.set_core_segments(1, {{0.5, 0.8}, {0.5, 0.8}});
+  EXPECT_TRUE(s.is_step_up());
+  s.set_core_segments(1, {{0.5, 1.0}, {0.5, 0.8}});
+  EXPECT_FALSE(s.is_step_up());
+}
+
+TEST(PeriodicSchedule, SimplifiedMergesEqualNeighbors) {
+  PeriodicSchedule s(1, 1.0);
+  s.set_core_segments(0, {{0.2, 0.6}, {0.3, 0.6}, {0.5, 1.3}});
+  const PeriodicSchedule simple = s.simplified();
+  ASSERT_EQ(simple.core_segments(0).size(), 2u);
+  EXPECT_NEAR(simple.core_segments(0)[0].duration, 0.5, 1e-12);
+  EXPECT_EQ(simple.core_segments(0)[0].voltage, 0.6);
+  // Work is preserved.
+  EXPECT_NEAR(simple.core_work(0), s.core_work(0), 1e-12);
+}
+
+TEST(PeriodicSchedule, InvalidConstructionViolatesContract) {
+  EXPECT_THROW(PeriodicSchedule(0, 1.0), ContractViolation);
+  EXPECT_THROW(PeriodicSchedule(2, 0.0), ContractViolation);
+  EXPECT_THROW(PeriodicSchedule(2, -1.0), ContractViolation);
+}
+
+TEST(PeriodicSchedule, CoreIndexOutOfRangeViolatesContract) {
+  PeriodicSchedule s(2, 1.0);
+  EXPECT_THROW((void)s.core_segments(2), ContractViolation);
+  EXPECT_THROW((void)s.voltage_at(2, 0.0), ContractViolation);
+  EXPECT_THROW(s.set_core_segments(2, {{1.0, 0.6}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::sched

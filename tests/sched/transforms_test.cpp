@@ -1,0 +1,161 @@
+#include "sched/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace foscil::sched {
+namespace {
+
+PeriodicSchedule random_schedule(Rng& rng, std::size_t cores,
+                                 double period, int max_segments) {
+  PeriodicSchedule s(cores, period);
+  for (std::size_t core = 0; core < cores; ++core) {
+    const int count = rng.uniform_int(1, max_segments);
+    const std::vector<double> weights =
+        rng.simplex(static_cast<std::size_t>(count));
+    std::vector<Segment> segments;
+    for (double w : weights)
+      segments.push_back({w * period, rng.uniform(0.6, 1.3)});
+    s.set_core_segments(core, std::move(segments));
+  }
+  return s;
+}
+
+TEST(ToStepUp, SortsVoltagesAscendingPerCore) {
+  PeriodicSchedule s(2, 1.0);
+  s.set_core_segments(0, {{0.2, 1.3}, {0.3, 0.6}, {0.5, 1.0}});
+  s.set_core_segments(1, {{0.6, 0.9}, {0.4, 0.7}});
+  const PeriodicSchedule up = to_step_up(s);
+  EXPECT_TRUE(up.is_step_up());
+  const auto& c0 = up.core_segments(0);
+  EXPECT_EQ(c0[0].voltage, 0.6);
+  EXPECT_EQ(c0[1].voltage, 1.0);
+  EXPECT_EQ(c0[2].voltage, 1.3);
+  EXPECT_NEAR(c0[0].duration, 0.3, 1e-12);
+}
+
+TEST(ToStepUp, PreservesWorkAndThroughput) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PeriodicSchedule s = random_schedule(rng, 3, 2.0, 5);
+    const PeriodicSchedule up = to_step_up(s);
+    EXPECT_NEAR(up.throughput(), s.throughput(), 1e-12);
+    for (std::size_t core = 0; core < 3; ++core)
+      EXPECT_NEAR(up.core_work(core), s.core_work(core), 1e-12);
+    EXPECT_TRUE(up.is_step_up());
+  }
+}
+
+TEST(ToStepUp, IdempotentOnStepUpInput) {
+  PeriodicSchedule s(1, 1.0);
+  s.set_core_segments(0, {{0.4, 0.6}, {0.6, 1.3}});
+  const PeriodicSchedule up = to_step_up(s);
+  const auto& segments = up.core_segments(0);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].voltage, 0.6);
+  EXPECT_NEAR(segments[0].duration, 0.4, 1e-12);
+}
+
+TEST(MOscillate, ScalesPeriodAndKeepsVoltages) {
+  PeriodicSchedule s(2, 1.0);
+  s.set_core_segments(0, {{0.4, 0.6}, {0.6, 1.3}});
+  s.set_core_segments(1, {{1.0, 0.8}});
+  const PeriodicSchedule osc = m_oscillate(s, 4);
+  EXPECT_DOUBLE_EQ(osc.period(), 0.25);
+  const auto& c0 = osc.core_segments(0);
+  EXPECT_NEAR(c0[0].duration, 0.1, 1e-12);
+  EXPECT_EQ(c0[0].voltage, 0.6);
+  EXPECT_NEAR(c0[1].duration, 0.15, 1e-12);
+  EXPECT_EQ(c0[1].voltage, 1.3);
+}
+
+TEST(MOscillate, MOf1IsIdentity) {
+  Rng rng(43);
+  const PeriodicSchedule s = random_schedule(rng, 2, 0.5, 4);
+  const PeriodicSchedule same = m_oscillate(s, 1);
+  EXPECT_EQ(same.period(), s.period());
+  EXPECT_NEAR(same.throughput(), s.throughput(), 1e-12);
+}
+
+TEST(MOscillate, ThroughputInvariantForAnyM) {
+  Rng rng(45);
+  const PeriodicSchedule s = random_schedule(rng, 3, 1.0, 4);
+  for (int m : {2, 3, 10, 57})
+    EXPECT_NEAR(m_oscillate(s, m).throughput(), s.throughput(), 1e-12);
+}
+
+TEST(MOscillate, RepeatedMTimesCoversOriginalPeriodWork) {
+  PeriodicSchedule s(1, 0.8);
+  s.set_core_segments(0, {{0.3, 0.7}, {0.5, 1.2}});
+  const int m = 5;
+  const PeriodicSchedule osc = m_oscillate(s, m);
+  EXPECT_NEAR(static_cast<double>(m) * osc.core_work(0), s.core_work(0),
+              1e-12);
+}
+
+TEST(MOscillate, InvalidMViolatesContract) {
+  const PeriodicSchedule s(1, 1.0);
+  EXPECT_THROW((void)m_oscillate(s, 0), ContractViolation);
+  EXPECT_THROW((void)m_oscillate(s, -2), ContractViolation);
+}
+
+TEST(PhaseShift, RotatesPattern) {
+  PeriodicSchedule s(1, 1.0);
+  s.set_core_segments(0, {{0.4, 0.6}, {0.6, 1.3}});
+  const PeriodicSchedule shifted = phase_shift(s, 0, 0.25);
+  // v'(t) = v(t - 0.25): the low interval [0, 0.4) moves to [0.25, 0.65).
+  EXPECT_EQ(shifted.voltage_at(0, 0.1), 1.3);
+  EXPECT_EQ(shifted.voltage_at(0, 0.3), 0.6);
+  EXPECT_EQ(shifted.voltage_at(0, 0.5), 0.6);
+  EXPECT_EQ(shifted.voltage_at(0, 0.7), 1.3);
+}
+
+TEST(PhaseShift, ZeroAndFullPeriodShiftsAreIdentity) {
+  PeriodicSchedule s(1, 1.0);
+  s.set_core_segments(0, {{0.4, 0.6}, {0.6, 1.3}});
+  for (double offset : {0.0, 1.0, 2.0}) {
+    const PeriodicSchedule shifted = phase_shift(s, 0, offset);
+    for (double t : {0.1, 0.39, 0.41, 0.99})
+      EXPECT_EQ(shifted.voltage_at(0, t), s.voltage_at(0, t)) << offset;
+  }
+}
+
+TEST(PhaseShift, PreservesWorkForArbitraryOffsets) {
+  Rng rng(47);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PeriodicSchedule s = random_schedule(rng, 2, 1.5, 4);
+    const double offset = rng.uniform(0.0, 3.0);
+    const PeriodicSchedule shifted = phase_shift(s, 0, offset);
+    EXPECT_NEAR(shifted.core_work(0), s.core_work(0), 1e-9);
+    EXPECT_NEAR(shifted.core_work(1), s.core_work(1), 1e-12);
+  }
+}
+
+TEST(PhaseShift, OnlyTargetsRequestedCore) {
+  PeriodicSchedule s(2, 1.0);
+  s.set_core_segments(0, {{0.5, 0.6}, {0.5, 1.3}});
+  s.set_core_segments(1, {{0.5, 0.7}, {0.5, 1.1}});
+  const PeriodicSchedule shifted = phase_shift(s, 0, 0.5);
+  EXPECT_EQ(shifted.voltage_at(1, 0.25), 0.7);
+  EXPECT_EQ(shifted.voltage_at(1, 0.75), 1.1);
+}
+
+TEST(PhaseShift, NegativeOffsetWrapsBackwards) {
+  PeriodicSchedule s(1, 1.0);
+  s.set_core_segments(0, {{0.4, 0.6}, {0.6, 1.3}});
+  const PeriodicSchedule fwd = phase_shift(s, 0, 0.75);
+  const PeriodicSchedule bwd = phase_shift(s, 0, -0.25);
+  for (double t : {0.05, 0.3, 0.6, 0.9})
+    EXPECT_EQ(fwd.voltage_at(0, t), bwd.voltage_at(0, t));
+}
+
+TEST(PhaseShift, CoreOutOfRangeViolatesContract) {
+  const PeriodicSchedule s(1, 1.0);
+  EXPECT_THROW((void)phase_shift(s, 1, 0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::sched

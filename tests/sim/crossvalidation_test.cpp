@@ -1,0 +1,126 @@
+// Cross-validation of the production thermal engine against independent
+// numerical paths:
+//   * the spectral transient (eq. 3) vs brute-force RK4 integration of
+//     dT/dt = A T + B on real platform models and real schedules,
+//   * the stable status (eq. 4) vs long-horizon RK4,
+//   * superposition/linearity properties the theorems lean on.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "linalg/ode.hpp"
+#include "sim/steady.hpp"
+
+namespace foscil::sim {
+namespace {
+
+struct GridCase {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class CrossValidation : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CrossValidation, TransientMatchesRk4ThroughASchedule) {
+  const auto [rows, cols] = GetParam();
+  const core::Platform p = testing::grid_platform(rows, cols);
+  const TransientSimulator sim(p.model);
+  const linalg::Matrix a = p.model->a_matrix();
+
+  Rng rng(900 + rows * 10 + cols);
+  const auto schedule =
+      testing::random_schedule(rng, p.num_cores(), 0.08, 3);
+
+  linalg::Vector analytic = sim.ambient_start();
+  linalg::Vector numeric = sim.ambient_start();
+  for (const auto& interval : schedule.state_intervals()) {
+    analytic = sim.advance(analytic, interval.voltages, interval.length);
+    const linalg::Vector b = p.model->b_vector(interval.voltages);
+    numeric = linalg::rk4_integrate(a, b, numeric, interval.length, 2000);
+  }
+  EXPECT_LT((analytic - numeric).inf_norm(), 1e-7)
+      << rows << "x" << cols;
+}
+
+TEST_P(CrossValidation, StableStatusMatchesLongRk4) {
+  const auto [rows, cols] = GetParam();
+  const core::Platform p = testing::grid_platform(rows, cols);
+  const SteadyStateAnalyzer analyzer(p.model);
+  const linalg::Matrix a = p.model->a_matrix();
+
+  Rng rng(950 + rows * 10 + cols);
+  const auto schedule =
+      testing::random_schedule(rng, p.num_cores(), 0.5, 2);
+
+  // March RK4 through repeated periods until the boundary temperature
+  // settles, then compare with the analytic resolvent answer.
+  linalg::Vector numeric(p.model->num_nodes());
+  for (int rep = 0; rep < 800; ++rep) {
+    for (const auto& interval : schedule.state_intervals()) {
+      const linalg::Vector b = p.model->b_vector(interval.voltages);
+      numeric = linalg::rk4_integrate(a, b, numeric, interval.length, 200);
+    }
+  }
+  const linalg::Vector analytic = analyzer.stable_boundary(schedule);
+  EXPECT_LT((analytic - numeric).inf_norm(), 2e-3) << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrids, CrossValidation,
+                         ::testing::Values(GridCase{1, 2}, GridCase{1, 3},
+                                           GridCase{2, 3}),
+                         [](const ::testing::TestParamInfo<GridCase>& param_info) {
+                           return std::to_string(param_info.param.rows) + "x" +
+                                  std::to_string(param_info.param.cols);
+                         });
+
+TEST(Linearity, SteadyStateSuperposesInHeat) {
+  // T_inf is linear in the heat vector — the superposition property the
+  // proof of Theorem 2 invokes.
+  const core::Platform p = testing::grid_platform(1, 3);
+  linalg::Vector psi_a(p.model->num_nodes());
+  linalg::Vector psi_b(p.model->num_nodes());
+  psi_a[0] = 7.0;
+  psi_b[1] = 3.0;
+  psi_b[2] = 5.0;
+  const linalg::Vector t_a = p.model->steady_state_from_heat(psi_a);
+  const linalg::Vector t_b = p.model->steady_state_from_heat(psi_b);
+  linalg::Vector psi_ab = psi_a;
+  psi_ab += psi_b;
+  const linalg::Vector t_ab = p.model->steady_state_from_heat(psi_ab);
+  EXPECT_TRUE(linalg::allclose(t_ab, t_a + t_b, 1e-10, 1e-12));
+}
+
+TEST(Linearity, TransientSuperposesAcrossInputAndState) {
+  // T(t; T0, B) = e^{At} T0 + phi(t) B splits exactly into the zero-input
+  // and zero-state responses.
+  const core::Platform p = testing::grid_platform(1, 2);
+  const TransientSimulator sim(p.model);
+  const linalg::Vector v{1.3, 0.8};
+  linalg::Vector t0(p.model->num_nodes(), 2.0);
+  const double dt = 0.04;
+
+  const linalg::Vector full = sim.advance(t0, v, dt);
+  const linalg::Vector zero_input =
+      p.model->spectral().exp_apply(dt, t0);
+  const linalg::Vector zero_state =
+      sim.advance(sim.ambient_start(), v, dt);
+  EXPECT_LT((full - (zero_input + zero_state)).inf_norm(), 1e-10);
+}
+
+TEST(Linearity, StableBoundaryIsMonotoneInVoltages) {
+  // Raising any segment's voltage cannot cool any node in stable status.
+  const core::Platform p = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(p.model);
+  sched::PeriodicSchedule low(3, 0.1);
+  low.set_core_segments(0, {{0.05, 0.6}, {0.05, 1.0}});
+  low.set_core_segments(1, {{0.1, 0.8}});
+  low.set_core_segments(2, {{0.04, 0.7}, {0.06, 0.9}});
+  sched::PeriodicSchedule high = low;
+  high.set_core_segments(1, {{0.1, 1.2}});
+  const linalg::Vector t_low = analyzer.stable_boundary(low);
+  const linalg::Vector t_high = analyzer.stable_boundary(high);
+  for (std::size_t i = 0; i < t_low.size(); ++i)
+    EXPECT_GE(t_high[i], t_low[i] - 1e-12) << "node " << i;
+}
+
+}  // namespace
+}  // namespace foscil::sim

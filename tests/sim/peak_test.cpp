@@ -1,0 +1,103 @@
+#include "sim/peak.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+
+namespace foscil::sim {
+namespace {
+
+class PeakTest : public ::testing::Test {
+ protected:
+  PeakTest()
+      : platform_(testing::grid_platform(1, 3)),
+        analyzer_(platform_.model) {}
+
+  core::Platform platform_;
+  SteadyStateAnalyzer analyzer_;
+};
+
+TEST_F(PeakTest, StepUpPeakSitsAtPeriodEnd) {
+  Rng rng(201);
+  const auto s = testing::random_step_up_schedule(rng, 3, 0.2, 4);
+  const PeakInfo info = step_up_peak(analyzer_, s);
+  EXPECT_EQ(info.time, s.period());
+  EXPECT_GT(info.rise, 0.0);
+  EXPECT_LT(info.core, 3u);
+}
+
+TEST_F(PeakTest, StepUpFastPathAgreesWithSampling) {
+  Rng rng(203);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto s = testing::random_step_up_schedule(rng, 3, 0.3, 4);
+    const PeakInfo fast = step_up_peak(analyzer_, s);
+    const PeakInfo slow = sampled_peak(analyzer_, s, 128);
+    // Sampling can only discover peaks <= the true one on a step-up
+    // schedule, and the period end is in the sample set.
+    EXPECT_NEAR(fast.rise, slow.rise, 1e-9) << "trial " << trial;
+    EXPECT_EQ(fast.core, slow.core);
+  }
+}
+
+TEST_F(PeakTest, StepUpPeakRequiresStepUpSchedule) {
+  sched::PeriodicSchedule s(3, 0.1);
+  s.set_core_segments(0, {{0.05, 1.3}, {0.05, 0.6}});  // step-down
+  s.set_core_segments(1, {{0.1, 0.8}});
+  s.set_core_segments(2, {{0.1, 0.8}});
+  EXPECT_THROW((void)step_up_peak(analyzer_, s), ContractViolation);
+}
+
+TEST_F(PeakTest, SampledPeakDominatesBoundaryTemperatures) {
+  Rng rng(205);
+  const auto s = testing::random_schedule(rng, 3, 0.2, 4);
+  const PeakInfo info = sampled_peak(analyzer_, s, 64);
+  for (const auto& boundary : analyzer_.stable_boundaries(s)) {
+    EXPECT_GE(info.rise,
+              platform_.model->max_core_rise(boundary) - 1e-9);
+  }
+}
+
+TEST_F(PeakTest, ConstantSchedulePeakIsSteadyState) {
+  const linalg::Vector v{1.3, 0.6, 1.0};
+  const auto s = sched::PeriodicSchedule::constant(v, 0.1);
+  const PeakInfo info = sampled_peak(analyzer_, s, 16);
+  const double expected =
+      platform_.model->max_core_rise(platform_.model->steady_state(v));
+  EXPECT_NEAR(info.rise, expected, 1e-9);
+}
+
+TEST_F(PeakTest, NonStepUpPeakCanBeInsideThePeriod) {
+  // A step-*down* schedule peaks right after the high interval, i.e. in the
+  // interior of the period — the situation Theorem 1 exists to avoid.
+  sched::PeriodicSchedule s(3, 2.0);
+  s.set_core_segments(0, {{1.0, 1.3}, {1.0, 0.6}});
+  s.set_core_segments(1, {{1.0, 1.3}, {1.0, 0.6}});
+  s.set_core_segments(2, {{1.0, 1.3}, {1.0, 0.6}});
+  const PeakInfo info = sampled_peak(analyzer_, s, 256);
+  EXPECT_LT(info.time, 2.0 - 1e-9);
+  EXPECT_GT(info.time, 0.0);
+  // And it must beat the boundary temperature strictly.
+  const linalg::Vector boundary = analyzer_.stable_boundary(s);
+  EXPECT_GT(info.rise, platform_.model->max_core_rise(boundary) + 1e-9);
+}
+
+TEST_F(PeakTest, MoreSamplesNeverLowerThePeak) {
+  Rng rng(207);
+  const auto s = testing::random_schedule(rng, 3, 0.25, 4);
+  const double coarse = sampled_peak(analyzer_, s, 8).rise;
+  const double fine = sampled_peak(analyzer_, s, 64).rise;
+  const double finest = sampled_peak(analyzer_, s, 256).rise;
+  EXPECT_GE(fine, coarse - 1e-12);
+  EXPECT_GE(finest, fine - 1e-12);
+  // Refinement converges.
+  EXPECT_NEAR(finest, fine, 1e-3);
+}
+
+TEST_F(PeakTest, InvalidSampleCountViolatesContract) {
+  const auto s =
+      sched::PeriodicSchedule::constant(linalg::Vector(3, 1.0), 0.1);
+  EXPECT_THROW((void)sampled_peak(analyzer_, s, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::sim

@@ -1,0 +1,128 @@
+#include "sim/steady.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "linalg/lu.hpp"
+
+namespace foscil::sim {
+namespace {
+
+class SteadyTest : public ::testing::Test {
+ protected:
+  SteadyTest()
+      : platform_(testing::grid_platform(1, 3)),
+        analyzer_(platform_.model) {}
+
+  core::Platform platform_;
+  SteadyStateAnalyzer analyzer_;
+};
+
+TEST_F(SteadyTest, StableBoundaryIsPeriodicFixedPoint) {
+  // One more period of simulation from the stable boundary must return to
+  // the same temperatures — the defining property of eq. (4).
+  Rng rng(101);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s = testing::random_schedule(rng, 3, 0.2, 4);
+    const linalg::Vector boundary = analyzer_.stable_boundary(s);
+    const linalg::Vector next =
+        analyzer_.simulator().period_end(s, boundary);
+    EXPECT_LT((next - boundary).inf_norm(), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST_F(SteadyTest, MatchesBruteForceRepetition) {
+  // Repeating the schedule from ambient long enough converges to the
+  // analytic stable status.
+  Rng rng(103);
+  const auto s = testing::random_schedule(rng, 3, 0.05, 3);
+  linalg::Vector temps = analyzer_.simulator().ambient_start();
+  // The sink's slowest mode has a tens-of-seconds time constant; 20000
+  // periods of 50 ms give ~1000 s, far past convergence.
+  for (int rep = 0; rep < 20000; ++rep)
+    temps = analyzer_.simulator().period_end(s, temps);
+  const linalg::Vector boundary = analyzer_.stable_boundary(s);
+  EXPECT_LT((temps - boundary).inf_norm(), 1e-6);
+}
+
+TEST_F(SteadyTest, ConstantScheduleStableStateEqualsTInf) {
+  const linalg::Vector v{1.2, 0.8, 1.0};
+  const auto s = sched::PeriodicSchedule::constant(v, 0.1);
+  const linalg::Vector boundary = analyzer_.stable_boundary(s);
+  const linalg::Vector t_inf = platform_.model->steady_state(v);
+  EXPECT_LT((boundary - t_inf).inf_norm(), 1e-9);
+}
+
+TEST_F(SteadyTest, StableBoundariesEndWhereTheyStart) {
+  Rng rng(105);
+  const auto s = testing::random_schedule(rng, 3, 0.3, 4);
+  const auto boundaries = analyzer_.stable_boundaries(s);
+  ASSERT_GE(boundaries.size(), 2u);
+  EXPECT_LT((boundaries.front() - boundaries.back()).inf_norm(), 1e-9);
+}
+
+TEST_F(SteadyTest, StableStatusIsAboveFirstPeriod) {
+  // Stable-status temperatures dominate the cold-start first period at
+  // every boundary (heat only accumulates).
+  Rng rng(107);
+  const auto s = testing::random_schedule(rng, 3, 0.1, 3);
+  const auto cold = analyzer_.simulator().boundary_temperatures(
+      s, analyzer_.simulator().ambient_start());
+  const auto stable = analyzer_.stable_boundaries(s);
+  ASSERT_EQ(cold.size(), stable.size());
+  for (std::size_t q = 0; q < cold.size(); ++q)
+    for (std::size_t i = 0; i < cold[q].size(); ++i)
+      EXPECT_GE(stable[q][i], cold[q][i] - 1e-12);
+}
+
+TEST_F(SteadyTest, Equation4FormHolds) {
+  // T_ss(t_q) = T(t_q) + K_q (I - K)^{-1} T(t_p)  with T(0) = 0.
+  Rng rng(109);
+  const auto s = testing::random_schedule(rng, 3, 0.15, 3);
+  const auto intervals = s.state_intervals();
+  const auto cold = analyzer_.simulator().boundary_temperatures(
+      s, analyzer_.simulator().ambient_start());
+  const auto stable = analyzer_.stable_boundaries(s);
+  const linalg::Vector correction =
+      analyzer_.resolvent_apply(s.period(), cold.back());
+
+  double elapsed = 0.0;
+  for (std::size_t q = 0; q < intervals.size(); ++q) {
+    elapsed += intervals[q].length;
+    const linalg::Vector k_q_corr =
+        platform_.model->spectral().exp_apply(elapsed, correction);
+    linalg::Vector expected = cold[q + 1];
+    expected += k_q_corr;
+    EXPECT_LT((stable[q + 1] - expected).inf_norm(), 1e-9) << "q=" << q;
+  }
+}
+
+TEST_F(SteadyTest, ResolventMatchesDenseInverse) {
+  const double period = 0.08;
+  const auto& spec = platform_.model->spectral();
+  const std::size_t n = platform_.model->num_nodes();
+  linalg::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = 0.1 * static_cast<double>(i + 1);
+  const linalg::Vector fast = analyzer_.resolvent_apply(period, x);
+  const linalg::Matrix dense = linalg::inverse(
+      linalg::Matrix::identity(n) - spec.exp(period));
+  EXPECT_LT((fast - dense * x).inf_norm(), 1e-9);
+}
+
+TEST_F(SteadyTest, StableTraceCoversExactlyOnePeriod) {
+  Rng rng(111);
+  const auto s = testing::random_schedule(rng, 3, 0.1, 3);
+  const auto trace = analyzer_.stable_trace(s, 2e-3);
+  EXPECT_NEAR(trace.back().time, s.period(), 1e-9);
+  EXPECT_LT((trace.front().rises - trace.back().rises).inf_norm(), 1e-8);
+}
+
+TEST_F(SteadyTest, NonPositivePeriodViolatesContract) {
+  EXPECT_THROW((void)analyzer_.resolvent_apply(
+                   0.0, linalg::Vector(platform_.model->num_nodes())),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::sim

@@ -1,0 +1,96 @@
+#include "sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "../test_support.hpp"
+
+namespace foscil::sim {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  TraceIoTest()
+      : platform_(testing::grid_platform(1, 2)), sim_(platform_.model) {
+    sched::PeriodicSchedule s(2, 0.02);
+    s.set_core_segments(0, {{0.01, 0.6}, {0.01, 1.3}});
+    s.set_core_segments(1, {{0.02, 1.0}});
+    trace_ = sim_.trace(s, sim_.ambient_start(), 2e-3, 0.02);
+  }
+
+  core::Platform platform_;
+  TransientSimulator sim_;
+  std::vector<TraceSample> trace_;
+};
+
+TEST_F(TraceIoTest, CoreColumnsHeaderAndShape) {
+  const std::string csv =
+      trace_to_csv(*platform_.model, trace_, platform_.t_ambient_c);
+  std::istringstream in(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "time_s,core0_c,core1_c");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++rows;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 2);
+  }
+  EXPECT_EQ(rows, trace_.size());
+}
+
+TEST_F(TraceIoTest, AllNodesColumns) {
+  const std::string csv =
+      trace_to_csv(*platform_.model, trace_, platform_.t_ambient_c,
+                   TraceColumns::kAllNodes);
+  std::istringstream in(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const auto commas = std::count(header.begin(), header.end(), ',');
+  EXPECT_EQ(static_cast<std::size_t>(commas), platform_.model->num_nodes());
+}
+
+TEST_F(TraceIoTest, ValuesAreAbsoluteCelsius) {
+  const std::string csv =
+      trace_to_csv(*platform_.model, trace_, platform_.t_ambient_c);
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  std::string first;
+  ASSERT_TRUE(std::getline(in, first));
+  // The trace starts at ambient: first row reads t=0, 35, 35.
+  double t = -1.0;
+  double c0 = 0.0;
+  double c1 = 0.0;
+  char comma;
+  std::istringstream row(first);
+  row >> t >> comma >> c0 >> comma >> c1;
+  EXPECT_EQ(t, 0.0);
+  EXPECT_NEAR(c0, 35.0, 1e-9);
+  EXPECT_NEAR(c1, 35.0, 1e-9);
+}
+
+TEST_F(TraceIoTest, RoundTripThroughFile) {
+  const std::string path = ::testing::TempDir() + "/foscil_trace.csv";
+  write_trace_csv(path, *platform_.model, trace_, platform_.t_ambient_c);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(),
+            trace_to_csv(*platform_.model, trace_, platform_.t_ambient_c));
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, UnwritablePathThrows) {
+  EXPECT_THROW(write_trace_csv("/nonexistent-dir/x.csv", *platform_.model,
+                               trace_, platform_.t_ambient_c),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace foscil::sim

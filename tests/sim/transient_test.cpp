@@ -1,0 +1,131 @@
+#include "sim/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+
+namespace foscil::sim {
+namespace {
+
+class TransientTest : public ::testing::Test {
+ protected:
+  TransientTest()
+      : platform_(testing::grid_platform(1, 2)), sim_(platform_.model) {}
+
+  core::Platform platform_;
+  TransientSimulator sim_;
+};
+
+TEST_F(TransientTest, ZeroDtReturnsInput) {
+  linalg::Vector t0(platform_.model->num_nodes(), 1.0);
+  const linalg::Vector t1 = sim_.advance(t0, linalg::Vector(2, 1.0), 0.0);
+  EXPECT_LT((t1 - t0).inf_norm(), 1e-15);
+}
+
+TEST_F(TransientTest, ConvergesToSteadyState) {
+  const linalg::Vector v{1.2, 0.7};
+  const linalg::Vector t_inf = platform_.model->steady_state(v);
+  const linalg::Vector t_end =
+      sim_.advance(sim_.ambient_start(), v, 1e5);
+  EXPECT_LT((t_end - t_inf).inf_norm(), 1e-8);
+}
+
+TEST_F(TransientTest, MatchesClosedFormEquation3) {
+  // T(t) = e^{At} T0 + (I - e^{At}) T_inf.
+  const linalg::Vector v{1.3, 0.6};
+  linalg::Vector t0(platform_.model->num_nodes());
+  for (std::size_t i = 0; i < t0.size(); ++i)
+    t0[i] = 0.5 * static_cast<double>(i % 3);
+  const double dt = 0.037;
+
+  const auto& spec = platform_.model->spectral();
+  const linalg::Matrix e_at = spec.exp(dt);
+  const linalg::Vector t_inf = platform_.model->steady_state(v);
+  linalg::Vector expected = e_at * t0;
+  expected += t_inf;
+  expected -= e_at * t_inf;
+
+  const linalg::Vector actual = sim_.advance(t0, v, dt);
+  EXPECT_LT((actual - expected).inf_norm(), 1e-10);
+}
+
+TEST_F(TransientTest, CompositionEqualsSingleStep) {
+  // Advancing 2x 25 ms equals one 50 ms step under constant input.
+  const linalg::Vector v{1.0, 1.0};
+  linalg::Vector t0(platform_.model->num_nodes(), 0.3);
+  const linalg::Vector two_steps =
+      sim_.advance(sim_.advance(t0, v, 0.025), v, 0.025);
+  const linalg::Vector one_step = sim_.advance(t0, v, 0.05);
+  EXPECT_LT((two_steps - one_step).inf_norm(), 1e-11);
+}
+
+TEST_F(TransientTest, PeriodEndWalksAllIntervals) {
+  sched::PeriodicSchedule s(2, 0.1);
+  s.set_core_segments(0, {{0.04, 0.6}, {0.06, 1.3}});
+  s.set_core_segments(1, {{0.1, 1.0}});
+  const linalg::Vector direct = sim_.period_end(s, sim_.ambient_start());
+
+  // Manual reconstruction via the two state intervals.
+  linalg::Vector manual = sim_.ambient_start();
+  manual = sim_.advance(manual, linalg::Vector{0.6, 1.0}, 0.04);
+  manual = sim_.advance(manual, linalg::Vector{1.3, 1.0}, 0.06);
+  EXPECT_LT((direct - manual).inf_norm(), 1e-12);
+}
+
+TEST_F(TransientTest, BoundaryTemperaturesHaveOnePerInterval) {
+  sched::PeriodicSchedule s(2, 0.2);
+  s.set_core_segments(0, {{0.05, 0.6}, {0.15, 1.3}});
+  s.set_core_segments(1, {{0.1, 0.8}, {0.1, 1.2}});
+  const auto boundaries = sim_.boundary_temperatures(s, sim_.ambient_start());
+  // 3 state intervals (breaks at 0.05 and 0.1) => 4 boundary vectors.
+  ASSERT_EQ(boundaries.size(), 4u);
+  EXPECT_LT(boundaries.front().inf_norm(), 1e-15);
+  const linalg::Vector end = sim_.period_end(s, sim_.ambient_start());
+  EXPECT_LT((boundaries.back() - end).inf_norm(), 1e-12);
+}
+
+TEST_F(TransientTest, HeatingFromAmbientIsMonotoneUnderConstantLoad) {
+  const linalg::Vector v{1.3, 1.3};
+  linalg::Vector prev = sim_.ambient_start();
+  for (int k = 1; k <= 20; ++k) {
+    const linalg::Vector cur =
+        sim_.advance(sim_.ambient_start(), v, 0.01 * k);
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      EXPECT_GE(cur[i], prev[i] - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST_F(TransientTest, TraceSamplesAreDenseAndOrdered) {
+  sched::PeriodicSchedule s(2, 0.05);
+  s.set_core_segments(0, {{0.02, 0.6}, {0.03, 1.3}});
+  s.set_core_segments(1, {{0.05, 1.0}});
+  const auto trace = sim_.trace(s, sim_.ambient_start(), 1e-3, 0.15);
+  ASSERT_GT(trace.size(), 100u);
+  EXPECT_EQ(trace.front().time, 0.0);
+  EXPECT_NEAR(trace.back().time, 0.15, 1e-9);
+  for (std::size_t k = 1; k < trace.size(); ++k)
+    EXPECT_GT(trace[k].time, trace[k - 1].time);
+}
+
+TEST_F(TransientTest, TraceAgreesWithDirectAdvance) {
+  sched::PeriodicSchedule s(2, 0.05);
+  s.set_core_segments(0, {{0.02, 0.6}, {0.03, 1.3}});
+  s.set_core_segments(1, {{0.05, 1.2}});
+  const auto trace = sim_.trace(s, sim_.ambient_start(), 2e-3, 0.05);
+  const linalg::Vector end = sim_.period_end(s, sim_.ambient_start());
+  EXPECT_LT((trace.back().rises - end).inf_norm(), 1e-10);
+}
+
+TEST_F(TransientTest, NegativeDtViolatesContract) {
+  EXPECT_THROW(
+      (void)sim_.advance(sim_.ambient_start(), linalg::Vector(2, 1.0), -0.1),
+      ContractViolation);
+}
+
+TEST(TransientSimulator, NullModelViolatesContract) {
+  EXPECT_THROW(TransientSimulator{nullptr}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::sim

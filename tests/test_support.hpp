@@ -1,0 +1,46 @@
+// Shared fixtures for foscil tests: canonical platforms and random schedule
+// generators used across the sim / theorem / scheduler suites.
+#pragma once
+
+#include <memory>
+
+#include "core/platform.hpp"
+#include "sched/schedule.hpp"
+#include "sched/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace foscil::testing {
+
+/// Grid platform with the paper's default package and two modes.
+inline core::Platform grid_platform(std::size_t rows, std::size_t cols,
+                                    std::vector<double> levels = {0.6, 1.3}) {
+  return core::make_grid_platform(rows, cols,
+                                  power::VoltageLevels(std::move(levels)));
+}
+
+/// Random periodic schedule drawing voltages from a level set.
+inline sched::PeriodicSchedule random_schedule(
+    Rng& rng, std::size_t cores, double period, int max_segments,
+    const std::vector<double>& levels = {0.6, 0.8, 1.0, 1.3}) {
+  sched::PeriodicSchedule s(cores, period);
+  for (std::size_t core = 0; core < cores; ++core) {
+    const int count = rng.uniform_int(1, max_segments);
+    const std::vector<double> weights =
+        rng.simplex(static_cast<std::size_t>(count));
+    std::vector<sched::Segment> segments;
+    for (double w : weights)
+      segments.push_back({w * period, rng.pick(levels)});
+    s.set_core_segments(core, std::move(segments));
+  }
+  return s;
+}
+
+/// Random *step-up* schedule (voltages non-decreasing per core).
+inline sched::PeriodicSchedule random_step_up_schedule(
+    Rng& rng, std::size_t cores, double period, int max_segments,
+    const std::vector<double>& levels = {0.6, 0.8, 1.0, 1.3}) {
+  return sched::to_step_up(
+      random_schedule(rng, cores, period, max_segments, levels));
+}
+
+}  // namespace foscil::testing

@@ -1,0 +1,116 @@
+// The paper's theorems on the extension platforms: heterogeneous per-core
+// power coefficients and 3D die stacks.  The proofs only need the LTI
+// structure (A similar-to-symmetric, -A^{-1} positive) and per-core convex
+// psi(v) — both preserved by the extensions — so the properties must keep
+// holding there.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "sim/peak.hpp"
+
+namespace foscil::sim {
+namespace {
+
+core::Platform heterogeneous_platform() {
+  Rng rng(1501);
+  std::vector<power::PowerCoefficients> coeffs;
+  for (int i = 0; i < 6; ++i) {
+    power::PowerCoefficients c;
+    c.alpha *= 1.0 + rng.uniform(-0.3, 0.3);
+    c.gamma *= 1.0 + rng.uniform(-0.3, 0.3);
+    c.beta *= 1.0 + rng.uniform(-0.3, 0.3);
+    coeffs.push_back(c);
+  }
+  const thermal::Floorplan floorplan(2, 3, 4e-3);
+  thermal::RcNetwork network(floorplan, thermal::HotSpotParams{});
+  core::Platform p;
+  p.model = std::make_shared<const thermal::ThermalModel>(
+      std::move(network), power::PowerModel(std::move(coeffs)));
+  p.levels = power::VoltageLevels({0.6, 1.3});
+  p.name = "2x3-hetero";
+  return p;
+}
+
+core::Platform stacked_platform() {
+  thermal::HotSpotParams params;
+  params.die_tiers = 2;
+  params.r_convection_block = 0.8;
+  params.k_inter_tier = 10.0;
+  return core::make_grid_platform(2, 2, power::VoltageLevels({0.6, 1.3}),
+                                  params);
+}
+
+class ExtensionTheorems
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  ExtensionTheorems()
+      : platform_(std::string(GetParam()) == "hetero"
+                      ? heterogeneous_platform()
+                      : stacked_platform()),
+        analyzer_(platform_.model),
+        rng_(std::string(GetParam()) == "hetero" ? 1601u : 1603u) {}
+
+  core::Platform platform_;
+  SteadyStateAnalyzer analyzer_;
+  Rng rng_;
+};
+
+TEST_P(ExtensionTheorems, Theorem1PeakAtPeriodEnd) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto s = testing::random_step_up_schedule(
+        rng_, platform_.num_cores(), rng_.uniform(0.05, 2.0), 4);
+    const double end_rise = platform_.model->max_core_rise(
+        analyzer_.stable_boundary(s));
+    const double sampled = sampled_peak(analyzer_, s, 64).rise;
+    EXPECT_LE(sampled, end_rise + 1e-2) << trial;
+  }
+}
+
+TEST_P(ExtensionTheorems, Theorem2StepUpBounds) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto s = testing::random_schedule(
+        rng_, platform_.num_cores(), rng_.uniform(0.05, 2.0), 4);
+    const double peak_any = sampled_peak(analyzer_, s, 48).rise;
+    const double peak_up =
+        step_up_peak(analyzer_, sched::to_step_up(s)).rise;
+    EXPECT_LE(peak_any, peak_up + 1e-2) << trial;
+  }
+}
+
+TEST_P(ExtensionTheorems, Theorem5MonotoneInM) {
+  const auto s = testing::random_step_up_schedule(
+      rng_, platform_.num_cores(), 1.5, 4);
+  double prev = step_up_peak(analyzer_, s).rise;
+  for (int m : {2, 4, 8, 16, 32}) {
+    const double cur =
+        step_up_peak(analyzer_, sched::m_oscillate(s, m)).rise;
+    EXPECT_LE(cur, prev + 1e-9) << "m " << m;
+    prev = cur;
+  }
+}
+
+TEST_P(ExtensionTheorems, Property1CooldownMonotoneOnCores) {
+  const TransientSimulator& sim = analyzer_.simulator();
+  linalg::Vector v(platform_.num_cores());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = rng_.uniform(0.6, 1.3);
+  const linalg::Vector hot = sim.advance(sim.ambient_start(), v, 10.0);
+  const linalg::Vector off(platform_.num_cores());
+  linalg::Vector prev = platform_.model->core_rises(hot);
+  for (int step = 1; step <= 20; ++step) {
+    const linalg::Vector cur =
+        platform_.model->core_rises(sim.advance(hot, off, 0.1 * step));
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      EXPECT_LE(cur[i], prev[i] + 1e-10) << "core " << i;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HeteroAndStacked, ExtensionTheorems,
+                         ::testing::Values("hetero", "stacked"),
+                         [](const ::testing::TestParamInfo<const char*>&
+                                param_info) {
+                           return std::string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace foscil::sim

@@ -1,0 +1,80 @@
+// Property 1 (Sec. II-B): shutting down all cores from any non-negative
+// temperature makes every node's temperature non-increasing over time.
+// This is the physical sanity condition the platform model must satisfy
+// before any of the paper's theorems apply.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "linalg/lu.hpp"
+#include "sim/transient.hpp"
+
+namespace foscil::sim {
+namespace {
+
+TEST(Property1, CooldownIsMonotonePerNode) {
+  Rng rng(301);
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 2},
+                            {1, 3},
+                            {2, 3},
+                            {3, 3}}) {
+    const core::Platform platform = testing::grid_platform(rows, cols);
+    const TransientSimulator sim(platform.model);
+    const std::size_t cores = platform.num_cores();
+
+    // Heat the chip with a random load, then cut power.
+    linalg::Vector v(cores);
+    for (std::size_t i = 0; i < cores; ++i) v[i] = rng.uniform(0.6, 1.3);
+    linalg::Vector hot = sim.advance(sim.ambient_start(), v, 5.0);
+
+    // Property 1 speaks about *core* temperatures: package periphery nodes
+    // (the rim) legitimately warm up for a while during cooldown as the
+    // stored die heat flows outward through them.
+    const linalg::Vector off(cores);  // all cores powered down
+    linalg::Vector prev = platform.model->core_rises(hot);
+    for (int step = 1; step <= 50; ++step) {
+      const linalg::Vector cur = platform.model->core_rises(
+          sim.advance(hot, off, 0.05 * step));
+      for (std::size_t i = 0; i < cur.size(); ++i) {
+        EXPECT_LE(cur[i], prev[i] + 1e-10)
+            << rows << "x" << cols << " core " << i << " step " << step;
+        EXPECT_GE(cur[i], -1e-10);
+      }
+      prev = cur;
+    }
+  }
+}
+
+TEST(Property1, CooldownEndsAtAmbient) {
+  const core::Platform platform = testing::grid_platform(2, 2);
+  const TransientSimulator sim(platform.model);
+  linalg::Vector hot =
+      sim.advance(sim.ambient_start(), linalg::Vector(4, 1.3), 10.0);
+  const linalg::Vector cold = sim.advance(hot, linalg::Vector(4), 1e5);
+  EXPECT_LT(cold.inf_norm(), 1e-8);
+}
+
+TEST(Property1, ExpOfAIsNonNegativeMatrix) {
+  // e^{At} >= 0 elementwise (a Metzler/compartmental A): the formal
+  // statement behind monotone cooldown for arbitrary T0 >= 0.
+  const core::Platform platform = testing::grid_platform(1, 3);
+  for (double t : {1e-4, 1e-2, 0.5, 5.0}) {
+    const linalg::Matrix e = platform.model->spectral().exp(t);
+    for (std::size_t r = 0; r < e.rows(); ++r)
+      for (std::size_t c = 0; c < e.cols(); ++c)
+        EXPECT_GE(e(r, c), -1e-10) << "t=" << t;
+  }
+}
+
+TEST(Property1, MinusAInverseIsPositive) {
+  // -A^{-1} > 0: raising any core's power cannot cool any node (used in
+  // the proof of Theorem 3).
+  const core::Platform platform = testing::grid_platform(2, 2);
+  const linalg::Matrix a = platform.model->a_matrix();
+  const linalg::Matrix inv = linalg::inverse(a);
+  for (std::size_t r = 0; r < inv.rows(); ++r)
+    for (std::size_t c = 0; c < inv.cols(); ++c)
+      EXPECT_LT(inv(r, c), 1e-12) << r << "," << c;  // -A^{-1} >= 0
+}
+
+}  // namespace
+}  // namespace foscil::sim

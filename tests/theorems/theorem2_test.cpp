@@ -1,0 +1,97 @@
+// Lemma 1 + Theorem 2: the step-up permutation of an arbitrary periodic
+// schedule upper-bounds that schedule's stable-status peak temperature.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "sim/peak.hpp"
+
+namespace foscil::sim {
+namespace {
+
+TEST(Lemma1, SwappingLowBeforeHighRaisesEndTemperature) {
+  // Two-interval swap on one core, all else constant: the schedule ending
+  // in the high mode ends hotter in stable status.
+  const core::Platform platform = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  Rng rng(501);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double period = rng.uniform(0.05, 1.5);
+    const double split = rng.uniform(0.2, 0.8) * period;
+    const double v_other = rng.uniform(0.6, 1.3);
+    const std::size_t core = rng.index(3);
+
+    sched::PeriodicSchedule low_first(3, period);
+    sched::PeriodicSchedule high_first(3, period);
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (i == core) {
+        low_first.set_core_segments(
+            i, {{split, 0.6}, {period - split, 1.3}});
+        high_first.set_core_segments(
+            i, {{period - split, 1.3}, {split, 0.6}});
+      } else {
+        low_first.set_core_segments(i, {{period, v_other}});
+        high_first.set_core_segments(i, {{period, v_other}});
+      }
+    }
+    const linalg::Vector end_low_first =
+        analyzer.stable_boundary(low_first);
+    const linalg::Vector end_high_first =
+        analyzer.stable_boundary(high_first);
+    for (std::size_t i = 0; i < end_low_first.size(); ++i)
+      EXPECT_GE(end_low_first[i], end_high_first[i] - 1e-10)
+          << "trial " << trial << " node " << i;
+  }
+}
+
+TEST(Theorem2, StepUpBoundsArbitrarySchedulePeak) {
+  Rng rng(503);
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 2},
+                            {1, 3},
+                            {2, 3}}) {
+    const core::Platform platform = testing::grid_platform(rows, cols);
+    const SteadyStateAnalyzer analyzer(platform.model);
+    for (int trial = 0; trial < 8; ++trial) {
+      const double period = rng.uniform(0.05, 3.0);
+      const auto s = testing::random_schedule(
+          rng, platform.num_cores(), period, 4);
+      const auto up = sched::to_step_up(s);
+      const double peak_any = sampled_peak(analyzer, s, 64).rise;
+      const double peak_up = step_up_peak(analyzer, up).rise;
+      EXPECT_LE(peak_any, peak_up + 1e-8)
+          << rows << "x" << cols << " trial " << trial;
+    }
+  }
+}
+
+TEST(Theorem2, BoundIsTightForAlreadyStepUpSchedules) {
+  Rng rng(505);
+  const core::Platform platform = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  const auto s = testing::random_step_up_schedule(rng, 3, 0.4, 3);
+  const double peak_any = sampled_peak(analyzer, s, 128).rise;
+  const double peak_up = step_up_peak(analyzer, sched::to_step_up(s)).rise;
+  EXPECT_NEAR(peak_any, peak_up, 1e-8);
+}
+
+TEST(Theorem2, GapCanBeLargeForLongPeriods) {
+  // The Fig. 3 effect: with a 6 s period, schedules differing only in phase
+  // span several kelvin, all bounded by the step-up peak.
+  const core::Platform platform = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  const double period = 6.0;
+
+  sched::PeriodicSchedule aligned(3, period);
+  for (std::size_t i = 0; i < 3; ++i)
+    aligned.set_core_segments(i, {{3.0, 0.6}, {3.0, 1.3}});
+  const double peak_up = step_up_peak(analyzer, aligned).rise;
+
+  // Interleave core phases to spread the heat.
+  auto spread = sched::phase_shift(aligned, 1, 2.0);
+  spread = sched::phase_shift(spread, 2, 4.0);
+  const double peak_spread = sampled_peak(analyzer, spread, 96).rise;
+
+  EXPECT_LT(peak_spread, peak_up - 0.5);  // at least half a kelvin of slack
+}
+
+}  // namespace
+}  // namespace foscil::sim

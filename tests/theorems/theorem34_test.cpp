@@ -1,0 +1,142 @@
+// Theorem 3: among step-up schedules completing the same work on a core, a
+// constant voltage minimizes the stable-status peak; a work-equivalent
+// two-mode split can only be hotter.
+// Theorem 4: widening the two modes (lower low / higher high) while keeping
+// the work fixed raises the peak — neighboring modes are the best split.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "core/ideal.hpp"
+#include "sim/peak.hpp"
+
+namespace foscil::sim {
+namespace {
+
+/// Step-up schedule where `core` runs v_low then v_high with the time split
+/// chosen so its work equals `v_eq * period`; other cores run `v_other`.
+sched::PeriodicSchedule split_schedule(std::size_t cores, std::size_t core,
+                                       double period, double v_eq,
+                                       double v_low, double v_high,
+                                       double v_other) {
+  FOSCIL_EXPECTS(v_low <= v_eq && v_eq <= v_high);
+  sched::PeriodicSchedule s(cores, period);
+  for (std::size_t i = 0; i < cores; ++i) {
+    if (i != core) {
+      s.set_core_segments(i, {{period, v_other}});
+      continue;
+    }
+    if (v_high - v_low < 1e-12) {
+      s.set_core_segments(i, {{period, v_eq}});
+      continue;
+    }
+    const double ratio_high = (v_eq - v_low) / (v_high - v_low);
+    const double t_high = ratio_high * period;
+    if (t_high <= 0.0) {
+      s.set_core_segments(i, {{period, v_low}});
+    } else if (t_high >= period) {
+      s.set_core_segments(i, {{period, v_high}});
+    } else {
+      s.set_core_segments(i, {{period - t_high, v_low}, {t_high, v_high}});
+    }
+  }
+  return s;
+}
+
+TEST(Theorem3, ConstantModeBeatsAnyTwoModeSplit) {
+  Rng rng(601);
+  const core::Platform platform = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  for (int trial = 0; trial < 12; ++trial) {
+    const double period = rng.uniform(0.02, 2.0);
+    const double v_eq = rng.uniform(0.75, 1.15);
+    const double v_low = rng.uniform(0.6, v_eq);
+    const double v_high = rng.uniform(v_eq, 1.3);
+    const double v_other = rng.uniform(0.6, 1.3);
+    const std::size_t core = rng.index(3);
+
+    const auto constant =
+        split_schedule(3, core, period, v_eq, v_eq, v_eq, v_other);
+    const auto split =
+        split_schedule(3, core, period, v_eq, v_low, v_high, v_other);
+    ASSERT_NEAR(constant.core_work(core), split.core_work(core), 1e-9);
+
+    const double peak_const = step_up_peak(analyzer, constant).rise;
+    const double peak_split = step_up_peak(analyzer, split).rise;
+    EXPECT_LE(peak_const, peak_split + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Theorem3, EndTemperatureDominatedNodewise) {
+  // The proof shows T(S_u1(t_p)) <= T(S_u2(t_p)) for every node, not just
+  // the max; verify the stronger statement.
+  const core::Platform platform = testing::grid_platform(1, 2);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  const auto constant = split_schedule(2, 0, 0.5, 1.0, 1.0, 1.0, 0.8);
+  const auto split = split_schedule(2, 0, 0.5, 1.0, 0.6, 1.3, 0.8);
+  const linalg::Vector end_const = analyzer.stable_boundary(constant);
+  const linalg::Vector end_split = analyzer.stable_boundary(split);
+  for (std::size_t i = 0; i < end_const.size(); ++i)
+    EXPECT_LE(end_const[i], end_split[i] + 1e-10) << "node " << i;
+}
+
+TEST(Theorem4, NeighboringModesBeatWiderModes) {
+  Rng rng(603);
+  const core::Platform platform = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  for (int trial = 0; trial < 12; ++trial) {
+    const double period = rng.uniform(0.02, 1.0);
+    const double v_eq = rng.uniform(0.85, 1.05);
+    const double v_other = rng.uniform(0.6, 1.3);
+    const std::size_t core = rng.index(3);
+
+    // Narrow (neighboring) vs wide mode pair around the same v_eq.
+    const auto narrow =
+        split_schedule(3, core, period, v_eq, v_eq - 0.1, v_eq + 0.1,
+                       v_other);
+    const auto wide =
+        split_schedule(3, core, period, v_eq, v_eq - 0.25, v_eq + 0.25,
+                       v_other);
+    ASSERT_NEAR(narrow.core_work(core), wide.core_work(core), 1e-9);
+
+    const double peak_narrow = step_up_peak(analyzer, narrow).rise;
+    const double peak_wide = step_up_peak(analyzer, wide).rise;
+    EXPECT_LE(peak_narrow, peak_wide + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Theorem4, NestedModePairsOrderThePeaks) {
+  // v_eq fixed; peaks ordered by how far the mode pair spreads.
+  const core::Platform platform = testing::grid_platform(1, 2);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  const double v_eq = 0.95;
+  double prev_peak = -1.0;
+  for (double spread : {0.0, 0.05, 0.15, 0.25, 0.35}) {
+    const auto s = split_schedule(2, 0, 0.2, v_eq, v_eq - spread,
+                                  v_eq + spread, 0.9);
+    const double peak = step_up_peak(analyzer, s).rise;
+    EXPECT_GE(peak, prev_peak - 1e-10) << "spread " << spread;
+    prev_peak = peak;
+  }
+}
+
+TEST(Theorem3, ImpliesOscillationPeakExceedsIdealTarget) {
+  // The AO pipeline consequence: starting from ideal voltages whose steady
+  // state *equals* T_max, any two-mode work-equivalent schedule must
+  // overshoot T_max before the ratio adjustment step.
+  const core::Platform platform = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  const double rise_target = 30.0;  // T_max = 65 C
+  const auto ideal = core::ideal_constant_voltages(*platform.model,
+                                                   rise_target, 1.3);
+  sched::PeriodicSchedule split(3, 0.02);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double r_high = (ideal.voltages[i] - 0.6) / (1.3 - 0.6);
+    split.set_core_segments(
+        i, {{(1.0 - r_high) * 0.02, 0.6}, {r_high * 0.02, 1.3}});
+  }
+  const double peak = step_up_peak(analyzer, split).rise;
+  EXPECT_GT(peak, rise_target - 1e-9);
+}
+
+}  // namespace
+}  // namespace foscil::sim

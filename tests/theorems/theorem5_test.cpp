@@ -1,0 +1,110 @@
+// Theorem 5: for a periodic step-up schedule on a multi-core processor,
+// m-oscillating *all* cores together monotonically lowers the stable-status
+// peak temperature: T_peak(S(m, t)) >= T_peak(S(m+1, t)).
+// Also reproduces the Fig. 2 caveat: oscillating a single core can raise
+// the chip peak.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "sim/peak.hpp"
+
+namespace foscil::sim {
+namespace {
+
+TEST(Theorem5, PeakMonotoneNonIncreasingInM) {
+  Rng rng(701);
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{1, 2},
+                            {1, 3},
+                            {3, 3}}) {
+    const core::Platform platform = testing::grid_platform(rows, cols);
+    const SteadyStateAnalyzer analyzer(platform.model);
+    for (int trial = 0; trial < 4; ++trial) {
+      const double period = rng.uniform(0.5, 5.0);
+      const auto s = testing::random_step_up_schedule(
+          rng, platform.num_cores(), period, 5);
+      double prev = step_up_peak(analyzer, s).rise;
+      for (int m = 2; m <= 24; m += (m < 8 ? 1 : 4)) {
+        const double cur =
+            step_up_peak(analyzer, sched::m_oscillate(s, m)).rise;
+        EXPECT_LE(cur, prev + 1e-9)
+            << rows << "x" << cols << " trial " << trial << " m " << m;
+        prev = cur;
+      }
+    }
+  }
+}
+
+TEST(Theorem5, LargeMApproachesConstantAverageSchedule) {
+  // As m grows, the oscillating schedule's peak converges to the peak of a
+  // hypothetical constant schedule delivering the same average *power*.
+  // We check convergence numerically: successive peaks approach a limit.
+  Rng rng(703);
+  const core::Platform platform = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  const auto s = testing::random_step_up_schedule(rng, 3, 1.0, 3);
+  const double peak_64 =
+      step_up_peak(analyzer, sched::m_oscillate(s, 64)).rise;
+  const double peak_128 =
+      step_up_peak(analyzer, sched::m_oscillate(s, 128)).rise;
+  const double peak_256 =
+      step_up_peak(analyzer, sched::m_oscillate(s, 256)).rise;
+  EXPECT_LT(peak_64 - peak_128, 0.2);
+  EXPECT_LT(peak_128 - peak_256, peak_64 - peak_128 + 1e-9);
+}
+
+TEST(Theorem5, OscillationReducesPeakSubstantiallyForSlowSchedules) {
+  // The whole point of the method: a slow (seconds-scale) two-mode schedule
+  // gains multiple kelvin from oscillation.
+  const core::Platform platform = testing::grid_platform(1, 3);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  sched::PeriodicSchedule s(3, 4.0);
+  for (std::size_t i = 0; i < 3; ++i)
+    s.set_core_segments(i, {{2.0, 0.6}, {2.0, 1.3}});
+  const double peak_1 = step_up_peak(analyzer, s).rise;
+  const double peak_40 =
+      step_up_peak(analyzer, sched::m_oscillate(s, 40)).rise;
+  const double peak_400 =
+      step_up_peak(analyzer, sched::m_oscillate(s, 400)).rise;
+  // m = 40 brings the 4 s period to 100 ms (below the sink's time constant)
+  // and m = 400 to 10 ms (below the spreader's); each crossing recovers
+  // visible headroom.
+  EXPECT_GT(peak_1 - peak_40, 0.8);
+  EXPECT_GT(peak_1 - peak_400, 1.5);
+  EXPECT_GE(peak_40, peak_400 - 1e-9);
+}
+
+TEST(Fig2Caveat, OscillatingOnlyOneCoreCanRaiseThePeak) {
+  // Paper Sec. IV-C / Fig. 2: two cores, 100 ms period, opposite phases.
+  // Doubling only core 0's oscillation frequency raises the stable peak.
+  const core::Platform platform = testing::grid_platform(1, 2);
+  const SteadyStateAnalyzer analyzer(platform.model);
+
+  sched::PeriodicSchedule base(2, 0.1);
+  base.set_core_segments(0, {{0.05, 1.3}, {0.05, 0.6}});
+  base.set_core_segments(1, {{0.05, 0.6}, {0.05, 1.3}});
+
+  sched::PeriodicSchedule single(2, 0.1);
+  single.set_core_segments(
+      0, {{0.025, 1.3}, {0.025, 0.6}, {0.025, 1.3}, {0.025, 0.6}});
+  single.set_core_segments(1, {{0.05, 0.6}, {0.05, 1.3}});
+
+  const double peak_base = sampled_peak(analyzer, base, 128).rise;
+  const double peak_single = sampled_peak(analyzer, single, 128).rise;
+  EXPECT_GT(peak_single, peak_base);
+}
+
+TEST(Fig2Caveat, OscillatingAllCoresTogetherDoesReduceThePeak) {
+  // The companion claim: scaling *both* cores' intervals fixes it.
+  const core::Platform platform = testing::grid_platform(1, 2);
+  const SteadyStateAnalyzer analyzer(platform.model);
+  sched::PeriodicSchedule base(2, 0.1);
+  base.set_core_segments(0, {{0.05, 1.3}, {0.05, 0.6}});
+  base.set_core_segments(1, {{0.05, 0.6}, {0.05, 1.3}});
+  const double peak_base = sampled_peak(analyzer, base, 128).rise;
+  const double peak_all =
+      sampled_peak(analyzer, sched::m_oscillate(base, 2), 128).rise;
+  EXPECT_LE(peak_all, peak_base + 1e-9);
+}
+
+}  // namespace
+}  // namespace foscil::sim

@@ -1,0 +1,92 @@
+// Parameterized property sweeps of the paper's theorems across all four
+// evaluation platforms and a spread of periods: each (platform, period)
+// cell re-checks Theorems 1, 2 and 5 on fresh random schedules.  The
+// focused per-theorem suites live in theorem{1,2,34,5}_test.cpp; this file
+// is the wide net.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "sim/peak.hpp"
+
+namespace foscil::sim {
+namespace {
+
+struct SweepCase {
+  std::size_t rows;
+  std::size_t cols;
+  double period;
+};
+
+class TheoremSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  TheoremSweep()
+      : platform_(testing::grid_platform(GetParam().rows, GetParam().cols)),
+        analyzer_(platform_.model),
+        rng_(7000 + GetParam().rows * 100 + GetParam().cols * 10 +
+             static_cast<std::uint64_t>(GetParam().period * 1e3)) {}
+
+  core::Platform platform_;
+  SteadyStateAnalyzer analyzer_;
+  Rng rng_;
+};
+
+TEST_P(TheoremSweep, Theorem1PeakAtPeriodEnd) {
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto s = testing::random_step_up_schedule(
+        rng_, platform_.num_cores(), GetParam().period, 4);
+    const double end_rise = platform_.model->max_core_rise(
+        analyzer_.stable_boundary(s));
+    const double sampled = sampled_peak(analyzer_, s, 64).rise;
+    EXPECT_LE(sampled, end_rise + 1e-2) << "trial " << trial;  // see E4 notes
+  }
+}
+
+TEST_P(TheoremSweep, Theorem2StepUpBounds) {
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto s = testing::random_schedule(
+        rng_, platform_.num_cores(), GetParam().period, 4);
+    const double peak_any = sampled_peak(analyzer_, s, 48).rise;
+    const double peak_up =
+        step_up_peak(analyzer_, sched::to_step_up(s)).rise;
+    EXPECT_LE(peak_any, peak_up + 1e-2) << "trial " << trial;
+  }
+}
+
+TEST_P(TheoremSweep, Theorem5MonotoneInM) {
+  const auto s = testing::random_step_up_schedule(
+      rng_, platform_.num_cores(), GetParam().period, 4);
+  double prev = step_up_peak(analyzer_, s).rise;
+  for (int m : {2, 4, 8, 16}) {
+    const double cur =
+        step_up_peak(analyzer_, sched::m_oscillate(s, m)).rise;
+    EXPECT_LE(cur, prev + 1e-9) << "m " << m;
+    prev = cur;
+  }
+}
+
+TEST_P(TheoremSweep, WorkInvariantUnderAllTransforms) {
+  const auto s = testing::random_schedule(
+      rng_, platform_.num_cores(), GetParam().period, 4);
+  const auto up = sched::to_step_up(s);
+  const auto osc = sched::m_oscillate(s, 7);
+  for (std::size_t core = 0; core < platform_.num_cores(); ++core) {
+    EXPECT_NEAR(up.core_work(core), s.core_work(core), 1e-9);
+    EXPECT_NEAR(osc.core_work(core) * 7.0, s.core_work(core), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsTimesPeriods, TheoremSweep,
+    ::testing::Values(SweepCase{1, 2, 0.01}, SweepCase{1, 2, 1.0},
+                      SweepCase{1, 3, 0.05}, SweepCase{1, 3, 2.0},
+                      SweepCase{2, 3, 0.1}, SweepCase{2, 3, 4.0},
+                      SweepCase{3, 3, 0.02}, SweepCase{3, 3, 1.5}),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return std::to_string(param_info.param.rows) + "x" +
+             std::to_string(param_info.param.cols) + "_p" +
+             std::to_string(static_cast<int>(param_info.param.period * 1000)) +
+             "ms";
+    });
+
+}  // namespace
+}  // namespace foscil::sim

@@ -1,0 +1,83 @@
+#include "thermal/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace foscil::thermal {
+namespace {
+
+TEST(Floorplan, BasicGeometry) {
+  const Floorplan fp(2, 3, 4e-3);
+  EXPECT_EQ(fp.rows(), 2u);
+  EXPECT_EQ(fp.cols(), 3u);
+  EXPECT_EQ(fp.num_cores(), 6u);
+  EXPECT_DOUBLE_EQ(fp.core_edge_m(), 4e-3);
+  EXPECT_DOUBLE_EQ(fp.core_area_m2(), 16e-6);
+}
+
+TEST(Floorplan, RowMajorIndexing) {
+  const Floorplan fp(3, 3, 4e-3);
+  EXPECT_EQ(fp.index(0, 0), 0u);
+  EXPECT_EQ(fp.index(0, 2), 2u);
+  EXPECT_EQ(fp.index(1, 0), 3u);
+  EXPECT_EQ(fp.index(2, 2), 8u);
+  const CoreSite site = fp.site(5);
+  EXPECT_EQ(site.row, 1u);
+  EXPECT_EQ(site.col, 2u);
+}
+
+TEST(Floorplan, IndexOutOfRangeViolatesContract) {
+  const Floorplan fp(2, 2, 4e-3);
+  EXPECT_THROW((void)fp.index(2, 0), ContractViolation);
+  EXPECT_THROW((void)fp.site(4), ContractViolation);
+}
+
+TEST(Floorplan, AdjacencyCountMatchesGridFormula) {
+  // rows*(cols-1) horizontal + (rows-1)*cols vertical edges.
+  for (std::size_t rows : {1u, 2u, 3u}) {
+    for (std::size_t cols : {1u, 2u, 3u}) {
+      const Floorplan fp(rows, cols, 4e-3);
+      const std::size_t expected = rows * (cols - 1) + (rows - 1) * cols;
+      EXPECT_EQ(fp.adjacent_pairs().size(), expected)
+          << rows << "x" << cols;
+    }
+  }
+}
+
+TEST(Floorplan, AdjacencyPairsAreOrderedAndUnique) {
+  const Floorplan fp(3, 3, 4e-3);
+  const auto& pairs = fp.adjacent_pairs();
+  for (const auto& [a, b] : pairs) {
+    EXPECT_LT(a, b);
+    EXPECT_EQ(fp.manhattan(a, b), 1u);
+  }
+  // No duplicates.
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    for (std::size_t j = i + 1; j < pairs.size(); ++j)
+      EXPECT_TRUE(pairs[i] != pairs[j]);
+}
+
+TEST(Floorplan, SingleCoreHasNoNeighbors) {
+  const Floorplan fp(1, 1, 4e-3);
+  EXPECT_TRUE(fp.adjacent_pairs().empty());
+}
+
+TEST(Floorplan, ManhattanDistance) {
+  const Floorplan fp(3, 3, 4e-3);
+  EXPECT_EQ(fp.manhattan(0, 8), 4u);  // (0,0) -> (2,2)
+  EXPECT_EQ(fp.manhattan(4, 4), 0u);
+  EXPECT_EQ(fp.manhattan(2, 6), 4u);  // (0,2) -> (2,0)
+}
+
+TEST(Floorplan, LabelMatchesPaperNotation) {
+  EXPECT_EQ(Floorplan(3, 2, 4e-3).label(), "3x2");
+  EXPECT_EQ(Floorplan(1, 2, 4e-3).label(), "1x2");
+}
+
+TEST(Floorplan, DegenerateSizesViolateContract) {
+  EXPECT_THROW(Floorplan(0, 2, 4e-3), ContractViolation);
+  EXPECT_THROW(Floorplan(2, 0, 4e-3), ContractViolation);
+  EXPECT_THROW(Floorplan(2, 2, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::thermal

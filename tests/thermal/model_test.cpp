@@ -1,0 +1,142 @@
+#include "thermal/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/expm.hpp"
+
+namespace foscil::thermal {
+namespace {
+
+ThermalModel make_model(std::size_t rows, std::size_t cols) {
+  return ThermalModel(RcNetwork(Floorplan(rows, cols, 4e-3), HotSpotParams{}),
+                      power::PowerModel{});
+}
+
+TEST(ThermalModel, SizesComeFromNetwork) {
+  const ThermalModel model = make_model(2, 3);
+  EXPECT_EQ(model.num_cores(), 6u);
+  EXPECT_EQ(model.num_nodes(), 3u * 6u + 2u);
+}
+
+TEST(ThermalModel, SystemIsStable) {
+  for (auto [r, c] : {std::pair<std::size_t, std::size_t>{1, 2},
+                      {1, 3},
+                      {2, 3},
+                      {3, 3}}) {
+    const ThermalModel model = make_model(r, c);
+    EXPECT_TRUE(model.spectral().stable()) << r << "x" << c;
+    // The paper relies on A having only negative real eigenvalues.
+    for (double lambda : model.spectral().eigenvalues())
+      EXPECT_LT(lambda, 0.0);
+  }
+}
+
+TEST(ThermalModel, AMatrixMatchesDefinition) {
+  // A = C^{-1}(beta E - G) elementwise.
+  const ThermalModel model = make_model(1, 2);
+  const linalg::Matrix a = model.a_matrix();
+  const auto& g = model.network().conductance();
+  const auto& c = model.network().capacitance();
+  const double beta = model.power().beta();
+  for (std::size_t r = 0; r < model.num_nodes(); ++r)
+    for (std::size_t col = 0; col < model.num_nodes(); ++col) {
+      double s = -g(r, col);
+      if (r == col && model.network().layer(r) == NodeLayer::kDie)
+        s += beta;
+      EXPECT_NEAR(a(r, col), s / c[r], 1e-9 * (std::abs(s / c[r]) + 1.0));
+    }
+}
+
+TEST(ThermalModel, HeatInjectionOnlyOnDieNodes) {
+  const ThermalModel model = make_model(2, 2);
+  linalg::Vector v(4);
+  v[0] = 1.0;
+  v[1] = 1.3;
+  v[2] = 0.0;  // idle core: zero heat
+  v[3] = 0.6;
+  const linalg::Vector psi = model.heat_injection(v);
+  EXPECT_GT(psi[model.network().die_node(0)], 0.0);
+  EXPECT_GT(psi[model.network().die_node(1)],
+            psi[model.network().die_node(0)]);
+  EXPECT_EQ(psi[model.network().die_node(2)], 0.0);
+  for (std::size_t node = 4; node < model.num_nodes(); ++node)
+    EXPECT_EQ(psi[node], 0.0);
+}
+
+TEST(ThermalModel, BVectorIsHeatOverCapacitance) {
+  const ThermalModel model = make_model(1, 2);
+  const linalg::Vector v{1.2, 0.8};
+  const linalg::Vector psi = model.heat_injection(v);
+  const linalg::Vector b = model.b_vector(v);
+  const auto& c = model.network().capacitance();
+  for (std::size_t i = 0; i < model.num_nodes(); ++i)
+    EXPECT_NEAR(b[i], psi[i] / c[i], 1e-15);
+}
+
+TEST(ThermalModel, SteadyStateSolvesMinusAInvB) {
+  // T_inf = -A^{-1} B(v): check A * T_inf + B = 0.
+  const ThermalModel model = make_model(1, 3);
+  const linalg::Vector v{1.3, 0.6, 1.0};
+  const linalg::Vector t_inf = model.steady_state(v);
+  linalg::Vector residual = model.a_matrix() * t_inf;
+  residual += model.b_vector(v);
+  EXPECT_LT(residual.inf_norm(), 1e-9);
+}
+
+TEST(ThermalModel, SteadyStateMonotoneInVoltage) {
+  // More voltage anywhere => no node gets cooler (positivity of the
+  // steady-state operator, the property Theorem 3's proof leans on).
+  const ThermalModel model = make_model(2, 2);
+  const linalg::Vector low{0.8, 0.8, 0.8, 0.8};
+  linalg::Vector high = low;
+  high[2] = 1.3;
+  const linalg::Vector t_low = model.steady_state(low);
+  const linalg::Vector t_high = model.steady_state(high);
+  for (std::size_t i = 0; i < model.num_nodes(); ++i)
+    EXPECT_GE(t_high[i], t_low[i] - 1e-12);
+}
+
+TEST(ThermalModel, IdleChipSitsAtAmbient) {
+  const ThermalModel model = make_model(1, 2);
+  const linalg::Vector t = model.steady_state(linalg::Vector(2));
+  EXPECT_LT(t.inf_norm(), 1e-12);
+}
+
+TEST(ThermalModel, CoreRiseExtraction) {
+  const ThermalModel model = make_model(1, 3);
+  linalg::Vector nodes(model.num_nodes());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    nodes[i] = static_cast<double>(i);
+  const linalg::Vector cores = model.core_rises(nodes);
+  ASSERT_EQ(cores.size(), 3u);
+  EXPECT_EQ(cores[0], 0.0);
+  EXPECT_EQ(cores[2], 2.0);
+  EXPECT_EQ(model.max_core_rise(nodes), 2.0);
+}
+
+TEST(ThermalModel, MiddleCoreRunsHotterThanEdges) {
+  // The Table II asymmetry: same voltage everywhere, middle die node ends
+  // hottest because edge cores couple into the package rim.
+  const ThermalModel model = make_model(1, 3);
+  const linalg::Vector t = model.steady_state(linalg::Vector(3, 1.2));
+  const linalg::Vector cores = model.core_rises(t);
+  EXPECT_GT(cores[1], cores[0]);
+  EXPECT_GT(cores[1], cores[2]);
+  EXPECT_NEAR(cores[0], cores[2], 1e-9);  // mirror symmetry
+}
+
+TEST(ThermalModel, SpectralExpMatchesPadeOnA) {
+  const ThermalModel model = make_model(1, 2);
+  const linalg::Matrix via_spec = model.spectral().exp(0.05);
+  const linalg::Matrix via_pade = linalg::expm(model.a_matrix(), 0.05);
+  EXPECT_TRUE(linalg::allclose(via_spec, via_pade, 1e-8, 1e-10));
+}
+
+TEST(ThermalModel, VoltageVectorSizeViolatesContract) {
+  const ThermalModel model = make_model(1, 2);
+  EXPECT_THROW((void)model.steady_state(linalg::Vector{1.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::thermal

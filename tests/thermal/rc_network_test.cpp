@@ -1,0 +1,143 @@
+#include "thermal/rc_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen_sym.hpp"
+#include "linalg/lu.hpp"
+
+namespace foscil::thermal {
+namespace {
+
+RcNetwork make_network(std::size_t rows, std::size_t cols) {
+  return RcNetwork(Floorplan(rows, cols, 4e-3), HotSpotParams{});
+}
+
+TEST(RcNetwork, NodeCountIsThreePerCorePlusRims) {
+  EXPECT_EQ(make_network(1, 2).num_nodes(), 3u * 2u + 2u);
+  EXPECT_EQ(make_network(3, 3).num_nodes(), 3u * 9u + 2u);
+}
+
+TEST(RcNetwork, NodeIndexingIsDisjointAndLayered) {
+  const RcNetwork net = make_network(2, 2);
+  for (std::size_t core = 0; core < 4; ++core) {
+    EXPECT_EQ(net.layer(net.die_node(core)), NodeLayer::kDie);
+    EXPECT_EQ(net.layer(net.spreader_node(core)), NodeLayer::kSpreader);
+    EXPECT_EQ(net.layer(net.sink_node(core)), NodeLayer::kSink);
+  }
+  EXPECT_EQ(net.layer(net.spreader_rim_node()), NodeLayer::kSpreaderRim);
+  EXPECT_EQ(net.layer(net.sink_rim_node()), NodeLayer::kSinkRim);
+}
+
+TEST(RcNetwork, ConductanceMatrixIsSymmetric) {
+  const RcNetwork net = make_network(3, 2);
+  EXPECT_EQ(net.conductance().asymmetry(), 0.0);
+}
+
+TEST(RcNetwork, OffDiagonalsNonPositiveDiagonalsPositive) {
+  const RcNetwork net = make_network(3, 3);
+  const auto& g = net.conductance();
+  for (std::size_t r = 0; r < net.num_nodes(); ++r) {
+    EXPECT_GT(g(r, r), 0.0);
+    for (std::size_t c = 0; c < net.num_nodes(); ++c)
+      if (r != c) {
+        EXPECT_LE(g(r, c), 0.0);
+      }
+  }
+}
+
+TEST(RcNetwork, RowSumsEqualGroundConductance) {
+  // G = Laplacian + diag(ground); row sums recover each node's direct path
+  // to ambient, which only sink-layer nodes (and the token rim path) have.
+  const RcNetwork net = make_network(2, 3);
+  const auto& g = net.conductance();
+  for (std::size_t r = 0; r < net.num_nodes(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < net.num_nodes(); ++c) row_sum += g(r, c);
+    const NodeLayer layer = net.layer(r);
+    if (layer == NodeLayer::kSink || layer == NodeLayer::kSinkRim) {
+      EXPECT_GT(row_sum, 0.1);
+    } else if (layer == NodeLayer::kSpreaderRim) {
+      EXPECT_NEAR(row_sum, 1e-6, 1e-9);  // token grounding only
+    } else {
+      EXPECT_NEAR(row_sum, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(RcNetwork, ConductanceIsPositiveDefinite) {
+  const RcNetwork net = make_network(3, 3);
+  const auto eig = linalg::eigen_symmetric(net.conductance());
+  EXPECT_GT(eig.eigenvalues.min(), 0.0);
+}
+
+TEST(RcNetwork, CapacitancesPositiveAndLayered) {
+  const RcNetwork net = make_network(2, 2);
+  const auto& c = net.capacitance();
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) EXPECT_GT(c[i], 0.0);
+  // Sink blocks are far heavier than spreader blocks, which beat the die.
+  EXPECT_GT(c[net.sink_node(0)], c[net.spreader_node(0)]);
+  EXPECT_GT(c[net.spreader_node(0)], c[net.die_node(0)]);
+}
+
+TEST(RcNetwork, DieLateralCouplingOnlyBetweenAdjacentCores) {
+  const RcNetwork net = make_network(1, 3);
+  const auto& g = net.conductance();
+  EXPECT_LT(g(net.die_node(0), net.die_node(1)), 0.0);
+  EXPECT_LT(g(net.die_node(1), net.die_node(2)), 0.0);
+  EXPECT_EQ(g(net.die_node(0), net.die_node(2)), 0.0);
+}
+
+TEST(RcNetwork, BoundaryBlocksCoupleToRimByExposedEdges) {
+  // 1x3 grid: edge cores expose 3 sides, the middle core 2.
+  const RcNetwork net = make_network(1, 3);
+  const auto& g = net.conductance();
+  const double edge_to_rim =
+      -g(net.sink_node(0), net.sink_rim_node());
+  const double middle_to_rim =
+      -g(net.sink_node(1), net.sink_rim_node());
+  EXPECT_GT(edge_to_rim, 0.0);
+  EXPECT_GT(middle_to_rim, 0.0);
+  EXPECT_NEAR(edge_to_rim / middle_to_rim, 1.5, 1e-9);
+}
+
+TEST(RcNetwork, SteadyStateHeatBalances) {
+  // Inject 10 W into one die node; the total heat leaving through every
+  // grounded node must equal 10 W (energy conservation).
+  const RcNetwork net = make_network(2, 2);
+  linalg::Vector heat(net.num_nodes());
+  heat[net.die_node(0)] = 10.0;
+  const linalg::Vector temps = linalg::solve(net.conductance(), heat);
+  double drained = 0.0;
+  const auto& g = net.conductance();
+  for (std::size_t r = 0; r < net.num_nodes(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < net.num_nodes(); ++c) row_sum += g(r, c);
+    drained += row_sum * temps[r];
+  }
+  EXPECT_NEAR(drained, 10.0, 1e-8);
+}
+
+TEST(RcNetwork, HeatedCoreIsHottestNode) {
+  const RcNetwork net = make_network(3, 3);
+  linalg::Vector heat(net.num_nodes());
+  heat[net.die_node(4)] = 15.0;  // center core
+  const linalg::Vector temps = linalg::solve(net.conductance(), heat);
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    EXPECT_GE(temps[i], -1e-12);  // nothing below ambient
+    if (i != net.die_node(4)) {
+      EXPECT_LT(temps[i], temps[net.die_node(4)]);
+    }
+  }
+}
+
+TEST(RcNetwork, InvalidParamsViolateContract) {
+  HotSpotParams params;
+  params.k_silicon = -1.0;
+  EXPECT_THROW(RcNetwork(Floorplan(1, 2, 4e-3), params), ContractViolation);
+  params = HotSpotParams{};
+  params.r_convection_block = 0.0;
+  EXPECT_THROW(RcNetwork(Floorplan(1, 2, 4e-3), params), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::thermal

@@ -1,0 +1,166 @@
+// 3D stacked-die extension (HotSpotParams::die_tiers > 1): the paper's
+// intro motivates the thermal crisis with 3D ICs ("higher power density and
+// longer heat removal path"); these tests pin that physics in our model and
+// check the whole scheduler stack runs on stacked platforms.
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "core/ao.hpp"
+#include "core/exs.hpp"
+#include "core/ideal.hpp"
+#include "core/lns.hpp"
+
+namespace foscil::core {
+namespace {
+
+/// Package for 3D experiments: stacking doubles the leakage feedback per
+/// package column, so the default laptop-grade sink (r = 2.0 K/W per block)
+/// would go into genuine thermal runaway (beta * R >= 1) — the model
+/// rejects it at construction (see RunawayRejected below).  3D platforms
+/// therefore carry the stronger cooling a real 3D part would ship with.
+thermal::HotSpotParams stacked_params(std::size_t tiers) {
+  thermal::HotSpotParams params;
+  params.die_tiers = tiers;
+  params.r_convection_block = 0.8;
+  params.k_inter_tier = 10.0;  // TSV/micro-bump bonded stack
+  return params;
+}
+
+Platform stacked_platform(std::size_t rows, std::size_t cols,
+                          std::size_t tiers,
+                          std::vector<double> levels = {0.6, 1.3}) {
+  return make_grid_platform(rows, cols,
+                            power::VoltageLevels(std::move(levels)),
+                            stacked_params(tiers));
+}
+
+/// Planar control with the same strengthened package (fair comparisons).
+Platform planar_control(std::size_t rows, std::size_t cols,
+                        std::vector<double> levels = {0.6, 1.3}) {
+  return make_grid_platform(rows, cols,
+                            power::VoltageLevels(std::move(levels)),
+                            stacked_params(1));
+}
+
+TEST(Stacked, NodeAndCoreCounts) {
+  const Platform p = stacked_platform(2, 2, 3);
+  EXPECT_EQ(p.num_cores(), 12u);  // 3 tiers x 4 sites
+  // 12 die + 4 spreader + 4 sink + 2 rims.
+  EXPECT_EQ(p.model->num_nodes(), 22u);
+  const auto& net = p.model->network();
+  EXPECT_EQ(net.num_tiers(), 3u);
+  EXPECT_EQ(net.sites_per_tier(), 4u);
+  EXPECT_EQ(net.tier_of(0), 0u);
+  EXPECT_EQ(net.tier_of(11), 2u);
+  EXPECT_EQ(net.site_of(5), 1u);
+  // All tiers of a column share spreader and sink nodes.
+  EXPECT_EQ(net.spreader_node(1), net.spreader_node(5));
+  EXPECT_EQ(net.sink_node(1), net.sink_node(9));
+}
+
+TEST(Stacked, SingleTierMatchesLegacyBehavior) {
+  const Platform flat = planar_control(1, 3);
+  const Platform one_tier = stacked_platform(1, 3, 1);
+  const linalg::Vector v{1.2, 0.9, 1.1};
+  const linalg::Vector t_flat = flat.model->steady_state(v);
+  const linalg::Vector t_one = one_tier.model->steady_state(v);
+  EXPECT_TRUE(linalg::allclose(flat.model->core_rises(t_flat),
+                               one_tier.model->core_rises(t_one)));
+}
+
+TEST(Stacked, RunawayRejected) {
+  // Stacking on the default weak package multiplies the per-column leakage
+  // feedback past the conduction budget (beta * R_column >= 1): a real
+  // thermal runaway, which the model refuses to construct.  Two tiers on a
+  // 2x2 survive; three tiers on a narrow 1x2 footprint do not.
+  thermal::HotSpotParams weak;
+  weak.die_tiers = 3;  // default r_convection_block = 2.0 K/W
+  EXPECT_THROW(make_grid_platform(1, 2, power::VoltageLevels({0.6, 1.3}),
+                                  weak),
+               ContractViolation);
+}
+
+TEST(Stacked, UpperTiersRunHotterUnderUniformLoad) {
+  const Platform p = stacked_platform(2, 2, 2);
+  const linalg::Vector t = p.model->steady_state(
+      linalg::Vector(p.num_cores(), 1.0));
+  const linalg::Vector cores = p.model->core_rises(t);
+  for (std::size_t site = 0; site < 4; ++site) {
+    EXPECT_GT(cores[4 + site], cores[site])
+        << "tier-1 core above tier-0 core at site " << site;
+  }
+}
+
+TEST(Stacked, StackingRaisesTemperatureVsPlanarSameCoreCount) {
+  // 8 cores as a 2-tier 2x2 stack run hotter than as a planar 2x4 grid at
+  // the same per-core load — the longer heat removal path.
+  const Platform stacked = stacked_platform(2, 2, 2);
+  const Platform planar = planar_control(2, 4);
+  const linalg::Vector v(8, 1.0);
+  const double hot_stacked =
+      stacked.model->max_core_rise(stacked.model->steady_state(v));
+  const double hot_planar =
+      planar.model->max_core_rise(planar.model->steady_state(v));
+  EXPECT_GT(hot_stacked, hot_planar);
+}
+
+TEST(Stacked, SystemRemainsStable) {
+  for (std::size_t tiers : {2u, 3u, 4u}) {
+    const Platform p = stacked_platform(1, 2, tiers);
+    EXPECT_TRUE(p.model->spectral().stable()) << tiers << " tiers";
+  }
+}
+
+TEST(Stacked, IdealVoltagesLowerOnUpperTiers) {
+  const Platform p = stacked_platform(2, 2, 2);
+  const IdealVoltages ideal =
+      ideal_constant_voltages(*p.model, p.rise_budget(55.0), 1.3);
+  for (std::size_t site = 0; site < 4; ++site) {
+    EXPECT_LT(ideal.voltages[4 + site], ideal.voltages[site] + 1e-12)
+        << "site " << site;
+  }
+}
+
+TEST(Stacked, SchedulersRunAndOrderCorrectly) {
+  const Platform p = stacked_platform(1, 2, 2);
+  const double t_max = 55.0;
+  const SchedulerResult lns = run_lns(p, t_max);
+  const SchedulerResult exs = run_exs(p, t_max);
+  const SchedulerResult ao = run_ao(p, t_max);
+  for (const auto* r : {&lns, &exs, &ao}) {
+    EXPECT_TRUE(r->feasible) << r->scheduler;
+    EXPECT_LE(r->peak_celsius, t_max + 1e-6) << r->scheduler;
+  }
+  EXPECT_GE(exs.throughput, lns.throughput - 1e-12);
+  EXPECT_GE(ao.throughput, exs.throughput - 1e-9);
+}
+
+TEST(Stacked, OscillationGainGrowsWithStacking) {
+  // The thermal headroom argument sharpens in 3D: AO's relative gain over
+  // EXS on a stacked chip is at least as large as on the planar chip with
+  // the same number of cores.
+  const Platform planar = planar_control(2, 2);
+  const Platform stacked = stacked_platform(1, 2, 2);
+  const double t_max = 55.0;
+  const double gain_planar = run_ao(planar, t_max).throughput /
+                             run_exs(planar, t_max).throughput;
+  const double gain_stacked = run_ao(stacked, t_max).throughput /
+                              run_exs(stacked, t_max).throughput;
+  EXPECT_GE(gain_stacked, gain_planar - 0.05);
+}
+
+TEST(Stacked, InvalidTierParamsViolateContract) {
+  thermal::HotSpotParams params;
+  params.die_tiers = 0;
+  EXPECT_THROW(
+      thermal::RcNetwork(thermal::Floorplan(1, 2, 4e-3), params),
+      ContractViolation);
+  params = thermal::HotSpotParams{};
+  params.k_inter_tier = -1.0;
+  EXPECT_THROW(
+      thermal::RcNetwork(thermal::Floorplan(1, 2, 4e-3), params),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::core

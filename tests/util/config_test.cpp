@@ -1,0 +1,115 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace foscil {
+namespace {
+
+TEST(Config, ParsesSectionsAndScalars) {
+  const Config c = Config::parse(
+      "top = 1\n"
+      "[platform]\n"
+      "rows = 3\n"
+      "cols=2\n"
+      "  edge  =  4.5  \n");
+  EXPECT_EQ(c.get_int("top"), 1);
+  EXPECT_EQ(c.get_int("platform.rows"), 3);
+  EXPECT_EQ(c.get_int("platform.cols"), 2);
+  EXPECT_DOUBLE_EQ(c.get_double("platform.edge"), 4.5);
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const Config c = Config::parse(
+      "# full-line comment\n"
+      "\n"
+      "a = 1  # trailing comment\n"
+      "b = 2  ; alt comment\n");
+  EXPECT_EQ(c.get_int("a"), 1);
+  EXPECT_EQ(c.get_int("b"), 2);
+}
+
+TEST(Config, ListsOfDoubles) {
+  const Config c = Config::parse("[levels]\nvalues = 0.6, 0.8,1.3\n");
+  const std::vector<double> v = c.get_doubles("levels.values");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.6);
+  EXPECT_DOUBLE_EQ(v[1], 0.8);
+  EXPECT_DOUBLE_EQ(v[2], 1.3);
+}
+
+TEST(Config, Booleans) {
+  const Config c = Config::parse(
+      "a = true\nb = no\nc = 1\nd = false\ne = maybe\n");
+  EXPECT_TRUE(c.get_bool("a"));
+  EXPECT_FALSE(c.get_bool("b"));
+  EXPECT_TRUE(c.get_bool("c"));
+  EXPECT_FALSE(c.get_bool("d"));
+  EXPECT_THROW((void)c.get_bool("e"), ConfigError);
+}
+
+TEST(Config, DefaultsForMissingKeys) {
+  const Config c = Config::parse("x = 7\n");
+  EXPECT_EQ(c.get_int_or("x", 1), 7);
+  EXPECT_EQ(c.get_int_or("y", 1), 1);
+  EXPECT_DOUBLE_EQ(c.get_double_or("z", 2.5), 2.5);
+  EXPECT_EQ(c.get_string_or("w", "fallback"), "fallback");
+  EXPECT_TRUE(c.has("x"));
+  EXPECT_FALSE(c.has("y"));
+}
+
+TEST(Config, MissingRequiredKeyThrows) {
+  const Config c = Config::parse("");
+  EXPECT_THROW((void)c.get_double("nope"), ConfigError);
+}
+
+TEST(Config, TypeMismatchesThrowWithKeyName) {
+  const Config c = Config::parse("word = hello\npartial = 3x\n");
+  try {
+    (void)c.get_double("word");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("word"), std::string::npos);
+  }
+  EXPECT_THROW((void)c.get_int("partial"), ConfigError);
+}
+
+TEST(Config, MalformedLinesReportLineNumbers) {
+  try {
+    (void)Config::parse("ok = 1\nthis line has no equals\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW((void)Config::parse("[unterminated\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse("[]\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse("= 3\n"), ConfigError);
+}
+
+TEST(Config, DuplicateKeysRejected) {
+  EXPECT_THROW((void)Config::parse("a = 1\na = 2\n"), ConfigError);
+  // Same key name in different sections is fine.
+  const Config c = Config::parse("[x]\na = 1\n[y]\na = 2\n");
+  EXPECT_EQ(c.get_int("x.a"), 1);
+  EXPECT_EQ(c.get_int("y.a"), 2);
+}
+
+TEST(Config, EmptyAndBadListElementsRejected) {
+  const Config c = Config::parse("l = 1.0, , 2.0\nm = 1.0, abc\n");
+  EXPECT_THROW((void)c.get_doubles("l"), ConfigError);
+  EXPECT_THROW((void)c.get_doubles("m"), ConfigError);
+}
+
+TEST(Config, KeysAreSorted) {
+  const Config c = Config::parse("b = 1\n[s]\na = 2\n");
+  const auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "b");
+  EXPECT_EQ(keys[1], "s.a");
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW((void)Config::load("/nonexistent/foscil.ini"), ConfigError);
+}
+
+}  // namespace
+}  // namespace foscil

@@ -1,0 +1,77 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.hpp"
+
+namespace foscil {
+namespace {
+
+TEST(Contracts, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(FOSCIL_EXPECTS(1 + 1 == 2));
+  EXPECT_NO_THROW(FOSCIL_ENSURES(true));
+  EXPECT_NO_THROW(FOSCIL_ASSERT(42 > 0));
+}
+
+TEST(Contracts, FailuresThrowContractViolation) {
+  EXPECT_THROW(FOSCIL_EXPECTS(false), ContractViolation);
+  EXPECT_THROW(FOSCIL_ENSURES(2 < 1), ContractViolation);
+  EXPECT_THROW(FOSCIL_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, MessageCarriesKindExpressionAndLocation) {
+  try {
+    FOSCIL_EXPECTS(1 == 2);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("Precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+  }
+  try {
+    FOSCIL_ENSURES(false);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("Postcondition"),
+              std::string::npos);
+  }
+  try {
+    FOSCIL_ASSERT(false);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("Invariant"),
+              std::string::npos);
+  }
+}
+
+TEST(Contracts, IsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(FOSCIL_EXPECTS(false), std::logic_error);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch timer;
+  // Busy-wait a tiny, bounded amount.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double t1 = timer.seconds();
+  EXPECT_GE(t1, 0.0);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double t2 = timer.seconds();
+  EXPECT_GE(t2, t1);  // monotone
+  EXPECT_NEAR(timer.millis(), timer.seconds() * 1e3,
+              timer.seconds() * 20.0);  // same clock, ~consistent units
+}
+
+TEST(Stopwatch, RestartResetsTheOrigin) {
+  Stopwatch timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink = sink + static_cast<double>(i);
+  const double before = timer.seconds();
+  timer.restart();
+  EXPECT_LE(timer.seconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace foscil

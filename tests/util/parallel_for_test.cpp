@@ -1,0 +1,86 @@
+#include "util/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace foscil {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SingleWorkerRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkStillCoversAll) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); }, 64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 57) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelReduce, SumsLikeSequential) {
+  const std::size_t n = 5000;
+  const double parallel_sum = parallel_reduce(
+      n, 0.0,
+      [](std::size_t i, double acc) { return acc + static_cast<double>(i); },
+      [](double a, double b) { return a + b; }, 4);
+  EXPECT_DOUBLE_EQ(parallel_sum, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ParallelReduce, DeterministicAcrossThreadCounts) {
+  // Max-reduction is order-insensitive; verify identical answers for
+  // different worker counts on the same data.
+  const std::size_t n = 1234;
+  auto body = [](std::size_t i, double acc) {
+    const double value = static_cast<double>((i * 2654435761u) % 1000);
+    return value > acc ? value : acc;
+  };
+  auto join = [](double a, double b) { return a > b ? a : b; };
+  const double one = parallel_reduce(n, -1.0, body, join, 1);
+  const double four = parallel_reduce(n, -1.0, body, join, 4);
+  const double nine = parallel_reduce(n, -1.0, body, join, 9);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, nine);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  const int result = parallel_reduce(
+      0, 42, [](std::size_t, int acc) { return acc + 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(HardwareParallelism, IsAtLeastOne) {
+  EXPECT_GE(hardware_parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace foscil

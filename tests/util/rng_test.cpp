@@ -1,0 +1,96 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace foscil {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 4.0);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 4.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int x = rng.uniform_int(3, 6);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 6);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, IndexStaysBelowBound) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, IndexOfZeroViolatesContract) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.index(0), ContractViolation);
+}
+
+TEST(Rng, PickReturnsElementOfVector) {
+  Rng rng(13);
+  const std::vector<int> pool{4, 8, 15, 16, 23, 42};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(pool);
+    EXPECT_NE(std::find(pool.begin(), pool.end(), x), pool.end());
+  }
+}
+
+TEST(Rng, PickEmptyViolatesContract) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.pick(std::vector<int>{}), ContractViolation);
+}
+
+TEST(Rng, SimplexSumsToOneWithPositiveParts) {
+  Rng rng(15);
+  for (std::size_t n : {1u, 3u, 10u}) {
+    const std::vector<double> w = rng.simplex(n);
+    ASSERT_EQ(w.size(), n);
+    double total = 0.0;
+    for (double x : w) {
+      EXPECT_GT(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, InvertedBoundsViolateContract) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), ContractViolation);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace foscil {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TextTable, RowArityMismatchViolatesContract) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, EmptyHeaderViolatesContract) {
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, ContractViolation);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, CsvQuotesSpecialCharacters) {
+  TextTable table({"key", "note"});
+  table.add_row({"plain", "hello"});
+  table.add_row({"commas", "a,b"});
+  table.add_row({"quotes", "say \"hi\""});
+  const std::string csv = table.csv();
+  EXPECT_NE(csv.find("key,note\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,hello\n"), std::string::npos);
+  EXPECT_NE(csv.find("commas,\"a,b\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("quotes,\"say \"\"hi\"\"\"\n"), std::string::npos);
+}
+
+TEST(Formatting, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456), "1.2346");
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Formatting, Celsius) { EXPECT_EQ(fmt_celsius(64.987), "64.99 C"); }
+
+TEST(Formatting, PercentCarriesSign) {
+  EXPECT_EQ(fmt_percent(0.112), "+11.2%");
+  EXPECT_EQ(fmt_percent(-0.05), "-5.0%");
+}
+
+}  // namespace
+}  // namespace foscil
