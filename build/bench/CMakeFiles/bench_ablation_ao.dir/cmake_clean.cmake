@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ao.dir/ablation_ao.cpp.o"
+  "CMakeFiles/bench_ablation_ao.dir/ablation_ao.cpp.o.d"
+  "bench_ablation_ao"
+  "bench_ablation_ao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pco.dir/ablation_pco.cpp.o"
+  "CMakeFiles/bench_ablation_pco.dir/ablation_pco.cpp.o.d"
+  "bench_ablation_pco"
+  "bench_ablation_pco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

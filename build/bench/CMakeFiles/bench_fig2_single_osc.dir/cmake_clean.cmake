@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_single_osc.dir/fig2_single_osc.cpp.o"
+  "CMakeFiles/bench_fig2_single_osc.dir/fig2_single_osc.cpp.o.d"
+  "bench_fig2_single_osc"
+  "bench_fig2_single_osc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_single_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_moscillating.dir/fig5_moscillating.cpp.o"
+  "CMakeFiles/bench_fig5_moscillating.dir/fig5_moscillating.cpp.o.d"
+  "bench_fig5_moscillating"
+  "bench_fig5_moscillating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_moscillating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tmax.dir/fig7_tmax.cpp.o"
+  "CMakeFiles/bench_fig7_tmax.dir/fig7_tmax.cpp.o.d"
+  "bench_fig7_tmax"
+  "bench_fig7_tmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reactive_baseline.dir/reactive_baseline.cpp.o"
+  "CMakeFiles/bench_reactive_baseline.dir/reactive_baseline.cpp.o.d"
+  "bench_reactive_baseline"
+  "bench_reactive_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reactive_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stack3d.dir/stack3d.cpp.o"
+  "CMakeFiles/bench_stack3d.dir/stack3d.cpp.o.d"
+  "bench_stack3d"
+  "bench_stack3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

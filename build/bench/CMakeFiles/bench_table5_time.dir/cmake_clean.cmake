@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_time.dir/table5_time.cpp.o"
+  "CMakeFiles/bench_table5_time.dir/table5_time.cpp.o.d"
+  "bench_table5_time"
+  "bench_table5_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_space.cpp" "examples/CMakeFiles/design_space.dir/design_space.cpp.o" "gcc" "examples/CMakeFiles/design_space.dir/design_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/foscil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/foscil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/foscil_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/foscil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/foscil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/foscil_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foscil_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foscil_cli.dir/foscil_cli.cpp.o"
+  "CMakeFiles/foscil_cli.dir/foscil_cli.cpp.o.d"
+  "foscil_cli"
+  "foscil_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foscil_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_audit.dir/schedule_audit.cpp.o"
+  "CMakeFiles/schedule_audit.dir/schedule_audit.cpp.o.d"
+  "schedule_audit"
+  "schedule_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

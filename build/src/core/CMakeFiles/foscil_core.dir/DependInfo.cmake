@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ao.cpp" "src/core/CMakeFiles/foscil_core.dir/ao.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/ao.cpp.o.d"
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/foscil_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/config_loader.cpp" "src/core/CMakeFiles/foscil_core.dir/config_loader.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/config_loader.cpp.o.d"
+  "/root/repo/src/core/exs.cpp" "src/core/CMakeFiles/foscil_core.dir/exs.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/exs.cpp.o.d"
+  "/root/repo/src/core/ideal.cpp" "src/core/CMakeFiles/foscil_core.dir/ideal.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/ideal.cpp.o.d"
+  "/root/repo/src/core/lns.cpp" "src/core/CMakeFiles/foscil_core.dir/lns.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/lns.cpp.o.d"
+  "/root/repo/src/core/pco.cpp" "src/core/CMakeFiles/foscil_core.dir/pco.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/pco.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/foscil_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/reactive.cpp" "src/core/CMakeFiles/foscil_core.dir/reactive.cpp.o" "gcc" "src/core/CMakeFiles/foscil_core.dir/reactive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/foscil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/foscil_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/foscil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/foscil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foscil_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/foscil_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foscil_core.dir/ao.cpp.o"
+  "CMakeFiles/foscil_core.dir/ao.cpp.o.d"
+  "CMakeFiles/foscil_core.dir/audit.cpp.o"
+  "CMakeFiles/foscil_core.dir/audit.cpp.o.d"
+  "CMakeFiles/foscil_core.dir/config_loader.cpp.o"
+  "CMakeFiles/foscil_core.dir/config_loader.cpp.o.d"
+  "CMakeFiles/foscil_core.dir/exs.cpp.o"
+  "CMakeFiles/foscil_core.dir/exs.cpp.o.d"
+  "CMakeFiles/foscil_core.dir/ideal.cpp.o"
+  "CMakeFiles/foscil_core.dir/ideal.cpp.o.d"
+  "CMakeFiles/foscil_core.dir/lns.cpp.o"
+  "CMakeFiles/foscil_core.dir/lns.cpp.o.d"
+  "CMakeFiles/foscil_core.dir/pco.cpp.o"
+  "CMakeFiles/foscil_core.dir/pco.cpp.o.d"
+  "CMakeFiles/foscil_core.dir/platform.cpp.o"
+  "CMakeFiles/foscil_core.dir/platform.cpp.o.d"
+  "CMakeFiles/foscil_core.dir/reactive.cpp.o"
+  "CMakeFiles/foscil_core.dir/reactive.cpp.o.d"
+  "libfoscil_core.a"
+  "libfoscil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foscil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

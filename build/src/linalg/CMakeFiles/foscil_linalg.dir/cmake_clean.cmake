@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foscil_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/foscil_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/foscil_linalg.dir/expm.cpp.o"
+  "CMakeFiles/foscil_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/foscil_linalg.dir/lu.cpp.o"
+  "CMakeFiles/foscil_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/foscil_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/foscil_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/foscil_linalg.dir/ode.cpp.o"
+  "CMakeFiles/foscil_linalg.dir/ode.cpp.o.d"
+  "CMakeFiles/foscil_linalg.dir/spectral.cpp.o"
+  "CMakeFiles/foscil_linalg.dir/spectral.cpp.o.d"
+  "libfoscil_linalg.a"
+  "libfoscil_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foscil_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

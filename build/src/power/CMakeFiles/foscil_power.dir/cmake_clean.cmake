@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foscil_power.dir/dvfs.cpp.o"
+  "CMakeFiles/foscil_power.dir/dvfs.cpp.o.d"
+  "libfoscil_power.a"
+  "libfoscil_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foscil_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfoscil_power.a"
+)

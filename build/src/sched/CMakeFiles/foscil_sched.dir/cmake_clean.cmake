@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foscil_sched.dir/schedule.cpp.o"
+  "CMakeFiles/foscil_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/foscil_sched.dir/transforms.cpp.o"
+  "CMakeFiles/foscil_sched.dir/transforms.cpp.o.d"
+  "libfoscil_sched.a"
+  "libfoscil_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foscil_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/peak.cpp" "src/sim/CMakeFiles/foscil_sim.dir/peak.cpp.o" "gcc" "src/sim/CMakeFiles/foscil_sim.dir/peak.cpp.o.d"
+  "/root/repo/src/sim/steady.cpp" "src/sim/CMakeFiles/foscil_sim.dir/steady.cpp.o" "gcc" "src/sim/CMakeFiles/foscil_sim.dir/steady.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/foscil_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/foscil_sim.dir/trace_io.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/foscil_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/foscil_sim.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/foscil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/foscil_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/foscil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/foscil_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foscil_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

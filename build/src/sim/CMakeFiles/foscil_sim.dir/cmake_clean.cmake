@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foscil_sim.dir/peak.cpp.o"
+  "CMakeFiles/foscil_sim.dir/peak.cpp.o.d"
+  "CMakeFiles/foscil_sim.dir/steady.cpp.o"
+  "CMakeFiles/foscil_sim.dir/steady.cpp.o.d"
+  "CMakeFiles/foscil_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/foscil_sim.dir/trace_io.cpp.o.d"
+  "CMakeFiles/foscil_sim.dir/transient.cpp.o"
+  "CMakeFiles/foscil_sim.dir/transient.cpp.o.d"
+  "libfoscil_sim.a"
+  "libfoscil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foscil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foscil_thermal.dir/floorplan.cpp.o"
+  "CMakeFiles/foscil_thermal.dir/floorplan.cpp.o.d"
+  "CMakeFiles/foscil_thermal.dir/model.cpp.o"
+  "CMakeFiles/foscil_thermal.dir/model.cpp.o.d"
+  "CMakeFiles/foscil_thermal.dir/rc_network.cpp.o"
+  "CMakeFiles/foscil_thermal.dir/rc_network.cpp.o.d"
+  "libfoscil_thermal.a"
+  "libfoscil_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foscil_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foscil_util.dir/config.cpp.o"
+  "CMakeFiles/foscil_util.dir/config.cpp.o.d"
+  "CMakeFiles/foscil_util.dir/table.cpp.o"
+  "CMakeFiles/foscil_util.dir/table.cpp.o.d"
+  "libfoscil_util.a"
+  "libfoscil_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foscil_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ao_options_test.cpp" "tests/CMakeFiles/test_core.dir/core/ao_options_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ao_options_test.cpp.o.d"
+  "/root/repo/tests/core/ao_test.cpp" "tests/CMakeFiles/test_core.dir/core/ao_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ao_test.cpp.o.d"
+  "/root/repo/tests/core/audit_test.cpp" "tests/CMakeFiles/test_core.dir/core/audit_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/audit_test.cpp.o.d"
+  "/root/repo/tests/core/config_loader_test.cpp" "tests/CMakeFiles/test_core.dir/core/config_loader_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_loader_test.cpp.o.d"
+  "/root/repo/tests/core/exs_test.cpp" "tests/CMakeFiles/test_core.dir/core/exs_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/exs_test.cpp.o.d"
+  "/root/repo/tests/core/heterogeneous_test.cpp" "tests/CMakeFiles/test_core.dir/core/heterogeneous_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/heterogeneous_test.cpp.o.d"
+  "/root/repo/tests/core/ideal_test.cpp" "tests/CMakeFiles/test_core.dir/core/ideal_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ideal_test.cpp.o.d"
+  "/root/repo/tests/core/integration_test.cpp" "tests/CMakeFiles/test_core.dir/core/integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/integration_test.cpp.o.d"
+  "/root/repo/tests/core/lns_test.cpp" "tests/CMakeFiles/test_core.dir/core/lns_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lns_test.cpp.o.d"
+  "/root/repo/tests/core/pco_test.cpp" "tests/CMakeFiles/test_core.dir/core/pco_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pco_test.cpp.o.d"
+  "/root/repo/tests/core/reactive_test.cpp" "tests/CMakeFiles/test_core.dir/core/reactive_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/reactive_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/foscil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/foscil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/foscil_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/foscil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/foscil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/foscil_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foscil_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/ao_options_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ao_options_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ao_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ao_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/audit_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/audit_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_loader_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_loader_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/exs_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/exs_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/heterogeneous_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/heterogeneous_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ideal_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ideal_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lns_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lns_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pco_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pco_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/reactive_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/reactive_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/eigen_sym_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/eigen_sym_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/eigen_sym_test.cpp.o.d"
+  "/root/repo/tests/linalg/expm_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/expm_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/expm_test.cpp.o.d"
+  "/root/repo/tests/linalg/hardening_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/hardening_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/hardening_test.cpp.o.d"
+  "/root/repo/tests/linalg/lu_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/lu_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/lu_test.cpp.o.d"
+  "/root/repo/tests/linalg/matrix_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg/ode_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/ode_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/ode_test.cpp.o.d"
+  "/root/repo/tests/linalg/spectral_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/spectral_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/spectral_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/foscil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/foscil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/foscil_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/foscil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/foscil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/foscil_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/foscil_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

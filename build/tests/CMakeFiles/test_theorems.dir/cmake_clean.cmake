@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theorems.dir/theorems/extension_platforms_test.cpp.o"
+  "CMakeFiles/test_theorems.dir/theorems/extension_platforms_test.cpp.o.d"
+  "CMakeFiles/test_theorems.dir/theorems/property1_test.cpp.o"
+  "CMakeFiles/test_theorems.dir/theorems/property1_test.cpp.o.d"
+  "CMakeFiles/test_theorems.dir/theorems/theorem1_test.cpp.o"
+  "CMakeFiles/test_theorems.dir/theorems/theorem1_test.cpp.o.d"
+  "CMakeFiles/test_theorems.dir/theorems/theorem2_test.cpp.o"
+  "CMakeFiles/test_theorems.dir/theorems/theorem2_test.cpp.o.d"
+  "CMakeFiles/test_theorems.dir/theorems/theorem34_test.cpp.o"
+  "CMakeFiles/test_theorems.dir/theorems/theorem34_test.cpp.o.d"
+  "CMakeFiles/test_theorems.dir/theorems/theorem5_test.cpp.o"
+  "CMakeFiles/test_theorems.dir/theorems/theorem5_test.cpp.o.d"
+  "CMakeFiles/test_theorems.dir/theorems/theorem_sweep_test.cpp.o"
+  "CMakeFiles/test_theorems.dir/theorems/theorem_sweep_test.cpp.o.d"
+  "test_theorems"
+  "test_theorems.pdb"
+  "test_theorems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal.dir/thermal/calibration_test.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/calibration_test.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/floorplan_test.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/floorplan_test.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/model_test.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/model_test.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/rc_network_test.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/rc_network_test.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/stacked_test.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/stacked_test.cpp.o.d"
+  "test_thermal"
+  "test_thermal.pdb"
+  "test_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
