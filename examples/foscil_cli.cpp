@@ -4,7 +4,10 @@
 //   $ ./examples/foscil_cli examples/configs/stacked_2x2x2.ini ao
 //
 // The second argument restricts the run to one scheduler
-// (lns | exs | ao | pco | reactive | all; default all).  See
+// (lns | exs | ao | pco | reactive | guard | all; default all).  "guard"
+// executes AO closed-loop on the faulted plant described by the config's
+// [faults] section (inert when absent); "all" includes it automatically
+// whenever the config carries [faults] keys.  See
 // src/core/config_loader.hpp for the recognized config keys.
 #include <cstdio>
 #include <cstring>
@@ -13,6 +16,7 @@
 #include "core/ao.hpp"
 #include "core/config_loader.hpp"
 #include "core/exs.hpp"
+#include "core/guard.hpp"
 #include "core/lns.hpp"
 #include "core/pco.hpp"
 #include "core/reactive.hpp"
@@ -30,9 +34,24 @@ void add_result(TextTable& table, const core::SchedulerResult& r) {
                  r.feasible ? "yes" : "NO"});
 }
 
+void print_guard_details(const core::GuardResult& guarded) {
+  std::printf(
+      "\nguard: band %.2f K, final derate %.2f K, %zu polls, "
+      "%zu fallbacks, %zu reentries, %zu replans%s\n"
+      "       true peak rise %.2f K (seen %.2f K), %zu violations, "
+      "%zu dropped / %zu delayed transitions\n"
+      "       retained %.1f%% of nominal AO throughput\n",
+      guarded.guard_band, guarded.final_derate, guarded.polls,
+      guarded.fallbacks, guarded.reentries, guarded.replans,
+      guarded.saturated ? ", SATURATED" : "", guarded.true_peak_rise,
+      guarded.seen_peak_rise, guarded.violations,
+      guarded.dropped_transitions, guarded.delayed_transitions,
+      guarded.throughput_retained() * 100.0);
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <config.ini> [lns|exs|ao|pco|reactive|all]\n",
+               "usage: %s <config.ini> [lns|exs|ao|pco|reactive|guard|all]\n",
                argv0);
   return 2;
 }
@@ -78,8 +97,22 @@ int main(int argc, char** argv) {
     }
     if (all || which == "reactive")
       add_result(table, core::run_reactive(platform, t_max).result);
+
+    const bool want_guard =
+        which == "guard" || (all && core::has_faults_config(config));
+    core::GuardResult guarded;
+    if (want_guard) {
+      const sim::FaultSpec faults = core::faults_from_config(config);
+      core::GuardOptions guard_options =
+          core::guard_options_from_config(config);
+      guard_options.ao = ao_options;
+      guarded = core::run_guarded_ao(platform, t_max, faults, guard_options);
+      add_result(table, guarded.result);
+    }
+
     if (table.rows() == 0) return usage(argv[0]);
     std::printf("%s", table.str().c_str());
+    if (want_guard) print_guard_details(guarded);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -123,8 +123,11 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
   FOSCIL_EXPECTS(options.transition_overhead >= 0.0);
   FOSCIL_EXPECTS(options.t_unit_fraction > 0.0 &&
                  options.t_unit_fraction < 1.0);
+  FOSCIL_EXPECTS(options.t_max_margin >= 0.0);
   const Stopwatch timer;
-  const double rise_target = platform.rise_budget(t_max_c);
+  const double rise_target =
+      platform.rise_budget(t_max_c) - options.t_max_margin;
+  FOSCIL_EXPECTS(rise_target > 0.0);
   const auto& model = *platform.model;
   const sim::SteadyStateAnalyzer analyzer(platform.model);
   const double tau = options.transition_overhead;

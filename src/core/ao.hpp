@@ -47,6 +47,11 @@ struct AoOptions {
   int m_search_patience = 8;          ///< stop after this many non-improving m
   TptPolicy tpt_policy = TptPolicy::kBestTradeoff;
   ModeChoice mode_choice = ModeChoice::kNeighboring;
+  /// Guard band (K) subtracted from the rise budget before planning: the
+  /// whole pipeline (ideal voltages, TPT loop, feasibility) targets
+  /// T_max - t_max_margin.  The closed-loop guard (core/guard.hpp) derives
+  /// this from a fault/uncertainty set; 0 reproduces the paper exactly.
+  double t_max_margin = 0.0;
 };
 
 [[nodiscard]] SchedulerResult run_ao(const Platform& platform, double t_max_c,

@@ -1,8 +1,30 @@
 #include "core/config_loader.hpp"
 
+#include <cmath>
+#include <string>
+
 namespace foscil::core {
 
 namespace {
+
+/// ConfigError with the offending section.key in the message.
+[[noreturn]] void reject(const std::string& key, const std::string& why) {
+  throw ConfigError("key '" + key + "' " + why);
+}
+
+double probability_from_config(const Config& config, const char* key,
+                               double fallback) {
+  const double p = config.get_double_or(key, fallback);
+  if (p < 0.0 || p > 1.0) reject(key, "must be a probability in [0, 1]");
+  return p;
+}
+
+double positive_from_config(const Config& config, const char* key,
+                            double fallback) {
+  const double v = config.get_double_or(key, fallback);
+  if (v <= 0.0) reject(key, "must be > 0");
+  return v;
+}
 
 power::VoltageLevels levels_from_config(const Config& config) {
   const bool has_values = config.has("levels.values");
@@ -82,10 +104,12 @@ power::PowerModel power_from_config(const Config& config,
 }  // namespace
 
 Platform platform_from_config(const Config& config) {
-  const auto rows =
-      static_cast<std::size_t>(config.get_int("platform.rows"));
-  const auto cols =
-      static_cast<std::size_t>(config.get_int("platform.cols"));
+  const long rows_raw = config.get_int("platform.rows");
+  const long cols_raw = config.get_int("platform.cols");
+  if (rows_raw < 1) reject("platform.rows", "must be >= 1");
+  if (cols_raw < 1) reject("platform.cols", "must be >= 1");
+  const auto rows = static_cast<std::size_t>(rows_raw);
+  const auto cols = static_cast<std::size_t>(cols_raw);
   const double edge_m =
       config.get_double_or("platform.core_edge_mm", 4.0) * 1e-3;
 
@@ -117,11 +141,124 @@ AoOptions ao_options_from_config(const Config& config) {
                                                  options.t_unit_fraction);
   options.max_m =
       static_cast<int>(config.get_int_or("ao.max_m", options.max_m));
+  options.t_max_margin = config.get_double_or("ao.t_max_margin_k",
+                                              options.t_max_margin);
+  if (options.t_max_margin < 0.0)
+    reject("ao.t_max_margin_k", "must be >= 0");
   return options;
 }
 
 double t_max_from_config(const Config& config) {
   return config.get_double_or("run.t_max_c", 55.0);
+}
+
+bool has_faults_config(const Config& config) {
+  for (const std::string& key : config.keys())
+    if (key.rfind("faults.", 0) == 0) return true;
+  return false;
+}
+
+sim::FaultSpec faults_from_config(const Config& config) {
+  sim::FaultSpec spec;
+  if (config.has("faults.intensity")) {
+    const double intensity = config.get_double("faults.intensity");
+    if (intensity < 0.0 || intensity > 1.0)
+      reject("faults.intensity", "must be in [0, 1]");
+    spec = sim::FaultSpec::at_intensity(intensity);
+  }
+
+  spec.seed = static_cast<std::uint64_t>(
+      config.get_int_or("faults.seed", static_cast<long>(spec.seed)));
+  spec.sensors.bias_k =
+      config.get_double_or("faults.sensor_bias_k", spec.sensors.bias_k);
+  spec.sensors.noise_sigma_k = config.get_double_or(
+      "faults.sensor_noise_k", spec.sensors.noise_sigma_k);
+  if (spec.sensors.noise_sigma_k < 0.0)
+    reject("faults.sensor_noise_k", "must be >= 0");
+  if (config.has("faults.stuck_sensors")) {
+    spec.sensors.stuck_cores.clear();
+    for (double value : config.get_doubles("faults.stuck_sensors")) {
+      if (value < 0.0 || value != std::floor(value))
+        reject("faults.stuck_sensors",
+               "must list non-negative core indices");
+      spec.sensors.stuck_cores.push_back(static_cast<std::size_t>(value));
+    }
+  }
+  spec.sensors.stuck_at_k =
+      config.get_double_or("faults.stuck_at_k", spec.sensors.stuck_at_k);
+
+  spec.transitions.drop_probability = probability_from_config(
+      config, "faults.drop_probability", spec.transitions.drop_probability);
+  spec.transitions.delay_probability = probability_from_config(
+      config, "faults.delay_probability",
+      spec.transitions.delay_probability);
+  if (config.has("faults.delay_ms"))
+    spec.transitions.delay_s = config.get_double("faults.delay_ms") * 1e-3;
+  if (spec.transitions.delay_s < 0.0)
+    reject("faults.delay_ms", "must be >= 0");
+  if (spec.transitions.delay_probability > 0.0 &&
+      spec.transitions.delay_s <= 0.0)
+    reject("faults.delay_ms",
+           "must be > 0 when faults.delay_probability is set");
+
+  spec.r_convection_scale = positive_from_config(
+      config, "faults.r_convection_scale", spec.r_convection_scale);
+  spec.k_tim_scale = positive_from_config(config, "faults.k_tim_scale",
+                                          spec.k_tim_scale);
+  spec.c_scale =
+      positive_from_config(config, "faults.c_scale", spec.c_scale);
+  spec.alpha_scale = positive_from_config(config, "faults.alpha_scale",
+                                          spec.alpha_scale);
+  spec.beta_scale = positive_from_config(config, "faults.beta_scale",
+                                         spec.beta_scale);
+  spec.gamma_scale = positive_from_config(config, "faults.gamma_scale",
+                                          spec.gamma_scale);
+  spec.power_jitter =
+      config.get_double_or("faults.power_jitter", spec.power_jitter);
+  if (spec.power_jitter < 0.0 || spec.power_jitter >= 1.0)
+    reject("faults.power_jitter", "must be in [0, 1)");
+
+  spec.ambient_drift_c =
+      config.get_double_or("faults.ambient_drift_c", spec.ambient_drift_c);
+  if (spec.ambient_drift_c < 0.0)
+    reject("faults.ambient_drift_c", "must be >= 0");
+  spec.ambient_drift_period_s =
+      positive_from_config(config, "faults.ambient_drift_period_s",
+                           spec.ambient_drift_period_s);
+  spec.check();
+  return spec;
+}
+
+GuardOptions guard_options_from_config(const Config& config) {
+  GuardOptions options;
+  options.ao = ao_options_from_config(config);
+  options.horizon =
+      positive_from_config(config, "guard.horizon_s", options.horizon);
+  if (config.has("guard.control_period_ms"))
+    options.control_period =
+        config.get_double("guard.control_period_ms") * 1e-3;
+  if (options.control_period <= 0.0)
+    reject("guard.control_period_ms", "must be > 0");
+  options.samples_per_tick = static_cast<int>(config.get_int_or(
+      "guard.samples_per_tick", options.samples_per_tick));
+  options.trip_margin = positive_from_config(config, "guard.trip_margin_k",
+                                             options.trip_margin);
+  options.reentry_margin = config.get_double_or("guard.reentry_margin_k",
+                                                options.reentry_margin);
+  options.backoff_initial = positive_from_config(
+      config, "guard.backoff_initial_s", options.backoff_initial);
+  options.backoff_factor = config.get_double_or("guard.backoff_factor",
+                                                options.backoff_factor);
+  options.backoff_max =
+      config.get_double_or("guard.backoff_max_s", options.backoff_max);
+  options.escalate_after = static_cast<int>(
+      config.get_int_or("guard.escalate_after", options.escalate_after));
+  options.derate_step = positive_from_config(config, "guard.derate_step_k",
+                                             options.derate_step);
+  options.max_derate =
+      config.get_double_or("guard.max_derate_k", options.max_derate);
+  options.check();
+  return options;
 }
 
 }  // namespace foscil::core

@@ -13,12 +13,26 @@
 //              alpha_per_core / beta_per_core / gamma_per_core =
 //              comma-separated per-core lists (heterogeneous chips;
 //              must match the core count, tier-major order)
-//   [ao]       base_period_ms, tau_us, t_unit_fraction, max_m
+//   [ao]       base_period_ms, tau_us, t_unit_fraction, max_m,
+//              t_max_margin_k (0)
 //   [run]      t_max_c (55)
+//   [faults]   intensity (canonical mixed-fault dial; explicit keys below
+//              override it), seed, sensor_bias_k, sensor_noise_k,
+//              stuck_sensors (core indices), stuck_at_k,
+//              drop_probability, delay_probability, delay_ms,
+//              r_convection_scale, k_tim_scale, c_scale,
+//              alpha_scale, beta_scale, gamma_scale, power_jitter,
+//              ambient_drift_c, ambient_drift_period_s
+//   [guard]    horizon_s, control_period_ms, samples_per_tick,
+//              trip_margin_k, reentry_margin_k, backoff_initial_s,
+//              backoff_factor, backoff_max_s, escalate_after,
+//              derate_step_k, max_derate_k
 #pragma once
 
 #include "core/ao.hpp"
+#include "core/guard.hpp"
 #include "core/platform.hpp"
+#include "sim/faults.hpp"
 #include "util/config.hpp"
 
 namespace foscil::core {
@@ -31,5 +45,16 @@ namespace foscil::core {
 
 /// The requested peak-temperature threshold ([run] t_max_c, default 55 C).
 [[nodiscard]] double t_max_from_config(const Config& config);
+
+/// True when the config carries any [faults] key.
+[[nodiscard]] bool has_faults_config(const Config& config);
+
+/// Fault specification from [faults]; the zero (inert) spec when absent.
+/// `faults.intensity` seeds the canonical mix (sim::FaultSpec::at_intensity)
+/// and explicit keys override individual fields on top of it.
+[[nodiscard]] sim::FaultSpec faults_from_config(const Config& config);
+
+/// Guard options from [guard], with the [ao] options embedded.
+[[nodiscard]] GuardOptions guard_options_from_config(const Config& config);
 
 }  // namespace foscil::core

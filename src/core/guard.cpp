@@ -1,0 +1,386 @@
+#include "core/guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/steady.hpp"
+#include "util/stopwatch.hpp"
+
+namespace foscil::core {
+
+void GuardOptions::check() const {
+  FOSCIL_EXPECTS(horizon > 0.0);
+  FOSCIL_EXPECTS(control_period > 0.0);
+  FOSCIL_EXPECTS(horizon >= control_period);
+  FOSCIL_EXPECTS(samples_per_tick >= 1);
+  FOSCIL_EXPECTS(trip_margin > 0.0);
+  FOSCIL_EXPECTS(reentry_margin >= 0.0);
+  FOSCIL_EXPECTS(backoff_initial > 0.0);
+  FOSCIL_EXPECTS(backoff_factor >= 1.0);
+  FOSCIL_EXPECTS(backoff_max >= backoff_initial);
+  FOSCIL_EXPECTS(escalate_after >= 1);
+  FOSCIL_EXPECTS(derate_step > 0.0);
+  FOSCIL_EXPECTS(max_derate >= 0.0);
+}
+
+double guard_band(const Platform& platform, double t_max_c,
+                  const sim::FaultSpec& assumed) {
+  assumed.check();
+  const double budget = platform.rise_budget(t_max_c);
+
+  // Sensor + environment error translate into the estimate 1:1.
+  double band = std::abs(assumed.sensors.bias_k) +
+                3.0 * assumed.sensors.noise_sigma_k + assumed.ambient_drift_c;
+
+  // Plant mismatch.  A power-side scale lifts every rise 1:1 (the LTI map
+  // from power to rise is linear); a resistance scale lifts only the rise
+  // across that resistance, so weight it by the layer's rough share of the
+  // die-to-ambient stack (sink convection ~60%, TIM ~15%).
+  const double jitter = 1.0 + assumed.power_jitter;
+  const double power_excess =
+      std::max({assumed.alpha_scale * jitter, assumed.gamma_scale * jitter,
+                assumed.beta_scale}) -
+      1.0;
+  const double sink_excess = 0.6 * (assumed.r_convection_scale - 1.0);
+  const double tim_excess = 0.15 * (1.0 / assumed.k_tim_scale - 1.0);
+  band += budget * (std::max(0.0, power_excess) + std::max(0.0, sink_excess) +
+                    std::max(0.0, tim_excess));
+
+  // Actuator headroom: a failed step-down stretches a high interval by the
+  // retry latency (one control period, ~1% of the oscillation period), so
+  // the operating point shifts toward the all-high steady state only by a
+  // sliver per failure.  Empirical coefficients; the trip/fallback loop
+  // covers what this underestimates.
+  band += budget * 0.05 * assumed.transitions.drop_probability;
+  band += budget * 0.02 * assumed.transitions.delay_probability;
+
+  // Leave at least half the budget to run in, or planning degenerates.
+  return std::min(band, 0.5 * budget);
+}
+
+namespace {
+
+/// Violation test shared by all three policies; tolerance mirrors AO's
+/// feasibility tolerance so an exactly-at-threshold plan is not a violation.
+bool violates(double effective_rise, double budget) {
+  return effective_rise > budget * (1.0 + 1e-6);
+}
+
+/// Delivered throughput: applied volt-seconds minus v_new * tau per applied
+/// transition (AO's stall accounting), per core per second.
+double delivered_throughput(const sim::FaultedPlant& plant, double tau,
+                            double horizon, std::size_t cores) {
+  const double delivered =
+      plant.work_integral() - plant.stall_volt_sum() * tau;
+  return delivered / (horizon * static_cast<double>(cores));
+}
+
+/// Largest whole number of schedule periods fitting the requested horizon
+/// (at least one).  Whole periods make the zero-fault delivered throughput
+/// agree with the schedule's eq.-5 throughput instead of carrying a
+/// partial-period remainder.
+double snap_horizon(double horizon, double period) {
+  return std::max(period, std::floor(horizon / period) * period);
+}
+
+/// Nominal stable-status state at the schedule's phase 0: every policy
+/// starts at the operating point, not on a cold chip (see
+/// FaultedPlant::warm_start).
+linalg::Vector stable_start(const Platform& platform,
+                            const sched::PeriodicSchedule& schedule) {
+  return sim::SteadyStateAnalyzer(platform.model).stable_boundary(schedule);
+}
+
+void finish_result(GuardResult& out, const Platform& platform,
+                   const sim::FaultedPlant& plant, double tau,
+                   double horizon) {
+  out.true_peak_rise = plant.true_peak_rise();
+  out.dropped_transitions = plant.transitions_dropped();
+  out.delayed_transitions = plant.transitions_delayed();
+  SchedulerResult& r = out.result;
+  r.feasible = out.violations == 0;
+  r.throughput =
+      delivered_throughput(plant, tau, horizon, platform.num_cores());
+  r.peak_rise = out.true_peak_rise;
+  r.peak_celsius = platform.to_celsius(out.true_peak_rise);
+  r.evaluations = out.polls;
+}
+
+}  // namespace
+
+GuardResult run_guarded_ao(const Platform& platform, double t_max_c,
+                           const sim::FaultSpec& injected,
+                           const GuardOptions& options) {
+  options.check();
+  injected.check();
+  const Stopwatch timer;
+  const double budget = platform.rise_budget(t_max_c);
+  const double tau = options.ao.transition_overhead;
+  const std::size_t cores = platform.num_cores();
+  const sim::FaultSpec& assumed =
+      options.assumed ? *options.assumed : injected;
+  const double band = guard_band(platform, t_max_c, assumed);
+
+  GuardResult out;
+  out.guard_band = band;
+
+  // Unfaulted reference (and the plan itself when no derating is needed).
+  const SchedulerResult nominal_ao = run_ao(platform, t_max_c, options.ao);
+  out.nominal_throughput = nominal_ao.throughput;
+
+  double derate = 0.0;
+  AoOptions plan_options = options.ao;
+  auto plan = [&]() {
+    plan_options.t_max_margin = std::min(
+        options.ao.t_max_margin + band + derate, 0.75 * budget);
+    return run_ao(platform, t_max_c, plan_options);
+  };
+  SchedulerResult planned =
+      (band == 0.0 && derate == 0.0) ? nominal_ao : plan();
+  const double horizon =
+      snap_horizon(options.horizon, planned.schedule.period());
+
+  sim::FaultedPlant plant(platform.model, injected);
+  const sim::TransientSimulator predictor(platform.model);
+  const auto& model = *platform.model;
+  linalg::Vector predicted = stable_start(platform, planned.schedule);
+  plant.warm_start(predicted);
+  const linalg::Vector lowest_v(cores, platform.levels.lowest());
+
+  // The trip statistic is the *deviation* of the bias-corrected sensors from
+  // the nominal prediction, not the absolute temperature: the band already
+  // derates the plan for in-envelope mismatch, so mismatch the band has paid
+  // for must not cost fallbacks too.  The envelope (band minus its bias
+  // share, which the correction cancels) bounds the deviation the assumed
+  // fault set can produce; only excess beyond it — the plant leaving the
+  // qualified envelope — trips, and every escalation widens the accepted
+  // envelope along with the extra derate it bought.
+  const double abs_bias = std::abs(assumed.sensors.bias_k);
+  const double envelope = band - abs_bias;
+  std::vector<sched::StateInterval> intervals =
+      planned.schedule.state_intervals();
+  double trip_dev = 0.0;
+  double reentry_dev = 0.0;
+  auto refresh_thresholds = [&]() {
+    trip_dev = envelope + derate + options.trip_margin;
+    reentry_dev =
+        trip_dev - std::min(options.reentry_margin, 0.5 * trip_dev);
+  };
+  refresh_thresholds();
+
+  enum class State { kNominal, kFallback };
+  State state = State::kNominal;
+  std::size_t iv = 0;
+  double iv_left = intervals.empty() ? 0.0 : intervals[0].length;
+  double backoff = options.backoff_initial;
+  double fallback_since = 0.0;
+  int trips_since_plan = 0;
+  int strikes = 0;
+  double t = 0.0;
+
+  while (t < horizon - 1e-12) {
+    const bool nominal = state == State::kNominal;
+    const linalg::Vector& requested =
+        nominal ? intervals[iv].voltages : lowest_v;
+    double chunk = std::min(options.control_period, horizon - t);
+    if (nominal) chunk = std::min(chunk, iv_left);
+
+    plant.request(requested);
+    const double span_peak = plant.advance(chunk, options.samples_per_tick);
+    predicted = predictor.advance(predicted, requested, chunk);
+    t += chunk;
+    if (nominal) {
+      iv_left -= chunk;
+      if (iv_left <= 1e-12) {
+        iv = (iv + 1) % intervals.size();
+        iv_left = intervals[iv].length;
+      }
+    }
+
+    if (violates(span_peak, budget)) ++out.violations;
+
+    const linalg::Vector seen = plant.read_sensors();
+    const linalg::Vector pred_rises = model.core_rises(predicted);
+    out.seen_peak_rise = std::max(out.seen_peak_rise, seen.max());
+    double deviation = seen[0] - pred_rises[0];
+    for (std::size_t i = 1; i < cores; ++i)
+      deviation = std::max(deviation, seen[i] - pred_rises[i]);
+    deviation += abs_bias;
+    ++out.polls;
+
+    if (state == State::kNominal) {
+      // Two consecutive over-threshold polls before tripping: a dropped
+      // step-down (retried next poll) or a noise tail produces a one-poll
+      // spike, while genuine envelope departure persists.  The debounce
+      // costs one control period of latency, thermally negligible.
+      strikes = deviation > trip_dev ? strikes + 1 : 0;
+      if (strikes >= 2) {
+        strikes = 0;
+        state = State::kFallback;
+        fallback_since = t;
+        ++out.fallbacks;
+        ++trips_since_plan;
+        if (trips_since_plan >= options.escalate_after && !out.saturated) {
+          derate += options.derate_step;
+          trips_since_plan = 0;
+          if (derate > options.max_derate) {
+            out.saturated = true;  // pinned at the lowest mode from here on
+          } else {
+            planned = plan();
+            ++out.replans;
+            intervals = planned.schedule.state_intervals();
+            refresh_thresholds();
+          }
+        }
+      }
+    } else if (!out.saturated && t - fallback_since >= backoff &&
+               deviation < reentry_dev) {
+      state = State::kNominal;
+      ++out.reentries;
+      iv = 0;
+      iv_left = intervals[0].length;
+      backoff = std::min(backoff * options.backoff_factor,
+                         options.backoff_max);
+    }
+  }
+
+  out.final_derate = derate;
+  finish_result(out, platform, plant, tau, horizon);
+  SchedulerResult& r = out.result;
+  r.scheduler = "AO+GUARD";
+  r.schedule = planned.schedule;
+  r.m = planned.m;
+  r.seconds = timer.seconds();
+  return out;
+}
+
+GuardResult run_open_loop(const Platform& platform, double t_max_c,
+                          const sched::PeriodicSchedule& schedule,
+                          const sim::FaultSpec& injected,
+                          const GuardOptions& options) {
+  options.check();
+  injected.check();
+  FOSCIL_EXPECTS(schedule.num_cores() == platform.num_cores());
+  const Stopwatch timer;
+  const double budget = platform.rise_budget(t_max_c);
+
+  GuardResult out;
+  const double horizon = snap_horizon(options.horizon, schedule.period());
+  sim::FaultedPlant plant(platform.model, injected);
+  plant.warm_start(stable_start(platform, schedule));
+  const std::vector<sched::StateInterval> intervals =
+      schedule.state_intervals();
+
+  // Reference: the schedule's eq.-5 throughput minus the v_new * tau stall
+  // cost of each per-core transition in one period (wrap-around included) —
+  // exactly what a fault-free plant delivers over whole periods.
+  double stall_per_period = 0.0;
+  for (std::size_t q = 0; q < intervals.size(); ++q) {
+    const auto& prev = intervals[(q + intervals.size() - 1) % intervals.size()];
+    for (std::size_t i = 0; i < platform.num_cores(); ++i)
+      if (intervals[q].voltages[i] != prev.voltages[i])
+        stall_per_period += intervals[q].voltages[i];
+  }
+  out.nominal_throughput =
+      schedule.throughput() -
+      stall_per_period * options.ao.transition_overhead /
+          (schedule.period() * static_cast<double>(platform.num_cores()));
+
+  std::size_t iv = 0;
+  double iv_left = intervals[0].length;
+  bool fresh_interval = true;
+  double t = 0.0;
+  while (t < horizon - 1e-12) {
+    // Open loop: the transition is issued once, at the interval boundary —
+    // nobody checks whether it took.
+    if (fresh_interval) {
+      plant.request(intervals[iv].voltages);
+      fresh_interval = false;
+    }
+    const double chunk =
+        std::min({options.control_period, horizon - t, iv_left});
+    const double span_peak = plant.advance(chunk, options.samples_per_tick);
+    t += chunk;
+    iv_left -= chunk;
+    if (iv_left <= 1e-12) {
+      iv = (iv + 1) % intervals.size();
+      iv_left = intervals[iv].length;
+      fresh_interval = true;
+    }
+    if (violates(span_peak, budget)) ++out.violations;
+    ++out.polls;
+  }
+
+  finish_result(out, platform, plant, options.ao.transition_overhead,
+                horizon);
+  SchedulerResult& r = out.result;
+  r.scheduler = "OPEN-LOOP";
+  r.schedule = schedule;
+  r.seconds = timer.seconds();
+  return out;
+}
+
+GuardResult run_reactive_on_plant(const Platform& platform, double t_max_c,
+                                  const sim::FaultSpec& injected,
+                                  const ReactiveOptions& reactive,
+                                  const GuardOptions& options) {
+  options.check();
+  injected.check();
+  FOSCIL_EXPECTS(reactive.poll_period > 0.0);
+  FOSCIL_EXPECTS(reactive.margin >= 0.0);
+  FOSCIL_EXPECTS(reactive.hysteresis >= 0.0);
+  const Stopwatch timer;
+  const double budget = platform.rise_budget(t_max_c);
+  const auto& levels = platform.levels.values();
+  const std::size_t cores = platform.num_cores();
+
+  const double step_down_at = budget - reactive.margin;
+  const double step_up_at = step_down_at - reactive.hysteresis;
+
+  GuardResult out;
+  // The governor takes over from AO at its operating point: same reference
+  // throughput and same warm start as the guarded run, so the comparison
+  // isolates the policies rather than their boot transients.
+  const SchedulerResult nominal_ao = run_ao(platform, t_max_c, options.ao);
+  out.nominal_throughput = nominal_ao.throughput;
+  sim::FaultedPlant plant(platform.model, injected);
+  plant.warm_start(stable_start(platform, nominal_ao.schedule));
+  std::vector<std::size_t> level_of(cores, 0);  // start at the lowest mode
+
+  double t = 0.0;
+  while (t < options.horizon - 1e-12) {
+    const double chunk =
+        std::min(reactive.poll_period, options.horizon - t);
+    linalg::Vector v(cores);
+    for (std::size_t i = 0; i < cores; ++i) v[i] = levels[level_of[i]];
+    // The governor rewrites the mode registers every tick, so dropped
+    // transitions get retried — same actuator contact as the guard.
+    plant.request(v);
+    const double span_peak = plant.advance(chunk, options.samples_per_tick);
+    t += chunk;
+    if (violates(span_peak, budget)) ++out.violations;
+
+    const linalg::Vector seen = plant.read_sensors();
+    for (std::size_t i = 0; i < cores; ++i) {
+      out.seen_peak_rise = std::max(out.seen_peak_rise, seen[i]);
+      if (seen[i] > step_down_at && level_of[i] > 0) {
+        --level_of[i];
+      } else if (seen[i] < step_up_at && level_of[i] + 1 < levels.size()) {
+        ++level_of[i];
+      }
+    }
+    ++out.polls;
+  }
+
+  finish_result(out, platform, plant, options.ao.transition_overhead,
+                options.horizon);
+  SchedulerResult& r = out.result;
+  r.scheduler = "REACTIVE";
+  linalg::Vector final_v(cores);
+  for (std::size_t i = 0; i < cores; ++i) final_v[i] = levels[level_of[i]];
+  r.schedule = sched::PeriodicSchedule::constant(final_v, 1.0);
+  r.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace foscil::core

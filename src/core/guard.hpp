@@ -1,0 +1,134 @@
+// Closed-loop thermal guard: keep AO schedules safe under model mismatch.
+//
+// AO (Alg. 2) is open-loop — its peak-temperature guarantee holds only if
+// the RC model, the power coefficients, the sensors, and the DVFS actuator
+// all behave exactly as assumed.  The guard wraps the nominal AO schedule in
+// a supervisory loop executed against a (possibly faulted) plant:
+//
+//   plan      AO at T_max derated by a guard band derived from the assumed
+//             uncertainty set (AoOptions::t_max_margin) — this derating, not
+//             the trip wire, is what absorbs in-envelope faults;
+//   watch     each poll, compare the bias-corrected sensor readings against
+//             a nominal-model prediction integrated from the *requested*
+//             voltages; their deviation measures how far the plant has left
+//             the qualified envelope;
+//   trip      when the deviation climbs trip_margin beyond what the assumed
+//             fault set can explain, issue an emergency step-down to the
+//             lowest mode, re-requested every poll so dropped transitions
+//             are retried;
+//   re-enter  once the deviation falls reentry_margin below the trip point
+//             AND an exponential backoff has elapsed, restart the nominal
+//             schedule from phase 0;
+//   escalate  after escalate_after trips since the last (re)plan the
+//             mismatch is persistent: derate T_max by another derate_step
+//             and re-run AO, up to max_derate, after which the guard
+//             saturates at the lowest mode for the rest of the horizon.
+//
+// The same executor also runs a schedule open-loop (what plain AO would do
+// on the faulted chip) and the reactive baseline against the same plant, so
+// robustness experiments compare all three policies on identical ground
+// truth.
+#pragma once
+
+#include <optional>
+
+#include "core/ao.hpp"
+#include "core/platform.hpp"
+#include "core/reactive.hpp"
+#include "core/result.hpp"
+#include "sim/faults.hpp"
+
+namespace foscil::core {
+
+struct GuardOptions {
+  double horizon = 60.0;         ///< simulated seconds
+  double control_period = 2e-3;  ///< max s between sensor polls / decisions
+  int samples_per_tick = 2;      ///< interior samples per poll interval for
+                                 ///< true-peak tracking
+  double trip_margin = 0.3;      ///< K of sensor-vs-prediction deviation
+                                 ///< beyond the assumed envelope that trips
+                                 ///< an emergency step-down
+  double reentry_margin = 2.0;   ///< K of deviation hysteresis below the
+                                 ///< trip point required to re-enter the
+                                 ///< nominal schedule (clamped to half the
+                                 ///< trip point so re-entry stays reachable)
+  double backoff_initial = 0.25; ///< s in fallback before the first retry
+  double backoff_factor = 2.0;   ///< backoff growth per consecutive trip
+  double backoff_max = 8.0;      ///< s, backoff ceiling
+  int escalate_after = 3;        ///< trips since last plan that trigger a
+                                 ///< margin escalation + AO re-plan
+  double derate_step = 1.0;      ///< K of extra T_max margin per escalation
+  double max_derate = 6.0;       ///< K; beyond this the guard saturates low
+  AoOptions ao;                  ///< planning options (margin added on top)
+  /// Uncertainty set the guard defends against; defaults to the injected
+  /// spec (the operator knows the qualification envelope).  Setting it
+  /// weaker than the injected faults exercises the escalation path.
+  std::optional<sim::FaultSpec> assumed;
+
+  void check() const;
+};
+
+/// Outcome of one guarded (or open-loop, or reactive) run on a faulted
+/// plant; comparable with SchedulerResult via `result`.
+struct GuardResult {
+  SchedulerResult result;        ///< throughput is *delivered* work/s/core
+  double true_peak_rise = 0.0;   ///< max true rise incl. ambient drift
+  double seen_peak_rise = 0.0;   ///< max rise the faulted sensors reported
+  std::size_t violations = 0;    ///< polls whose true temp exceeded T_max
+  std::size_t polls = 0;         ///< control decisions taken
+  std::size_t fallbacks = 0;     ///< emergency step-downs issued
+  std::size_t reentries = 0;     ///< successful returns to the schedule
+  std::size_t replans = 0;       ///< margin escalations (AO re-runs)
+  bool saturated = false;        ///< gave up: pinned low after max_derate
+  double guard_band = 0.0;       ///< K derived from the assumed fault set
+  double final_derate = 0.0;     ///< K of escalation margin at horizon end
+  std::size_t dropped_transitions = 0;
+  std::size_t delayed_transitions = 0;
+  double nominal_throughput = 0.0;  ///< unfaulted AO reference throughput
+
+  /// Fraction of the unfaulted AO throughput this run delivered.
+  [[nodiscard]] double throughput_retained() const {
+    return nominal_throughput > 0.0 ? result.throughput / nominal_throughput
+                                    : 0.0;
+  }
+};
+
+/// Static guard band (K) for an assumed uncertainty set: sensor error
+/// (|bias| + 3 sigma) + ambient swing + plant-mismatch headroom
+/// (rise budget scaled by the worst assumed parameter deviation) + actuator
+/// headroom.  An engineering bound, not a theorem — the closed loop covers
+/// what it underestimates.  Clamped to half the rise budget so planning
+/// stays feasible.
+[[nodiscard]] double guard_band(const Platform& platform, double t_max_c,
+                                const sim::FaultSpec& assumed);
+
+/// All three executors start the plant at the relevant nominal stable-status
+/// state (FaultedPlant::warm_start) and trim the horizon to whole schedule
+/// periods where one exists, so zero faults reproduce the planner's numbers
+/// instead of a cold-boot transient.
+
+/// Plan AO against the derated threshold and execute it closed-loop on the
+/// faulted plant.
+[[nodiscard]] GuardResult run_guarded_ao(const Platform& platform,
+                                         double t_max_c,
+                                         const sim::FaultSpec& injected,
+                                         const GuardOptions& options = {});
+
+/// Execute `schedule` open-loop on the faulted plant: transitions are issued
+/// once per interval boundary, nobody reads a sensor, nothing intervenes.
+/// This is what trusting AO's certificate on a mismatched chip does.
+[[nodiscard]] GuardResult run_open_loop(const Platform& platform,
+                                        double t_max_c,
+                                        const sched::PeriodicSchedule& schedule,
+                                        const sim::FaultSpec& injected,
+                                        const GuardOptions& options = {});
+
+/// The reactive threshold governor (core/reactive.hpp) driven by the same
+/// faulted plant — sensors and actuator both lie — for apples-to-apples
+/// robustness comparisons.  `reactive.sensor_bias` is ignored; sensor
+/// faults come from the plant.
+[[nodiscard]] GuardResult run_reactive_on_plant(
+    const Platform& platform, double t_max_c, const sim::FaultSpec& injected,
+    const ReactiveOptions& reactive, const GuardOptions& options = {});
+
+}  // namespace foscil::core

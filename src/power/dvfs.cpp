@@ -72,4 +72,16 @@ VoltageLevels VoltageLevels::paper_full_range() {
   return VoltageLevels(std::move(levels));
 }
 
+TransitionOutcome decide_transition(const TransitionFaults& f, Rng& rng) {
+  f.check();
+  if (!f.any()) return TransitionOutcome::kApplied;
+  // One uniform draw per request keeps the stream consumption constant per
+  // decision, so seeded runs stay reproducible across fault mixes.
+  const double roll = rng.uniform(0.0, 1.0);
+  if (roll < f.drop_probability) return TransitionOutcome::kDropped;
+  if (roll < f.drop_probability + f.delay_probability)
+    return TransitionOutcome::kDelayed;
+  return TransitionOutcome::kApplied;
+}
+
 }  // namespace foscil::power

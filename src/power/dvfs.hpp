@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/rng.hpp"
 
 namespace foscil::power {
 
@@ -63,5 +64,38 @@ class VoltageLevels {
  private:
   std::vector<double> levels_;
 };
+
+/// What became of one requested mode change (fault-injection hook used by
+/// sim::FaultedPlant; real PMICs drop or postpone transitions under load).
+enum class TransitionOutcome {
+  kApplied,  ///< took effect immediately
+  kDropped,  ///< silently ignored; the core keeps its current mode
+  kDelayed,  ///< takes effect `delay_s` seconds after the request
+};
+
+/// Probabilistic DVFS actuator failures.  A requested mode change is dropped
+/// with `drop_probability`, otherwise delayed by `delay_s` seconds with
+/// `delay_probability`; the remainder apply immediately.
+struct TransitionFaults {
+  double drop_probability = 0.0;
+  double delay_probability = 0.0;
+  double delay_s = 0.0;  ///< latency of a delayed transition
+
+  [[nodiscard]] bool any() const {
+    return drop_probability > 0.0 || delay_probability > 0.0;
+  }
+
+  void check() const {
+    FOSCIL_EXPECTS(drop_probability >= 0.0 && drop_probability <= 1.0);
+    FOSCIL_EXPECTS(delay_probability >= 0.0 && delay_probability <= 1.0);
+    FOSCIL_EXPECTS(delay_s >= 0.0);
+    FOSCIL_EXPECTS(delay_probability == 0.0 || delay_s > 0.0);
+  }
+};
+
+/// Roll the dice for one requested transition.  Drop wins over delay when
+/// both trigger (the request never reached the voltage regulator).
+[[nodiscard]] TransitionOutcome decide_transition(const TransitionFaults& f,
+                                                  Rng& rng);
 
 }  // namespace foscil::power

@@ -1,0 +1,183 @@
+// Fault injection: a "true" plant that diverges from the controller's model.
+//
+// Every scheduler in this repository plans against the nominal RC model and
+// power coefficients.  Real silicon does not oblige: sensors read wrong,
+// DVFS transitions get dropped or arrive late, process variation perturbs
+// alpha/gamma per core, the package deviates from its datasheet, and ambient
+// drifts with the room.  FaultSpec describes such an uncertainty set;
+// FaultedPlant realizes one sampled instance of it as the ground-truth chip
+// a controller (core/guard.hpp) must survive on.
+//
+// The plant is simulated with the same analytic transient engine as the
+// nominal model — faults change *which* LTI system is integrated and what
+// the controller is told about it, never the integration accuracy.  All
+// randomness flows from one seeded util/rng.hpp stream, so every faulted
+// run is reproducible from its FaultSpec.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "power/dvfs.hpp"
+#include "sim/transient.hpp"
+#include "util/rng.hpp"
+
+namespace foscil::sim {
+
+/// Per-read sensor misbehavior.  Readings are rises over the *nominal*
+/// ambient (what a controller calibrated at T_amb believes it measures).
+struct SensorFaults {
+  double bias_k = 0.0;         ///< common-mode offset (<0 = optimistic)
+  double noise_sigma_k = 0.0;  ///< zero-mean gaussian noise per read
+  std::vector<std::size_t> stuck_cores;  ///< sensors pinned at `stuck_at_k`
+  double stuck_at_k = 0.0;     ///< reported rise of a stuck sensor
+                               ///< (0 = stuck-cold at ambient)
+
+  [[nodiscard]] bool any() const {
+    return bias_k != 0.0 || noise_sigma_k > 0.0 || !stuck_cores.empty();
+  }
+  void check() const { FOSCIL_EXPECTS(noise_sigma_k >= 0.0); }
+};
+
+/// Complete fault/uncertainty specification for one run.  Doubles as the
+/// *injected* fault set (what the plant actually does) and as the *assumed*
+/// uncertainty set a guard derives its safety margin from.
+struct FaultSpec {
+  std::uint64_t seed = 0x5eedfa01;
+
+  SensorFaults sensors;
+  power::TransitionFaults transitions;
+
+  // --- plant mismatch (controller model vs. ground truth) ---
+  double r_convection_scale = 1.0;  ///< scales sink-to-ambient resistance
+  double k_tim_scale = 1.0;         ///< scales die-to-spreader conductivity
+  double c_scale = 1.0;             ///< scales all heat capacities
+  double alpha_scale = 1.0;         ///< scales leakage offset, every core
+  double beta_scale = 1.0;          ///< scales leakage-temperature slope
+  double gamma_scale = 1.0;         ///< scales dynamic-power coefficient
+  double power_jitter = 0.0;        ///< +- relative per-core uniform jitter
+                                    ///< on alpha and gamma (process var.)
+
+  // --- environment ---
+  double ambient_drift_c = 0.0;        ///< sinusoid amplitude (K)
+  double ambient_drift_period_s = 60;  ///< sinusoid period
+
+  /// True when the ground-truth LTI system differs from the nominal one.
+  [[nodiscard]] bool perturbs_plant() const;
+  /// True when any fault at all is configured.
+  [[nodiscard]] bool any() const;
+  void check() const;
+
+  /// Canonical mixed-fault dial for robustness sweeps: intensity 0 is the
+  /// nominal plant, 1 is the harshest mix the guard is expected to survive
+  /// (optimistic sensors, flaky actuator, degraded sink, ambient swing).
+  [[nodiscard]] static FaultSpec at_intensity(double intensity,
+                                              std::uint64_t seed = 0x5eedfa01);
+};
+
+/// Ground-truth chip behind a fault specification.
+///
+/// Owns the perturbed thermal model (the nominal one when the spec leaves
+/// the plant untouched — pointer-identical, so the zero-fault path is exact),
+/// the current/pending per-core voltages of the flaky actuator, and the
+/// running true-peak statistics a robustness experiment reports.  Operates
+/// entirely in the rises-over-nominal-ambient domain; absolute-temperature
+/// conversion is the caller's concern.
+class FaultedPlant {
+ public:
+  FaultedPlant(std::shared_ptr<const thermal::ThermalModel> nominal,
+               FaultSpec spec);
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  /// The LTI system the plant actually obeys.
+  [[nodiscard]] const std::shared_ptr<const thermal::ThermalModel>&
+  true_model() const {
+    return true_model_;
+  }
+
+  [[nodiscard]] double now() const { return now_; }
+  /// Ambient drift (K over nominal ambient) at plant time t.
+  [[nodiscard]] double ambient_offset(double t) const;
+
+  /// Set the initial node rises before any time has elapsed.  Robustness
+  /// runs start at the nominal schedule's stable-status state — the regime
+  /// the paper's guarantees speak about — rather than on a cold chip whose
+  /// slow sink masks steady-state mismatch for the whole horizon.
+  void warm_start(const linalg::Vector& node_rises);
+
+  /// Request per-core voltages.  Cores whose request differs from their
+  /// applied (or in-flight) target roll the transition-fault dice; the very
+  /// first request is the boot configuration and is exempt (no fault roll,
+  /// no transition counted).  Re-requesting an already-dropped target rolls
+  /// again, so a polling controller retries drops naturally.
+  void request(const linalg::Vector& core_voltages);
+
+  /// Currently applied per-core voltages (after drops/delays).
+  [[nodiscard]] const linalg::Vector& applied() const { return applied_; }
+
+  /// Advance the true plant by dt, landing any in-flight delayed transitions
+  /// at their due time and sampling >= `samples` interior points for
+  /// true-peak tracking.  Returns the max effective core rise (true rise +
+  /// ambient drift, K over nominal ambient) seen within the span.
+  double advance(double dt, int samples);
+
+  /// Faulted sensor readings: effective core rises + bias + noise, stuck
+  /// sensors pinned.  Each call consumes noise draws (one per core).
+  [[nodiscard]] linalg::Vector read_sensors();
+
+  /// Instantaneous max effective core rise (true rise + drift).
+  [[nodiscard]] double true_max_rise() const;
+  /// Running max of `advance`'s per-span peaks since construction.
+  [[nodiscard]] double true_peak_rise() const { return true_peak_rise_; }
+
+  // --- delivered-work accounting (for throughput under faults) ---
+  /// Integral of applied voltage over time, summed across cores (V*s).
+  [[nodiscard]] double work_integral() const { return work_integral_; }
+  /// Sum of the post-transition voltages over all applied transitions;
+  /// multiply by the stall overhead tau for the work lost to stalls
+  /// (matches AO's accounting, where one stall costs v_new * tau of work).
+  [[nodiscard]] double stall_volt_sum() const { return stall_volt_sum_; }
+
+  [[nodiscard]] std::size_t transitions_applied() const {
+    return transitions_applied_;
+  }
+  [[nodiscard]] std::size_t transitions_dropped() const {
+    return transitions_dropped_;
+  }
+  [[nodiscard]] std::size_t transitions_delayed() const {
+    return transitions_delayed_;
+  }
+
+ private:
+  void apply_now(std::size_t core, double voltage);
+
+  FaultSpec spec_;
+  std::shared_ptr<const thermal::ThermalModel> true_model_;
+  TransientSimulator sim_;
+  Rng rng_;
+
+  double now_ = 0.0;
+  linalg::Vector temps_;    ///< true node rises over true ambient
+  linalg::Vector applied_;  ///< per-core applied voltage
+  std::vector<double> pending_voltage_;  ///< in-flight delayed target
+  std::vector<double> pending_due_;      ///< land time (<0 = none)
+  bool booted_ = false;
+
+  double true_peak_rise_ = 0.0;
+  double work_integral_ = 0.0;
+  double stall_volt_sum_ = 0.0;
+  std::size_t transitions_applied_ = 0;
+  std::size_t transitions_dropped_ = 0;
+  std::size_t transitions_delayed_ = 0;
+};
+
+/// Build the ground-truth thermal model of a fault spec: HotSpot package
+/// parameters scaled by the rc/ambient knobs and per-core power coefficients
+/// scaled + jittered.  Returns the nominal model pointer unchanged when the
+/// spec does not perturb the plant.
+[[nodiscard]] std::shared_ptr<const thermal::ThermalModel> perturbed_model(
+    const std::shared_ptr<const thermal::ThermalModel>& nominal,
+    const FaultSpec& spec);
+
+}  // namespace foscil::sim

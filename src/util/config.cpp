@@ -1,6 +1,7 @@
 #include "util/config.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -95,7 +96,16 @@ double Config::get_double(const std::string& key) const {
   try {
     std::size_t used = 0;
     const double parsed = std::stod(value, &used);
-    if (trim(value.substr(used)).empty()) return parsed;
+    if (trim(value.substr(used)).empty()) {
+      // stod happily parses "nan" and "inf"; no physical quantity in a
+      // platform description is allowed to be non-finite.
+      if (!std::isfinite(parsed))
+        throw ConfigError("key '" + key + "' is not finite: '" + value +
+                          "'");
+      return parsed;
+    }
+  } catch (const ConfigError&) {
+    throw;
   } catch (const std::exception&) {
   }
   throw ConfigError("key '" + key + "' is not a number: '" + value + "'");
@@ -132,7 +142,12 @@ std::vector<double> Config::get_doubles(const std::string& key) const {
       std::size_t used = 0;
       const double parsed = std::stod(token, &used);
       if (!trim(token.substr(used)).empty()) throw std::invalid_argument("");
+      if (!std::isfinite(parsed))
+        throw ConfigError("key '" + key + "' has a non-finite element: '" +
+                          token + "'");
       out.push_back(parsed);
+    } catch (const ConfigError&) {
+      throw;
     } catch (const std::exception&) {
       throw ConfigError("key '" + key + "' has a non-numeric element: '" +
                         token + "'");

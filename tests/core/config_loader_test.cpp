@@ -115,6 +115,128 @@ TEST(ConfigLoader, BadPhysicalValuesSurfaceAsContractViolations) {
   EXPECT_THROW((void)platform_from_config(c), ContractViolation);
 }
 
+TEST(ConfigLoader, NonFiniteNumericsAreRejectedByName) {
+  // stod happily parses "nan"/"inf"; a platform description must not.
+  const auto message_of = [](auto&& thunk) -> std::string {
+    try {
+      thunk();
+    } catch (const ConfigError& error) {
+      return error.what();
+    }
+    return "";
+  };
+  const Config scalar = Config::parse("[run]\nt_max_c = nan\n");
+  std::string message = message_of([&] { (void)t_max_from_config(scalar); });
+  EXPECT_NE(message.find("run.t_max_c"), std::string::npos) << message;
+  EXPECT_NE(message.find("not finite"), std::string::npos) << message;
+
+  const Config list = Config::parse(
+      "[platform]\nrows = 1\ncols = 3\n"
+      "[power]\ngamma_per_core = 9, inf, 9\n");
+  message = message_of([&] { (void)platform_from_config(list); });
+  EXPECT_NE(message.find("power.gamma_per_core"), std::string::npos)
+      << message;
+
+  const Config negative_inf = Config::parse(
+      "[platform]\nrows = 1\ncols = 2\n[package]\nk_tim = -inf\n");
+  EXPECT_THROW((void)platform_from_config(negative_inf), ConfigError);
+}
+
+TEST(ConfigLoader, MalformedPerCoreListsAreRejected) {
+  const Config empty_element = Config::parse(
+      "[platform]\nrows = 1\ncols = 3\n"
+      "[power]\nalpha_per_core = 1, , 3\n");
+  EXPECT_THROW((void)platform_from_config(empty_element), ConfigError);
+  const Config non_numeric = Config::parse(
+      "[platform]\nrows = 1\ncols = 3\n"
+      "[power]\nalpha_per_core = 1, two, 3\n");
+  EXPECT_THROW((void)platform_from_config(non_numeric), ConfigError);
+}
+
+TEST(ConfigLoader, NonPositiveGridIsRejectedNotWrapped) {
+  // rows = 0 must be a ConfigError naming the key, not a size_t wraparound
+  // or an opaque contract failure deep in the floorplan.
+  const Config zero = Config::parse("[platform]\nrows = 0\ncols = 3\n");
+  try {
+    (void)platform_from_config(zero);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("platform.rows"),
+              std::string::npos);
+  }
+  const Config negative = Config::parse("[platform]\nrows = 2\ncols = -1\n");
+  EXPECT_THROW((void)platform_from_config(negative), ConfigError);
+}
+
+TEST(ConfigLoader, AoMarginFromConfig) {
+  const Config c = Config::parse("[ao]\nt_max_margin_k = 1.5\n");
+  EXPECT_DOUBLE_EQ(ao_options_from_config(c).t_max_margin, 1.5);
+  EXPECT_DOUBLE_EQ(ao_options_from_config(Config::parse("")).t_max_margin,
+                   0.0);
+  const Config bad = Config::parse("[ao]\nt_max_margin_k = -1\n");
+  EXPECT_THROW((void)ao_options_from_config(bad), ConfigError);
+}
+
+TEST(ConfigLoader, FaultsSectionParses) {
+  EXPECT_FALSE(has_faults_config(Config::parse("[run]\nt_max_c = 55\n")));
+  const Config c = Config::parse(
+      "[faults]\nintensity = 0.5\nsensor_bias_k = -1\n"
+      "stuck_sensors = 0, 2\nstuck_at_k = 3\ndelay_ms = 4\n");
+  EXPECT_TRUE(has_faults_config(c));
+  const sim::FaultSpec spec = faults_from_config(c);
+  // The intensity dial seeds the mix; explicit keys override on top.
+  EXPECT_DOUBLE_EQ(spec.sensors.bias_k, -1.0);
+  EXPECT_DOUBLE_EQ(spec.sensors.noise_sigma_k, 0.15);
+  EXPECT_DOUBLE_EQ(spec.transitions.drop_probability, 0.15);
+  EXPECT_DOUBLE_EQ(spec.transitions.delay_s, 4e-3);
+  ASSERT_EQ(spec.sensors.stuck_cores.size(), 2u);
+  EXPECT_EQ(spec.sensors.stuck_cores[1], 2u);
+  EXPECT_DOUBLE_EQ(spec.sensors.stuck_at_k, 3.0);
+  // An empty [faults] config is the inert spec.
+  EXPECT_FALSE(faults_from_config(Config::parse("")).any());
+}
+
+TEST(ConfigLoader, FaultsSectionValidates) {
+  EXPECT_THROW((void)faults_from_config(
+                   Config::parse("[faults]\nintensity = 2\n")),
+               ConfigError);
+  EXPECT_THROW((void)faults_from_config(
+                   Config::parse("[faults]\ndrop_probability = 1.5\n")),
+               ConfigError);
+  EXPECT_THROW((void)faults_from_config(
+                   Config::parse("[faults]\ndelay_probability = 0.5\n")),
+               ConfigError);  // delay without a duration
+  EXPECT_THROW((void)faults_from_config(
+                   Config::parse("[faults]\nstuck_sensors = 1.5\n")),
+               ConfigError);
+  EXPECT_THROW((void)faults_from_config(
+                   Config::parse("[faults]\nr_convection_scale = 0\n")),
+               ConfigError);
+  EXPECT_THROW((void)faults_from_config(
+                   Config::parse("[faults]\npower_jitter = 1\n")),
+               ConfigError);
+}
+
+TEST(ConfigLoader, GuardSectionParsesWithUnits) {
+  const Config c = Config::parse(
+      "[guard]\nhorizon_s = 30\ncontrol_period_ms = 5\ntrip_margin_k = 0.7\n"
+      "escalate_after = 2\nderate_step_k = 0.5\n"
+      "[ao]\nt_max_margin_k = 1\n");
+  const GuardOptions options = guard_options_from_config(c);
+  EXPECT_DOUBLE_EQ(options.horizon, 30.0);
+  EXPECT_DOUBLE_EQ(options.control_period, 5e-3);
+  EXPECT_DOUBLE_EQ(options.trip_margin, 0.7);
+  EXPECT_EQ(options.escalate_after, 2);
+  EXPECT_DOUBLE_EQ(options.derate_step, 0.5);
+  EXPECT_DOUBLE_EQ(options.ao.t_max_margin, 1.0);  // [ao] rides along
+  EXPECT_THROW((void)guard_options_from_config(
+                   Config::parse("[guard]\ncontrol_period_ms = 0\n")),
+               ConfigError);
+  EXPECT_THROW((void)guard_options_from_config(
+                   Config::parse("[guard]\nbackoff_factor = 0.5\n")),
+               ContractViolation);  // caught by GuardOptions::check
+}
+
 TEST(ConfigLoader, EndToEndSchedulesFromConfig) {
   const Config c = Config::parse(
       "[platform]\nrows = 1\ncols = 3\n"

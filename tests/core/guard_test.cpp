@@ -1,0 +1,172 @@
+#include "core/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+#include "core/ao.hpp"
+#include "core/config_loader.hpp"
+
+namespace foscil::core {
+namespace {
+
+// The examples/configs/server_3x3.ini part, inlined so the test needs no
+// working-directory assumptions.
+Platform server_3x3() {
+  return platform_from_config(Config::parse(
+      "[platform]\nrows = 3\ncols = 3\n"
+      "[package]\nr_convection_block = 1.2\nsink_mass_factor = 40\n"
+      "[levels]\nfull_range = true\n"));
+}
+
+GuardOptions fast_options() {
+  GuardOptions options;
+  options.horizon = 10.0;
+  options.control_period = 5e-3;
+  return options;
+}
+
+TEST(Guard, ZeroFaultsReproducesNominalAo) {
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  const GuardOptions options = fast_options();
+  const GuardResult r = run_guarded_ao(p, 65.0, sim::FaultSpec{}, options);
+  const SchedulerResult ao = run_ao(p, 65.0, options.ao);
+
+  // No faults => no band, no derating: the guard executes the nominal AO
+  // schedule itself and never intervenes.
+  EXPECT_DOUBLE_EQ(r.guard_band, 0.0);
+  EXPECT_EQ(r.fallbacks, 0u);
+  EXPECT_EQ(r.reentries, 0u);
+  EXPECT_EQ(r.replans, 0u);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_TRUE(r.result.feasible);
+  EXPECT_EQ(r.result.m, ao.m);
+  EXPECT_DOUBLE_EQ(r.result.schedule.period(), ao.schedule.period());
+  EXPECT_DOUBLE_EQ(r.nominal_throughput, ao.throughput);
+  // Delivered work matches the planner's stall-compensated throughput up to
+  // the boot edge (one transition over the whole horizon).
+  EXPECT_NEAR(r.throughput_retained(), 1.0, 1e-6);
+  // The true peak is the planned stable-status peak.
+  EXPECT_NEAR(r.true_peak_rise, ao.peak_rise, 1e-6);
+}
+
+TEST(Guard, ZeroFaultsOpenLoopDeliversTheCertificate) {
+  const Platform p = testing::grid_platform(1, 3);
+  const GuardOptions options = fast_options();
+  const SchedulerResult ao = run_ao(p, 60.0, options.ao);
+  const GuardResult r =
+      run_open_loop(p, 60.0, ao.schedule, sim::FaultSpec{}, options);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_NEAR(r.throughput_retained(), 1.0, 1e-6);
+  EXPECT_NEAR(r.true_peak_rise, ao.peak_rise, 1e-6);
+}
+
+TEST(Guard, KeepsFaultedPlantLegalWhereOpenLoopViolates) {
+  // Acceptance scenario: optimistic sensors + flaky actuator + degraded
+  // sink.  Open-loop AO (trusting its certificate) overheats; the guard on
+  // the *same* fault spec records zero true violations.
+  const Platform p = testing::grid_platform(
+      3, 3, power::VoltageLevels::paper_table4(5).values());
+  const sim::FaultSpec spec = sim::FaultSpec::at_intensity(0.6);
+  const GuardOptions options = fast_options();
+
+  const SchedulerResult ao = run_ao(p, 65.0, options.ao);
+  const GuardResult open =
+      run_open_loop(p, 65.0, ao.schedule, spec, options);
+  const GuardResult guarded = run_guarded_ao(p, 65.0, spec, options);
+
+  EXPECT_GE(open.violations, 1u);
+  EXPECT_FALSE(open.result.feasible);
+  EXPECT_GT(open.true_peak_rise, p.rise_budget(65.0));
+
+  EXPECT_EQ(guarded.violations, 0u);
+  EXPECT_TRUE(guarded.result.feasible);
+  EXPECT_LE(guarded.true_peak_rise, p.rise_budget(65.0) * (1.0 + 1e-6));
+  EXPECT_GT(guarded.guard_band, 0.0);
+  // The premium is bounded: the guard still delivers most of nominal.
+  EXPECT_GT(guarded.throughput_retained(), 0.5);
+}
+
+TEST(Guard, BeatsEquallyInformedReactiveOnServer3x3) {
+  // Acceptance scenario: same fault intensity, same uncertainty knowledge —
+  // the reactive governor gets a safety margin equal to the guard band.
+  // Planned oscillation at the derated threshold out-earns threshold
+  // chasing at the same derated threshold.
+  const Platform p = server_3x3();
+  const double t_max = 50.0;
+  const sim::FaultSpec spec = sim::FaultSpec::at_intensity(0.4);
+  const GuardOptions options = fast_options();
+
+  ReactiveOptions reactive;
+  reactive.poll_period = options.control_period;
+  reactive.margin = guard_band(p, t_max, spec);
+  reactive.horizon = options.horizon;
+
+  const GuardResult guarded = run_guarded_ao(p, t_max, spec, options);
+  const GuardResult chased =
+      run_reactive_on_plant(p, t_max, spec, reactive, options);
+
+  EXPECT_EQ(guarded.violations, 0u);
+  EXPECT_GT(guarded.result.throughput, chased.result.throughput);
+}
+
+TEST(Guard, WeakAssumptionEscalatesAndReplans) {
+  // The operator qualified a mild envelope but the chip is much worse: the
+  // deviation watchdog must trip, back off, and escalate the margin until
+  // the replanned schedule fits the plant it actually has.
+  const Platform p = testing::grid_platform(
+    3, 3, power::VoltageLevels::paper_table4(5).values());
+  const sim::FaultSpec injected = sim::FaultSpec::at_intensity(1.0);
+  GuardOptions options = fast_options();
+  options.assumed = sim::FaultSpec::at_intensity(0.1);
+  options.escalate_after = 1;
+  options.backoff_initial = 0.1;
+
+  const SchedulerResult ao = run_ao(p, 65.0, options.ao);
+  const GuardResult open =
+      run_open_loop(p, 65.0, ao.schedule, injected, options);
+  const GuardResult guarded = run_guarded_ao(p, 65.0, injected, options);
+
+  EXPECT_GE(guarded.fallbacks, 1u);
+  EXPECT_GE(guarded.replans, 1u);
+  EXPECT_GT(guarded.final_derate, 0.0);
+  // The under-provisioned band cannot prevent every violation (the sensors
+  // lie 3 K cold), but closing the loop must beat trusting the certificate.
+  EXPECT_LT(guarded.violations, open.violations);
+  EXPECT_LT(guarded.true_peak_rise, open.true_peak_rise);
+}
+
+TEST(Guard, BandGrowsWithAssumedSeverityAndStaysPlannable) {
+  const Platform p = testing::grid_platform(1, 3);
+  EXPECT_DOUBLE_EQ(guard_band(p, 65.0, sim::FaultSpec{}), 0.0);
+  const double mild = guard_band(p, 65.0, sim::FaultSpec::at_intensity(0.2));
+  const double harsh = guard_band(p, 65.0, sim::FaultSpec::at_intensity(1.0));
+  EXPECT_GT(mild, 0.0);
+  EXPECT_GT(harsh, mild);
+  // Never eat more than half the budget, or planning degenerates.
+  EXPECT_LE(harsh, 0.5 * p.rise_budget(65.0));
+}
+
+TEST(Guard, InvalidOptionsViolateContract) {
+  const Platform p = testing::grid_platform(1, 2);
+  GuardOptions options;
+  options.control_period = 0.0;
+  EXPECT_THROW((void)run_guarded_ao(p, 55.0, sim::FaultSpec{}, options),
+               ContractViolation);
+  options = GuardOptions{};
+  options.trip_margin = 0.0;
+  EXPECT_THROW((void)run_guarded_ao(p, 55.0, sim::FaultSpec{}, options),
+               ContractViolation);
+  options = GuardOptions{};
+  options.backoff_factor = 0.5;
+  EXPECT_THROW((void)run_guarded_ao(p, 55.0, sim::FaultSpec{}, options),
+               ContractViolation);
+  options = GuardOptions{};
+  options.escalate_after = 0;
+  EXPECT_THROW((void)run_guarded_ao(p, 55.0, sim::FaultSpec{}, options),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::core

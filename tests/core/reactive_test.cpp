@@ -4,6 +4,7 @@
 
 #include "../test_support.hpp"
 #include "core/ao.hpp"
+#include "core/guard.hpp"
 
 namespace foscil::core {
 namespace {
@@ -92,6 +93,70 @@ TEST(Reactive, ColdStartRampsUpward) {
   const ReactiveResult r = run_reactive(p, 65.0, options);
   for (std::size_t i = 0; i < 2; ++i)
     EXPECT_GT(r.result.schedule.voltage_at(i, 0.0), 0.6);
+}
+
+TEST(Reactive, LargeNegativeBiasDefeatsAnyReasonableMargin) {
+  // A sensor lying 8 K cold swallows a 2 K margin whole: the governor runs
+  // the chip deep past T_max for most of the horizon while its own records
+  // stay spotless.
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  ReactiveOptions options;
+  options.margin = 2.0;
+  options.sensor_bias = -8.0;
+  options.horizon = 60.0;
+  const ReactiveResult r = run_reactive(p, 65.0, options);
+  EXPECT_GT(r.violations, 0u);
+  EXPECT_GT(r.true_peak_rise, p.rise_budget(65.0) + 3.0);
+  // What the governor saw never crossed its own threshold band (up to the
+  // sub-poll overshoot before the step-down lands).
+  EXPECT_LE(r.seen_peak_rise, p.rise_budget(65.0) - options.margin + 0.05);
+}
+
+TEST(Reactive, StuckHotSensorStarvesItsCore) {
+  // A sensor pinned at a scorching reading makes the governor hold that
+  // core at the lowest mode forever — a fail-safe failure, but the healthy
+  // cores keep running and the chip stays legal.
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  sim::FaultSpec spec;
+  spec.sensors.stuck_cores = {0};
+  spec.sensors.stuck_at_k = p.rise_budget(65.0) + 20.0;
+  ReactiveOptions reactive;
+  reactive.margin = 2.0;
+  GuardOptions options;
+  options.horizon = 10.0;
+  const GuardResult r =
+      run_reactive_on_plant(p, 65.0, spec, reactive, options);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_DOUBLE_EQ(r.result.schedule.voltage_at(0, 0.0),
+                   p.levels.lowest());
+  EXPECT_GT(r.result.schedule.voltage_at(1, 0.0), p.levels.lowest());
+  // Starving a core costs throughput against the healthy-sensor governor.
+  const GuardResult healthy =
+      run_reactive_on_plant(p, 65.0, sim::FaultSpec{}, reactive, options);
+  EXPECT_LT(r.result.throughput, healthy.result.throughput);
+}
+
+TEST(Reactive, ZeroHysteresisChattersBetweenLevels) {
+  // With no dead band the governor flips a level on nearly every poll once
+  // it reaches the threshold; the chip stays legal but the actuator pays.
+  // Fine-grained levels so a modest dead band can actually calm it down.
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  ReactiveOptions options;
+  options.margin = 1.0;
+  options.hysteresis = 0.0;
+  options.horizon = 30.0;
+  const ReactiveResult r = run_reactive(p, 65.0, options);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_TRUE(r.result.feasible);
+  // Far more transitions than the tight-but-nonzero hysteresis run.
+  ReactiveOptions damped = options;
+  damped.hysteresis = 0.5;
+  const ReactiveResult d = run_reactive(p, 65.0, damped);
+  EXPECT_GT(r.transitions, d.transitions);
+  EXPECT_GT(r.transitions, 100u);
 }
 
 TEST(Reactive, InvalidOptionsViolateContract) {

@@ -1,0 +1,256 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_support.hpp"
+
+namespace foscil::sim {
+namespace {
+
+core::Platform small_platform() { return testing::grid_platform(1, 2); }
+
+TEST(Faults, ZeroSpecIsInert) {
+  const core::Platform p = small_platform();
+  const FaultSpec spec;
+  EXPECT_FALSE(spec.any());
+  EXPECT_FALSE(spec.perturbs_plant());
+
+  FaultedPlant plant(p.model, spec);
+  // No perturbation => the plant *is* the nominal model, pointer-identical,
+  // so the zero-fault path has no rebuilt-model rounding.
+  EXPECT_EQ(plant.true_model().get(), p.model.get());
+
+  const linalg::Vector v(p.num_cores(), 1.3);
+  plant.request(v);  // boot: no transition counted
+  EXPECT_EQ(plant.transitions_applied(), 0u);
+  plant.advance(0.5, 4);
+  const linalg::Vector seen = plant.read_sensors();
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_GT(seen[i], 0.0);
+  // Faultless sensors are deterministic and exact: a second identical run
+  // reads identically, and readings equal the true core rises.
+  FaultedPlant again(p.model, spec);
+  again.request(v);
+  again.advance(0.5, 4);
+  const linalg::Vector seen2 = again.read_sensors();
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_DOUBLE_EQ(seen[i], seen2[i]);
+  EXPECT_DOUBLE_EQ(seen.max(), plant.true_max_rise());
+}
+
+TEST(Faults, SeededRunsReproduce) {
+  const core::Platform p = small_platform();
+  FaultSpec spec = FaultSpec::at_intensity(0.8, 1234);
+  const auto run = [&](const FaultSpec& s) {
+    FaultedPlant plant(p.model, s);
+    linalg::Vector v(p.num_cores(), 1.3);
+    plant.request(v);
+    double sum = 0.0;
+    for (int k = 0; k < 20; ++k) {
+      v[0] = (k % 2 == 0) ? 0.6 : 1.3;
+      plant.request(v);
+      plant.advance(0.01, 2);
+      sum += plant.read_sensors().sum();
+    }
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run(spec), run(spec));
+  FaultSpec other = spec;
+  other.seed = 99;
+  EXPECT_NE(run(spec), run(other));
+}
+
+TEST(Faults, BiasShiftsReadingsExactly) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.sensors.bias_k = -2.5;
+  FaultedPlant biased(p.model, spec);
+  FaultedPlant honest(p.model, FaultSpec{});
+  const linalg::Vector v(p.num_cores(), 1.0);
+  biased.request(v);
+  honest.request(v);
+  biased.advance(0.2, 2);
+  honest.advance(0.2, 2);
+  const linalg::Vector b = biased.read_sensors();
+  const linalg::Vector h = honest.read_sensors();
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_NEAR(b[i], h[i] - 2.5, 1e-12);
+}
+
+TEST(Faults, NoiseVariesAcrossReads) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.sensors.noise_sigma_k = 0.5;
+  FaultedPlant plant(p.model, spec);
+  plant.request(linalg::Vector(p.num_cores(), 1.0));
+  plant.advance(0.1, 2);
+  const linalg::Vector first = plant.read_sensors();
+  const linalg::Vector second = plant.read_sensors();  // same instant
+  EXPECT_NE(first[0], second[0]);
+}
+
+TEST(Faults, StuckSensorPinsItsReading) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.sensors.stuck_cores = {1};
+  spec.sensors.stuck_at_k = 42.0;
+  FaultedPlant plant(p.model, spec);
+  plant.request(linalg::Vector(p.num_cores(), 1.3));
+  for (int k = 0; k < 3; ++k) {
+    plant.advance(0.05, 2);
+    const linalg::Vector seen = plant.read_sensors();
+    EXPECT_DOUBLE_EQ(seen[1], 42.0);
+    EXPECT_NE(seen[0], 42.0);
+  }
+}
+
+TEST(Faults, CertainDropFreezesBootConfiguration) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.transitions.drop_probability = 1.0;
+  FaultedPlant plant(p.model, spec);
+  const linalg::Vector boot(p.num_cores(), 0.6);
+  plant.request(boot);  // boot is programmed, not switched: always lands
+  linalg::Vector up(p.num_cores(), 1.3);
+  for (int k = 0; k < 5; ++k) {
+    plant.request(up);
+    plant.advance(0.01, 1);
+  }
+  for (std::size_t i = 0; i < boot.size(); ++i)
+    EXPECT_DOUBLE_EQ(plant.applied()[i], 0.6);
+  EXPECT_EQ(plant.transitions_applied(), 0u);
+  EXPECT_EQ(plant.transitions_dropped(), 5u * p.num_cores());
+}
+
+TEST(Faults, RequestingTheCurrentTargetRollsNoDice) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.transitions.drop_probability = 1.0;
+  FaultedPlant plant(p.model, spec);
+  const linalg::Vector v(p.num_cores(), 1.0);
+  plant.request(v);
+  plant.request(v);  // no-op: already applied
+  EXPECT_EQ(plant.transitions_dropped(), 0u);
+}
+
+TEST(Faults, DelayedTransitionLandsAtItsDueTime) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.transitions.delay_probability = 1.0;
+  spec.transitions.delay_s = 1e-3;
+  FaultedPlant plant(p.model, spec);
+  plant.request(linalg::Vector(p.num_cores(), 0.6));
+  plant.request(linalg::Vector(p.num_cores(), 1.3));
+  EXPECT_EQ(plant.transitions_delayed(), p.num_cores());
+  EXPECT_DOUBLE_EQ(plant.applied()[0], 0.6);  // still in flight
+  plant.advance(0.5e-3, 1);
+  EXPECT_DOUBLE_EQ(plant.applied()[0], 0.6);  // due at 1 ms, not yet
+  plant.advance(0.6e-3, 1);
+  EXPECT_DOUBLE_EQ(plant.applied()[0], 1.3);  // landed mid-span
+  EXPECT_EQ(plant.transitions_applied(), p.num_cores());
+}
+
+TEST(Faults, PerturbedPlantRunsHotterWithDegradedSink) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.r_convection_scale = 1.3;
+  const auto perturbed = perturbed_model(p.model, spec);
+  EXPECT_NE(perturbed.get(), p.model.get());
+  const linalg::Vector v(p.num_cores(), 1.3);
+  EXPECT_GT(perturbed->max_core_rise(perturbed->steady_state(v)),
+            p.model->max_core_rise(p.model->steady_state(v)));
+}
+
+TEST(Faults, PowerJitterIsSeedStableAndPerCore) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.power_jitter = 0.1;
+  const auto a = perturbed_model(p.model, spec);
+  const auto b = perturbed_model(p.model, spec);
+  // Same spec => the same sampled chip, even across plant instances.
+  for (std::size_t i = 0; i < p.num_cores(); ++i) {
+    EXPECT_DOUBLE_EQ(a->power().coefficients(i).gamma,
+                     b->power().coefficients(i).gamma);
+  }
+  EXPECT_NE(a->power().coefficients(0).gamma,
+            a->power().coefficients(1).gamma);
+}
+
+TEST(Faults, AmbientDriftShowsInSensorsAndTruePeak) {
+  const core::Platform p = small_platform();
+  FaultSpec spec;
+  spec.ambient_drift_c = 2.0;
+  spec.ambient_drift_period_s = 4.0;
+  FaultedPlant plant(p.model, spec);
+  FaultedPlant still(p.model, FaultSpec{});
+  const linalg::Vector v(p.num_cores(), 1.0);
+  plant.request(v);
+  still.request(v);
+  plant.advance(1.0, 8);  // quarter period: sin peaks at +1 => +2 K
+  still.advance(1.0, 8);
+  EXPECT_NEAR(plant.read_sensors()[0], still.read_sensors()[0] + 2.0, 1e-9);
+  EXPECT_NEAR(plant.true_max_rise(), still.true_max_rise() + 2.0, 1e-9);
+}
+
+TEST(Faults, IntensityDialIsValidAndMonotone) {
+  EXPECT_FALSE(FaultSpec::at_intensity(0.0).any());
+  const FaultSpec mild = FaultSpec::at_intensity(0.3);
+  const FaultSpec harsh = FaultSpec::at_intensity(0.9);
+  mild.check();
+  harsh.check();
+  EXPECT_LT(harsh.sensors.bias_k, mild.sensors.bias_k);
+  EXPECT_GT(harsh.transitions.drop_probability,
+            mild.transitions.drop_probability);
+  EXPECT_GT(harsh.r_convection_scale, mild.r_convection_scale);
+  EXPECT_THROW((void)FaultSpec::at_intensity(1.5), ContractViolation);
+}
+
+TEST(Faults, WorkAccountingTracksAppliedVoltage) {
+  const core::Platform p = small_platform();
+  FaultedPlant plant(p.model, FaultSpec{});
+  plant.request(linalg::Vector(p.num_cores(), 1.0));
+  plant.advance(1.0, 1);
+  EXPECT_NEAR(plant.work_integral(),
+              1.0 * static_cast<double>(p.num_cores()), 1e-12);
+  plant.request(linalg::Vector(p.num_cores(), 0.6));
+  EXPECT_EQ(plant.transitions_applied(), p.num_cores());
+  EXPECT_NEAR(plant.stall_volt_sum(),
+              0.6 * static_cast<double>(p.num_cores()), 1e-12);
+  plant.advance(1.0, 1);
+  EXPECT_NEAR(plant.work_integral(),
+              1.6 * static_cast<double>(p.num_cores()), 1e-12);
+}
+
+TEST(Faults, WarmStartSetsTheInitialState) {
+  const core::Platform p = small_platform();
+  FaultedPlant plant(p.model, FaultSpec{});
+  const linalg::Vector v(p.num_cores(), 1.1);
+  const linalg::Vector steady = p.model->steady_state(v);
+  plant.warm_start(steady);
+  plant.request(v);
+  EXPECT_NEAR(plant.true_max_rise(), p.model->max_core_rise(steady), 1e-12);
+  // At the steady state of the held voltages, nothing moves.
+  plant.advance(0.5, 4);
+  EXPECT_NEAR(plant.true_max_rise(), p.model->max_core_rise(steady), 1e-6);
+}
+
+TEST(Faults, SpecValidationRejectsNonsense) {
+  FaultSpec bad;
+  bad.transitions.drop_probability = 1.5;
+  EXPECT_THROW(bad.check(), ContractViolation);
+  bad = FaultSpec{};
+  bad.transitions.delay_probability = 0.5;  // delay without a duration
+  EXPECT_THROW(bad.check(), ContractViolation);
+  bad = FaultSpec{};
+  bad.r_convection_scale = 0.0;
+  EXPECT_THROW(bad.check(), ContractViolation);
+  bad = FaultSpec{};
+  bad.power_jitter = 1.0;
+  EXPECT_THROW(bad.check(), ContractViolation);
+  const core::Platform p = small_platform();
+  FaultSpec stuck;
+  stuck.sensors.stuck_cores = {7};  // platform has 2 cores
+  EXPECT_THROW(FaultedPlant(p.model, stuck), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::sim
