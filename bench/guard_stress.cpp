@@ -15,7 +15,15 @@
 // trades a slice of throughput for zero violations across the sweep; the
 // reactive governor is both slower and, with optimistic sensors, unsafe.
 // The final CSV block is machine-readable for plotting.
+//
+// `--smoke` skips the sweep and instead pins the guard's zero-fault
+// identity: with an inert FaultSpec, guarded AO (identification off AND
+// on) must reproduce nominal AO bit-for-bit — same throughput, zero
+// violations/fallbacks/replans, zero band.  Exits non-zero on any
+// mismatch, so CI can run it as a cheap release-mode regression gate.
 #include "bench_common.hpp"
+
+#include <cstring>
 
 #include "core/ao.hpp"
 #include "core/guard.hpp"
@@ -25,7 +33,55 @@
 
 using namespace foscil;
 
-int main() {
+namespace {
+
+int run_smoke() {
+  const double t_max = 65.0;
+  const core::Platform p = bench::paper_platform(3, 3, 5);
+  core::GuardOptions options;
+  options.horizon = 20.0;
+  options.control_period = 5e-3;
+
+  const core::SchedulerResult nominal_ao = core::run_ao(p, t_max);
+  const sim::FaultSpec zero = sim::FaultSpec::at_intensity(0.0);
+  int failures = 0;
+  const auto check = [&](const char* mode, const char* what, bool ok) {
+    if (!ok) {
+      std::printf("FAIL [%s]: %s\n", mode, what);
+      ++failures;
+    }
+  };
+
+  for (const bool identify : {false, true}) {
+    const char* mode = identify ? "identify-on" : "identify-off";
+    options.identify.enabled = identify;
+    const core::GuardResult r = core::run_guarded_ao(p, t_max, zero, options);
+    check(mode, "flies the nominal AO schedule",
+          r.result.m == nominal_ao.m &&
+              r.result.schedule.period() == nominal_ao.schedule.period());
+    check(mode, "delivers nominal AO throughput",
+          std::abs(r.throughput_retained() - 1.0) < 1e-6);
+    check(mode, "zero violations", r.violations == 0);
+    check(mode, "zero fallbacks", r.fallbacks == 0);
+    check(mode, "zero replans", r.replans == 0);
+    check(mode, "zero identified replans", r.identified_replans == 0);
+    check(mode, "zero guard band", r.guard_band == 0.0);
+    check(mode, "not saturated", !r.saturated);
+    std::printf("%s: throughput %.6f (nominal %.6f), band %.2f K, "
+                "%zu violations\n",
+                mode, r.result.throughput, nominal_ao.throughput,
+                r.guard_band, r.violations);
+  }
+  std::printf(failures == 0 ? "smoke: zero-fault identity holds\n"
+                            : "smoke: %d failures\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
   bench::print_header("Guard stress: robustness frontier under faults",
                       "fault-injection extension (beyond the paper)");
   const double t_max = 65.0;

@@ -9,6 +9,8 @@
 // [faults] section (inert when absent); "all" includes it automatically
 // whenever the config carries [faults] keys.  See
 // src/core/config_loader.hpp for the recognized config keys.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -47,6 +49,26 @@ void print_guard_details(const core::GuardResult& guarded) {
       guarded.seen_peak_rise, guarded.violations,
       guarded.dropped_transitions, guarded.delayed_transitions,
       guarded.throughput_retained() * 100.0);
+  if (guarded.identify_polls == 0) return;
+  std::printf("       identify: %zu polls, %s, %zu certified replans",
+              guarded.identify_polls,
+              guarded.identify_converged ? "converged" : "not converged",
+              guarded.identified_replans);
+  if (guarded.identified_replans > 0)
+    std::printf(", certified band %.2f K", guarded.certified_band);
+  std::printf("\n");
+  if (!guarded.est_alpha_offset_w.empty()) {
+    double max_alpha = 0.0, max_bias = 0.0;
+    for (double a : guarded.est_alpha_offset_w)
+      max_alpha = std::max(max_alpha, std::abs(a));
+    for (double b : guarded.est_bias_k)
+      max_bias = std::max(max_bias, std::abs(b));
+    std::printf(
+        "       estimate: beta x%.3f, r_conv x%.3f, max |alpha| %.2f W, "
+        "max |bias| %.2f K\n",
+        guarded.est_beta_scale, guarded.est_r_convection_scale, max_alpha,
+        max_bias);
+  }
 }
 
 int usage(const char* argv0) {

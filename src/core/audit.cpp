@@ -35,4 +35,13 @@ ScheduleAudit audit_schedule(const Platform& platform,
   return audit;
 }
 
+double step_up_certificate_rise(
+    const std::shared_ptr<const thermal::ThermalModel>& model,
+    const sched::PeriodicSchedule& schedule) {
+  FOSCIL_EXPECTS(model != nullptr);
+  FOSCIL_EXPECTS(schedule.num_cores() == model->num_cores());
+  const sim::SteadyStateAnalyzer analyzer(model);
+  return sim::step_up_peak(analyzer, sched::to_step_up(schedule)).rise;
+}
+
 }  // namespace foscil::core

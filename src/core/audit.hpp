@@ -35,4 +35,13 @@ struct ScheduleAudit {
                                            double t_max_c,
                                            int samples_per_interval = 64);
 
+/// The Theorem-2 certificate alone: the stable-status peak rise (K) of the
+/// schedule's step-up permutation on an arbitrary model, which upper-bounds
+/// the schedule's true stable peak.  No sampling, no Platform needed — this
+/// is the per-sample safety proof behind core/identify's
+/// uncertainty-certified replanning.
+[[nodiscard]] double step_up_certificate_rise(
+    const std::shared_ptr<const thermal::ThermalModel>& model,
+    const sched::PeriodicSchedule& schedule);
+
 }  // namespace foscil::core

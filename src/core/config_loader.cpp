@@ -229,9 +229,79 @@ sim::FaultSpec faults_from_config(const Config& config) {
   return spec;
 }
 
+IdentifyOptions identify_options_from_config(const Config& config) {
+  IdentifyOptions options;
+  if (config.has("identify.enabled"))
+    options.enabled = config.get_bool("identify.enabled");
+  options.forgetting =
+      config.get_double_or("identify.forgetting", options.forgetting);
+  if (options.forgetting <= 0.0 || options.forgetting > 1.0)
+    reject("identify.forgetting", "must be in (0, 1]");
+  options.prior_sigma = positive_from_config(config, "identify.prior_sigma",
+                                             options.prior_sigma);
+  options.gate_sigma = positive_from_config(config, "identify.gate_sigma",
+                                            options.gate_sigma);
+  options.confidence =
+      config.get_double_or("identify.confidence", options.confidence);
+  if (options.confidence < 0.0) reject("identify.confidence", "must be >= 0");
+  const long min_polls = config.get_int_or(
+      "identify.min_polls", static_cast<long>(options.min_polls));
+  if (min_polls < 1) reject("identify.min_polls", "must be >= 1");
+  options.min_polls = static_cast<std::size_t>(min_polls);
+  options.significance =
+      config.get_double_or("identify.significance", options.significance);
+  if (options.significance < 0.0)
+    reject("identify.significance", "must be >= 0");
+  options.min_theta =
+      config.get_double_or("identify.min_theta", options.min_theta);
+  if (options.min_theta < 0.0) reject("identify.min_theta", "must be >= 0");
+  options.band_floor_k =
+      config.get_double_or("identify.band_floor_k", options.band_floor_k);
+  if (options.band_floor_k < 0.0)
+    reject("identify.band_floor_k", "must be >= 0");
+  const long max_replans = config.get_int_or(
+      "identify.max_replans", static_cast<long>(options.max_replans));
+  if (max_replans < 0) reject("identify.max_replans", "must be >= 0");
+  options.max_replans = static_cast<std::size_t>(max_replans);
+  options.replan_delta =
+      config.get_double_or("identify.replan_delta", options.replan_delta);
+  if (options.replan_delta < 0.0)
+    reject("identify.replan_delta", "must be >= 0");
+  options.alpha_scale_w = positive_from_config(
+      config, "identify.alpha_scale_w", options.alpha_scale_w);
+  options.rel_scale =
+      positive_from_config(config, "identify.rel_scale", options.rel_scale);
+  options.bias_scale_k = positive_from_config(
+      config, "identify.bias_scale_k", options.bias_scale_k);
+  options.beta_prior_sigma = positive_from_config(
+      config, "identify.beta_prior_sigma", options.beta_prior_sigma);
+  options.trust_radius =
+      config.get_double_or("identify.trust_radius", options.trust_radius);
+  if (options.trust_radius < 0.0)
+    reject("identify.trust_radius", "must be >= 0");
+  options.min_seconds =
+      config.get_double_or("identify.min_seconds", options.min_seconds);
+  if (options.min_seconds < 0.0)
+    reject("identify.min_seconds", "must be >= 0");
+  options.drift_scale_k = positive_from_config(
+      config, "identify.drift_scale_k", options.drift_scale_k);
+  options.drift_period_s = config.get_double_or("identify.drift_period_s",
+                                                options.drift_period_s);
+  if (options.drift_period_s < 0.0)
+    reject("identify.drift_period_s", "must be >= 0");
+  options.innovation_clip_k = config.get_double_or(
+      "identify.innovation_clip_k", options.innovation_clip_k);
+  if (options.innovation_clip_k < 0.0)
+    reject("identify.innovation_clip_k", "must be >= 0");
+  if (config.has("identify.conservative"))
+    options.conservative = config.get_bool("identify.conservative");
+  return options;
+}
+
 GuardOptions guard_options_from_config(const Config& config) {
   GuardOptions options;
   options.ao = ao_options_from_config(config);
+  options.identify = identify_options_from_config(config);
   options.horizon =
       positive_from_config(config, "guard.horizon_s", options.horizon);
   if (config.has("guard.control_period_ms"))
@@ -245,18 +315,28 @@ GuardOptions guard_options_from_config(const Config& config) {
                                              options.trip_margin);
   options.reentry_margin = config.get_double_or("guard.reentry_margin_k",
                                                 options.reentry_margin);
+  if (options.reentry_margin < 0.0)
+    reject("guard.reentry_margin_k", "must be >= 0");
   options.backoff_initial = positive_from_config(
       config, "guard.backoff_initial_s", options.backoff_initial);
   options.backoff_factor = config.get_double_or("guard.backoff_factor",
                                                 options.backoff_factor);
+  if (options.backoff_factor < 1.0)
+    reject("guard.backoff_factor", "must be >= 1");
   options.backoff_max =
       config.get_double_or("guard.backoff_max_s", options.backoff_max);
+  if (options.backoff_max < options.backoff_initial)
+    reject("guard.backoff_max_s", "must be >= guard.backoff_initial_s");
   options.escalate_after = static_cast<int>(
       config.get_int_or("guard.escalate_after", options.escalate_after));
+  if (options.escalate_after < 1)
+    reject("guard.escalate_after", "must be >= 1");
   options.derate_step = positive_from_config(config, "guard.derate_step_k",
                                              options.derate_step);
   options.max_derate =
       config.get_double_or("guard.max_derate_k", options.max_derate);
+  if (options.max_derate < 0.0)
+    reject("guard.max_derate_k", "must be >= 0");
   options.check();
   return options;
 }

@@ -27,6 +27,12 @@
 //              trip_margin_k, reentry_margin_k, backoff_initial_s,
 //              backoff_factor, backoff_max_s, escalate_after,
 //              derate_step_k, max_derate_k
+//   [identify] enabled (false), forgetting, prior_sigma,
+//              beta_prior_sigma, gate_sigma, confidence, trust_radius,
+//              min_polls, min_seconds, significance, min_theta,
+//              band_floor_k, max_replans, replan_delta, alpha_scale_w,
+//              rel_scale, bias_scale_k, drift_scale_k, drift_period_s,
+//              innovation_clip_k, conservative (true)
 #pragma once
 
 #include "core/ao.hpp"
@@ -54,7 +60,12 @@ namespace foscil::core {
 /// and explicit keys override individual fields on top of it.
 [[nodiscard]] sim::FaultSpec faults_from_config(const Config& config);
 
-/// Guard options from [guard], with the [ao] options embedded.
+/// Identification options from [identify] (disabled when absent).
+[[nodiscard]] IdentifyOptions identify_options_from_config(
+    const Config& config);
+
+/// Guard options from [guard], with the [ao] and [identify] options
+/// embedded.
 [[nodiscard]] GuardOptions guard_options_from_config(const Config& config);
 
 }  // namespace foscil::core

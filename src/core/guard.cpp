@@ -21,6 +21,7 @@ void GuardOptions::check() const {
   FOSCIL_EXPECTS(escalate_after >= 1);
   FOSCIL_EXPECTS(derate_step > 0.0);
   FOSCIL_EXPECTS(max_derate >= 0.0);
+  identify.check();
 }
 
 double guard_band(const Platform& platform, double t_max_c,
@@ -147,6 +148,31 @@ GuardResult run_guarded_ao(const Platform& platform, double t_max_c,
   plant.warm_start(predicted);
   const linalg::Vector lowest_v(cores, platform.levels.lowest());
 
+  // Online identification (opt-in).  The identifier observes every poll's
+  // raw residual against the *nominal* predictor for the whole run — theta
+  // stays "mismatch vs nominal" — while after a certified replan the
+  // watchdog compares bias-corrected sensors against an *identified*-model
+  // predictor instead.
+  std::optional<ThermalIdentifier> identifier;
+  if (options.identify.enabled) {
+    IdentifyOptions id_options = options.identify;
+    // The assumed envelope knows the qualification drift period; give the
+    // estimator quadrature columns at it so the drift sinusoid has a home
+    // outside the plant block (see IdentifyOptions::drift_period_s).
+    if (id_options.drift_period_s == 0.0 && assumed.ambient_drift_c > 0.0)
+      id_options.drift_period_s = assumed.ambient_drift_period_s;
+    identifier.emplace(platform.model, id_options);
+    plant.enable_residual_log(4096);
+  }
+  bool id_mode = false;           // watchdog on the identified model
+  bool id_retired = false;        // certification failed; heuristic ladder
+  std::optional<sim::TransientSimulator> id_predictor;
+  linalg::Vector id_predicted;
+  linalg::Vector theta_at_plan;
+  double id_cooldown_until = 0.0;  // sim time (s) gating replan attempts
+  double id_trip_dev = 0.0;
+  double id_reentry_dev = 0.0;
+
   // The trip statistic is the *deviation* of the bias-corrected sensors from
   // the nominal prediction, not the absolute temperature: the band already
   // derates the plan for in-envelope mismatch, so mismatch the band has paid
@@ -178,6 +204,50 @@ GuardResult run_guarded_ao(const Platform& platform, double t_max_c,
   int strikes = 0;
   double t = 0.0;
 
+  // Identified-mode envelope: the heuristic band is gone, so the accepted
+  // deviation is only what the certified plan does not already cover —
+  // sensor noise, the residual bias uncertainty, ambient drift (the
+  // identified predictor does not model it), and the linearization floor.
+  auto refresh_id_thresholds = [&]() {
+    id_trip_dev = options.trip_margin +
+                  3.0 * assumed.sensors.noise_sigma_k +
+                  options.identify.confidence *
+                      identifier->max_bias_sigma_k() +
+                  std::min(assumed.ambient_drift_c,
+                           identifier->drift_amplitude_bound_k()) +
+                  options.identify.band_floor_k;
+    id_reentry_dev =
+        id_trip_dev - std::min(options.reentry_margin, 0.5 * id_trip_dev);
+  };
+  auto theta_moved = [&]() {
+    const linalg::Vector& now_theta = identifier->theta_scaled();
+    double sq = 0.0;
+    for (std::size_t j = 0; j < now_theta.size(); ++j) {
+      const double d = now_theta[j] - theta_at_plan[j];
+      sq += d * d;
+    }
+    return std::sqrt(sq);
+  };
+  // Swap in a certified plan: new schedule from phase 0, watchdog moved to
+  // the identified model seeded with the linearized state correction.
+  auto apply_certified = [&](const CertifiedPlan& certified) {
+    planned = certified.planned;
+    intervals = planned.schedule.state_intervals();
+    iv = 0;
+    iv_left = intervals[0].length;
+    state = State::kNominal;
+    strikes = 0;
+    trips_since_plan = 0;
+    id_predictor.emplace(certified.model);
+    id_predicted = predicted;
+    id_predicted += identifier->node_correction();
+    id_mode = true;
+    theta_at_plan = identifier->theta_scaled();
+    out.certified_band = certified.margin;
+    ++out.identified_replans;
+    refresh_id_thresholds();
+  };
+
   while (t < horizon - 1e-12) {
     const bool nominal = state == State::kNominal;
     const linalg::Vector& requested =
@@ -187,7 +257,10 @@ GuardResult run_guarded_ao(const Platform& platform, double t_max_c,
 
     plant.request(requested);
     const double span_peak = plant.advance(chunk, options.samples_per_tick);
+    const linalg::Vector pre_predicted = predicted;
     predicted = predictor.advance(predicted, requested, chunk);
+    if (id_mode)
+      id_predicted = id_predictor->advance(id_predicted, requested, chunk);
     t += chunk;
     if (nominal) {
       iv_left -= chunk;
@@ -208,12 +281,61 @@ GuardResult run_guarded_ao(const Platform& platform, double t_max_c,
     deviation += abs_bias;
     ++out.polls;
 
+    if (identifier) {
+      // Raw residual vs the nominal prediction, every poll, regardless of
+      // state — fallback spans are often the most informative (large
+      // voltage step = strong excitation of the power-offset directions).
+      linalg::Vector residual(cores);
+      double max_abs = 0.0;
+      for (std::size_t i = 0; i < cores; ++i) {
+        residual[i] = seen[i] - pred_rises[i];
+        max_abs = std::max(max_abs, std::abs(residual[i]));
+      }
+      plant.log_residual(t, max_abs);
+      if (!id_retired)
+        identifier->observe(pre_predicted, requested, chunk, residual);
+    }
+
+    // IDENTIFY -> REPLAN: once the estimate has converged and says the
+    // mismatch is real, certify a plan against the identified plant.  The
+    // cooldown keeps a failed certification from being retried every poll.
+    if (identifier && !id_retired && !out.saturated &&
+        t >= id_cooldown_until &&
+        out.identified_replans < options.identify.max_replans &&
+        identifier->converged() && identifier->significant() &&
+        (!id_mode || theta_moved() > options.identify.replan_delta)) {
+      const CertifiedPlan certified = certified_replan(
+          platform, t_max_c, *identifier, assumed, options.ao, derate);
+      // Utility test: the certified plan targets a *harder* (identified)
+      // model, so compare planned throughput directly — a tighter margin
+      // against a hotter plant can still be the slower plan.  Safety never
+      // depends on applying it; keep estimating when it doesn't pay.
+      if (certified.ok &&
+          certified.planned.throughput > planned.throughput * (1.0 + 1e-6)) {
+        apply_certified(certified);
+      } else {
+        id_cooldown_until = t + options.identify.min_seconds;
+      }
+    }
+
+    double dev = deviation;
+    if (id_mode) {
+      // Bias-corrected sensors vs the identified prediction.
+      const linalg::Vector id_rises =
+          id_predictor->model().core_rises(id_predicted);
+      dev = seen[0] - identifier->bias_k(0) - id_rises[0];
+      for (std::size_t i = 1; i < cores; ++i)
+        dev = std::max(dev, seen[i] - identifier->bias_k(i) - id_rises[i]);
+    }
+    const double trip_threshold = id_mode ? id_trip_dev : trip_dev;
+    const double reentry_threshold = id_mode ? id_reentry_dev : reentry_dev;
+
     if (state == State::kNominal) {
       // Two consecutive over-threshold polls before tripping: a dropped
       // step-down (retried next poll) or a noise tail produces a one-poll
       // spike, while genuine envelope departure persists.  The debounce
       // costs one control period of latency, thermally negligible.
-      strikes = deviation > trip_dev ? strikes + 1 : 0;
+      strikes = dev > trip_threshold ? strikes + 1 : 0;
       if (strikes >= 2) {
         strikes = 0;
         state = State::kFallback;
@@ -225,6 +347,29 @@ GuardResult run_guarded_ao(const Platform& platform, double t_max_c,
           trips_since_plan = 0;
           if (derate > options.max_derate) {
             out.saturated = true;  // pinned at the lowest mode from here on
+          } else if (id_mode) {
+            // The identified plan itself keeps tripping: re-certify with
+            // the escalation derate on top, then re-open the estimator
+            // gain — the plant has visibly left the identified regime.
+            const CertifiedPlan certified =
+                certified_replan(platform, t_max_c, *identifier, assumed,
+                                 options.ao, derate);
+            if (certified.ok) {
+              const State fallback_state = state;
+              apply_certified(certified);
+              state = fallback_state;  // escalation keeps the step-down
+              identifier->reset_covariance();
+            } else {
+              // Cannot certify anymore — retire identification and fall
+              // back to the heuristic derate ladder for the rest of the
+              // run.
+              id_mode = false;
+              id_retired = true;
+              planned = plan();
+              ++out.replans;
+              intervals = planned.schedule.state_intervals();
+              refresh_thresholds();
+            }
           } else {
             planned = plan();
             ++out.replans;
@@ -234,7 +379,7 @@ GuardResult run_guarded_ao(const Platform& platform, double t_max_c,
         }
       }
     } else if (!out.saturated && t - fallback_since >= backoff &&
-               deviation < reentry_dev) {
+               dev < reentry_threshold) {
       state = State::kNominal;
       ++out.reentries;
       iv = 0;
@@ -245,6 +390,17 @@ GuardResult run_guarded_ao(const Platform& platform, double t_max_c,
   }
 
   out.final_derate = derate;
+  if (identifier) {
+    out.identify_polls = identifier->polls();
+    out.identify_converged = identifier->converged();
+    const sim::PlantPerturbation estimate = identifier->perturbation();
+    out.est_alpha_offset_w = estimate.alpha_offset_w;
+    out.est_beta_scale = estimate.beta_scale;
+    out.est_r_convection_scale = estimate.r_convection_scale;
+    out.est_bias_k.resize(cores);
+    for (std::size_t i = 0; i < cores; ++i)
+      out.est_bias_k[i] = identifier->bias_k(i);
+  }
   finish_result(out, platform, plant, tau, horizon);
   SchedulerResult& r = out.result;
   r.scheduler = "AO+GUARD";

@@ -22,7 +22,15 @@
 //   escalate  after escalate_after trips since the last (re)plan the
 //             mismatch is persistent: derate T_max by another derate_step
 //             and re-run AO, up to max_derate, after which the guard
-//             saturates at the lowest mode for the rest of the horizon.
+//             saturates at the lowest mode for the rest of the horizon;
+//   identify  (opt-in, IdentifyOptions::enabled) feed every poll's residual
+//             to a ThermalIdentifier; once the estimate converges and is
+//             significant, run an uncertainty-certified replan
+//             (core/identify.hpp) against the identified plant and switch
+//             the watchdog to the identified model with bias-corrected
+//             sensors — the certified planning margin replaces the
+//             heuristic guard band, recovering the throughput blind
+//             derating cedes to in-envelope mismatch.
 //
 // The same executor also runs a schedule open-loop (what plain AO would do
 // on the faulted chip) and the reactive baseline against the same plant, so
@@ -31,8 +39,10 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "core/ao.hpp"
+#include "core/identify.hpp"
 #include "core/platform.hpp"
 #include "core/reactive.hpp"
 #include "core/result.hpp"
@@ -60,6 +70,7 @@ struct GuardOptions {
   double derate_step = 1.0;      ///< K of extra T_max margin per escalation
   double max_derate = 6.0;       ///< K; beyond this the guard saturates low
   AoOptions ao;                  ///< planning options (margin added on top)
+  IdentifyOptions identify;      ///< online identification (off by default)
   /// Uncertainty set the guard defends against; defaults to the injected
   /// spec (the operator knows the qualification envelope).  Setting it
   /// weaker than the injected faults exercises the escalation path.
@@ -85,6 +96,17 @@ struct GuardResult {
   std::size_t dropped_transitions = 0;
   std::size_t delayed_transitions = 0;
   double nominal_throughput = 0.0;  ///< unfaulted AO reference throughput
+
+  // --- identification outcome (zeros/empty when identify is off) -------
+  std::size_t identified_replans = 0;  ///< certified replans applied
+  bool identify_converged = false;     ///< estimator passed its gate
+  double certified_band = 0.0;   ///< K planning margin of the last applied
+                                 ///< certified plan (0 = never replanned)
+  std::size_t identify_polls = 0;
+  std::vector<double> est_alpha_offset_w;  ///< point estimate, horizon end
+  double est_beta_scale = 1.0;
+  double est_r_convection_scale = 1.0;
+  std::vector<double> est_bias_k;
 
   /// Fraction of the unfaulted AO throughput this run delivered.
   [[nodiscard]] double throughput_retained() const {

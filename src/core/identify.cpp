@@ -1,0 +1,345 @@
+#include "core/identify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/audit.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/lu.hpp"
+#include "util/contracts.hpp"
+
+namespace foscil::core {
+
+void IdentifyOptions::check() const {
+  FOSCIL_EXPECTS(forgetting > 0.0 && forgetting <= 1.0);
+  FOSCIL_EXPECTS(prior_sigma > 0.0);
+  FOSCIL_EXPECTS(beta_prior_sigma > 0.0);
+  FOSCIL_EXPECTS(gate_sigma > 0.0);
+  FOSCIL_EXPECTS(confidence >= 0.0);
+  FOSCIL_EXPECTS(trust_radius >= 0.0);
+  FOSCIL_EXPECTS(min_polls >= 1);
+  FOSCIL_EXPECTS(min_seconds >= 0.0);
+  FOSCIL_EXPECTS(significance >= 0.0);
+  FOSCIL_EXPECTS(min_theta >= 0.0);
+  FOSCIL_EXPECTS(band_floor_k >= 0.0);
+  FOSCIL_EXPECTS(replan_delta >= 0.0);
+  FOSCIL_EXPECTS(alpha_scale_w > 0.0);
+  FOSCIL_EXPECTS(rel_scale > 0.0);
+  FOSCIL_EXPECTS(bias_scale_k > 0.0);
+  FOSCIL_EXPECTS(drift_scale_k > 0.0);
+  FOSCIL_EXPECTS(drift_period_s >= 0.0);
+  FOSCIL_EXPECTS(innovation_clip_k >= 0.0);
+}
+
+ThermalIdentifier::ThermalIdentifier(
+    std::shared_ptr<const thermal::ThermalModel> nominal,
+    IdentifyOptions options)
+    : nominal_(std::move(nominal)),
+      options_(options),
+      cores_(nominal_->num_cores()),
+      rls_(2 * nominal_->num_cores() + 2 +
+               (options.drift_period_s > 0.0 ? 2 : 0),
+           options.prior_sigma, options.forgetting),
+      x_(nominal_->num_sensitivity_params(),
+         linalg::Vector(nominal_->num_nodes())) {
+  options_.check();
+  rls_.set_prior_sigma(cores_, options_.beta_prior_sigma);
+}
+
+void ThermalIdentifier::observe(const linalg::Vector& pre_nodes,
+                                const linalg::Vector& requested, double dt,
+                                const linalg::Vector& residual_cores) {
+  FOSCIL_EXPECTS(dt > 0.0);
+  FOSCIL_EXPECTS(residual_cores.size() == cores_);
+  const auto& model = *nominal_;
+  const auto& spectral = model.spectral();
+  const linalg::Vector& capacitance = model.network().capacitance();
+  const std::size_t plant_params = num_plant_params();
+
+  // Advance each dynamic regressor state over the poll interval with the
+  // heat direction frozen at the interval's start (matching the piecewise-
+  // constant voltage):  x_j <- e^{A dt} x_j + phi(dt) C^{-1} h_j.
+  //
+  // The heat columns are evaluated around the *corrected* trajectory
+  // (nominal prediction + current first-order correction) rather than the
+  // nominal one: a mismatched plant runs hotter than predicted, and
+  // linearizing around the too-cold nominal trajectory systematically
+  // overstates temperature-proportional parameters (conv, beta).  Using
+  // the running estimate makes this a recursive Gauss-Newton step — the
+  // regressors re-center on the estimated plant as theta converges.
+  linalg::Vector linearization = pre_nodes;
+  for (std::size_t j = 0; j < plant_params; ++j) {
+    const double scale =
+        j < cores_ ? options_.alpha_scale_w : options_.rel_scale;
+    const double theta_physical = rls_.theta()[j] * scale;
+    if (theta_physical == 0.0) continue;
+    for (std::size_t node = 0; node < linearization.size(); ++node)
+      linearization[node] += theta_physical * x_[j][node];
+  }
+  const linalg::Matrix heat =
+      model.sensitivity_heat(linearization, requested);
+  linalg::Vector b(model.num_nodes());
+  for (std::size_t j = 0; j < plant_params; ++j) {
+    for (std::size_t node = 0; node < b.size(); ++node)
+      b[node] = heat(node, j) / capacitance[node];
+    x_[j] = spectral.exp_apply(dt, x_[j]);
+    x_[j] += spectral.phi_apply(dt, b);
+  }
+
+  t_ += dt;
+
+  // One scaled scalar RLS update per core: residual_i regressed on the
+  // die-node entries of the x_j (plant block), this core's bias indicator,
+  // and — when an ambient-drift period is assumed — common-mode quadrature
+  // columns at that period, so the drift sinusoid (which the plant basis
+  // cannot represent) has somewhere to go other than the plant estimates.
+  // Scaling puts every parameter's prior at O(1).
+  linalg::Vector phi(num_params());
+  if (options_.drift_period_s > 0.0) {
+    const double omega_t = 2.0 * M_PI * t_ / options_.drift_period_s;
+    phi[2 * cores_ + 2] = std::sin(omega_t) * options_.drift_scale_k;
+    phi[2 * cores_ + 3] = std::cos(omega_t) * options_.drift_scale_k;
+  }
+  for (std::size_t core = 0; core < cores_; ++core) {
+    const std::size_t die = model.network().die_node(core);
+    for (std::size_t j = 0; j < plant_params; ++j) {
+      const double scale =
+          j < cores_ ? options_.alpha_scale_w : options_.rel_scale;
+      phi[j] = x_[j][die] * scale;
+    }
+    for (std::size_t k = 0; k < cores_; ++k)
+      phi[plant_params + k] = k == core ? options_.bias_scale_k : 0.0;
+
+    // Huber-style innovation clip: a dropped/delayed DVFS transition puts
+    // the plant on voltages the prediction never saw, producing a residual
+    // spike no parameter explains.  Bounding the innovation keeps those
+    // spikes from dragging theta while leaving small-residual updates (and
+    // the covariance recursion) untouched.
+    double y = residual_cores[core];
+    if (options_.innovation_clip_k > 0.0) {
+      double fit = 0.0;
+      for (std::size_t j = 0; j < phi.size(); ++j)
+        fit += phi[j] * rls_.theta()[j];
+      const double innovation = y - fit;
+      if (std::abs(innovation) > options_.innovation_clip_k)
+        y = fit + std::copysign(options_.innovation_clip_k, innovation);
+    }
+    rls_.update(phi, y);
+  }
+  ++polls_;
+}
+
+bool ThermalIdentifier::converged() const {
+  if (polls_ < options_.min_polls || t_ < options_.min_seconds) return false;
+  // Gate on the collapsed block only (beta, conv, biases, drift); per-core
+  // alpha splits stay near the prior under uniform excitation and are
+  // priced by the certification ellipsoid instead.
+  for (std::size_t j = cores_; j < num_params(); ++j)
+    if (rls_.sigma(j) > options_.gate_sigma) return false;
+  return true;
+}
+
+bool ThermalIdentifier::significant() const {
+  const linalg::Vector& theta = rls_.theta();
+  for (std::size_t j = 0; j < num_plant_params(); ++j) {
+    const double magnitude = std::abs(theta[j]);
+    if (magnitude > options_.significance * rls_.sigma(j) &&
+        magnitude > options_.min_theta)
+      return true;
+  }
+  return false;
+}
+
+sim::PlantPerturbation ThermalIdentifier::perturbation_at(
+    const linalg::Vector& plant_theta_scaled) const {
+  FOSCIL_EXPECTS(plant_theta_scaled.size() == num_plant_params());
+  sim::PlantPerturbation delta;
+  delta.alpha_offset_w.resize(cores_);
+  // Conservative mode clamps the identified plant to at-least-nominal
+  // severity: whatever residual mass the estimator misattributed to an
+  // easier-than-nominal direction (e.g. actuator spikes read as improved
+  // convection) is discarded rather than certified.  Otherwise clamp only
+  // to physically meaningful territory — beta cannot go negative and the
+  // convection path cannot vanish.  (A vertex clamped here is still a
+  // *harder* plant than the clamp bound, never an easier one.)
+  const double alpha_floor_w = options_.conservative
+                                   ? 0.0
+                                   : -std::numeric_limits<double>::infinity();
+  const double scale_floor = options_.conservative ? 1.0 : 0.0;
+  const double conv_floor = options_.conservative ? 1.0 : 0.05;
+  for (std::size_t i = 0; i < cores_; ++i)
+    delta.alpha_offset_w[i] = std::max(
+        alpha_floor_w, plant_theta_scaled[i] * options_.alpha_scale_w);
+  delta.beta_scale = std::max(
+      scale_floor, 1.0 + plant_theta_scaled[cores_] * options_.rel_scale);
+  delta.r_convection_scale = std::max(
+      conv_floor, 1.0 + plant_theta_scaled[cores_ + 1] * options_.rel_scale);
+  return delta;
+}
+
+sim::PlantPerturbation ThermalIdentifier::perturbation() const {
+  linalg::Vector plant(num_plant_params());
+  for (std::size_t j = 0; j < plant.size(); ++j)
+    plant[j] = rls_.theta()[j];
+  return perturbation_at(plant);
+}
+
+std::vector<sim::PlantPerturbation> ThermalIdentifier::ellipsoid_samples()
+    const {
+  const std::size_t p = num_plant_params();
+  linalg::Vector center(p);
+  for (std::size_t j = 0; j < p; ++j) center[j] = rls_.theta()[j];
+
+  // Marginal covariance of the plant block; its eigenvectors are the
+  // principal axes of the confidence ellipsoid.
+  linalg::Matrix cov(p, p);
+  for (std::size_t r = 0; r < p; ++r)
+    for (std::size_t c = 0; c < p; ++c) cov(r, c) = rls_.covariance()(r, c);
+  const linalg::SymmetricEigen eig = linalg::eigen_symmetric(cov);
+
+  // Each vertex coordinate is clamped to the trust region around the
+  // estimate: the certified set is ellipsoid INTERSECT qualification
+  // envelope, so an unexcitable direction (sigma still at the prior) costs
+  // the envelope's width instead of 3x an ignorance prior.
+  const double trust = options_.trust_radius > 0.0
+                           ? options_.trust_radius
+                           : std::numeric_limits<double>::infinity();
+  std::vector<sim::PlantPerturbation> samples;
+  samples.reserve(2 * p + 1);
+  samples.push_back(perturbation_at(center));
+  for (std::size_t j = 0; j < p; ++j) {
+    const double radius =
+        options_.confidence * std::sqrt(std::max(0.0, eig.eigenvalues[j]));
+    linalg::Vector vertex = center;
+    for (int sign : {+1, -1}) {
+      for (std::size_t i = 0; i < p; ++i)
+        vertex[i] = center[i] + std::clamp(sign * radius *
+                                               eig.eigenvectors(i, j),
+                                           -trust, trust);
+      samples.push_back(perturbation_at(vertex));
+    }
+  }
+  return samples;
+}
+
+double ThermalIdentifier::drift_amplitude_bound_k() const {
+  if (options_.drift_period_s <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  const std::size_t s = 2 * cores_ + 2;
+  const double amplitude = std::hypot(rls_.theta()[s], rls_.theta()[s + 1]);
+  const double uncertainty =
+      options_.confidence * std::max(rls_.sigma(s), rls_.sigma(s + 1));
+  return (amplitude + uncertainty) * options_.drift_scale_k;
+}
+
+double ThermalIdentifier::bias_k(std::size_t core) const {
+  FOSCIL_EXPECTS(core < cores_);
+  return rls_.theta()[num_plant_params() + core] * options_.bias_scale_k;
+}
+
+double ThermalIdentifier::bias_sigma_k(std::size_t core) const {
+  FOSCIL_EXPECTS(core < cores_);
+  return rls_.sigma(num_plant_params() + core) * options_.bias_scale_k;
+}
+
+double ThermalIdentifier::max_bias_sigma_k() const {
+  double worst = 0.0;
+  for (std::size_t core = 0; core < cores_; ++core)
+    worst = std::max(worst, bias_sigma_k(core));
+  return worst;
+}
+
+linalg::Vector ThermalIdentifier::node_correction() const {
+  // Use the *clamped* physical estimate (same clamps as perturbation()) so
+  // the correction seeds a predictor state consistent with the identified
+  // model the watchdog will integrate.
+  const sim::PlantPerturbation delta = perturbation();
+  linalg::Vector correction(nominal_->num_nodes());
+  for (std::size_t j = 0; j < num_plant_params(); ++j) {
+    const double theta_physical =
+        j < cores_ ? delta.alpha_offset_w[j]
+                   : (j == cores_ ? delta.beta_scale - 1.0
+                                  : delta.r_convection_scale - 1.0);
+    if (theta_physical == 0.0) continue;
+    for (std::size_t node = 0; node < correction.size(); ++node)
+      correction[node] += theta_physical * x_[j][node];
+  }
+  return correction;
+}
+
+void ThermalIdentifier::reset_covariance() {
+  rls_.reset_covariance(options_.prior_sigma);
+  rls_.set_prior_sigma(cores_, options_.beta_prior_sigma);
+}
+
+CertifiedPlan certified_replan(const Platform& platform, double t_max_c,
+                               const ThermalIdentifier& id,
+                               const sim::FaultSpec& assumed,
+                               const AoOptions& ao, double extra_margin) {
+  FOSCIL_EXPECTS(extra_margin >= 0.0);
+  const double budget = platform.rise_budget(t_max_c);
+  const IdentifyOptions& opts = id.options();
+
+  CertifiedPlan plan;
+
+  // Environment slack the plant model cannot absorb: ambient drift enters
+  // the true temperature directly, and a dropped/delayed step-down
+  // stretches high intervals by the retry latency (same empirical
+  // coefficients as the heuristic guard_band).  Drift is priced at the
+  // *measured* amplitude bound when the estimator carries a drift block —
+  // one of the places identification beats the blind envelope.
+  const double actuator_slack =
+      budget * (0.05 * assumed.transitions.drop_probability +
+                0.02 * assumed.transitions.delay_probability);
+  const double drift_slack =
+      std::min(assumed.ambient_drift_c, id.drift_amplitude_bound_k());
+  const double env_slack = drift_slack + actuator_slack;
+
+  // Realize the confidence ellipsoid as thermal models once; an unstable
+  // or singular vertex means the remaining uncertainty includes thermal
+  // runaway, which no margin can certify away.
+  std::vector<std::shared_ptr<const thermal::ThermalModel>> models;
+  try {
+    for (const sim::PlantPerturbation& sample : id.ellipsoid_samples())
+      models.push_back(sim::perturbed_model(platform.model, sample));
+  } catch (const ContractViolation&) {
+    return plan;
+  } catch (const linalg::SingularMatrixError&) {
+    return plan;
+  }
+  plan.model = models.front();
+
+  Platform identified = platform;
+  identified.model = plan.model;
+  AoOptions plan_options = ao;
+
+  double margin = std::min(env_slack + opts.band_floor_k + extra_margin,
+                           0.75 * budget);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    plan_options.t_max_margin = margin;
+    plan.planned = run_ao(identified, t_max_c, plan_options);
+    plan.margin = margin;
+
+    double worst = 0.0;
+    for (std::size_t s = 0; s < models.size(); ++s) {
+      const double bound =
+          step_up_certificate_rise(models[s], plan.planned.schedule);
+      if (s == 0) plan.center_rise = bound;
+      worst = std::max(worst, bound);
+    }
+    plan.worst_case_rise = worst;
+
+    const double excess = worst + env_slack - budget;
+    if (excess <= 1e-9) {
+      plan.ok = true;
+      return plan;
+    }
+    const double next = margin + std::max(excess, 0.25);
+    if (next > 0.75 * budget) break;  // would starve the planner — give up
+    margin = next;
+  }
+  return plan;
+}
+
+}  // namespace foscil::core

@@ -1,0 +1,236 @@
+// Online thermal-model identification + uncertainty-certified replanning.
+//
+// The guard's deviation watchdog (core/guard.hpp) only measures *that* the
+// plant left the qualified envelope; this module estimates *what* is wrong
+// with it, from the same sensor-vs-prediction residuals the guard already
+// computes each poll.  The estimated mismatch vector is
+//
+//   theta = [ Dalpha_0 .. Dalpha_{C-1},  Dbeta_rel,  d_conv,  b_0 .. b_{C-1} ]
+//
+// — per-core power offsets (W), a relative leakage-slope scale, a relative
+// convection-resistance scale, and per-core sensor biases (K) — regressed by
+// recursive least squares (linalg/rls.hpp) against the nominal model's
+// sensitivity directions (thermal::ThermalModel::sensitivity_heat).
+//
+// Regressor construction is *dynamic*: for each plant parameter j the
+// identifier integrates the linearized residual response
+//     x_j' = A x_j + C^{-1} dPsi_eff/dtheta_j,      x_j(0) = 0,
+// alongside the guard's nominal prediction via the spectral cache
+// (exp_apply/phi_apply, O(n^2) per poll — no new factorizations).  Because
+// guarded runs warm-start at the nominal stable state, the residual obeys
+// DT(t) ~= sum_j theta_j x_j(t) exactly to first order, so the die-node
+// entries of x_j are the correct regressors for the sensor residuals; the
+// sensor-bias parameters enter with constant indicator regressors.
+//
+// Once the covariance converges below a confidence gate and the estimate is
+// statistically significant, `certified_replan` rebuilds the identified
+// plant (sim/faults::perturbed_model over a PlantPerturbation), re-runs AO
+// against it, and certifies the plan not just at the point estimate but at
+// the vertices of the estimator's remaining confidence ellipsoid, using the
+// Theorem-2 step-up certificate (core/audit.hpp) as the per-sample safety
+// proof.  The resulting planning margin is the *certified band* that
+// replaces the guard's heuristic worst-case band.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/ao.hpp"
+#include "core/platform.hpp"
+#include "core/result.hpp"
+#include "linalg/rls.hpp"
+#include "sim/faults.hpp"
+
+namespace foscil::core {
+
+struct IdentifyOptions {
+  bool enabled = false;       ///< master switch (off = PR-1 guard behavior)
+  double forgetting = 1.0;    ///< RLS forgetting factor; 1 = pure recursive
+                              ///< OLS.  Anything below 1 winds the gain up
+                              ///< along weakly excited directions (per-core
+                              ///< alpha splits) until theta diverges;
+                              ///< regime changes are handled by an explicit
+                              ///< covariance reset at escalation instead
+  double prior_sigma = 1.0;   ///< prior std-dev per *scaled* parameter
+  double beta_prior_sigma = 0.1;  ///< tighter prior for the leakage-slope
+                              ///< scale: beta is characterized pre-silicon
+                              ///< and its regressor is nearly collinear
+                              ///< with the convection column, so a loose
+                              ///< beta prior lets residual mass seesaw
+                              ///< between the two instead of converging
+  double gate_sigma = 0.25;   ///< convergence gate: every scaled sigma of
+                              ///< the collapsed block (beta, conv, biases,
+                              ///< drift) must fall below this before acting.
+                              ///< Per-core alpha *splits* are structurally
+                              ///< slow (all cores see near-identical
+                              ///< excitation) and are excluded — their
+                              ///< remaining uncertainty is priced by the
+                              ///< certification ellipsoid, not the gate
+  double confidence = 3.0;    ///< ellipsoid radius, in sigmas, certified by
+                              ///< the replan (3 ~ 99.7% per axis)
+  double trust_radius = 0.8;  ///< per-parameter cap (scaled units) on a
+                              ///< vertex's distance from the estimate: the
+                              ///< certificate covers ellipsoid INTERSECT
+                              ///< qualification envelope, so directions the
+                              ///< schedule cannot excite (per-core alpha
+                              ///< splits, sigma stuck at the prior) are
+                              ///< priced at the envelope, not at 3x an
+                              ///< ignorance prior (0 disables the cap)
+  std::size_t min_polls = 400;///< polls absorbed before acting at all
+  double min_seconds = 5.0;   ///< observation time absorbed before acting:
+                              ///< poll counts alone mislead when the
+                              ///< schedule's intervals make polls much
+                              ///< shorter than the control period — sigma
+                              ///< shrinks with update count while the slow
+                              ///< thermal directions have seen no real
+                              ///< excitation yet
+  double significance = 3.0;  ///< |theta|/sigma needed to call the mismatch
+                              ///< real rather than noise
+  double min_theta = 0.05;    ///< scaled-magnitude floor on top of the
+                              ///< significance ratio (keeps a zero-fault
+                              ///< run from ever acting on 1e-14 residuals)
+  double band_floor_k = 0.5;  ///< K of slack always added to the certified
+                              ///< margin (linearization + discretization)
+  std::size_t max_replans = 3;///< identified replans per run
+  double replan_delta = 0.5;  ///< scaled-theta movement vs the last
+                              ///< identified plan that justifies another
+
+  // Parameter scaling: theta is estimated in units where the prior is O(1).
+  double alpha_scale_w = 0.5; ///< W of power offset per unit scaled theta
+  double rel_scale = 0.3;     ///< relative beta/convection per unit theta
+  double bias_scale_k = 3.0;  ///< K of sensor bias per unit scaled theta
+  double drift_scale_k = 1.0; ///< K of ambient-drift quadrature amplitude
+                              ///< per unit scaled theta
+
+  // Robustness of the regression itself.
+  double drift_period_s = 0.0;///< when > 0, append sin/cos regressors at
+                              ///< this period so assumed ambient drift — a
+                              ///< common-mode signal outside the plant
+                              ///< basis — stops polluting the plant block.
+                              ///< The guard fills this in from the assumed
+                              ///< fault set when left at 0
+  double innovation_clip_k = 1.0;  ///< Huber clip (K) on each update's
+                              ///< innovation: bounds the pull of transient
+                              ///< residual spikes from dropped/delayed DVFS
+                              ///< transitions (0 disables clipping)
+  bool conservative = true;   ///< clamp the identified plant to at-least-
+                              ///< nominal severity (alpha offsets >= 0,
+                              ///< beta/convection scales >= 1): estimator
+                              ///< misattribution can then only cost
+                              ///< throughput, never certify an easier-than-
+                              ///< real plant
+
+  void check() const;
+};
+
+/// Recursive estimator of the mismatch vector theta; one instance lives for
+/// the duration of a guarded run and absorbs every poll's residual.
+class ThermalIdentifier {
+ public:
+  ThermalIdentifier(std::shared_ptr<const thermal::ThermalModel> nominal,
+                    IdentifyOptions options);
+
+  [[nodiscard]] const IdentifyOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t num_cores() const { return cores_; }
+  /// Parameter count: cores power offsets + beta + conv + cores biases
+  /// (+ drift sin/cos when drift_period_s > 0).
+  [[nodiscard]] std::size_t num_params() const {
+    return 2 * cores_ + 2 + (options_.drift_period_s > 0.0 ? 2 : 0);
+  }
+  /// Plant-block parameter count (power offsets + beta + conv).
+  [[nodiscard]] std::size_t num_plant_params() const { return cores_ + 2; }
+  [[nodiscard]] std::size_t polls() const { return polls_; }
+
+  /// Absorb one poll: advance the dynamic regressor states over `dt` from
+  /// the *pre-advance* nominal prediction `pre_nodes` under `requested`
+  /// voltages, then run one scaled RLS update per core with the per-core
+  /// residuals `seen - predicted` (K).
+  void observe(const linalg::Vector& pre_nodes,
+               const linalg::Vector& requested, double dt,
+               const linalg::Vector& residual_cores);
+
+  /// After min_polls updates *and* min_seconds of observation, every scaled
+  /// sigma of the well-excited block — beta, conv, biases, drift — below
+  /// the gate.  Per-core alpha splits are excluded (see
+  /// IdentifyOptions::gate_sigma); the ellipsoid prices them.
+  [[nodiscard]] bool converged() const;
+  /// Accumulated observation time (s) across all observe() calls.
+  [[nodiscard]] double observed_seconds() const { return t_; }
+  /// Some plant parameter is both significant (|theta| > significance *
+  /// sigma) and above the min_theta magnitude floor.
+  [[nodiscard]] bool significant() const;
+
+  /// Point estimate as a plant delta (physical units, clamped physical).
+  [[nodiscard]] sim::PlantPerturbation perturbation() const;
+  /// Plant perturbations at the center + vertices of the plant-block
+  /// confidence ellipsoid (2 * num_plant_params + 1 entries, center first).
+  [[nodiscard]] std::vector<sim::PlantPerturbation> ellipsoid_samples() const;
+
+  /// Upper confidence bound (K) on the ambient-drift amplitude from the
+  /// quadrature block: |theta| + confidence * sigma, in kelvin.  Infinity
+  /// when the estimator carries no drift block — callers min() this with
+  /// the assumed envelope's drift, so "no estimate" falls back to assumed.
+  [[nodiscard]] double drift_amplitude_bound_k() const;
+
+  /// Estimated sensor bias of a core (K) and its marginal sigma (K).
+  [[nodiscard]] double bias_k(std::size_t core) const;
+  [[nodiscard]] double bias_sigma_k(std::size_t core) const;
+  [[nodiscard]] double max_bias_sigma_k() const;
+
+  /// First-order node-rise correction sum_j theta_j x_j (K): add to the
+  /// nominal prediction to seed an identified-model predictor.
+  [[nodiscard]] linalg::Vector node_correction() const;
+
+  /// Scaled estimate / distance helpers for the guard's replan gating.
+  [[nodiscard]] const linalg::Vector& theta_scaled() const {
+    return rls_.theta();
+  }
+  [[nodiscard]] double max_sigma_scaled() const { return rls_.max_sigma(); }
+  [[nodiscard]] double sigma_scaled(std::size_t j) const {
+    return rls_.sigma(j);
+  }
+
+  /// Re-open the estimator gain after a regime change (escalation trip):
+  /// keeps theta, resets the covariance to the prior.
+  void reset_covariance();
+
+ private:
+  [[nodiscard]] sim::PlantPerturbation perturbation_at(
+      const linalg::Vector& plant_theta_scaled) const;
+
+  std::shared_ptr<const thermal::ThermalModel> nominal_;
+  IdentifyOptions options_;
+  std::size_t cores_;
+  linalg::RlsEstimator rls_;
+  std::vector<linalg::Vector> x_;  ///< dynamic regressor states, node-sized,
+                                   ///< one per plant parameter
+  std::size_t polls_ = 0;
+  double t_ = 0.0;  ///< accumulated observation time (drift regressor phase)
+};
+
+/// Outcome of an uncertainty-certified replan.
+struct CertifiedPlan {
+  bool ok = false;          ///< certified within the margin cap
+  SchedulerResult planned;  ///< AO against the identified plant
+  double margin = 0.0;      ///< K of planning margin — the certified band
+  double center_rise = 0.0; ///< Theorem-2 bound at the point estimate (K)
+  double worst_case_rise = 0.0;  ///< worst Theorem-2 bound on the ellipsoid
+  /// Identified (point-estimate) model the plan targets; never null on ok.
+  std::shared_ptr<const thermal::ThermalModel> model;
+};
+
+/// Re-run AO against the identified plant and certify the result over the
+/// estimator's confidence ellipsoid: grow the planning margin until the
+/// worst-case Theorem-2 step-up bound over all ellipsoid samples, plus the
+/// environment slack the estimator cannot see (ambient drift, actuator
+/// retry headroom from `assumed`, band_floor_k), clears the rise budget.
+/// `extra_margin` adds escalation derate on top.  Fails (ok = false) when
+/// no margin below 0.75 * budget certifies.
+[[nodiscard]] CertifiedPlan certified_replan(const Platform& platform,
+                                             double t_max_c,
+                                             const ThermalIdentifier& id,
+                                             const sim::FaultSpec& assumed,
+                                             const AoOptions& ao,
+                                             double extra_margin = 0.0);
+
+}  // namespace foscil::core

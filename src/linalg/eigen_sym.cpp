@@ -3,11 +3,23 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 #include <vector>
 
 namespace foscil::linalg {
 
 namespace {
+
+std::string convergence_message(std::size_t size, int sweeps,
+                                double off_energy, double inf_norm) {
+  std::ostringstream msg;
+  msg << "Jacobi eigensolver failed to converge on " << size << "x" << size
+      << " matrix after " << sweeps
+      << " sweeps: off-diagonal energy " << off_energy
+      << " (matrix inf-norm " << inf_norm
+      << "); input is likely NaN/Inf-contaminated or non-symmetric";
+  return msg.str();
+}
 
 /// Sum of squares of off-diagonal entries (upper triangle, doubled).
 double off_diagonal_energy(const Matrix& a) {
@@ -20,9 +32,21 @@ double off_diagonal_energy(const Matrix& a) {
 
 }  // namespace
 
-SymmetricEigen eigen_symmetric(const Matrix& s, double symmetry_tol) {
+EigenConvergenceError::EigenConvergenceError(std::size_t size, int sweeps,
+                                             double off_energy,
+                                             double inf_norm)
+    : std::runtime_error(
+          convergence_message(size, sweeps, off_energy, inf_norm)),
+      size_(size),
+      sweeps_(sweeps),
+      off_energy_(off_energy),
+      inf_norm_(inf_norm) {}
+
+SymmetricEigen eigen_symmetric(const Matrix& s, double symmetry_tol,
+                               int max_sweeps) {
   FOSCIL_EXPECTS(s.square());
   FOSCIL_EXPECTS(!s.empty());
+  FOSCIL_EXPECTS(max_sweeps >= 0);
   const double scale = std::max(s.inf_norm(), 1.0);
   FOSCIL_EXPECTS(s.asymmetry() <= symmetry_tol * scale);
 
@@ -39,8 +63,7 @@ SymmetricEigen eigen_symmetric(const Matrix& s, double symmetry_tol) {
   Matrix q = Matrix::identity(n);
   const double stop = 1e-30 * scale * scale * static_cast<double>(n * n);
 
-  constexpr int kMaxSweeps = 64;
-  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     if (off_diagonal_energy(a) <= stop) break;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t r = p + 1; r < n; ++r) {
@@ -74,8 +97,11 @@ SymmetricEigen eigen_symmetric(const Matrix& s, double symmetry_tol) {
       }
     }
   }
-  FOSCIL_ENSURES(off_diagonal_energy(a) <= 1e-16 * scale * scale *
-                                               static_cast<double>(n * n));
+  const double residual_energy = off_diagonal_energy(a);
+  if (!(residual_energy <=
+        1e-16 * scale * scale * static_cast<double>(n * n)))
+    throw EigenConvergenceError(n, max_sweeps, residual_energy,
+                                s.inf_norm());
 
   // Sort eigenpairs ascending.
   std::vector<std::size_t> order(n);

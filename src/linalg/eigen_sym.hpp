@@ -7,6 +7,9 @@
 // accurate to a small multiple of machine epsilon.
 #pragma once
 
+#include <stdexcept>
+#include <string>
+
 #include "linalg/matrix.hpp"
 
 namespace foscil::linalg {
@@ -18,9 +21,37 @@ struct SymmetricEigen {
   Matrix eigenvectors;
 };
 
+/// Thrown when the cyclic Jacobi iteration fails to drive the off-diagonal
+/// energy below tolerance within the sweep budget.  This cannot happen for
+/// finite symmetric input (Jacobi is unconditionally convergent), so it
+/// indicates NaN/Inf contamination or a caller bypassing the symmetry
+/// check; the payload reports the matrix size and how far the iteration
+/// got so the offending system can be reconstructed.
+class EigenConvergenceError : public std::runtime_error {
+ public:
+  EigenConvergenceError(std::size_t size, int sweeps, double off_energy,
+                        double inf_norm);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] int sweeps() const { return sweeps_; }
+  /// Remaining off-diagonal energy (sum of squares) when the budget ran out.
+  [[nodiscard]] double off_energy() const { return off_energy_; }
+  [[nodiscard]] double inf_norm() const { return inf_norm_; }
+
+ private:
+  std::size_t size_;
+  int sweeps_;
+  double off_energy_;
+  double inf_norm_;
+};
+
 /// Decompose a symmetric matrix.  `s` must be square and symmetric to within
 /// `symmetry_tol` (inf-norm scaled); the strictly-lower triangle is ignored.
+/// Throws EigenConvergenceError if the off-diagonal energy is still above
+/// tolerance after `max_sweeps` cyclic sweeps (64 is far more than any
+/// well-formed symmetric matrix at n ≲ 100 needs).
 [[nodiscard]] SymmetricEigen eigen_symmetric(const Matrix& s,
-                                             double symmetry_tol = 1e-8);
+                                             double symmetry_tol = 1e-8,
+                                             int max_sweeps = 64);
 
 }  // namespace foscil::linalg

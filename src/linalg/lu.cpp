@@ -2,8 +2,30 @@
 
 #include <cmath>
 #include <numeric>
+#include <sstream>
 
 namespace foscil::linalg {
+
+namespace {
+
+std::string singular_message(std::size_t column, std::size_t size,
+                             double pivot, double inf_norm) {
+  std::ostringstream msg;
+  msg << "LU factorization of " << size << "x" << size
+      << " matrix is singular to working precision: pivot " << pivot
+      << " in column " << column << " (matrix inf-norm " << inf_norm << ")";
+  return msg.str();
+}
+
+}  // namespace
+
+SingularMatrixError::SingularMatrixError(std::size_t column, std::size_t size,
+                                         double pivot, double inf_norm)
+    : std::runtime_error(singular_message(column, size, pivot, inf_norm)),
+      column_(column),
+      size_(size),
+      pivot_(pivot),
+      inf_norm_(inf_norm) {}
 
 LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
   FOSCIL_EXPECTS(a.square());
@@ -11,6 +33,14 @@ LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
   const std::size_t n = lu_.rows();
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  // Judge pivots relative to the matrix magnitude: a pivot below
+  // n·eps·‖A‖∞ means the column is linearly dependent to within the
+  // rounding already incurred by elimination, so downstream solves would
+  // amplify noise rather than fail loudly.
+  const double norm = a.inf_norm();
+  const double pivot_floor =
+      std::max(1e-300, 1e-14 * static_cast<double>(n) * norm);
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: bring the largest |entry| of column k to the pivot.
@@ -23,7 +53,7 @@ LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
         pivot = r;
       }
     }
-    if (best < 1e-300) throw SingularMatrixError(k);
+    if (best < pivot_floor) throw SingularMatrixError(k, n, best, norm);
     if (pivot != k) {
       for (std::size_t c = 0; c < n; ++c)
         std::swap(lu_(k, c), lu_(pivot, c));

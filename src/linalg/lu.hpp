@@ -16,7 +16,7 @@ namespace foscil::linalg {
 class LuDecomposition {
  public:
   /// Factors a square matrix.  Throws SingularMatrixError when a pivot
-  /// column is numerically zero.
+  /// column is numerically zero relative to the matrix magnitude.
   explicit LuDecomposition(const Matrix& a);
 
   [[nodiscard]] std::size_t size() const { return lu_.rows(); }
@@ -40,12 +40,24 @@ class LuDecomposition {
 };
 
 /// Thrown by LuDecomposition when the matrix is singular to working
-/// precision.
+/// precision.  Carries enough context to diagnose the offending system:
+/// which pivot column collapsed, the matrix size, the pivot magnitude,
+/// and the matrix inf-norm it was judged against.
 class SingularMatrixError : public std::runtime_error {
  public:
-  explicit SingularMatrixError(std::size_t column)
-      : std::runtime_error("LU pivot underflow in column " +
-                           std::to_string(column)) {}
+  SingularMatrixError(std::size_t column, std::size_t size, double pivot,
+                      double inf_norm);
+
+  [[nodiscard]] std::size_t column() const { return column_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] double pivot() const { return pivot_; }
+  [[nodiscard]] double inf_norm() const { return inf_norm_; }
+
+ private:
+  std::size_t column_;
+  std::size_t size_;
+  double pivot_;
+  double inf_norm_;
 };
 
 /// One-shot convenience: solve A x = b.

@@ -1,0 +1,89 @@
+#include "linalg/rls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace foscil::linalg {
+
+RlsEstimator::RlsEstimator(std::size_t dim, double prior_sigma,
+                           double forgetting)
+    : theta_(dim), forgetting_(forgetting) {
+  FOSCIL_EXPECTS(dim >= 1);
+  FOSCIL_EXPECTS(prior_sigma > 0.0);
+  FOSCIL_EXPECTS(forgetting > 0.0 && forgetting <= 1.0);
+  p_ = Matrix(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) p_(i, i) = prior_sigma * prior_sigma;
+}
+
+void RlsEstimator::update(const Vector& phi, double y) {
+  const std::size_t n = dim();
+  FOSCIL_EXPECTS(phi.size() == n);
+
+  bool informative = false;
+  for (std::size_t i = 0; i < n; ++i)
+    if (phi[i] != 0.0) {
+      informative = true;
+      break;
+    }
+  if (!informative) return;
+
+  // Gain: k = P phi / (lambda + phi' P phi).
+  Vector p_phi(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    const double* row = p_.row_data(r);
+    for (std::size_t c = 0; c < n; ++c) acc += row[c] * phi[c];
+    p_phi[r] = acc;
+  }
+  const double denom = forgetting_ + dot(phi, p_phi);
+  FOSCIL_ASSERT(denom > 0.0);
+
+  const double innovation = y - dot(phi, theta_);
+  for (std::size_t i = 0; i < n; ++i)
+    theta_[i] += p_phi[i] / denom * innovation;
+
+  // P := (P - (P phi)(P phi)' / denom) / lambda, then re-symmetrize so
+  // rounding cannot accumulate an antisymmetric part over many updates.
+  for (std::size_t r = 0; r < n; ++r) {
+    double* row = p_.row_data(r);
+    const double pr = p_phi[r] / denom;
+    for (std::size_t c = 0; c < n; ++c)
+      row[c] = (row[c] - pr * p_phi[c]) / forgetting_;
+  }
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r + 1; c < n; ++c) {
+      const double avg = 0.5 * (p_(r, c) + p_(c, r));
+      p_(r, c) = avg;
+      p_(c, r) = avg;
+    }
+  ++updates_;
+}
+
+double RlsEstimator::sigma(std::size_t i) const {
+  FOSCIL_EXPECTS(i < dim());
+  return std::sqrt(std::max(0.0, p_(i, i)));
+}
+
+double RlsEstimator::max_sigma() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) worst = std::max(worst, sigma(i));
+  return worst;
+}
+
+void RlsEstimator::set_prior_sigma(std::size_t i, double sigma) {
+  FOSCIL_EXPECTS(i < dim());
+  FOSCIL_EXPECTS(sigma > 0.0);
+  for (std::size_t j = 0; j < dim(); ++j) {
+    p_(i, j) = 0.0;
+    p_(j, i) = 0.0;
+  }
+  p_(i, i) = sigma * sigma;
+}
+
+void RlsEstimator::reset_covariance(double sigma) {
+  FOSCIL_EXPECTS(sigma > 0.0);
+  p_ = Matrix(dim(), dim());
+  for (std::size_t i = 0; i < dim(); ++i) p_(i, i) = sigma * sigma;
+}
+
+}  // namespace foscil::linalg

@@ -1,0 +1,66 @@
+// Recursive least squares with exponential forgetting and covariance reset.
+//
+// Estimates theta in the scalar-measurement linear regression
+//     y_k = phi_k^T theta + e_k
+// one rank-1 update at a time: O(p^2) per observation, no factorization.
+// The forgetting factor discounts old data geometrically so the estimate
+// tracks slowly drifting plants; covariance reset re-opens the gain after
+// the estimator has wound down (the classic remedy when the plant steps to
+// a new regime).  Used by core/identify to regress thermal
+// sensor-vs-prediction residuals onto model sensitivity directions.
+//
+// The covariance P is maintained in units of the measurement-noise
+// variance: with unit-variance noise and no forgetting, sqrt(P_ii) is the
+// marginal standard deviation of parameter i.  Callers scale their
+// parameters so a prior sigma of 1 is a reasonable ignorance prior.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace foscil::linalg {
+
+class RlsEstimator {
+ public:
+  /// `dim` parameters, prior theta = 0 with standard deviation `prior_sigma`
+  /// per parameter (P = prior_sigma^2 I), forgetting factor in (0, 1]
+  /// (1 = ordinary least squares, no discounting).
+  RlsEstimator(std::size_t dim, double prior_sigma, double forgetting = 1.0);
+
+  [[nodiscard]] std::size_t dim() const { return theta_.size(); }
+  [[nodiscard]] std::size_t updates() const { return updates_; }
+  [[nodiscard]] double forgetting() const { return forgetting_; }
+
+  /// Absorb one scalar observation y ~ phi^T theta.  An all-zero regressor
+  /// carries no information and is skipped (it would otherwise inflate the
+  /// covariance through the forgetting division — RLS wind-up).
+  void update(const Vector& phi, double y);
+
+  [[nodiscard]] const Vector& theta() const { return theta_; }
+  /// Parameter covariance (units of the measurement-noise variance).
+  [[nodiscard]] const Matrix& covariance() const { return p_; }
+  /// sqrt(P_ii): marginal standard deviation of parameter i.
+  [[nodiscard]] double sigma(std::size_t i) const;
+  /// max_i sigma(i).
+  [[nodiscard]] double max_sigma() const;
+
+  /// Re-open the gain: P := sigma^2 I, keeping theta.  Call when the plant
+  /// is known to have changed (e.g. after a thermal-guard trip) so the
+  /// estimator can re-converge instead of trusting stale confidence.
+  void reset_covariance(double sigma);
+
+  /// Tighten (or widen) the prior of one parameter: P_ii := sigma^2 with
+  /// the cross terms zeroed.  Meaningful before the first update — priors
+  /// encode per-parameter qualification knowledge (e.g. a leakage slope
+  /// characterized pre-silicon deserves a much tighter prior than an
+  /// unknown power offset); calling it mid-stream discards accumulated
+  /// correlations involving parameter i.
+  void set_prior_sigma(std::size_t i, double sigma);
+
+ private:
+  Vector theta_;
+  Matrix p_;
+  double forgetting_;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace foscil::linalg

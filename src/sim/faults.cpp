@@ -38,7 +38,8 @@ void FaultSpec::check() const {
 }
 
 FaultSpec FaultSpec::at_intensity(double intensity, std::uint64_t seed) {
-  FOSCIL_EXPECTS(intensity >= 0.0 && intensity <= 1.0);
+  FOSCIL_EXPECTS(std::isfinite(intensity));
+  intensity = std::clamp(intensity, 0.0, 1.0);
   FaultSpec spec;
   spec.seed = seed;
   spec.sensors.bias_k = -3.0 * intensity;  // optimistic = dangerous direction
@@ -52,6 +53,45 @@ FaultSpec FaultSpec::at_intensity(double intensity, std::uint64_t seed) {
   spec.ambient_drift_c = 2.0 * intensity;
   spec.ambient_drift_period_s = 30.0;
   return spec;
+}
+
+bool PlantPerturbation::any() const {
+  if (beta_scale != 1.0 || r_convection_scale != 1.0) return true;
+  for (double offset : alpha_offset_w)
+    if (offset != 0.0) return true;
+  return false;
+}
+
+void PlantPerturbation::check() const {
+  FOSCIL_EXPECTS(beta_scale >= 0.0);
+  FOSCIL_EXPECTS(r_convection_scale > 0.0);
+  for (double offset : alpha_offset_w) FOSCIL_EXPECTS(std::isfinite(offset));
+}
+
+std::shared_ptr<const thermal::ThermalModel> perturbed_model(
+    const std::shared_ptr<const thermal::ThermalModel>& nominal,
+    const PlantPerturbation& delta) {
+  FOSCIL_EXPECTS(nominal != nullptr);
+  delta.check();
+  FOSCIL_EXPECTS(delta.alpha_offset_w.empty() ||
+                 delta.alpha_offset_w.size() == nominal->num_cores());
+  if (!delta.any()) return nominal;
+
+  thermal::HotSpotParams params = nominal->network().params();
+  params.r_convection_block *= delta.r_convection_scale;
+  thermal::RcNetwork network(nominal->network().floorplan(), params);
+
+  const std::size_t cores = nominal->num_cores();
+  std::vector<power::PowerCoefficients> per_core(cores);
+  for (std::size_t i = 0; i < cores; ++i) {
+    power::PowerCoefficients c = nominal->power().coefficients(i);
+    if (!delta.alpha_offset_w.empty())
+      c.alpha = std::max(0.0, c.alpha + delta.alpha_offset_w[i]);
+    c.beta *= delta.beta_scale;
+    per_core[i] = c;
+  }
+  return std::make_shared<const thermal::ThermalModel>(
+      std::move(network), power::PowerModel(std::move(per_core)));
 }
 
 std::shared_ptr<const thermal::ThermalModel> perturbed_model(
@@ -217,6 +257,25 @@ linalg::Vector FaultedPlant::read_sensors() {
 
 double FaultedPlant::true_max_rise() const {
   return true_model_->max_core_rise(temps_) + ambient_offset(now_);
+}
+
+void FaultedPlant::enable_residual_log(std::size_t capacity) {
+  residual_capacity_ = capacity;
+  if (residual_log_.size() > capacity) {
+    residuals_dropped_ += residual_log_.size() - capacity;
+    residual_log_.erase(residual_log_.begin(),
+                        residual_log_.end() -
+                            static_cast<std::ptrdiff_t>(capacity));
+  }
+}
+
+void FaultedPlant::log_residual(double t, double max_abs_k) {
+  if (residual_capacity_ == 0) return;
+  if (residual_log_.size() == residual_capacity_) {
+    residual_log_.erase(residual_log_.begin());
+    ++residuals_dropped_;
+  }
+  residual_log_.push_back(ResidualSample{t, max_abs_k});
 }
 
 }  // namespace foscil::sim

@@ -70,10 +70,28 @@ struct FaultSpec {
   void check() const;
 
   /// Canonical mixed-fault dial for robustness sweeps: intensity 0 is the
-  /// nominal plant, 1 is the harshest mix the guard is expected to survive
-  /// (optimistic sensors, flaky actuator, degraded sink, ambient swing).
+  /// nominal plant (identity — `any()` is false), 1 is the harshest mix the
+  /// guard is expected to survive (optimistic sensors, flaky actuator,
+  /// degraded sink, ambient swing).  Every knob is monotone non-decreasing
+  /// in intensity; inputs outside [0, 1] are clamped to the range ends.
   [[nodiscard]] static FaultSpec at_intensity(double intensity,
                                               std::uint64_t seed = 0x5eedfa01);
+};
+
+/// A *point* estimate of plant mismatch, as produced by online
+/// identification (core/identify): additive per-core power offsets plus
+/// relative leakage/convection scales.  Unlike FaultSpec — which describes
+/// an uncertainty *set* with its own sampling seed — this is a deterministic
+/// delta applied on top of the nominal model.
+struct PlantPerturbation {
+  std::vector<double> alpha_offset_w;  ///< per-core additive leakage-offset
+                                       ///< delta (W); empty = all zero
+  double beta_scale = 1.0;             ///< scales leakage-temperature slope
+  double r_convection_scale = 1.0;     ///< scales sink-to-ambient resistance
+
+  /// True when applying this perturbation would change the model.
+  [[nodiscard]] bool any() const;
+  void check() const;
 };
 
 /// Ground-truth chip behind a fault specification.
@@ -149,6 +167,27 @@ class FaultedPlant {
     return transitions_delayed_;
   }
 
+  // --- residual recording (identification support) ---------------------
+  /// One controller-side sensor-vs-prediction residual observation.
+  struct ResidualSample {
+    double t;           ///< plant time of the poll
+    double max_abs_k;   ///< worst per-core |seen - predicted| (K)
+  };
+
+  /// Start keeping the most recent `capacity` residual samples reported via
+  /// log_residual().  Capacity 0 disables logging (the default — a guard
+  /// polling at kHz for minutes would otherwise grow without bound).
+  void enable_residual_log(std::size_t capacity);
+  /// Record one residual observation; drops the oldest beyond capacity.
+  void log_residual(double t, double max_abs_k);
+  [[nodiscard]] const std::vector<ResidualSample>& residual_log() const {
+    return residual_log_;
+  }
+  /// Samples discarded to honor the capacity bound.
+  [[nodiscard]] std::size_t residuals_dropped() const {
+    return residuals_dropped_;
+  }
+
  private:
   void apply_now(std::size_t core, double voltage);
 
@@ -170,6 +209,10 @@ class FaultedPlant {
   std::size_t transitions_applied_ = 0;
   std::size_t transitions_dropped_ = 0;
   std::size_t transitions_delayed_ = 0;
+
+  std::vector<ResidualSample> residual_log_;
+  std::size_t residual_capacity_ = 0;
+  std::size_t residuals_dropped_ = 0;
 };
 
 /// Build the ground-truth thermal model of a fault spec: HotSpot package
@@ -179,5 +222,14 @@ class FaultedPlant {
 [[nodiscard]] std::shared_ptr<const thermal::ThermalModel> perturbed_model(
     const std::shared_ptr<const thermal::ThermalModel>& nominal,
     const FaultSpec& spec);
+
+/// Build the thermal model of an identified point perturbation: convection
+/// resistance scaled, per-core alpha shifted (clamped at the physical
+/// alpha >= 0 floor), leakage slopes scaled.  Returns the nominal pointer
+/// unchanged when the perturbation is the identity, so downstream
+/// pointer-equality fast paths keep working.
+[[nodiscard]] std::shared_ptr<const thermal::ThermalModel> perturbed_model(
+    const std::shared_ptr<const thermal::ThermalModel>& nominal,
+    const PlantPerturbation& delta);
 
 }  // namespace foscil::sim

@@ -1,11 +1,27 @@
 #include "sim/trace_io.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
 namespace foscil::sim {
+
+namespace {
+
+/// "<what> trace file: <path> (<errno text>)" — the errno detail is what
+/// distinguishes disk-full from permission from a bad directory.
+[[noreturn]] void throw_io_error(const std::string& what,
+                                 const std::string& path) {
+  std::string message = what + ": " + path;
+  if (errno != 0)
+    message += std::string(" (") + std::strerror(errno) + ")";
+  throw std::runtime_error(message);
+}
+
+}  // namespace
 
 std::string trace_to_csv(const thermal::ThermalModel& model,
                          const std::vector<TraceSample>& trace,
@@ -41,10 +57,18 @@ void write_trace_csv(const std::string& path,
                      const thermal::ThermalModel& model,
                      const std::vector<TraceSample>& trace,
                      double t_ambient_c, TraceColumns columns) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  errno = 0;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) throw_io_error("cannot open trace file", path);
   out << trace_to_csv(model, trace, t_ambient_c, columns);
-  if (!out) throw std::runtime_error("failed writing trace file: " + path);
+  if (!out) throw_io_error("failed writing trace file", path);
+  // A successful `<<` only proves the stream buffer accepted the bytes.
+  // Flush and close explicitly so a full disk or revoked write permission
+  // surfaces here instead of silently truncating the file in ~ofstream.
+  out.flush();
+  if (!out) throw_io_error("failed flushing trace file", path);
+  out.close();
+  if (out.fail()) throw_io_error("failed closing trace file", path);
 }
 
 }  // namespace foscil::sim

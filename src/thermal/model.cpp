@@ -27,7 +27,19 @@ ThermalModel::ThermalModel(RcNetwork network, power::PowerModel power)
   linalg::Matrix steady = s;
   steady *= -1.0;  // G - beta E
   steady_lu_ = std::make_shared<const linalg::LuDecomposition>(steady);
-  (void)n;
+
+  // Row sums of the grounded Laplacian G: lateral terms cancel, leaving
+  // each node's conductance straight to ambient.  Cached for the
+  // convection-scale sensitivity direction.
+  const linalg::Matrix& g = network_.conductance();
+  ground_conductance_ = linalg::Vector(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    const double* row = g.row_data(r);
+    for (std::size_t c = 0; c < n; ++c) sum += row[c];
+    // Clamp tiny negative rounding residue; a node either grounds or not.
+    ground_conductance_[r] = std::max(0.0, sum);
+  }
 }
 
 linalg::Matrix ThermalModel::a_matrix() const { return spectral_->matrix(); }
@@ -81,6 +93,42 @@ linalg::Vector ThermalModel::core_rises(
 
 double ThermalModel::max_core_rise(const linalg::Vector& node_rises) const {
   return core_rises(node_rises).max();
+}
+
+linalg::Matrix ThermalModel::sensitivity_heat(
+    const linalg::Vector& node_rises,
+    const linalg::Vector& core_voltages) const {
+  FOSCIL_EXPECTS(node_rises.size() == num_nodes());
+  FOSCIL_EXPECTS(core_voltages.size() == num_cores());
+  const std::size_t cores = num_cores();
+  linalg::Matrix heat(num_nodes(), num_sensitivity_params());
+
+  for (std::size_t core = 0; core < cores; ++core) {
+    const std::size_t d = network_.die_node(core);
+    // Column `core`: a power offset only heats while the core is powered
+    // (the plant power-gates alpha together with the dynamic term at v = 0).
+    if (core_voltages[core] > 0.0) heat(d, core) = 1.0;
+    // Column `cores` (Δβ_rel): scaling every leakage slope by (1 + Δβ_rel)
+    // adds β_i·T_die(i) of heat per unit Δβ_rel.
+    heat(d, cores) += power_.beta(core) * node_rises[d];
+  }
+  // Column `cores + 1` (δ_conv): with the convection resistance scaled by
+  // (1 + δ), the grounded conductance drops to g/(1 + δ) ≈ g(1 − δ), i.e.
+  // δ·g_i·T_i of the heat that used to escape stays in the node.
+  for (std::size_t node = 0; node < num_nodes(); ++node) {
+    const double g = ground_conductance_[node];
+    if (g > 0.0) heat(node, cores + 1) = g * node_rises[node];
+  }
+  return heat;
+}
+
+SensitivityBasis ThermalModel::sensitivity(
+    const linalg::Vector& node_rises,
+    const linalg::Vector& core_voltages) const {
+  SensitivityBasis basis;
+  basis.heat = sensitivity_heat(node_rises, core_voltages);
+  basis.steady = steady_lu_->solve(basis.heat);
+  return basis;
 }
 
 }  // namespace foscil::thermal

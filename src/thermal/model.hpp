@@ -24,6 +24,19 @@
 
 namespace foscil::thermal {
 
+/// First-order model sensitivity ∂/∂θ for the mismatch parameters
+///   θ = [Δalpha_0 … Δalpha_{C-1},  Δβ_rel,  δ_conv]
+/// (per-core power offset in W, relative leakage-slope scale, relative
+/// convection-resistance scale).  Column j of `heat` is the equivalent
+/// extra heat-injection direction ∂Ψ_eff/∂θ_j at the linearization point;
+/// column j of `steady` is the induced steady-state shift
+/// ∂T_ss/∂θ_j = (G − βE)⁻¹ · heat_j.  Both are num_nodes tall and
+/// num_cores + 2 wide.
+struct SensitivityBasis {
+  linalg::Matrix heat;
+  linalg::Matrix steady;
+};
+
 class ThermalModel {
  public:
   ThermalModel(RcNetwork network, power::PowerModel power);
@@ -71,11 +84,44 @@ class ThermalModel {
   /// Largest die-node rise.
   [[nodiscard]] double max_core_rise(const linalg::Vector& node_rises) const;
 
+  /// Per-node conductance to ambient (row sums of the grounded Laplacian G).
+  /// Non-zero only at nodes with a direct path to ambient (convection).
+  [[nodiscard]] const linalg::Vector& ground_conductance() const {
+    return ground_conductance_;
+  }
+
+  /// Number of mismatch parameters in a SensitivityBasis: num_cores power
+  /// offsets + leakage scale + convection scale.
+  [[nodiscard]] std::size_t num_sensitivity_params() const {
+    return num_cores() + 2;
+  }
+
+  /// Equivalent heat-injection directions ∂Ψ_eff/∂θ linearized at the
+  /// operating point (`node_rises`, `core_voltages`):
+  ///   * Δalpha_i  → e_{die(i)} while core i is powered (v_i > 0), zero when
+  ///     power-gated;
+  ///   * Δβ_rel    → β_i·T_die(i) at each die node (leakage feedback scales
+  ///     with the local temperature rise);
+  ///   * δ_conv    → g_i·T_i at each grounded node: scaling the convection
+  ///     resistance by (1+δ) is, to first order, extra heat δ·g_i·T_i
+  ///     trapped at the node.
+  /// O(n·params) — no factorization.
+  [[nodiscard]] linalg::Matrix sensitivity_heat(
+      const linalg::Vector& node_rises,
+      const linalg::Vector& core_voltages) const;
+
+  /// Heat directions plus the steady-state shifts ∂T_ss/∂θ they induce,
+  /// via the cached LU of (G − βE): O(n²) per column, no new O(n³) path.
+  [[nodiscard]] SensitivityBasis sensitivity(
+      const linalg::Vector& node_rises,
+      const linalg::Vector& core_voltages) const;
+
  private:
   RcNetwork network_;
   power::PowerModel power_;
   std::shared_ptr<const linalg::SpectralDecomposition> spectral_;
   std::shared_ptr<const linalg::LuDecomposition> steady_lu_;
+  linalg::Vector ground_conductance_;
 };
 
 }  // namespace foscil::thermal

@@ -217,6 +217,90 @@ TEST(ConfigLoader, FaultsSectionValidates) {
                ConfigError);
 }
 
+TEST(ConfigLoader, FaultRejectionsNameTheOffendingKey) {
+  // A negative magnitude must be refused with the section.key spelled out,
+  // so a fleet operator can fix the right line of a large config.
+  const auto message_for = [](const char* body) -> std::string {
+    try {
+      (void)faults_from_config(Config::parse(body));
+      return "";
+    } catch (const ConfigError& error) {
+      return error.what();
+    }
+  };
+  EXPECT_NE(message_for("[faults]\nsensor_noise_k = -0.1\n")
+                .find("faults.sensor_noise_k"),
+            std::string::npos);
+  EXPECT_NE(message_for("[faults]\nambient_drift_c = -1\n")
+                .find("faults.ambient_drift_c"),
+            std::string::npos);
+  EXPECT_NE(message_for("[faults]\ndelay_ms = -2\n").find("faults.delay_ms"),
+            std::string::npos);
+  EXPECT_NE(message_for("[faults]\npower_jitter = -0.5\n")
+                .find("faults.power_jitter"),
+            std::string::npos);
+  EXPECT_NE(message_for("[faults]\nalpha_scale = -1\n")
+                .find("faults.alpha_scale"),
+            std::string::npos);
+}
+
+TEST(ConfigLoader, IdentifySectionParses) {
+  // Absent section: identification defaults off with library defaults.
+  const IdentifyOptions defaults =
+      identify_options_from_config(Config::parse(""));
+  EXPECT_FALSE(defaults.enabled);
+  EXPECT_NO_THROW(defaults.check());
+
+  const Config c = Config::parse(
+      "[identify]\nenabled = true\nforgetting = 0.995\nprior_sigma = 2\n"
+      "beta_prior_sigma = 0.15\ngate_sigma = 0.2\nconfidence = 2.5\n"
+      "trust_radius = 1.0\nmin_polls = 200\nmin_seconds = 3\n"
+      "significance = 2\nmin_theta = 0.1\nband_floor_k = 0.25\n"
+      "max_replans = 5\nreplan_delta = 0.75\nalpha_scale_w = 0.4\n"
+      "rel_scale = 0.2\nbias_scale_k = 2\ndrift_scale_k = 1.5\n"
+      "drift_period_s = 20\ninnovation_clip_k = 0.8\nconservative = false\n");
+  const IdentifyOptions options = identify_options_from_config(c);
+  EXPECT_TRUE(options.enabled);
+  EXPECT_DOUBLE_EQ(options.forgetting, 0.995);
+  EXPECT_DOUBLE_EQ(options.prior_sigma, 2.0);
+  EXPECT_DOUBLE_EQ(options.beta_prior_sigma, 0.15);
+  EXPECT_DOUBLE_EQ(options.gate_sigma, 0.2);
+  EXPECT_DOUBLE_EQ(options.confidence, 2.5);
+  EXPECT_DOUBLE_EQ(options.trust_radius, 1.0);
+  EXPECT_EQ(options.min_polls, 200u);
+  EXPECT_DOUBLE_EQ(options.min_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(options.significance, 2.0);
+  EXPECT_DOUBLE_EQ(options.min_theta, 0.1);
+  EXPECT_DOUBLE_EQ(options.band_floor_k, 0.25);
+  EXPECT_EQ(options.max_replans, 5u);
+  EXPECT_DOUBLE_EQ(options.replan_delta, 0.75);
+  EXPECT_DOUBLE_EQ(options.alpha_scale_w, 0.4);
+  EXPECT_DOUBLE_EQ(options.rel_scale, 0.2);
+  EXPECT_DOUBLE_EQ(options.bias_scale_k, 2.0);
+  EXPECT_DOUBLE_EQ(options.drift_scale_k, 1.5);
+  EXPECT_DOUBLE_EQ(options.drift_period_s, 20.0);
+  EXPECT_DOUBLE_EQ(options.innovation_clip_k, 0.8);
+  EXPECT_FALSE(options.conservative);
+  EXPECT_NO_THROW(options.check());
+}
+
+TEST(ConfigLoader, IdentifySectionValidates) {
+  const auto rejects = [](const char* body) {
+    EXPECT_THROW((void)identify_options_from_config(Config::parse(body)),
+                 ConfigError)
+        << body;
+  };
+  rejects("[identify]\nforgetting = 0\n");
+  rejects("[identify]\nforgetting = 1.1\n");
+  rejects("[identify]\nbeta_prior_sigma = 0\n");
+  rejects("[identify]\ntrust_radius = -1\n");
+  rejects("[identify]\nmin_seconds = -1\n");
+  rejects("[identify]\nmin_polls = 0\n");
+  rejects("[identify]\ndrift_period_s = -5\n");
+  rejects("[identify]\ndrift_scale_k = 0\n");
+  rejects("[identify]\ninnovation_clip_k = -0.5\n");
+}
+
 TEST(ConfigLoader, GuardSectionParsesWithUnits) {
   const Config c = Config::parse(
       "[guard]\nhorizon_s = 30\ncontrol_period_ms = 5\ntrip_margin_k = 0.7\n"
@@ -234,7 +318,7 @@ TEST(ConfigLoader, GuardSectionParsesWithUnits) {
                ConfigError);
   EXPECT_THROW((void)guard_options_from_config(
                    Config::parse("[guard]\nbackoff_factor = 0.5\n")),
-               ContractViolation);  // caught by GuardOptions::check
+               ConfigError);  // rejected with the offending key named
 }
 
 TEST(ConfigLoader, EndToEndSchedulesFromConfig) {

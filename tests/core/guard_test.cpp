@@ -168,5 +168,129 @@ TEST(Guard, InvalidOptionsViolateContract) {
                ContractViolation);
 }
 
+TEST(Guard, ZeroFaultsIdentityHoldsWithIdentificationEnabled) {
+  // The identification layer must be a strict no-op on a healthy chip: the
+  // estimator observes every poll but never acts, and the guarded run is
+  // indistinguishable from the identification-off run.
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  GuardOptions options = fast_options();
+  const GuardResult off = run_guarded_ao(p, 65.0, sim::FaultSpec{}, options);
+  options.identify.enabled = true;
+  const GuardResult on = run_guarded_ao(p, 65.0, sim::FaultSpec{}, options);
+
+  // Bit-for-bit: same schedule flown, same delivered work, no intervention.
+  EXPECT_EQ(on.result.m, off.result.m);
+  EXPECT_DOUBLE_EQ(on.result.schedule.period(), off.result.schedule.period());
+  EXPECT_DOUBLE_EQ(on.result.throughput, off.result.throughput);
+  EXPECT_DOUBLE_EQ(on.true_peak_rise, off.true_peak_rise);
+  EXPECT_EQ(on.violations, 0u);
+  EXPECT_EQ(on.fallbacks, 0u);
+  EXPECT_EQ(on.replans, 0u);
+  EXPECT_EQ(on.identified_replans, 0u);
+  EXPECT_DOUBLE_EQ(on.certified_band, 0.0);
+  EXPECT_DOUBLE_EQ(on.guard_band, 0.0);
+
+  // The estimator absorbed the run but stayed at its prior.
+  EXPECT_GT(on.identify_polls, 0u);
+  EXPECT_NEAR(on.est_beta_scale, 1.0, 1e-6);
+  EXPECT_NEAR(on.est_r_convection_scale, 1.0, 1e-6);
+  for (double a : on.est_alpha_offset_w) EXPECT_NEAR(a, 0.0, 1e-6);
+  for (double b : on.est_bias_k) EXPECT_NEAR(b, 0.0, 1e-6);
+}
+
+TEST(Guard, SaturatesWhenMismatchExceedsMaxDerate) {
+  // A chip far outside the assumed envelope with almost no derate headroom:
+  // the escalation ladder must climb REPLAN rungs to max_derate and then
+  // admit defeat (SATURATED = pinned at the lowest mode) instead of
+  // oscillating forever.
+  const Platform p = testing::grid_platform(
+      3, 3, power::VoltageLevels::paper_table4(5).values());
+  const sim::FaultSpec injected = sim::FaultSpec::at_intensity(1.0);
+  GuardOptions options = fast_options();
+  options.assumed = sim::FaultSpec::at_intensity(0.05);
+  options.escalate_after = 1;
+  options.backoff_initial = 0.05;
+  options.derate_step = 0.5;
+  options.max_derate = 1.0;
+
+  const GuardResult r = run_guarded_ao(p, 65.0, injected, options);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_GE(r.replans, 1u);
+  EXPECT_GE(r.fallbacks, 1u);
+  // The ladder saturates on the step that crosses max_derate.
+  EXPECT_GE(r.final_derate, options.max_derate);
+  EXPECT_LE(r.final_derate, options.max_derate + options.derate_step);
+  // Saturation is the safe floor: it still beats open-loop on true peak.
+  const SchedulerResult ao = run_ao(p, 65.0, options.ao);
+  const GuardResult open =
+      run_open_loop(p, 65.0, ao.schedule, injected, options);
+  EXPECT_LT(r.true_peak_rise, open.true_peak_rise);
+}
+
+TEST(Guard, ReentersWithHysteresisAfterBackoff) {
+  // A transient disturbance: ambient drift swings the plant outside an
+  // empty assumed envelope, trips the watchdog, and swings back.  The
+  // guard must re-enter the nominal schedule — but only after the backoff
+  // elapses and the deviation clears the re-entry hysteresis, so each
+  // drift crest costs at most one trip.
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  sim::FaultSpec drift;
+  drift.ambient_drift_c = 2.0;
+  drift.ambient_drift_period_s = 4.0;
+  GuardOptions options = fast_options();
+  options.assumed = sim::FaultSpec{};  // nothing qualified: drift must trip
+  options.trip_margin = 0.5;
+  options.reentry_margin = 0.2;
+  options.backoff_initial = 0.1;
+  options.escalate_after = 1000;  // keep the ladder on the trip/re-enter rung
+
+  const GuardResult r = run_guarded_ao(p, 65.0, drift, options);
+  // 10 s horizon / 4 s period: the drift crests twice and recedes twice.
+  EXPECT_GE(r.fallbacks, 2u);
+  EXPECT_GE(r.reentries, 1u);
+  EXPECT_LE(r.reentries, r.fallbacks);
+  EXPECT_EQ(r.replans, 0u);
+  EXPECT_FALSE(r.saturated);
+  // Hysteresis: one trip per crest, not a trip every poll near threshold.
+  EXPECT_LE(r.fallbacks, 6u);
+}
+
+TEST(Guard, DelayedTransitionsLandingDuringFallbackStayControlled) {
+  // A sluggish DVFS actuator delays every transition — including the
+  // emergency step-down FALLBACK issues on a trip, which now lands 50 ms
+  // (ten polls) late.  Drift outside the (empty) assumed envelope forces
+  // the trips; the late-landing step-downs must not wedge the state
+  // machine — the guard still cools the plant, re-enters, and finishes
+  // the horizon on the schedule.
+  const Platform p = testing::grid_platform(
+      1, 3, power::VoltageLevels::paper_full_range().values());
+  sim::FaultSpec injected;
+  injected.ambient_drift_c = 2.0;
+  injected.ambient_drift_period_s = 4.0;
+  injected.transitions.delay_probability = 1.0;
+  injected.transitions.delay_s = 50e-3;
+  GuardOptions options = fast_options();
+  options.assumed = sim::FaultSpec{};
+  options.trip_margin = 0.5;
+  options.backoff_initial = 0.1;
+  options.escalate_after = 1000;  // stay on the trip/re-enter rung
+
+  const GuardResult guarded = run_guarded_ao(p, 65.0, injected, options);
+
+  EXPECT_GE(guarded.fallbacks, 1u);
+  // The emergency step-down itself was delayed at least once.
+  EXPECT_GE(guarded.delayed_transitions, guarded.fallbacks);
+  // The loop recovers: it re-enters after the drift recedes rather than
+  // ending the horizon stuck mid-fallback or saturated.
+  EXPECT_GE(guarded.reentries, 1u);
+  EXPECT_FALSE(guarded.saturated);
+  // Drift is the only true heat excess; the late step-downs still keep the
+  // plant within budget + drift.
+  EXPECT_LE(guarded.true_peak_rise,
+            p.rise_budget(65.0) + injected.ambient_drift_c + 1e-6);
+}
+
 }  // namespace
 }  // namespace foscil::core

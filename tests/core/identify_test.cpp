@@ -1,0 +1,222 @@
+#include "core/identify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "../test_support.hpp"
+#include "core/ao.hpp"
+#include "core/audit.hpp"
+#include "sim/faults.hpp"
+#include "sim/steady.hpp"
+#include "sim/transient.hpp"
+
+namespace foscil::core {
+namespace {
+
+// Execute `schedule` on the faulted plant for `seconds` while feeding every
+// poll's sensor-vs-prediction residual to the identifier — the same loop
+// the guard runs, minus the watchdog.
+void drive(ThermalIdentifier& id, const Platform& p,
+           const sched::PeriodicSchedule& schedule,
+           const sim::FaultSpec& spec, double seconds) {
+  const auto intervals = schedule.state_intervals();
+  sim::TransientSimulator predictor(p.model);
+  linalg::Vector predicted =
+      sim::SteadyStateAnalyzer(p.model).stable_boundary(schedule);
+  sim::FaultedPlant plant(p.model, spec);
+  plant.warm_start(predicted);
+  const std::size_t cores = p.model->num_cores();
+  double t = 0.0;
+  std::size_t iv = 0;
+  double iv_left = intervals[0].length;
+  while (t < seconds) {
+    const double dt = std::min(5e-3, iv_left);
+    const linalg::Vector& requested = intervals[iv].voltages;
+    plant.request(requested);
+    plant.advance(dt, 2);
+    const linalg::Vector pre = predicted;
+    predicted = predictor.advance(predicted, requested, dt);
+    t += dt;
+    iv_left -= dt;
+    if (iv_left <= 1e-12) {
+      iv = (iv + 1) % intervals.size();
+      iv_left = intervals[iv].length;
+    }
+    const linalg::Vector seen = plant.read_sensors();
+    const linalg::Vector rises = p.model->core_rises(predicted);
+    linalg::Vector residual(cores);
+    for (std::size_t i = 0; i < cores; ++i) residual[i] = seen[i] - rises[i];
+    id.observe(pre, requested, dt, residual);
+  }
+}
+
+Platform test_platform() {
+  return testing::grid_platform(
+      2, 2, power::VoltageLevels::paper_table4(5).values());
+}
+
+IdentifyOptions fast_identify() {
+  IdentifyOptions options;
+  options.enabled = true;
+  options.min_seconds = 2.0;
+  return options;
+}
+
+TEST(Identify, OptionsValidate) {
+  const auto rejects = [](auto&& mutate) {
+    IdentifyOptions options;
+    mutate(options);
+    EXPECT_THROW(options.check(), ContractViolation);
+  };
+  rejects([](IdentifyOptions& o) { o.forgetting = 0.0; });
+  rejects([](IdentifyOptions& o) { o.forgetting = 1.5; });
+  rejects([](IdentifyOptions& o) { o.prior_sigma = 0.0; });
+  rejects([](IdentifyOptions& o) { o.beta_prior_sigma = 0.0; });
+  rejects([](IdentifyOptions& o) { o.trust_radius = -1.0; });
+  rejects([](IdentifyOptions& o) { o.min_seconds = -1.0; });
+  rejects([](IdentifyOptions& o) { o.drift_period_s = -1.0; });
+  rejects([](IdentifyOptions& o) { o.innovation_clip_k = -1.0; });
+  rejects([](IdentifyOptions& o) { o.drift_scale_k = 0.0; });
+  IdentifyOptions fine;
+  EXPECT_NO_THROW(fine.check());
+}
+
+TEST(Identify, ZeroFaultsStayAtPrior) {
+  const Platform p = test_platform();
+  ThermalIdentifier id(p.model, fast_identify());
+  const SchedulerResult ao = run_ao(p, 65.0);
+  drive(id, p, ao.schedule, sim::FaultSpec{}, 3.0);
+
+  // Residuals are numerically zero, so theta must stay at the (zero) prior
+  // and never cross the significance floor, even though the covariance has
+  // contracted enough to pass the convergence gate.
+  EXPECT_TRUE(id.converged());
+  EXPECT_FALSE(id.significant());
+  const sim::PlantPerturbation est = id.perturbation();
+  EXPECT_NEAR(est.beta_scale, 1.0, 1e-6);
+  EXPECT_NEAR(est.r_convection_scale, 1.0, 1e-6);
+  for (std::size_t c = 0; c < id.num_cores(); ++c) {
+    EXPECT_NEAR(est.alpha_offset_w[c], 0.0, 1e-6);
+    EXPECT_NEAR(id.bias_k(c), 0.0, 1e-6);
+  }
+}
+
+TEST(Identify, RecoversConvectionDegradationAndSensorBias) {
+  const Platform p = test_platform();
+  ThermalIdentifier id(p.model, fast_identify());
+  const SchedulerResult ao = run_ao(p, 65.0);
+
+  sim::FaultSpec spec;
+  spec.r_convection_scale = 1.15;
+  spec.sensors.bias_k = -1.5;
+  drive(id, p, ao.schedule, spec, 6.0);
+
+  EXPECT_TRUE(id.converged());
+  EXPECT_TRUE(id.significant());
+  const sim::PlantPerturbation est = id.perturbation();
+  EXPECT_NEAR(est.r_convection_scale, 1.15, 0.05);
+  EXPECT_NEAR(id.bias_k(0), -1.5, 0.3);
+  EXPECT_NEAR(est.beta_scale, 1.0, 0.05);
+}
+
+TEST(Identify, TimeGateHoldsBackEarlyAction) {
+  const Platform p = test_platform();
+  IdentifyOptions options = fast_identify();
+  options.min_seconds = 60.0;
+  ThermalIdentifier id(p.model, options);
+  const SchedulerResult ao = run_ao(p, 65.0);
+  sim::FaultSpec spec;
+  spec.r_convection_scale = 1.15;
+  drive(id, p, ao.schedule, spec, 3.0);
+  // Plenty of polls (schedule intervals are much shorter than the control
+  // period), but not enough seconds: the time gate must hold.
+  EXPECT_GT(id.polls(), options.min_polls);
+  EXPECT_FALSE(id.converged());
+}
+
+TEST(Identify, EllipsoidSamplesAreConservativelyClamped) {
+  const Platform p = test_platform();
+  ThermalIdentifier id(p.model, fast_identify());
+  const SchedulerResult ao = run_ao(p, 65.0);
+  sim::FaultSpec spec;
+  spec.r_convection_scale = 1.1;
+  drive(id, p, ao.schedule, spec, 4.0);
+
+  const auto samples = id.ellipsoid_samples();
+  ASSERT_EQ(samples.size(), 2 * id.num_plant_params() + 1);
+
+  // Center first: the point estimate itself.
+  const sim::PlantPerturbation center = id.perturbation();
+  EXPECT_DOUBLE_EQ(samples[0].beta_scale, center.beta_scale);
+  EXPECT_DOUBLE_EQ(samples[0].r_convection_scale, center.r_convection_scale);
+
+  const IdentifyOptions& o = id.options();
+  for (const sim::PlantPerturbation& s : samples) {
+    // conservative = true: no sample may be easier than nominal.
+    EXPECT_GE(s.beta_scale, 1.0);
+    EXPECT_GE(s.r_convection_scale, 1.0);
+    for (double a : s.alpha_offset_w) {
+      EXPECT_GE(a, 0.0);
+      // Trust region: vertices stay inside the qualification envelope.
+      EXPECT_LE(a, center.alpha_offset_w[0] +
+                       o.trust_radius * o.alpha_scale_w + 1e-9);
+    }
+  }
+}
+
+TEST(Identify, CertifiedReplanFitsTheIdentifiedPlant) {
+  const Platform p = test_platform();
+  const double t_max = 65.0;
+  ThermalIdentifier id(p.model, fast_identify());
+  const SchedulerResult ao = run_ao(p, t_max);
+  sim::FaultSpec spec;
+  spec.r_convection_scale = 1.15;
+  drive(id, p, ao.schedule, spec, 6.0);
+  ASSERT_TRUE(id.converged());
+
+  const CertifiedPlan plan = certified_replan(p, t_max, id, spec, AoOptions{});
+  ASSERT_TRUE(plan.ok);
+  ASSERT_NE(plan.model, nullptr);
+  EXPECT_TRUE(plan.planned.feasible);
+  EXPECT_GE(plan.margin, id.options().band_floor_k);
+  const double budget = p.rise_budget(t_max);
+  EXPECT_LE(plan.worst_case_rise, budget + 1e-9);
+  EXPECT_LE(plan.center_rise, plan.worst_case_rise + 1e-12);
+
+  // The certificate must hold on the identified plant: replaying the
+  // certified schedule against the point-estimate model stays within the
+  // budget the margin reserved.
+  const double replay = step_up_certificate_rise(plan.model, plan.planned.schedule);
+  EXPECT_LE(replay, budget - id.options().band_floor_k + 1e-6);
+}
+
+TEST(Identify, DriftBoundFallsBackToInfinityWithoutDriftBlock) {
+  const Platform p = test_platform();
+  IdentifyOptions options = fast_identify();
+  ASSERT_EQ(options.drift_period_s, 0.0);
+  const ThermalIdentifier id(p.model, options);
+  EXPECT_EQ(id.num_params(), 2 * id.num_cores() + 2);
+  EXPECT_TRUE(std::isinf(id.drift_amplitude_bound_k()));
+
+  options.drift_period_s = 30.0;
+  const ThermalIdentifier with_drift(p.model, options);
+  EXPECT_EQ(with_drift.num_params(), 2 * with_drift.num_cores() + 4);
+  EXPECT_TRUE(std::isfinite(with_drift.drift_amplitude_bound_k()));
+}
+
+TEST(Identify, CovarianceResetReopensTheGate) {
+  const Platform p = test_platform();
+  ThermalIdentifier id(p.model, fast_identify());
+  const SchedulerResult ao = run_ao(p, 65.0);
+  sim::FaultSpec spec;
+  spec.r_convection_scale = 1.1;
+  drive(id, p, ao.schedule, spec, 4.0);
+  ASSERT_TRUE(id.converged());
+  id.reset_covariance();
+  EXPECT_FALSE(id.converged());
+}
+
+}  // namespace
+}  // namespace foscil::core

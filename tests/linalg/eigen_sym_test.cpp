@@ -114,5 +114,29 @@ TEST(EigenSym, NegativeDefiniteLaplacianStyleMatrix) {
   for (std::size_t i = 0; i < 4; ++i) EXPECT_LT(eig.eigenvalues[i], 0.0);
 }
 
+TEST(EigenSym, ExhaustedSweepBudgetThrowsDiagnosableError) {
+  // A zero sweep budget cannot annihilate any off-diagonal energy, so the
+  // solver must fail — with a payload that reconstructs the failure
+  // (matrix size, sweeps spent, leftover energy, norm) instead of an
+  // opaque assert.
+  const Matrix s{{2.0, 1.0}, {1.0, 2.0}};
+  try {
+    (void)eigen_symmetric(s, 1e-8, 0);
+    FAIL() << "expected EigenConvergenceError";
+  } catch (const EigenConvergenceError& e) {
+    EXPECT_EQ(e.size(), 2u);
+    EXPECT_EQ(e.sweeps(), 0);
+    EXPECT_NEAR(e.off_energy(), 2.0, 1e-12);  // two off-diagonal 1.0 entries
+    EXPECT_NEAR(e.inf_norm(), 3.0, 1e-12);
+    EXPECT_NE(std::string(e.what()).find("sweep"), std::string::npos);
+  }
+  // A diagonal matrix needs no sweeps at all: zero budget still succeeds.
+  EXPECT_NO_THROW((void)eigen_symmetric(Matrix::diagonal(Vector{1.0, 2.0}),
+                                        1e-8, 0));
+  // The error is catchable as std::runtime_error by callers that do not
+  // know linalg types (e.g. code wrapping ThermalModel construction).
+  EXPECT_THROW((void)eigen_symmetric(s, 1e-8, 0), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace foscil::linalg

@@ -44,6 +44,25 @@ TEST(Lu, SingularMatrixThrows) {
   EXPECT_THROW(LuDecomposition{a}, SingularMatrixError);
 }
 
+TEST(Lu, SingularMatrixErrorReportsTheCollapse) {
+  // Rank-1 matrix: elimination zeroes the second pivot column.  The payload
+  // must say which column died and against what magnitude it was judged.
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  try {
+    const LuDecomposition lu(a);
+    FAIL() << "expected SingularMatrixError";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.column(), 1u);
+    EXPECT_EQ(e.size(), 2u);
+    EXPECT_NEAR(e.pivot(), 0.0, 1e-12);
+    EXPECT_NEAR(e.inf_norm(), 6.0, 1e-12);
+    EXPECT_NE(std::string(e.what()).find("pivot"), std::string::npos);
+  }
+  // Catchable generically, so ThermalModel construction surfaces it to
+  // callers that only know std::runtime_error.
+  EXPECT_THROW(LuDecomposition{a}, std::runtime_error);
+}
+
 TEST(Lu, NonSquareViolatesContract) {
   EXPECT_THROW(LuDecomposition{Matrix(2, 3)}, ContractViolation);
 }

@@ -1,0 +1,118 @@
+#include "linalg/rls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace foscil::linalg {
+namespace {
+
+// Deterministic regressor stream that excites every direction.
+Vector regressor(int k) {
+  return Vector{1.0, std::sin(0.37 * k), std::cos(0.91 * k)};
+}
+
+double truth(const Vector& phi) {
+  const Vector theta{1.5, -2.0, 0.5};
+  return dot(phi, theta);
+}
+
+TEST(Rls, RecoversNoiseFreeRegression) {
+  RlsEstimator est(3, 10.0);
+  for (int k = 0; k < 200; ++k) {
+    const Vector phi = regressor(k);
+    est.update(phi, truth(phi));
+  }
+  // The zero prior (sigma 10) shrinks the estimate by O(1/(N sigma^2)).
+  EXPECT_NEAR(est.theta()[0], 1.5, 1e-3);
+  EXPECT_NEAR(est.theta()[1], -2.0, 1e-3);
+  EXPECT_NEAR(est.theta()[2], 0.5, 1e-3);
+  EXPECT_EQ(est.updates(), 200u);
+}
+
+TEST(Rls, SigmaStartsAtPriorAndContracts) {
+  RlsEstimator est(3, 2.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(est.sigma(i), 2.0);
+  EXPECT_DOUBLE_EQ(est.max_sigma(), 2.0);
+  for (int k = 0; k < 100; ++k) {
+    const Vector phi = regressor(k);
+    est.update(phi, truth(phi));
+  }
+  // Pure OLS (forgetting 1) never inflates the covariance.
+  EXPECT_LT(est.max_sigma(), 0.5);
+}
+
+TEST(Rls, NoisyEstimateConvergesNearTruth) {
+  Rng rng(11);
+  RlsEstimator est(3, 10.0);
+  for (int k = 0; k < 4000; ++k) {
+    const Vector phi = regressor(k);
+    est.update(phi, truth(phi) + rng.uniform(-0.1, 0.1));
+  }
+  EXPECT_NEAR(est.theta()[0], 1.5, 0.05);
+  EXPECT_NEAR(est.theta()[1], -2.0, 0.05);
+  EXPECT_NEAR(est.theta()[2], 0.5, 0.05);
+}
+
+TEST(Rls, ForgettingTracksAPlantStep) {
+  RlsEstimator est(1, 10.0, 0.95);
+  for (int k = 0; k < 300; ++k) est.update(Vector{1.0}, 2.0);
+  EXPECT_NEAR(est.theta()[0], 2.0, 1e-6);
+  // The plant steps to a new gain; discounting lets the estimate follow.
+  for (int k = 0; k < 300; ++k) est.update(Vector{1.0}, 5.0);
+  EXPECT_NEAR(est.theta()[0], 5.0, 0.01);
+}
+
+TEST(Rls, CovarianceResetReopensTheGain) {
+  RlsEstimator est(1, 10.0);
+  for (int k = 0; k < 500; ++k) est.update(Vector{1.0}, 2.0);
+  EXPECT_NEAR(est.theta()[0], 2.0, 1e-4);
+  const double wound_down = est.sigma(0);
+  EXPECT_LT(wound_down, 0.5);
+
+  // Without a reset, OLS barely moves off 2 after a regime change...
+  RlsEstimator stale = est;
+  for (int k = 0; k < 100; ++k) stale.update(Vector{1.0}, 5.0);
+  // ...with a reset it re-converges like a fresh estimator.
+  est.reset_covariance(10.0);
+  EXPECT_DOUBLE_EQ(est.sigma(0), 10.0);
+  for (int k = 0; k < 100; ++k) est.update(Vector{1.0}, 5.0);
+  EXPECT_NEAR(est.theta()[0], 5.0, 0.01);
+  EXPECT_GT(std::abs(stale.theta()[0] - 5.0),
+            10.0 * std::abs(est.theta()[0] - 5.0));
+}
+
+TEST(Rls, PerParameterPriorTightensOneDirection) {
+  RlsEstimator est(3, 1.0);
+  est.set_prior_sigma(1, 0.05);
+  EXPECT_DOUBLE_EQ(est.sigma(0), 1.0);
+  EXPECT_DOUBLE_EQ(est.sigma(1), 0.05);
+  EXPECT_DOUBLE_EQ(est.sigma(2), 1.0);
+
+  // Two collinear explanations for the same data: the tightly-priored
+  // parameter keeps (almost) none of the mass.
+  for (int k = 0; k < 200; ++k) est.update(Vector{0.0, 1.0, 1.0}, 1.0);
+  EXPECT_LT(std::abs(est.theta()[1]), 0.01);
+  EXPECT_NEAR(est.theta()[2], 1.0, 0.01);
+}
+
+TEST(Rls, AllZeroRegressorIsSkipped) {
+  RlsEstimator est(2, 1.0, 0.9);
+  est.update(Vector{0.0, 0.0}, 123.0);
+  EXPECT_EQ(est.updates(), 0u);
+  // In particular the skipped update must not wind up the covariance
+  // through the forgetting division.
+  EXPECT_DOUBLE_EQ(est.max_sigma(), 1.0);
+}
+
+TEST(Rls, InvalidConstructionViolatesContract) {
+  EXPECT_THROW(RlsEstimator(0, 1.0), ContractViolation);
+  EXPECT_THROW(RlsEstimator(2, 0.0), ContractViolation);
+  EXPECT_THROW(RlsEstimator(2, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(RlsEstimator(2, 1.0, 1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::linalg

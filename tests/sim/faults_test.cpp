@@ -201,7 +201,56 @@ TEST(Faults, IntensityDialIsValidAndMonotone) {
   EXPECT_GT(harsh.transitions.drop_probability,
             mild.transitions.drop_probability);
   EXPECT_GT(harsh.r_convection_scale, mild.r_convection_scale);
-  EXPECT_THROW((void)FaultSpec::at_intensity(1.5), ContractViolation);
+}
+
+// Property sweep over the dial: every knob's *severity* is monotone
+// non-decreasing in intensity (bias grows more negative = more optimistic =
+// worse), 0 is the identity, and out-of-range inputs clamp to the ends.
+TEST(Faults, IntensityDialPropertySweep) {
+  auto severity = [](const FaultSpec& s) {
+    return std::vector<double>{
+        -s.sensors.bias_k,  // more negative bias = more severe
+        s.sensors.noise_sigma_k,
+        s.transitions.drop_probability,
+        s.transitions.delay_probability,
+        s.transitions.delay_s,
+        s.r_convection_scale,
+        s.k_tim_scale >= 1.0 ? s.k_tim_scale : 1.0 / s.k_tim_scale,
+        s.c_scale >= 1.0 ? s.c_scale : 1.0 / s.c_scale,
+        s.alpha_scale,
+        s.beta_scale,
+        s.gamma_scale,
+        s.power_jitter,
+        s.ambient_drift_c,
+    };
+  };
+
+  std::vector<double> previous = severity(FaultSpec::at_intensity(0.0));
+  for (double x = 0.05; x <= 1.0 + 1e-12; x += 0.05) {
+    const FaultSpec spec = FaultSpec::at_intensity(x);
+    spec.check();
+    const std::vector<double> current = severity(spec);
+    for (std::size_t knob = 0; knob < current.size(); ++knob) {
+      EXPECT_GE(current[knob], previous[knob])
+          << "knob " << knob << " regressed at intensity " << x;
+    }
+    previous = current;
+  }
+
+  // Identity at zero: no fault configured at all, seed preserved.
+  const FaultSpec zero = FaultSpec::at_intensity(0.0, 77);
+  EXPECT_FALSE(zero.any());
+  EXPECT_EQ(zero.seed, 77u);
+
+  // Clamped outside [0, 1]: the ends, not an error.
+  const FaultSpec over = FaultSpec::at_intensity(1.5);
+  const FaultSpec top = FaultSpec::at_intensity(1.0);
+  EXPECT_DOUBLE_EQ(over.sensors.bias_k, top.sensors.bias_k);
+  EXPECT_DOUBLE_EQ(over.r_convection_scale, top.r_convection_scale);
+  EXPECT_DOUBLE_EQ(over.transitions.drop_probability,
+                   top.transitions.drop_probability);
+  EXPECT_DOUBLE_EQ(over.ambient_drift_c, top.ambient_drift_c);
+  EXPECT_FALSE(FaultSpec::at_intensity(-0.25).any());
 }
 
 TEST(Faults, WorkAccountingTracksAppliedVoltage) {

@@ -92,5 +92,29 @@ TEST_F(TraceIoTest, UnwritablePathThrows) {
                std::runtime_error);
 }
 
+TEST_F(TraceIoTest, IoErrorNamesThePathAndCause) {
+  try {
+    write_trace_csv("/nonexistent-dir/x.csv", *platform_.model, trace_,
+                    platform_.t_ambient_c);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("/nonexistent-dir/x.csv"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("cannot open"), std::string::npos) << message;
+  }
+}
+
+TEST_F(TraceIoTest, FullDiskSurfacesAsErrorNotTruncation) {
+  // /dev/full opens writable but fails every flush with ENOSPC — the
+  // kernel's stand-in for a full disk.  The writer must report it instead
+  // of silently truncating.
+  if (!std::ofstream("/dev/full").is_open())
+    GTEST_SKIP() << "no /dev/full on this system";
+  EXPECT_THROW(write_trace_csv("/dev/full", *platform_.model, trace_,
+                               platform_.t_ambient_c),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace foscil::sim
