@@ -9,19 +9,27 @@
 // [faults] section (inert when absent); "all" includes it automatically
 // whenever the config carries [faults] keys.  See
 // src/core/config_loader.hpp for the recognized config keys.
+//
+// "serve" instead stands up the in-process planning service (src/serve)
+// and drives it with a repeated-request workload shaped by the config's
+// [serve] section (see src/serve/serve_config.hpp), printing cache, queue,
+// and Theorem-2 certificate statistics.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/ao.hpp"
+#include "core/audit.hpp"
 #include "core/config_loader.hpp"
 #include "core/exs.hpp"
 #include "core/guard.hpp"
 #include "core/lns.hpp"
 #include "core/pco.hpp"
 #include "core/reactive.hpp"
+#include "serve/serve_config.hpp"
 #include "util/table.hpp"
 
 using namespace foscil;
@@ -73,9 +81,112 @@ void print_guard_details(const core::GuardResult& guarded) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <config.ini> [lns|exs|ao|pco|reactive|guard|all]\n",
+               "usage: %s <config.ini> "
+               "[lns|exs|ao|pco|reactive|guard|serve|all]\n",
                argv0);
   return 2;
+}
+
+/// Stand up the planning service and replay a repeated-request workload
+/// against it: `demo.unique_requests` distinct T_max points, each recurring
+/// `demo.repeats` times — the recurring-operating-point shape a thermal
+/// daemon sees.  Print per-point plans, then the serving statistics.
+int run_serve_demo(const Config& config, const core::Platform& platform,
+                   double t_max, const core::AoOptions& ao_options) {
+  const serve::ServiceOptions options =
+      serve::service_options_from_config(config);
+  const serve::ServeDemoOptions demo =
+      serve::demo_options_from_config(config);
+  serve::PlanningService service(options);
+
+  const auto now_s = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+
+  auto request_at = [&](int point) {
+    serve::PlanRequest request;
+    request.platform = platform;
+    // Sweep a 5 C window upward from the configured threshold.
+    request.t_max_c =
+        t_max + 5.0 * static_cast<double>(point) /
+                    static_cast<double>(std::max(demo.unique_requests, 2) - 1);
+    request.ao = ao_options;
+    return request;
+  };
+
+  // One serial plan as the cost yardstick for the speedup estimate.
+  const double serial_start = now_s();
+  const auto serial = serve::plan_direct(request_at(0));
+  const double serial_seconds = now_s() - serial_start;
+
+  std::printf("serving %d unique T_max points x %d repeats "
+              "(%u workers, cache %zu entries / %zu shards)\n\n",
+              demo.unique_requests, demo.repeats, service.worker_count(),
+              service.cache().capacity(), service.cache().shard_count());
+
+  TextTable table({"T_max", "throughput", "peak", "m", "certified"});
+  std::vector<bool> point_failed(
+      static_cast<std::size_t>(demo.unique_requests), false);
+  const double start = now_s();
+  for (int repeat = 0; repeat < demo.repeats; ++repeat) {
+    for (int point = 0; point < demo.unique_requests; ++point) {
+      const std::size_t slot = static_cast<std::size_t>(point);
+      if (point_failed[slot]) continue;
+      try {
+        const serve::PlanResponse response =
+            service.submit(request_at(point)).get();
+        if (repeat > 0) continue;  // table shows each point once
+        const core::SchedulerResult& r = response.plan->result;
+        table.add_row({fmt_celsius(request_at(point).t_max_c),
+                       fmt(r.throughput), fmt_celsius(r.peak_celsius),
+                       std::to_string(r.m),
+                       response.plan->certified_safe ? "yes" : "NO"});
+      } catch (const std::exception& error) {
+        // Planner failures are per-request: the service delivers them
+        // through the future and stays up.  Report the point and move on.
+        point_failed[slot] = true;
+        if (repeat == 0)
+          table.add_row({fmt_celsius(request_at(point).t_max_c),
+                         "planner failed", "-", "-", "-"});
+      }
+    }
+  }
+  const double elapsed = now_s() - start;
+  std::printf("%s\n", table.str().c_str());
+  (void)serial;
+
+  const serve::ServiceStats stats = service.stats();
+  const double total = static_cast<double>(stats.submitted);
+  std::printf("served %.0f requests in %.3f s (%.1f/s); serial planner "
+              "would need ~%.3f s (est. %.1fx)\n",
+              total, elapsed, total / elapsed, serial_seconds * total,
+              serial_seconds * total / elapsed);
+  if (stats.failed > 0)
+    std::printf("planner failures: %llu (delivered per-request; the "
+                "service stays up)\n",
+                static_cast<unsigned long long>(stats.failed));
+  std::printf("cache: %.1f%% hit rate (%llu hits / %llu lookups), "
+              "%llu inserts, %llu evictions\n",
+              100.0 * stats.cache.hit_rate(),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.lookups()),
+              static_cast<unsigned long long>(stats.cache.inserts),
+              static_cast<unsigned long long>(stats.cache.evictions));
+  std::printf("queue: peak depth %zu, %llu planner runs, %llu coalesced, "
+              "%llu rejected\n",
+              stats.queue_peak,
+              static_cast<unsigned long long>(stats.planned),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.rejected_queue_full +
+                                              stats.rejected_expired));
+  const core::AuditCounters::Snapshot audits =
+      core::AuditCounters::instance().snapshot();
+  std::printf("theorem-2 certificates: %llu issued, %llu proved safe\n",
+              static_cast<unsigned long long>(audits.certificates),
+              static_cast<unsigned long long>(audits.certified_safe));
+  return 0;
 }
 
 }  // namespace
@@ -102,6 +213,9 @@ int main(int argc, char** argv) {
                 platform.name.c_str(), platform.num_cores(),
                 platform.model->num_nodes(), platform.levels.count(),
                 platform.t_ambient_c, t_max);
+
+    if (which == "serve")
+      return run_serve_demo(config, platform, t_max, ao_options);
 
     TextTable table({"scheduler", "throughput", "peak", "m", "evals",
                      "time", "feasible"});

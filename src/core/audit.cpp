@@ -5,6 +5,11 @@
 
 namespace foscil::core {
 
+AuditCounters& AuditCounters::instance() {
+  static AuditCounters counters;  // magic-static init is thread-safe
+  return counters;
+}
+
 ScheduleAudit audit_schedule(const Platform& platform,
                              const sched::PeriodicSchedule& schedule,
                              double t_max_c, int samples_per_interval) {
@@ -32,6 +37,8 @@ ScheduleAudit audit_schedule(const Platform& platform,
   // The certificate must dominate the measurement (Theorem 2), up to the
   // millikelvin tolerance documented in EXPERIMENTS.md E4.
   FOSCIL_ENSURES(audit.peak_rise <= audit.bound_rise + 1e-2);
+  AuditCounters::instance().record_audit();
+  AuditCounters::instance().record_certificate(audit.certified_safe);
   return audit;
 }
 

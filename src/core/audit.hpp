@@ -11,6 +11,9 @@
 //     provably safe without any sampling.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+
 #include "core/platform.hpp"
 #include "sched/schedule.hpp"
 
@@ -43,5 +46,48 @@ struct ScheduleAudit {
 [[nodiscard]] double step_up_certificate_rise(
     const std::shared_ptr<const thermal::ThermalModel>& model,
     const sched::PeriodicSchedule& schedule);
+
+/// Process-wide, thread-safe tally of audit activity.  The serving stack
+/// (src/serve) certifies every plan it computes; long-running processes
+/// surface these counters next to the cache/queue statistics so operators
+/// can see how many plans were proven safe versus merely measured safe.
+/// Counters are monotone and lock-free; `reset()` exists for tests.
+class AuditCounters {
+ public:
+  struct Snapshot {
+    std::uint64_t audits = 0;           ///< full audit_schedule runs
+    std::uint64_t certificates = 0;     ///< Theorem-2 certificates issued
+    std::uint64_t certified_safe = 0;   ///< certificates that cleared T_max
+  };
+
+  [[nodiscard]] static AuditCounters& instance();
+
+  void record_audit() {
+    audits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_certificate(bool certified_safe) {
+    certificates_.fetch_add(1, std::memory_order_relaxed);
+    if (certified_safe)
+      certified_safe_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return {audits_.load(std::memory_order_relaxed),
+            certificates_.load(std::memory_order_relaxed),
+            certified_safe_.load(std::memory_order_relaxed)};
+  }
+
+  void reset() {
+    audits_.store(0, std::memory_order_relaxed);
+    certificates_.store(0, std::memory_order_relaxed);
+    certified_safe_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  AuditCounters() = default;
+  std::atomic<std::uint64_t> audits_{0};
+  std::atomic<std::uint64_t> certificates_{0};
+  std::atomic<std::uint64_t> certified_safe_{0};
+};
 
 }  // namespace foscil::core

@@ -1,0 +1,135 @@
+#include "serve/plan_cache.hpp"
+
+#include <bit>
+
+namespace foscil::serve {
+
+namespace {
+
+[[nodiscard]] bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+[[nodiscard]] bool schedules_bit_identical(const sched::PeriodicSchedule& a,
+                                           const sched::PeriodicSchedule& b) {
+  if (a.num_cores() != b.num_cores()) return false;
+  if (!bits_equal(a.period(), b.period())) return false;
+  for (std::size_t core = 0; core < a.num_cores(); ++core) {
+    const std::vector<sched::Segment>& sa = a.core_segments(core);
+    const std::vector<sched::Segment>& sb = b.core_segments(core);
+    if (sa.size() != sb.size()) return false;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (!bits_equal(sa[i].duration, sb[i].duration)) return false;
+      if (!bits_equal(sa[i].voltage, sb[i].voltage)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool plans_bit_identical(const core::SchedulerResult& a,
+                         const core::SchedulerResult& b) {
+  return a.scheduler == b.scheduler && a.feasible == b.feasible &&
+         bits_equal(a.throughput, b.throughput) &&
+         bits_equal(a.peak_rise, b.peak_rise) &&
+         bits_equal(a.peak_celsius, b.peak_celsius) && a.m == b.m &&
+         a.evaluations == b.evaluations &&
+         schedules_bit_identical(a.schedule, b.schedule);
+}
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  FOSCIL_EXPECTS(capacity >= 1);
+  FOSCIL_EXPECTS(shards >= 1);
+  // Power-of-two shard count (rounded down, clamped by capacity) keeps the
+  // shard selector a mask on hash bits the per-shard maps do not use.
+  std::size_t count = std::min(shards, capacity);
+  count = std::size_t{1} << (std::bit_width(count) - 1);
+  shard_mask_ = count - 1;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Distribute the total capacity exactly: the first capacity % count
+    // shards take one extra slot, so per-shard capacities sum to capacity.
+    shards_.back()->capacity =
+        capacity / count + (i < capacity % count ? 1 : 0);
+    FOSCIL_ASSERT(shards_.back()->capacity >= 1);
+  }
+}
+
+std::shared_ptr<const ServedPlan> PlanCache::lookup(const CacheKey& key) {
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->plan;
+}
+
+std::shared_ptr<const ServedPlan> PlanCache::peek(const CacheKey& key) const {
+  const Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  return it == shard.index.end() ? nullptr : it->second->plan;
+}
+
+void PlanCache::insert(const CacheKey& key,
+                       std::shared_ptr<const ServedPlan> plan) {
+  FOSCIL_EXPECTS(plan != nullptr);
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh: replace the value and promote to most recently used.
+    it->second->plan = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.inserts;
+  while (shard.lru.size() > shard.capacity) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats PlanCache::stats() const {
+  CacheStats stats;
+  stats.capacity = capacity_;
+  stats.shards = shards_.size();
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.inserts += shard->inserts;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void PlanCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace foscil::serve

@@ -1,0 +1,117 @@
+// Sharded LRU cache of served plans.
+//
+// The serving fleet's workload is dominated by identical requests (same
+// chip, same threshold, same knobs), so the hot path is a hash lookup that
+// returns the previously planned result by shared_ptr — bit-identical by
+// construction, since the stored object *is* the plan computed once.
+// Sharding bounds lock contention: a key's shard is chosen from hash bits
+// disjoint from the ones the shard's own map uses, each shard holds an
+// independent mutex + intrusive LRU list, and the per-shard capacities sum
+// exactly to the configured total so the cache-wide entry count can never
+// exceed it.  All counters are exact (taken under the shard lock).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.hpp"
+#include "serve/cache_key.hpp"
+
+namespace foscil::serve {
+
+/// A plan as the service stores and returns it: the scheduler result plus
+/// the Theorem-2 step-up certificate computed when it was planned.
+struct ServedPlan {
+  core::SchedulerResult result;
+  double certificate_rise = 0.0;  ///< step-up permutation peak (K)
+  bool certified_safe = false;    ///< certificate clears the rise budget
+  CacheKey key{};
+  PlannerKind kind = PlannerKind::kAo;
+};
+
+/// True when two scheduler results are bit-identical in every
+/// planner-determined field.  Wall time (`seconds`) is excluded: it is
+/// measurement, not plan content.  Doubles are compared by bit pattern, so
+/// even -0.0 vs +0.0 or differently-rounded values count as different.
+[[nodiscard]] bool plans_bit_identical(const core::SchedulerResult& a,
+                                       const core::SchedulerResult& b);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+  std::size_t shards = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+};
+
+class PlanCache {
+ public:
+  /// `capacity` entries total, spread over `shards` independent LRU lists
+  /// (clamped so no shard has zero capacity).  capacity >= 1.
+  explicit PlanCache(std::size_t capacity, std::size_t shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Hit: moves the entry to the front of its shard's LRU order and counts
+  /// a hit.  Miss: counts a miss and returns nullptr.
+  [[nodiscard]] std::shared_ptr<const ServedPlan> lookup(const CacheKey& key);
+
+  /// Read-only probe: no counter update, no LRU reordering.  For tests and
+  /// introspection only — the serving path must use lookup().
+  [[nodiscard]] std::shared_ptr<const ServedPlan> peek(
+      const CacheKey& key) const;
+
+  /// Insert (or refresh) an entry at the front of its shard's LRU order,
+  /// evicting from the tail while the shard exceeds its capacity.
+  void insert(const CacheKey& key, std::shared_ptr<const ServedPlan> plan);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  void clear();
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const ServedPlan> plan;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  [[nodiscard]] Shard& shard_of(const CacheKey& key) {
+    return *shards_[static_cast<std::size_t>(key.hi) & shard_mask_];
+  }
+  [[nodiscard]] const Shard& shard_of(const CacheKey& key) const {
+    return *shards_[static_cast<std::size_t>(key.hi) & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace foscil::serve

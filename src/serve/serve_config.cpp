@@ -1,0 +1,45 @@
+#include "serve/serve_config.hpp"
+
+namespace foscil::serve {
+
+ServiceOptions service_options_from_config(const Config& config) {
+  ServiceOptions options;
+  const long workers = config.get_int_or("serve.workers", 0);
+  FOSCIL_EXPECTS(workers >= 0);
+  options.workers = static_cast<unsigned>(workers);
+
+  const long queue = config.get_int_or(
+      "serve.queue_capacity", static_cast<long>(options.queue_capacity));
+  FOSCIL_EXPECTS(queue >= 1);
+  options.queue_capacity = static_cast<std::size_t>(queue);
+
+  const long capacity = config.get_int_or(
+      "serve.cache_capacity", static_cast<long>(options.cache_capacity));
+  FOSCIL_EXPECTS(capacity >= 1);
+  options.cache_capacity = static_cast<std::size_t>(capacity);
+
+  const long shards = config.get_int_or(
+      "serve.cache_shards", static_cast<long>(options.cache_shards));
+  FOSCIL_EXPECTS(shards >= 1);
+  options.cache_shards = static_cast<std::size_t>(shards);
+
+  const double deadline_ms =
+      config.get_double_or("serve.default_deadline_ms", 0.0);
+  FOSCIL_EXPECTS(deadline_ms >= 0.0);
+  options.default_deadline_s = deadline_ms / 1e3;
+  return options;
+}
+
+ServeDemoOptions demo_options_from_config(const Config& config) {
+  ServeDemoOptions demo;
+  const long unique = config.get_int_or("serve.demo_unique",
+                                        demo.unique_requests);
+  const long repeats = config.get_int_or("serve.demo_repeats", demo.repeats);
+  FOSCIL_EXPECTS(unique >= 1);
+  FOSCIL_EXPECTS(repeats >= 1);
+  demo.unique_requests = static_cast<int>(unique);
+  demo.repeats = static_cast<int>(repeats);
+  return demo;
+}
+
+}  // namespace foscil::serve

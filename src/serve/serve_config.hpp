@@ -1,0 +1,34 @@
+// [serve] configuration section for the planning service.
+//
+// Lives in serve/ (not core/config_loader) so the core library never
+// depends upward on the serving stack.  Recognized keys, all optional:
+//
+//   [serve]
+//   workers = 8              ; worker threads (0 = hardware default)
+//   queue_capacity = 256     ; bounded request queue (admission control)
+//   cache_capacity = 1024    ; LRU plan cache entries
+//   cache_shards = 8         ; lock shards (rounded down to a power of two)
+//   default_deadline_ms = 0  ; per-request deadline default (0 = none)
+//   demo_unique = 16         ; foscil_cli serve: distinct T_max points
+//   demo_repeats = 32        ; foscil_cli serve: repeats per point
+#pragma once
+
+#include "serve/service.hpp"
+#include "util/config.hpp"
+
+namespace foscil::serve {
+
+/// Service knobs from [serve] (defaults when the section is absent).
+/// Throws ConfigError / ContractViolation on malformed values.
+[[nodiscard]] ServiceOptions service_options_from_config(
+    const Config& config);
+
+/// Workload shape for the CLI serving demo.
+struct ServeDemoOptions {
+  int unique_requests = 16;  ///< distinct T_max points swept
+  int repeats = 32;          ///< how often each point recurs
+};
+
+[[nodiscard]] ServeDemoOptions demo_options_from_config(const Config& config);
+
+}  // namespace foscil::serve

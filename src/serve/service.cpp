@@ -1,0 +1,326 @@
+#include "serve/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <unordered_map>
+
+#include "core/audit.hpp"
+#include "util/parallel_for.hpp"
+
+namespace foscil::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_between(Clock::time_point from,
+                                     Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+std::shared_ptr<const ServedPlan> plan_direct(const PlanRequest& request) {
+  FOSCIL_EXPECTS(request.platform.model != nullptr);
+  auto plan = std::make_shared<ServedPlan>();
+  plan->kind = request.kind;
+  plan->key = plan_key(request.platform, request.t_max_c, request.kind,
+                       request.ao, request.pco);
+  plan->result =
+      request.kind == PlannerKind::kAo
+          ? core::run_ao(request.platform, request.t_max_c, request.ao)
+          : core::run_pco(request.platform, request.t_max_c, request.pco);
+  plan->certificate_rise = core::step_up_certificate_rise(
+      request.platform.model, plan->result.schedule);
+  const double budget = request.platform.rise_budget(request.t_max_c);
+  plan->certified_safe = plan->certificate_rise <= budget * (1.0 + 1e-6);
+  core::AuditCounters::instance().record_certificate(plan->certified_safe);
+  return plan;
+}
+
+/// One admitted cache-miss request plus everyone waiting on its result.
+/// Lives in the queue and the in-flight table; guarded by Impl::mutex.
+struct InFlightRequest {
+  CacheKey key{};
+  PlanRequest request;
+  Clock::time_point submitted{};
+
+  struct Waiter {
+    std::promise<PlanResponse> promise;
+    bool coalesced = false;
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    Clock::time_point submitted{};
+  };
+  std::vector<Waiter> waiters;
+};
+
+struct PlanningService::Impl {
+  ServiceOptions options;
+
+  std::mutex mutex;
+  std::mutex stop_mutex;  ///< serializes stop() callers; never nested
+  std::size_t worker_count = 0;
+  std::condition_variable work_ready;
+  std::deque<std::shared_ptr<InFlightRequest>> queue;
+  // Keyed by canonical request hash: an identical concurrent miss attaches
+  // here instead of planning twice.  Entries stay until the plan (or its
+  // failure) has been delivered, so attachment is race-free.
+  std::unordered_map<CacheKey, std::shared_ptr<InFlightRequest>, CacheKeyHash>
+      in_flight;
+  bool stopping = false;
+  std::size_t queue_peak = 0;
+
+  // Lazily-initialized, mutex-guarded memo of model content fingerprints.
+  // ThermalModel itself has no lazy caches (everything is eager and
+  // immutable, see thermal/model.hpp) — this is the one lazy cache in the
+  // serving stack, keyed by model identity with a weak_ptr guard against
+  // address reuse after a model dies.
+  std::mutex fingerprint_mutex;
+  std::unordered_map<const thermal::ThermalModel*,
+                     std::pair<std::weak_ptr<const thermal::ThermalModel>,
+                               CacheKey>>
+      fingerprints;
+
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> fast_path_hits{0};
+  std::atomic<std::uint64_t> coalesced{0};
+  std::atomic<std::uint64_t> planned{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_expired{0};
+  std::atomic<std::uint64_t> expired_in_queue{0};
+
+  [[nodiscard]] CacheKey memoized_model_fingerprint(
+      const std::shared_ptr<const thermal::ThermalModel>& model) {
+    FOSCIL_EXPECTS(model != nullptr);
+    const std::lock_guard<std::mutex> lock(fingerprint_mutex);
+    auto it = fingerprints.find(model.get());
+    if (it != fingerprints.end() && !it->second.first.expired())
+      return it->second.second;
+    const CacheKey fp = model_fingerprint(*model);
+    // Bound the memo: drop dead entries once it grows past a few hundred
+    // models (a serving process typically hosts a handful).
+    if (fingerprints.size() > 512) {
+      for (auto entry = fingerprints.begin(); entry != fingerprints.end();) {
+        entry = entry->second.first.expired() ? fingerprints.erase(entry)
+                                              : std::next(entry);
+      }
+    }
+    fingerprints[model.get()] = {model, fp};
+    return fp;
+  }
+};
+
+PlanningService::PlanningService(ServiceOptions options)
+    : cache_(options.cache_capacity, options.cache_shards),
+      impl_(std::make_unique<Impl>()) {
+  FOSCIL_EXPECTS(options.queue_capacity >= 1);
+  impl_->options = options;
+  const unsigned workers =
+      options.workers == 0 ? hardware_parallelism() : options.workers;
+  impl_->worker_count = workers;
+  threads_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+PlanningService::~PlanningService() { stop(); }
+
+void PlanningService::stop() {
+  const std::lock_guard<std::mutex> stop_lock(impl_->stop_mutex);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& thread : threads_)
+    if (thread.joinable()) thread.join();
+  threads_.clear();
+}
+
+std::future<PlanResponse> PlanningService::submit(PlanRequest request) {
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point now = Clock::now();
+
+  const CacheKey model_fp =
+      impl_->memoized_model_fingerprint(request.platform.model);
+  const CacheKey key = plan_key(model_fp, request.platform, request.t_max_c,
+                                request.kind, request.ao, request.pco);
+
+  // Fast path: a hit costs one fingerprint hash and one shard lookup.
+  if (std::shared_ptr<const ServedPlan> hit = cache_.lookup(key)) {
+    impl_->fast_path_hits.fetch_add(1, std::memory_order_relaxed);
+    impl_->completed.fetch_add(1, std::memory_order_relaxed);
+    PlanResponse response;
+    response.plan = std::move(hit);
+    response.cache_hit = true;
+    response.total_seconds = seconds_between(now, Clock::now());
+    std::promise<PlanResponse> ready;
+    std::future<PlanResponse> future = ready.get_future();
+    ready.set_value(std::move(response));
+    return future;
+  }
+
+  const double deadline_s = request.deadline_s >= 0.0
+                                ? request.deadline_s
+                                : impl_->options.default_deadline_s;
+  const bool has_deadline =
+      request.deadline_s >= 0.0 || impl_->options.default_deadline_s > 0.0;
+  if (has_deadline && deadline_s <= 0.0) {
+    // A miss with no time budget cannot be planned in time; reject now.
+    impl_->rejected_expired.fetch_add(1, std::memory_order_relaxed);
+    throw DeadlineExpiredError();
+  }
+
+  InFlightRequest::Waiter waiter;
+  waiter.submitted = now;
+  waiter.has_deadline = has_deadline;
+  if (has_deadline)
+    waiter.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(deadline_s));
+  std::future<PlanResponse> future = waiter.promise.get_future();
+
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopping) throw ServiceStoppedError();
+    const auto in_flight = impl_->in_flight.find(key);
+    if (in_flight != impl_->in_flight.end()) {
+      waiter.coalesced = true;
+      impl_->coalesced.fetch_add(1, std::memory_order_relaxed);
+      in_flight->second->waiters.push_back(std::move(waiter));
+      return future;
+    }
+    if (impl_->queue.size() >= impl_->options.queue_capacity) {
+      impl_->rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+      throw QueueFullError();
+    }
+    auto job = std::make_shared<InFlightRequest>();
+    job->key = key;
+    job->request = std::move(request);
+    job->submitted = now;
+    job->waiters.push_back(std::move(waiter));
+    impl_->in_flight.emplace(key, job);
+    impl_->queue.push_back(std::move(job));
+    impl_->queue_peak = std::max(impl_->queue_peak, impl_->queue.size());
+  }
+  impl_->work_ready.notify_one();
+  return future;
+}
+
+void PlanningService::worker_loop() {
+  Impl& impl = *impl_;
+  for (;;) {
+    std::shared_ptr<InFlightRequest> job;
+    {
+      std::unique_lock<std::mutex> lock(impl.mutex);
+      impl.work_ready.wait(
+          lock, [&] { return impl.stopping || !impl.queue.empty(); });
+      // Drain the queue even when stopping: every admitted request is
+      // answered (with a plan or an error), never silently dropped.
+      if (impl.queue.empty()) return;
+      job = std::move(impl.queue.front());
+      impl.queue.pop_front();
+
+      const Clock::time_point now = Clock::now();
+      // Deadline triage under the lock: waiters whose budget has already
+      // passed are rejected before any planning happens.  New arrivals can
+      // still coalesce onto this job until it completes.
+      std::vector<InFlightRequest::Waiter> expired;
+      auto& waiters = job->waiters;
+      for (auto it = waiters.begin(); it != waiters.end();) {
+        if (it->has_deadline && it->deadline <= now) {
+          expired.push_back(std::move(*it));
+          it = waiters.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const bool abandon = waiters.empty();
+      if (abandon) impl.in_flight.erase(job->key);
+      lock.unlock();
+
+      impl.expired_in_queue.fetch_add(
+          static_cast<std::uint64_t>(expired.size()),
+          std::memory_order_relaxed);
+      for (auto& waiter : expired)
+        waiter.promise.set_exception(
+            std::make_exception_ptr(DeadlineExpiredError()));
+      if (abandon) continue;  // nobody left to pay for this plan
+    }
+
+    const Clock::time_point started = Clock::now();
+    // Re-probe the cache: an identical key can land between this job's
+    // admission and its pickup (the in-flight entry is erased only after
+    // the cache insert, so the window is tiny but real).
+    std::shared_ptr<const ServedPlan> plan = cache_.peek(job->key);
+    const bool served_from_cache = plan != nullptr;
+    std::exception_ptr error;
+    if (!plan) {
+      try {
+        impl.planned.fetch_add(1, std::memory_order_relaxed);
+        plan = plan_direct(job->request);
+        FOSCIL_ASSERT(plan->key == job->key);
+        cache_.insert(job->key, plan);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+
+    std::vector<InFlightRequest::Waiter> waiters;
+    {
+      const std::lock_guard<std::mutex> lock(impl.mutex);
+      impl.in_flight.erase(job->key);
+      waiters = std::move(job->waiters);
+    }
+    const Clock::time_point finished = Clock::now();
+    for (auto& waiter : waiters) {
+      if (error) {
+        impl.failed.fetch_add(1, std::memory_order_relaxed);
+        waiter.promise.set_exception(error);
+        continue;
+      }
+      PlanResponse response;
+      response.plan = plan;
+      response.cache_hit = served_from_cache;
+      response.coalesced = waiter.coalesced;
+      response.queue_seconds = seconds_between(waiter.submitted, started);
+      response.total_seconds = seconds_between(waiter.submitted, finished);
+      impl.completed.fetch_add(1, std::memory_order_relaxed);
+      waiter.promise.set_value(std::move(response));
+    }
+  }
+}
+
+ServiceStats PlanningService::stats() const {
+  ServiceStats stats;
+  stats.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  stats.fast_path_hits =
+      impl_->fast_path_hits.load(std::memory_order_relaxed);
+  stats.coalesced = impl_->coalesced.load(std::memory_order_relaxed);
+  stats.planned = impl_->planned.load(std::memory_order_relaxed);
+  stats.completed = impl_->completed.load(std::memory_order_relaxed);
+  stats.failed = impl_->failed.load(std::memory_order_relaxed);
+  stats.rejected_queue_full =
+      impl_->rejected_queue_full.load(std::memory_order_relaxed);
+  stats.rejected_expired =
+      impl_->rejected_expired.load(std::memory_order_relaxed);
+  stats.expired_in_queue =
+      impl_->expired_in_queue.load(std::memory_order_relaxed);
+  stats.workers = impl_->worker_count;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    stats.queue_peak = impl_->queue_peak;
+  }
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+unsigned PlanningService::worker_count() const {
+  return static_cast<unsigned>(impl_->worker_count);
+}
+
+}  // namespace foscil::serve

@@ -1,0 +1,145 @@
+// Long-lived, in-process planning service.
+//
+// Turns the one-request-per-call planners of core/ into a shared,
+// thread-safe serving stack:
+//
+//   submit() ──> canonical key ──> plan cache ──hit──> ready future
+//                     │ miss
+//                     ├──> identical request already in flight?
+//                     │        └── yes: attach to it (coalescing) — the
+//                     │            plan is computed exactly once and every
+//                     │            waiter receives the same shared result
+//                     └──> bounded FIFO queue (admission control: a full
+//                          queue rejects at submit, it never blocks)
+//                               │
+//                  fixed worker pool: plan, certify (Theorem 2), insert
+//                  into the cache, resolve every waiter
+//
+// Deadlines: a request may carry a per-request deadline (or inherit the
+// service default).  A request whose deadline has passed when a worker
+// dequeues it is rejected with DeadlineExpiredError without touching the
+// planner — expired requests are never half-planned and never enter the
+// cache.  An expired-at-submit request is only admitted if the cache can
+// serve it instantly.
+//
+// Thread-safety contract: Platform/ThermalModel are immutable after
+// construction (see thermal/model.hpp), the planners are reentrant pure
+// functions of their arguments, and every piece of shared mutable state in
+// this module (cache shards, queue, in-flight table, fingerprint memo,
+// counters) is lock- or atomic-guarded.  The serve test battery runs under
+// ThreadSanitizer in CI.
+#pragma once
+
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include "serve/plan_cache.hpp"
+
+namespace foscil::serve {
+
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Admission control: the bounded request queue is full.
+class QueueFullError : public ServeError {
+ public:
+  QueueFullError() : ServeError("planning service queue is full") {}
+};
+
+/// The request's deadline passed before a worker could start planning it.
+class DeadlineExpiredError : public ServeError {
+ public:
+  DeadlineExpiredError()
+      : ServeError("planning request deadline expired before planning") {}
+};
+
+/// The service is stopping / stopped and accepts no new work.
+class ServiceStoppedError : public ServeError {
+ public:
+  ServiceStoppedError() : ServeError("planning service is stopped") {}
+};
+
+struct ServiceOptions {
+  unsigned workers = 0;             ///< 0 = hardware_parallelism()
+  std::size_t queue_capacity = 256; ///< pending (not yet started) requests
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+  double default_deadline_s = 0.0;  ///< <= 0: no default deadline
+};
+
+struct PlanRequest {
+  core::Platform platform;
+  double t_max_c = 55.0;
+  PlannerKind kind = PlannerKind::kAo;
+  core::AoOptions ao{};   ///< used when kind == kAo
+  core::PcoOptions pco{}; ///< used when kind == kPco (embeds its own ao)
+  /// Seconds from submit until the request is no longer worth planning.
+  /// < 0: inherit the service default; 0 or more: explicit budget.
+  double deadline_s = -1.0;
+};
+
+struct PlanResponse {
+  std::shared_ptr<const ServedPlan> plan;
+  bool cache_hit = false;   ///< served from the cache without planning
+  bool coalesced = false;   ///< attached to an identical in-flight request
+  double queue_seconds = 0.0;  ///< submit -> worker pickup (0 on fast path)
+  double total_seconds = 0.0;  ///< submit -> response ready
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t fast_path_hits = 0;    ///< cache hits served at submit
+  std::uint64_t coalesced = 0;         ///< attached to in-flight requests
+  std::uint64_t planned = 0;           ///< planner invocations
+  std::uint64_t completed = 0;         ///< responses delivered with a plan
+  std::uint64_t failed = 0;            ///< planner threw; waiters got it
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_expired = 0;  ///< dead on arrival at submit
+  std::uint64_t expired_in_queue = 0;  ///< dequeued past their deadline
+  std::size_t queue_peak = 0;
+  std::size_t workers = 0;
+  CacheStats cache;
+};
+
+/// Fixed-pool planning service.  All public methods are thread-safe.
+class PlanningService {
+ public:
+  explicit PlanningService(ServiceOptions options = {});
+  ~PlanningService();
+
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  /// Admit one request.  Returns a future that yields the response, or
+  /// throws QueueFullError / DeadlineExpiredError / ServiceStoppedError at
+  /// submit.  Failures after admission (expiry in queue, planner errors)
+  /// are delivered through the future.
+  [[nodiscard]] std::future<PlanResponse> submit(PlanRequest request);
+
+  /// Stop accepting work, drain the queue, join the workers.  Idempotent.
+  void stop();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const PlanCache& cache() const { return cache_; }
+  [[nodiscard]] unsigned worker_count() const;
+
+ private:
+  struct Impl;
+  void worker_loop();
+
+  PlanCache cache_;
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::thread> threads_;
+};
+
+/// Plan one request directly on the calling thread — the planner run plus
+/// the Theorem-2 certificate, exactly as a service worker would compute it,
+/// but with no cache, queue, or coalescing.  This is the serial baseline
+/// for benchmarking and the oracle for the differential tests.
+[[nodiscard]] std::shared_ptr<const ServedPlan> plan_direct(
+    const PlanRequest& request);
+
+}  // namespace foscil::serve

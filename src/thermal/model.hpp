@@ -12,6 +12,18 @@
 //     C^{1/2}, see linalg/spectral.hpp) used by every e^{At} evaluation, and
 //   * an LU factorization of (G - beta E) for steady-state solves
 //     T_inf(v) = -A^{-1} B(v) = (G - beta E)^{-1} Psi(v).
+//
+// Thread-safety contract (relied on by the planning service, src/serve):
+// a ThermalModel is deeply immutable after construction.  The spectral and
+// LU decompositions are computed *eagerly* in the constructor — never
+// lazily on first use — and held through shared_ptr<const ...>, there are
+// no mutable members, and every method is const and allocates only local
+// state.  Consequently any number of threads may share one model (and the
+// planners/simulators built on it) without synchronization.  Keep it that
+// way: if a memoized cache (b-vectors, steady states, ...) is ever added,
+// it must be guarded with std::call_once or a mutex, and
+// tests/thermal/model_concurrency_test.cpp — which hammers this contract
+// from 16 threads under ThreadSanitizer in CI — extended to cover it.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,157 @@
+// LRU property tests for the sharded plan cache (serve/plan_cache.hpp):
+// the capacity bound can never be exceeded, single-shard eviction follows
+// exact LRU order (checked against a brute-force oracle over thousands of
+// randomized operations), and the hit/miss counters account for every
+// lookup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+
+#include "serve/plan_cache.hpp"
+#include "util/rng.hpp"
+
+namespace foscil::serve {
+namespace {
+
+[[nodiscard]] CacheKey key_of(std::uint64_t id) {
+  KeyHasher hasher;
+  hasher.mix(id);
+  return hasher.key();
+}
+
+[[nodiscard]] std::shared_ptr<const ServedPlan> plan_of(std::uint64_t id) {
+  auto plan = std::make_shared<ServedPlan>();
+  plan->key = key_of(id);
+  plan->result.m = static_cast<int>(id);
+  return plan;
+}
+
+TEST(PlanCache, CapacityBoundHoldsAfterEveryInsert) {
+  PlanCache cache(16, 8);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    cache.insert(key_of(id), plan_of(id));
+    EXPECT_LE(cache.size(), 16u);
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, cache.size());
+  EXPECT_EQ(stats.inserts, 200u);
+  EXPECT_EQ(stats.inserts - stats.evictions, stats.entries);
+}
+
+TEST(PlanCache, SingleShardEvictsInExactLruOrder) {
+  PlanCache cache(3, 1);
+  cache.insert(key_of(1), plan_of(1));
+  cache.insert(key_of(2), plan_of(2));
+  cache.insert(key_of(3), plan_of(3));
+  // Touch 1: order (MRU->LRU) becomes 1, 3, 2.
+  EXPECT_NE(cache.lookup(key_of(1)), nullptr);
+  cache.insert(key_of(4), plan_of(4));  // evicts 2
+  EXPECT_EQ(cache.peek(key_of(2)), nullptr);
+  EXPECT_NE(cache.peek(key_of(1)), nullptr);
+  EXPECT_NE(cache.peek(key_of(3)), nullptr);
+  EXPECT_NE(cache.peek(key_of(4)), nullptr);
+  cache.insert(key_of(5), plan_of(5));  // evicts 3 (next LRU)
+  EXPECT_EQ(cache.peek(key_of(3)), nullptr);
+  EXPECT_NE(cache.peek(key_of(1)), nullptr);
+}
+
+TEST(PlanCache, ReinsertRefreshesValueAndRecency) {
+  PlanCache cache(2, 1);
+  cache.insert(key_of(1), plan_of(1));
+  cache.insert(key_of(2), plan_of(2));
+  auto updated = plan_of(1);
+  cache.insert(key_of(1), updated);  // refresh, no new entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.peek(key_of(1)), updated);
+  cache.insert(key_of(3), plan_of(3));  // evicts 2, not the refreshed 1
+  EXPECT_EQ(cache.peek(key_of(2)), nullptr);
+  EXPECT_NE(cache.peek(key_of(1)), nullptr);
+}
+
+TEST(PlanCache, CountersSumToLookupCount) {
+  PlanCache cache(8, 4);
+  Rng rng(77);
+  std::uint64_t lookups = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t id = static_cast<std::uint64_t>(rng.uniform_int(0, 30));
+    if (rng.uniform(0.0, 1.0) < 0.5) {
+      cache.insert(key_of(id), plan_of(id));
+    } else {
+      (void)cache.lookup(key_of(id));
+      ++lookups;
+    }
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups);
+  EXPECT_EQ(stats.lookups(), lookups);
+  EXPECT_LE(stats.entries, 8u);
+}
+
+/// Brute-force LRU oracle: a recency-ordered deque with linear scans.
+class LruOracle {
+ public:
+  explicit LruOracle(std::size_t capacity) : capacity_(capacity) {}
+
+  bool lookup(std::uint64_t id) {
+    const auto it = std::find(order_.begin(), order_.end(), id);
+    if (it == order_.end()) return false;
+    order_.erase(it);
+    order_.push_front(id);
+    return true;
+  }
+
+  void insert(std::uint64_t id) {
+    const auto it = std::find(order_.begin(), order_.end(), id);
+    if (it != order_.end()) order_.erase(it);
+    order_.push_front(id);
+    if (order_.size() > capacity_) order_.pop_back();
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return std::find(order_.begin(), order_.end(), id) != order_.end();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::uint64_t> order_;
+};
+
+TEST(PlanCache, MatchesBruteForceOracleOverRandomizedOperations) {
+  constexpr std::size_t kCapacity = 7;
+  PlanCache cache(kCapacity, 1);  // one shard => globally exact LRU
+  LruOracle oracle(kCapacity);
+  Rng rng(4242);
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t id = static_cast<std::uint64_t>(rng.uniform_int(0, 19));
+    if (rng.uniform(0.0, 1.0) < 0.4) {
+      cache.insert(key_of(id), plan_of(id));
+      oracle.insert(id);
+    } else {
+      const bool hit = cache.lookup(key_of(id)) != nullptr;
+      const bool oracle_hit = oracle.lookup(id);
+      ASSERT_EQ(hit, oracle_hit) << "step " << step << " id " << id;
+    }
+    // Full membership agreement after every operation.
+    for (std::uint64_t probe = 0; probe < 20; ++probe) {
+      ASSERT_EQ(cache.peek(key_of(probe)) != nullptr, oracle.contains(probe))
+          << "step " << step << " probe " << probe;
+    }
+  }
+}
+
+TEST(PlanCache, ShardCountRoundsDownToPowerOfTwo) {
+  const PlanCache cache(100, 6);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  const PlanCache tiny(2, 8);  // capacity clamps the shard count
+  EXPECT_EQ(tiny.shard_count(), 2u);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(PlanCache, InvalidConfigurationViolatesContract) {
+  EXPECT_THROW(PlanCache(0, 1), ContractViolation);
+  EXPECT_THROW(PlanCache(4, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace foscil::serve

@@ -1,0 +1,73 @@
+// [serve] config parsing (serve/serve_config.hpp): defaults when the
+// section is absent, full override, and contract rejection of nonsensical
+// values.
+#include <gtest/gtest.h>
+
+#include "serve/serve_config.hpp"
+
+namespace foscil::serve {
+namespace {
+
+TEST(ServeConfig, MissingSectionYieldsDefaults) {
+  const Config config = Config::parse("[platform]\nrows = 2\n");
+  const ServiceOptions options = service_options_from_config(config);
+  EXPECT_EQ(options.workers, 0u);  // 0 = hardware default
+  EXPECT_EQ(options.queue_capacity, ServiceOptions{}.queue_capacity);
+  EXPECT_EQ(options.cache_capacity, ServiceOptions{}.cache_capacity);
+  EXPECT_EQ(options.default_deadline_s, 0.0);
+
+  const ServeDemoOptions demo = demo_options_from_config(config);
+  EXPECT_EQ(demo.unique_requests, 16);
+  EXPECT_EQ(demo.repeats, 32);
+}
+
+TEST(ServeConfig, FullSectionOverridesEveryKnob) {
+  const Config config = Config::parse(
+      "[serve]\n"
+      "workers = 8\n"
+      "queue_capacity = 512\n"
+      "cache_capacity = 2048\n"
+      "cache_shards = 16\n"
+      "default_deadline_ms = 250\n"
+      "demo_unique = 4\n"
+      "demo_repeats = 10\n");
+  const ServiceOptions options = service_options_from_config(config);
+  EXPECT_EQ(options.workers, 8u);
+  EXPECT_EQ(options.queue_capacity, 512u);
+  EXPECT_EQ(options.cache_capacity, 2048u);
+  EXPECT_EQ(options.cache_shards, 16u);
+  EXPECT_DOUBLE_EQ(options.default_deadline_s, 0.25);
+
+  const ServeDemoOptions demo = demo_options_from_config(config);
+  EXPECT_EQ(demo.unique_requests, 4);
+  EXPECT_EQ(demo.repeats, 10);
+}
+
+TEST(ServeConfig, MalformedValuesViolateTheContract) {
+  EXPECT_THROW((void)service_options_from_config(
+                   Config::parse("[serve]\nworkers = -1\n")),
+               ContractViolation);
+  EXPECT_THROW((void)service_options_from_config(
+                   Config::parse("[serve]\nqueue_capacity = 0\n")),
+               ContractViolation);
+  EXPECT_THROW((void)service_options_from_config(
+                   Config::parse("[serve]\ncache_capacity = 0\n")),
+               ContractViolation);
+  EXPECT_THROW((void)service_options_from_config(
+                   Config::parse("[serve]\ndefault_deadline_ms = -5\n")),
+               ContractViolation);
+  EXPECT_THROW((void)demo_options_from_config(
+                   Config::parse("[serve]\ndemo_unique = 0\n")),
+               ContractViolation);
+}
+
+TEST(ServeConfig, ParsedOptionsConstructAWorkingService) {
+  const Config config = Config::parse(
+      "[serve]\nworkers = 2\nqueue_capacity = 8\ncache_capacity = 4\n");
+  PlanningService service(service_options_from_config(config));
+  EXPECT_EQ(service.worker_count(), 2u);
+  EXPECT_EQ(service.cache().capacity(), 4u);
+}
+
+}  // namespace
+}  // namespace foscil::serve

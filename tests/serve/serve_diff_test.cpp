@@ -1,0 +1,150 @@
+// Differential tests (ISSUE 3): for randomized platforms the service must
+// return plans bit-identical to a direct planner call — on the cache-miss
+// path, on the cache-hit path, and across evictions.  "Bit-identical"
+// compares every planner-determined field by bit pattern (wall time
+// excluded; see serve/plan_cache.hpp).
+#include <gtest/gtest.h>
+
+#include "core/ao.hpp"
+#include "core/pco.hpp"
+#include "serve/service.hpp"
+#include "../test_support.hpp"
+#include "util/rng.hpp"
+
+namespace foscil::serve {
+namespace {
+
+[[nodiscard]] core::Platform random_platform(Rng& rng) {
+  const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(1, 2));
+  const std::size_t cols = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  const int levels = rng.uniform_int(2, 5);
+  return core::make_grid_platform(rows, cols,
+                                  power::VoltageLevels::paper_table4(levels));
+}
+
+[[nodiscard]] core::AoOptions random_ao_options(Rng& rng) {
+  core::AoOptions ao;
+  ao.base_period = rng.pick<double>({0.02, 0.05, 0.1});
+  ao.max_m = rng.pick<int>({64, 256, 1024});
+  if (rng.uniform(0.0, 1.0) < 0.3)
+    ao.tpt_policy = core::TptPolicy::kHottestCore;
+  return ao;
+}
+
+TEST(ServeDiff, MissAndHitAreBitIdenticalToDirectPlanningOnRandomPlatforms) {
+  Rng rng(20260807);
+  ServiceOptions options;
+  options.workers = 4;
+  PlanningService service(options);
+
+  for (int round = 0; round < 8; ++round) {
+    PlanRequest request;
+    request.platform = random_platform(rng);
+    request.t_max_c = rng.uniform(50.0, 70.0);
+    request.ao = random_ao_options(rng);
+
+    // Oracle: plan directly on this thread, no service involved.
+    const core::SchedulerResult direct =
+        core::run_ao(request.platform, request.t_max_c, request.ao);
+
+    const PlanResponse miss = service.submit(request).get();
+    ASSERT_NE(miss.plan, nullptr);
+    EXPECT_FALSE(miss.cache_hit);
+    EXPECT_TRUE(plans_bit_identical(miss.plan->result, direct))
+        << "round " << round << ": cache-miss plan diverged from run_ao";
+
+    const PlanResponse hit = service.submit(request).get();
+    ASSERT_NE(hit.plan, nullptr);
+    EXPECT_TRUE(hit.cache_hit);
+    // The hit returns the very object planned on the miss — bit-identity
+    // is structural, not a recomputation that happens to agree.
+    EXPECT_EQ(hit.plan, miss.plan);
+    EXPECT_TRUE(plans_bit_identical(hit.plan->result, direct));
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 16u);
+  EXPECT_EQ(stats.fast_path_hits, 8u);
+  EXPECT_EQ(stats.planned, 8u);
+}
+
+TEST(ServeDiff, EvictionNeverChangesResults) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;
+  PlanningService service(options);
+
+  const core::Platform platform = testing::grid_platform(1, 3);
+  auto request_at = [&](double t_max_c) {
+    PlanRequest request;
+    request.platform = platform;
+    request.t_max_c = t_max_c;
+    return request;
+  };
+
+  const PlanResponse first = service.submit(request_at(55.0)).get();
+  // Two more distinct thresholds push the first plan out of the
+  // capacity-2 cache.
+  (void)service.submit(request_at(60.0)).get();
+  (void)service.submit(request_at(65.0)).get();
+  EXPECT_EQ(service.cache().peek(first.plan->key), nullptr)
+      << "entry should have been evicted";
+
+  const PlanResponse replanned = service.submit(request_at(55.0)).get();
+  EXPECT_FALSE(replanned.cache_hit);
+  EXPECT_NE(replanned.plan, first.plan);  // genuinely replanned...
+  EXPECT_TRUE(plans_bit_identical(replanned.plan->result,
+                                  first.plan->result))
+      << "eviction + replan changed the result";
+  EXPECT_GE(service.stats().cache.evictions, 1u);
+}
+
+TEST(ServeDiff, PcoRequestsAreBitIdenticalToDirectPco) {
+  ServiceOptions options;
+  options.workers = 2;
+  PlanningService service(options);
+
+  PlanRequest request;
+  request.platform = testing::grid_platform(1, 2);
+  request.t_max_c = 60.0;
+  request.kind = PlannerKind::kPco;
+  request.pco.phase_grid = 4;
+  request.pco.phase_rounds = 1;
+  request.pco.peak_samples = 16;
+  request.pco.final_peak_samples = 32;
+
+  const core::SchedulerResult direct =
+      core::run_pco(request.platform, request.t_max_c, request.pco);
+  const PlanResponse miss = service.submit(request).get();
+  EXPECT_TRUE(plans_bit_identical(miss.plan->result, direct));
+  const PlanResponse hit = service.submit(request).get();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(plans_bit_identical(hit.plan->result, direct));
+  EXPECT_EQ(miss.plan->result.scheduler, "PCO");
+}
+
+TEST(ServeDiff, DirectPlanHelperMatchesServiceAndCertifies) {
+  PlanRequest request;
+  request.platform = testing::grid_platform(2, 2);
+  request.t_max_c = 58.0;
+
+  const std::shared_ptr<const ServedPlan> direct = plan_direct(request);
+  ServiceOptions options;
+  options.workers = 1;
+  PlanningService service(options);
+  const PlanResponse served = service.submit(request).get();
+
+  EXPECT_TRUE(plans_bit_identical(direct->result, served.plan->result));
+  EXPECT_EQ(direct->key, served.plan->key);
+  // AO plans are step-up schedules: the Theorem-2 certificate is their own
+  // stable peak, so a feasible plan must be certified safe.
+  if (direct->result.feasible) {
+    EXPECT_TRUE(direct->certified_safe);
+    EXPECT_TRUE(served.plan->certified_safe);
+  }
+  EXPECT_NEAR(direct->certificate_rise, direct->result.peak_rise, 1e-6);
+}
+
+}  // namespace
+}  // namespace foscil::serve

@@ -1,0 +1,255 @@
+// Concurrency stress and property tests for the planning service
+// (ISSUE 3): N producer threads x M mixed requests complete without
+// deadlock and every served plan carries a valid Theorem-2 certificate;
+// admission control rejects on a full queue; deadline-expired requests are
+// rejected without ever being half-planned; identical in-flight requests
+// coalesce onto one planner run.  This suite runs under ThreadSanitizer in
+// CI.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "../test_support.hpp"
+#include "util/rng.hpp"
+
+namespace foscil::serve {
+namespace {
+
+TEST(ServeStress, ProducersWithMixedRequestsAllCompleteWithCertifiedPlans) {
+  constexpr int kProducers = 8;
+  constexpr int kRequestsPerProducer = 24;
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.queue_capacity = 1024;  // admission tested separately
+  PlanningService service(options);
+
+  // A small pool of platforms shared across producers: reuse creates
+  // cache hits and coalescing; distinct thresholds create misses.
+  const std::vector<core::Platform> platforms = {
+      testing::grid_platform(1, 2), testing::grid_platform(2, 2),
+      testing::grid_platform(1, 3)};
+
+  std::barrier sync(kProducers);
+  std::vector<std::thread> producers;
+  std::vector<int> failures(kProducers, 0);
+  std::vector<int> completed(kProducers, 0);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(1000 + static_cast<std::uint64_t>(p));
+      std::vector<std::future<PlanResponse>> pending;
+      sync.arrive_and_wait();
+      for (int i = 0; i < kRequestsPerProducer; ++i) {
+        PlanRequest request;
+        request.platform = platforms[rng.index(platforms.size())];
+        // Few distinct thresholds => heavy key reuse across producers.
+        request.t_max_c = 50.0 + 5.0 * rng.uniform_int(0, 3);
+        if (rng.uniform(0.0, 1.0) < 0.1) {
+          request.kind = PlannerKind::kPco;
+          request.pco.phase_grid = 4;
+          request.pco.phase_rounds = 1;
+          request.pco.peak_samples = 8;
+          request.pco.final_peak_samples = 16;
+        }
+        pending.push_back(service.submit(request));
+      }
+      for (auto& future : pending) {
+        try {
+          const PlanResponse response = future.get();
+          if (response.plan == nullptr) {
+            ++failures[p];
+            continue;
+          }
+          ++completed[p];
+          const core::SchedulerResult& result = response.plan->result;
+          // Theorem-2 validity: the certificate upper-bounds the plan's
+          // own stable peak, and a feasible plan is certified safe.
+          if (response.plan->certificate_rise < result.peak_rise - 1e-2)
+            ++failures[p];
+          if (result.feasible && !response.plan->certified_safe)
+            ++failures[p];
+        } catch (...) {
+          ++failures[p];
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  int total_completed = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(failures[p], 0) << "producer " << p;
+    total_completed += completed[p];
+  }
+  EXPECT_EQ(total_completed, kProducers * kRequestsPerProducer);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kProducers * kRequestsPerProducer));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  // Every submitted request performed exactly one counted cache lookup.
+  EXPECT_EQ(stats.cache.lookups(), stats.submitted);
+  // 24 distinct keys at most (3 platforms x 4 thresholds x 2 kinds): the
+  // overwhelming majority of requests must have been served without a
+  // planner run.
+  EXPECT_LE(stats.planned + stats.fast_path_hits + stats.coalesced,
+            stats.submitted);
+  EXPECT_LE(stats.planned, 24u + 8u);  // small slack for re-probe races
+}
+
+TEST(ServeStress, FullQueueRejectsAtSubmitWithoutBlocking) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  PlanningService service(options);
+
+  // Distinct keys so nothing coalesces: one occupies the worker, two sit
+  // in the queue, the rest must be rejected immediately.
+  auto request_at = [](double t_max_c) {
+    PlanRequest request;
+    request.platform = testing::grid_platform(2, 2);
+    request.t_max_c = t_max_c;
+    return request;
+  };
+  std::vector<std::future<PlanResponse>> admitted;
+  int rejected = 0;
+  for (int i = 0; i < 12; ++i) {
+    try {
+      admitted.push_back(service.submit(request_at(50.0 + i)));
+    } catch (const QueueFullError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1);
+  for (auto& future : admitted) EXPECT_NO_THROW((void)future.get());
+  EXPECT_EQ(service.stats().rejected_queue_full,
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST(ServeStress, DeadlineExpiredRequestsAreRejectedNeverHalfPlanned) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 64;
+  PlanningService service(options);
+
+  // Occupy the single worker with a real plan (tens of milliseconds),
+  // then queue requests whose deadlines expire while it runs.
+  PlanRequest blocker;
+  blocker.platform = testing::grid_platform(3, 3);
+  blocker.t_max_c = 55.0;
+  std::future<PlanResponse> blocker_future = service.submit(blocker);
+
+  constexpr int kDoomed = 4;
+  std::vector<std::future<PlanResponse>> doomed;
+  std::vector<CacheKey> doomed_keys;
+  for (int i = 0; i < kDoomed; ++i) {
+    PlanRequest request;
+    request.platform = testing::grid_platform(1, 2);
+    request.t_max_c = 60.0 + i;
+    request.deadline_s = 1e-4;  // expires long before the blocker finishes
+    std::future<PlanResponse> future = service.submit(request);
+    doomed_keys.push_back(plan_key(request.platform, request.t_max_c,
+                                   request.kind, request.ao));
+    doomed.push_back(std::move(future));
+  }
+
+  EXPECT_NO_THROW((void)blocker_future.get());
+  for (auto& future : doomed)
+    EXPECT_THROW((void)future.get(), DeadlineExpiredError);
+  // Never half-planned: nothing with a doomed key ever reached the cache.
+  for (const CacheKey& key : doomed_keys)
+    EXPECT_EQ(service.cache().peek(key), nullptr);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_in_queue, static_cast<std::uint64_t>(kDoomed));
+  EXPECT_EQ(stats.planned, 1u);
+}
+
+TEST(ServeStress, ExpiredAtSubmitIsRejectedUnlessCacheCanServeIt) {
+  ServiceOptions options;
+  options.workers = 1;
+  PlanningService service(options);
+
+  PlanRequest request;
+  request.platform = testing::grid_platform(1, 2);
+  request.t_max_c = 55.0;
+  request.deadline_s = 0.0;  // no budget at all
+
+  // Miss with zero budget: dead on arrival.
+  EXPECT_THROW((void)service.submit(request), DeadlineExpiredError);
+  EXPECT_EQ(service.stats().rejected_expired, 1u);
+
+  // Warm the cache, then the same zero-budget request is served instantly.
+  PlanRequest warm = request;
+  warm.deadline_s = -1.0;
+  (void)service.submit(warm).get();
+  const PlanResponse hit = service.submit(request).get();
+  EXPECT_TRUE(hit.cache_hit);
+}
+
+TEST(ServeStress, IdenticalInFlightRequestsCoalesceOntoOnePlannerRun) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  PlanningService service(options);
+
+  // Occupy the worker so the identical requests stay queued together.
+  PlanRequest blocker;
+  blocker.platform = testing::grid_platform(3, 3);
+  blocker.t_max_c = 55.0;
+  std::future<PlanResponse> blocker_future = service.submit(blocker);
+
+  PlanRequest request;
+  request.platform = testing::grid_platform(1, 2);
+  request.t_max_c = 61.0;
+  constexpr int kIdentical = 5;
+  std::vector<std::future<PlanResponse>> identical;
+  for (int i = 0; i < kIdentical; ++i)
+    identical.push_back(service.submit(request));
+
+  (void)blocker_future.get();
+  std::shared_ptr<const ServedPlan> shared_plan;
+  int coalesced = 0;
+  for (auto& future : identical) {
+    const PlanResponse response = future.get();
+    ASSERT_NE(response.plan, nullptr);
+    if (shared_plan == nullptr) shared_plan = response.plan;
+    // Everyone gets the exact same object, planned exactly once.
+    EXPECT_EQ(response.plan, shared_plan);
+    if (response.coalesced) ++coalesced;
+  }
+  EXPECT_EQ(coalesced, kIdentical - 1);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.planned, 2u);  // blocker + one shared plan
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(kIdentical - 1));
+}
+
+TEST(ServeStress, StopDrainsTheQueueAndRejectsNewWork) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 64;
+  PlanningService service(options);
+
+  std::vector<std::future<PlanResponse>> pending;
+  for (int i = 0; i < 6; ++i) {
+    PlanRequest request;
+    request.platform = testing::grid_platform(1, 2);
+    request.t_max_c = 50.0 + i;
+    pending.push_back(service.submit(request));
+  }
+  service.stop();
+  // Every admitted request was answered before stop() returned.
+  for (auto& future : pending) EXPECT_NO_THROW((void)future.get());
+
+  PlanRequest late;
+  late.platform = testing::grid_platform(1, 2);
+  late.t_max_c = 70.0;
+  EXPECT_THROW((void)service.submit(late), ServiceStoppedError);
+}
+
+}  // namespace
+}  // namespace foscil::serve

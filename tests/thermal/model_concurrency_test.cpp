@@ -1,0 +1,136 @@
+// Regression tests for the ThermalModel thread-safety contract
+// (thermal/model.hpp): the spectral/LU decompositions and every const
+// entry point must be safely shareable across threads with no
+// synchronization.  These tests run under ThreadSanitizer in CI — a lazily
+// initialized cache snuck into the model (or a planner made non-reentrant)
+// shows up here as a data race or as a bitwise mismatch against the serial
+// reference.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <bit>
+#include <thread>
+#include <vector>
+
+#include "core/ao.hpp"
+#include "sim/peak.hpp"
+#include "sim/steady.hpp"
+#include "../test_support.hpp"
+
+namespace foscil {
+namespace {
+
+constexpr int kThreads = 16;
+constexpr int kIterations = 8;
+
+[[nodiscard]] bool bits_equal(const linalg::Vector& a,
+                              const linalg::Vector& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i]))
+      return false;
+  }
+  return true;
+}
+
+TEST(ModelConcurrency, SixteenThreadsHammerSpectralAndSteadyState) {
+  const core::Platform platform = testing::grid_platform(3, 3);
+  const thermal::ThermalModel& model = *platform.model;
+
+  // Serial references, computed before any concurrency starts.
+  linalg::Vector voltages(model.num_cores());
+  for (std::size_t i = 0; i < voltages.size(); ++i)
+    voltages[i] = 0.6 + 0.05 * static_cast<double>(i % 8);
+  const linalg::Vector ref_steady = model.steady_state(voltages);
+  const linalg::Vector ref_b = model.b_vector(voltages);
+  const linalg::Vector ref_exp =
+      model.spectral().exp_apply(0.01, ref_steady);
+  const thermal::SensitivityBasis ref_sens =
+      model.sensitivity(ref_steady, voltages);
+  const double ref_peak = model.max_core_rise(ref_steady);
+
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sync.arrive_and_wait();  // maximize overlap on the shared caches
+      for (int i = 0; i < kIterations; ++i) {
+        if (!bits_equal(model.steady_state(voltages), ref_steady))
+          ++mismatches[t];
+        if (!bits_equal(model.b_vector(voltages), ref_b)) ++mismatches[t];
+        if (!bits_equal(model.spectral().exp_apply(0.01, ref_steady),
+                        ref_exp))
+          ++mismatches[t];
+        const thermal::SensitivityBasis sens =
+            model.sensitivity(ref_steady, voltages);
+        for (std::size_t r = 0; r < sens.steady.rows(); ++r)
+          for (std::size_t c = 0; c < sens.steady.cols(); ++c)
+            if (sens.steady(r, c) != ref_sens.steady(r, c)) ++mismatches[t];
+        if (model.max_core_rise(ref_steady) != ref_peak) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+TEST(ModelConcurrency, ConcurrentAnalyzersShareOneModel) {
+  const core::Platform platform = testing::grid_platform(2, 2);
+  Rng rng(2024);
+  const sched::PeriodicSchedule schedule =
+      testing::random_schedule(rng, platform.num_cores(), 0.05, 3);
+
+  const sim::SteadyStateAnalyzer reference(platform.model);
+  const linalg::Vector ref_boundary = reference.stable_boundary(schedule);
+
+  std::barrier sync(kThreads);
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const sim::SteadyStateAnalyzer analyzer(platform.model);
+      sync.arrive_and_wait();
+      for (int i = 0; i < kIterations; ++i) {
+        if (!bits_equal(analyzer.stable_boundary(schedule), ref_boundary))
+          ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+// The planner entry points are documented as reentrant pure functions of
+// their arguments: concurrent run_ao calls over one shared Platform must
+// produce bit-identical plans.
+TEST(ModelConcurrency, ConcurrentAoPlansAreBitIdenticalToSerial) {
+  const core::Platform platform = testing::grid_platform(2, 2);
+  const double t_max_c = 55.0;
+  const core::SchedulerResult reference = core::run_ao(platform, t_max_c);
+
+  constexpr int kPlanners = 8;
+  std::barrier sync(kPlanners);
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kPlanners, 0);
+  for (int t = 0; t < kPlanners; ++t) {
+    threads.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      const core::SchedulerResult mine = core::run_ao(platform, t_max_c);
+      if (mine.feasible != reference.feasible ||
+          std::bit_cast<std::uint64_t>(mine.throughput) !=
+              std::bit_cast<std::uint64_t>(reference.throughput) ||
+          std::bit_cast<std::uint64_t>(mine.peak_rise) !=
+              std::bit_cast<std::uint64_t>(reference.peak_rise) ||
+          mine.m != reference.m ||
+          mine.evaluations != reference.evaluations)
+        ++mismatches[t];
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kPlanners; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+}  // namespace
+}  // namespace foscil
