@@ -7,6 +7,7 @@
 #include "core/ideal.hpp"
 #include "sched/transforms.hpp"
 #include "sim/peak.hpp"
+#include "util/parallel_for.hpp"
 #include "util/stopwatch.hpp"
 
 namespace foscil::core {
@@ -96,11 +97,13 @@ sched::PeriodicSchedule build_oscillating_schedule(
     const double low = (1.0 - osc.ratio_high) * sub_period - delta;
     const double high = osc.ratio_high * sub_period + delta;
     FOSCIL_ASSERT(low > 0.0);
-    schedule.set_core_segments(
-        i, {sched::Segment{low, osc.v_low}, sched::Segment{high, osc.v_high}});
-    if (osc.phase_offset != 0.0) {
-      schedule = sched::phase_shift(schedule, i, osc.phase_offset);
-    }
+    std::vector<sched::Segment> segments{
+        sched::Segment{low, osc.v_low}, sched::Segment{high, osc.v_high}};
+    // Rotate the segment list in place rather than phase_shift-ing the whole
+    // schedule, which copied every core's segments once per shifted core.
+    if (osc.phase_offset != 0.0)
+      segments = sched::rotate_segments(segments, sub_period, osc.phase_offset);
+    schedule.set_core_segments(i, std::move(segments));
   }
   return schedule;
 }
@@ -113,6 +116,15 @@ double oscillation_throughput(const std::vector<CoreOscillation>& cores) {
   double total = 0.0;
   for (const auto& core : cores) total += core.mean_speed();
   return total / static_cast<double>(cores.size());
+}
+
+/// Candidate scans fan out only when the per-candidate evaluation is
+/// expensive enough to amortize thread spawns (~tens of microseconds per
+/// worker); below ~32 thermal nodes a modal evaluation is sub-microsecond
+/// and threading is pure overhead.
+unsigned resolve_scan_threads(unsigned requested, std::size_t num_nodes) {
+  if (requested != 0) return requested;
+  return num_nodes >= 32 ? hardware_parallelism() : 1u;
 }
 
 }  // namespace
@@ -129,7 +141,10 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
       platform.rise_budget(t_max_c) - options.t_max_margin;
   FOSCIL_EXPECTS(rise_target > 0.0);
   const auto& model = *platform.model;
-  const sim::SteadyStateAnalyzer analyzer(platform.model);
+  const sim::SteadyStateAnalyzer analyzer(platform.model,
+                                          options.eval_engine);
+  const unsigned scan_threads =
+      resolve_scan_threads(options.scan_threads, model.num_nodes());
   const double tau = options.transition_overhead;
   std::size_t evaluations = 0;
 
@@ -146,18 +161,39 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
       detail::oscillation_bound(cores, options.base_period, tau));
   int best_m = 1;
   double best_peak = std::numeric_limits<double>::infinity();
-  int stale = 0;
-  for (int m = 1; m <= bound; ++m) {
-    const auto schedule = detail::build_oscillating_schedule(
-        cores, options.base_period, m, tau);
-    const double peak = sim::step_up_peak(analyzer, schedule).rise;
-    ++evaluations;
-    if (peak < best_peak - 1e-12) {
-      best_peak = peak;
-      best_m = m;
-      stale = 0;
-    } else if (++stale >= options.m_search_patience) {
-      break;
+  {
+    // Evaluate the m window in fixed-size blocks so candidates run
+    // concurrently while reproducing the sequential early-stop rule exactly:
+    // block size depends only on the patience knob (never on the thread
+    // count), each candidate is independent, and the patience fold walks the
+    // block in ascending m — so the chosen m is identical for any
+    // scan_threads.  A stop mid-block wastes at most patience-1 evaluations.
+    const int block = std::max(1, options.m_search_patience);
+    int stale = 0;
+    int next = 1;
+    bool stop = false;
+    while (!stop && next <= bound) {
+      const int count = std::min(block, bound - next + 1);
+      std::vector<double> peaks(static_cast<std::size_t>(count));
+      parallel_for(
+          static_cast<std::size_t>(count),
+          [&](std::size_t i) {
+            const auto schedule = detail::build_oscillating_schedule(
+                cores, options.base_period, next + static_cast<int>(i), tau);
+            peaks[i] = sim::step_up_peak(analyzer, schedule).rise;
+          },
+          scan_threads);
+      evaluations += static_cast<std::size_t>(count);
+      for (int i = 0; i < count && !stop; ++i) {
+        if (peaks[static_cast<std::size_t>(i)] < best_peak - 1e-12) {
+          best_peak = peaks[static_cast<std::size_t>(i)];
+          best_m = next + i;
+          stale = 0;
+        } else if (++stale >= options.m_search_patience) {
+          stop = true;
+        }
+      }
+      next += count;
     }
   }
 
@@ -167,18 +203,19 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
   auto rises_of = [&](const std::vector<CoreOscillation>& state) {
     const auto schedule = detail::build_oscillating_schedule(
         state, options.base_period, best_m, tau);
-    ++evaluations;
-    return model.core_rises(analyzer.stable_boundary(schedule));
+    return analyzer.stable_core_rises(schedule);
   };
 
   linalg::Vector core_rises = rises_of(cores);
+  ++evaluations;
   while (core_rises.max() > rise_target + tolerance) {
     const std::size_t hottest = core_rises.argmax();
-    double best_tpt = -1.0;
-    std::size_t best_core = cores.size();
-    linalg::Vector best_rises;
     const bool hottest_adjustable =
         cores[hottest].oscillating && cores[hottest].ratio_high > 0.0;
+    // Collect the adjustable candidates first so their evaluations — each
+    // an independent steady-state solve against the immutable model — can
+    // fan out across scan threads.
+    std::vector<std::size_t> scan;
     for (std::size_t j = 0; j < cores.size(); ++j) {
       if (!cores[j].oscillating || cores[j].ratio_high <= 0.0) continue;
       // Ablation: the naive policy only ever slows the hottest core down
@@ -186,25 +223,44 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
       if (options.tpt_policy == TptPolicy::kHottestCore &&
           hottest_adjustable && j != hottest)
         continue;
-      std::vector<CoreOscillation> candidate = cores;
-      candidate[j].ratio_high = std::max(0.0, candidate[j].ratio_high - u);
-      const linalg::Vector rises = rises_of(candidate);
-      const double delta_t = core_rises[hottest] - rises[hottest];
+      scan.push_back(j);
+    }
+    if (scan.empty()) break;  // no adjustable core remains
+    std::vector<linalg::Vector> scan_rises(scan.size());
+    parallel_for(
+        scan.size(),
+        [&](std::size_t i) {
+          std::vector<CoreOscillation> candidate = cores;
+          candidate[scan[i]].ratio_high =
+              std::max(0.0, candidate[scan[i]].ratio_high - u);
+          scan_rises[i] = rises_of(candidate);
+        },
+        scan_threads);
+    evaluations += scan.size();
+    // Deterministic selection: fold in ascending-core order with the same
+    // strict `>` the sequential scan used, so the winner (and therefore the
+    // whole trajectory) is independent of the thread count.
+    double best_tpt = -1.0;
+    std::size_t best_i = scan.size();
+    for (std::size_t i = 0; i < scan.size(); ++i) {
+      const std::size_t j = scan[i];
+      const double new_ratio = std::max(0.0, cores[j].ratio_high - u);
       const double speed_loss =
           (cores[j].v_high - cores[j].v_low) *
-          (cores[j].ratio_high - candidate[j].ratio_high);
+          (cores[j].ratio_high - new_ratio);
       if (speed_loss <= 0.0) continue;
+      const double delta_t = core_rises[hottest] - scan_rises[i][hottest];
       const double tpt = delta_t / speed_loss;
       if (tpt > best_tpt) {
         best_tpt = tpt;
-        best_core = j;
-        best_rises = rises;
+        best_i = i;
       }
     }
-    if (best_core == cores.size()) break;  // no adjustable core remains
+    if (best_i == scan.size()) break;  // every candidate lost zero speed
+    const std::size_t best_core = scan[best_i];
     cores[best_core].ratio_high =
         std::max(0.0, cores[best_core].ratio_high - u);
-    core_rises = best_rises;
+    core_rises = std::move(scan_rises[best_i]);
   }
 
   const auto final_schedule = detail::build_oscillating_schedule(

@@ -22,6 +22,7 @@
 
 #include "core/platform.hpp"
 #include "core/result.hpp"
+#include "sim/modal.hpp"
 
 namespace foscil::core {
 
@@ -52,6 +53,19 @@ struct AoOptions {
   /// T_max - t_max_margin.  The closed-loop guard (core/guard.hpp) derives
   /// this from a fault/uncertainty set; 0 reproduces the paper exactly.
   double t_max_margin = 0.0;
+  /// Candidate-evaluation engine (sim/modal.hpp).  The modal diagonal
+  /// recurrence is the default; the reference dense walk stays available for
+  /// differential testing and as the independently-coded cross-check.
+  /// Changes per-candidate arithmetic order, so results may differ from the
+  /// reference engine in the last ulps — the serve cache hashes this knob.
+  sim::EvalEngine eval_engine = sim::EvalEngine::kModal;
+  /// Worker threads for the m-search window and the TPT candidate scan.
+  /// 0 = automatic: one per hardware thread when the platform is large
+  /// enough for fan-out to amortize thread spawns (>= 32 thermal nodes),
+  /// serial otherwise.  The thread count never changes the chosen plan:
+  /// candidates are evaluated independently and reduced in deterministic
+  /// index order, so any value yields bit-identical results.
+  unsigned scan_threads = 0;
 };
 
 [[nodiscard]] SchedulerResult run_ao(const Platform& platform, double t_max_c,

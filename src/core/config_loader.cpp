@@ -145,6 +145,19 @@ AoOptions ao_options_from_config(const Config& config) {
                                               options.t_max_margin);
   if (options.t_max_margin < 0.0)
     reject("ao.t_max_margin_k", "must be >= 0");
+  if (config.has("ao.eval_engine")) {
+    const std::string engine = config.get_string("ao.eval_engine");
+    if (engine == "modal")
+      options.eval_engine = sim::EvalEngine::kModal;
+    else if (engine == "reference")
+      options.eval_engine = sim::EvalEngine::kReference;
+    else
+      reject("ao.eval_engine", "must be 'modal' or 'reference'");
+  }
+  const long scan_threads =
+      config.get_int_or("ao.scan_threads", options.scan_threads);
+  if (scan_threads < 0) reject("ao.scan_threads", "must be >= 0");
+  options.scan_threads = static_cast<unsigned>(scan_threads);
   return options;
 }
 

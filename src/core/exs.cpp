@@ -11,6 +11,12 @@ namespace foscil::core {
 
 namespace {
 
+/// Full recompute cadence of the incremental (modal) evaluation: at most
+/// this many O(N) delta folds happen between O(N²) refreshes, bounding the
+/// accumulated roundoff at a few thousand ulps — orders of magnitude below
+/// the 1e-12 relative feasibility tolerance.
+constexpr std::uint64_t kRefreshInterval = 4096;
+
 struct Candidate {
   double throughput = -1.0;
   double peak = 0.0;
@@ -58,6 +64,7 @@ SchedulerResult run_exs(const Platform& platform, double t_max_c,
     for (std::size_t l = 0; l < num_levels; ++l)
       psi_of(c, l) = model.power().psi(c, levels[l]);
 
+  const bool modal = options.eval_engine == sim::EvalEngine::kModal;
   const unsigned threads =
       options.threads == 0 ? hardware_parallelism() : options.threads;
   const std::size_t chunks = std::min<std::uint64_t>(
@@ -81,31 +88,68 @@ SchedulerResult run_exs(const Platform& platform, double t_max_c,
 
         linalg::Vector psi(cores);
         linalg::Vector temps(cores);
-        for (std::uint64_t idx = begin; idx < end; ++idx) {
-          double speed_sum = 0.0;
+        double speed_sum = 0.0;
+        // Recompute temps and the speed sum from the digits alone — the
+        // start-of-chunk state and the periodic drift reset of the
+        // incremental path.
+        const auto refresh = [&] {
+          speed_sum = 0.0;
           for (std::size_t c = 0; c < cores; ++c) {
             psi[c] = psi_of(c, digits[c]);
             speed_sum += levels[digits[c]];
           }
-          // One N x N mat-vec per candidate — the honest per-candidate cost
-          // of Algorithm 1's line 7.
           for (std::size_t r = 0; r < cores; ++r) {
             double acc_t = 0.0;
             for (std::size_t c = 0; c < cores; ++c)
               acc_t += m_dd(r, c) * psi[c];
             temps[r] = acc_t;
           }
+        };
+        if (modal) refresh();
+        std::uint64_t since_refresh = 0;
+        const double threshold = rise_target * (1.0 + 1e-12);
+        // Incremental temps drift by a few thousand ulps between refreshes;
+        // any candidate within this slack of the budget is re-evaluated
+        // exactly before the feasibility test, so the accepted set (and the
+        // winner) is bit-identical to the reference engine — independent of
+        // chunk layout and thread count.
+        const double slack = rise_target * 1e-6;
+        for (std::uint64_t idx = begin; idx < end; ++idx) {
+          if (modal) {
+            if (temps.max() <= threshold + slack) {
+              refresh();  // exact confirm; also resets the drift
+              since_refresh = 0;
+            }
+          } else {
+            refresh();
+          }
           const double peak = temps.max();
-          if (peak <= rise_target * (1.0 + 1e-12)) {
+          if (peak <= threshold) {
             const double throughput =
                 speed_sum / static_cast<double>(cores);
             Candidate candidate{throughput, peak, idx, digits};
             if (candidate.better_than(acc)) acc = std::move(candidate);
           }
-          // Advance the odometer.
+          // Advance the odometer; on the fast path each changed digit folds
+          // its steady contribution column into temps (amortized one digit
+          // per step, so O(N) instead of the N x N mat-vec).
           for (std::size_t c = 0; c < cores; ++c) {
-            if (++digits[c] < num_levels) break;
-            digits[c] = 0;
+            const std::size_t old = digits[c];
+            const std::size_t fresh = old + 1 < num_levels ? old + 1 : 0;
+            digits[c] = fresh;
+            if (modal) {
+              for (std::size_t r = 0; r < cores; ++r)
+                temps[r] +=
+                    m_dd(r, c) * (psi_of(c, fresh) - psi_of(c, old));
+              speed_sum += levels[fresh] - levels[old];
+            }
+            if (fresh != 0) break;  // no carry
+          }
+          // Incremental updates accumulate roundoff; a periodic full
+          // recompute keeps the drift far below the feasibility tolerance.
+          if (modal && ++since_refresh >= kRefreshInterval) {
+            refresh();
+            since_refresh = 0;
           }
         }
         return acc;

@@ -13,6 +13,7 @@
 
 #include "core/platform.hpp"
 #include "core/result.hpp"
+#include "sim/modal.hpp"
 
 namespace foscil::core {
 
@@ -22,6 +23,12 @@ struct ExsOptions {
   /// accidental multi-hour run into an error the caller can handle.
   std::uint64_t max_candidates = 200'000'000;
   unsigned threads = 0;  ///< 0 = hardware default
+  /// kModal evaluates candidates incrementally: one precomputed steady
+  /// contribution column per changed odometer digit (amortized O(N) per
+  /// candidate, with a periodic full recompute bounding drift) instead of
+  /// the reference N x N mat-vec.  kReference keeps Algorithm 1's honest
+  /// per-candidate cost for timing comparisons.
+  sim::EvalEngine eval_engine = sim::EvalEngine::kModal;
 };
 
 /// Thrown when the design space exceeds ExsOptions::max_candidates.

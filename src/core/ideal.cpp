@@ -1,5 +1,7 @@
 #include "core/ideal.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "linalg/lu.hpp"
@@ -15,12 +17,48 @@ enum class CoreState {
   kClampedOff,  // would need negative/zero heat: powered down, heat = 0
 };
 
-/// True when running `v` forever keeps every core within the budget.
-bool feasible(const thermal::ThermalModel& model,
-              const linalg::Vector& v, double rise_target) {
-  return model.max_core_rise(model.steady_state(v)) <=
-         rise_target * (1.0 + 1e-12);
-}
+/// Steady-state core rises via the die block of (G - beta E)^{-1}: package
+/// nodes carry no heat, so T_d = M_dd * Psi_d — a cores² dot product instead
+/// of an n-node LU solve.  The coordinate-ascent search below issues tens of
+/// thousands of feasibility probes, and this reduction (the same one the EXS
+/// scan uses) makes each probe ~100x cheaper than steady_state().
+class SteadyProbe {
+ public:
+  explicit SteadyProbe(const thermal::ThermalModel& model)
+      : model_(model),
+        cores_(model.num_cores()),
+        psi_(model.num_cores()),
+        m_dd_(model.num_cores(), model.num_cores()) {
+    const linalg::Matrix inv = linalg::inverse(model.system_matrix());
+    for (std::size_t r = 0; r < cores_; ++r)
+      for (std::size_t c = 0; c < cores_; ++c)
+        m_dd_(r, c) =
+            inv(model.network().die_node(r), model.network().die_node(c));
+  }
+
+  [[nodiscard]] double max_rise(const linalg::Vector& v) const {
+    for (std::size_t c = 0; c < cores_; ++c)
+      psi_[c] = model_.power().psi(c, v[c]);
+    double peak = -std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < cores_; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cores_; ++c) acc += m_dd_(r, c) * psi_[c];
+      peak = std::max(peak, acc);
+    }
+    return peak;
+  }
+
+  [[nodiscard]] bool feasible(const linalg::Vector& v,
+                              double rise_target) const {
+    return max_rise(v) <= rise_target * (1.0 + 1e-12);
+  }
+
+ private:
+  const thermal::ThermalModel& model_;
+  std::size_t cores_;
+  mutable linalg::Vector psi_;  // scratch; probes are single-threaded
+  linalg::Matrix m_dd_;
+};
 
 /// Alternative seed: start from the largest *uniform* feasible voltage and
 /// raise cores one at a time (bisection against the steady-state constraint)
@@ -31,16 +69,17 @@ bool feasible(const thermal::ThermalModel& model,
 linalg::Vector coordinate_ascent_voltages(const thermal::ThermalModel& model,
                                           double rise_target, double v_max) {
   const std::size_t cores = model.num_cores();
+  const SteadyProbe steady_probe(model);
 
   // Largest uniform feasible voltage.
   double lo = 0.0;
   double hi = v_max;
-  if (feasible(model, linalg::Vector(cores, v_max), rise_target)) {
+  if (steady_probe.feasible(linalg::Vector(cores, v_max), rise_target)) {
     lo = v_max;
   } else {
     for (int it = 0; it < 40; ++it) {
       const double mid = 0.5 * (lo + hi);
-      if (feasible(model, linalg::Vector(cores, mid), rise_target))
+      if (steady_probe.feasible(linalg::Vector(cores, mid), rise_target))
         lo = mid;
       else
         hi = mid;
@@ -54,11 +93,11 @@ linalg::Vector coordinate_ascent_voltages(const thermal::ThermalModel& model,
     double lo_j = from;
     double hi_j = v_max;
     probe[j] = v_max;
-    if (feasible(model, probe, rise_target)) return v_max;
+    if (steady_probe.feasible(probe, rise_target)) return v_max;
     for (int it = 0; it < 30; ++it) {
       const double mid = 0.5 * (lo_j + hi_j);
       probe[j] = mid;
-      if (feasible(model, probe, rise_target))
+      if (steady_probe.feasible(probe, rise_target))
         lo_j = mid;
       else
         hi_j = mid;
@@ -151,7 +190,7 @@ linalg::Vector coordinate_ascent_voltages(const thermal::ThermalModel& model,
             break;
           }
         }
-        if (in_range && feasible(model, lifted, rise_target))
+        if (in_range && steady_probe.feasible(lifted, rise_target))
           lo_u = mid;
         else
           hi_u = mid;

@@ -24,7 +24,11 @@ SchedulerResult run_pco(const Platform& platform, double t_max_c,
   FOSCIL_EXPECTS(options.phase_rounds >= 1);
   const Stopwatch timer;
   const double rise_target = platform.rise_budget(t_max_c);
-  const sim::SteadyStateAnalyzer analyzer(platform.model);
+  // The phase search samples *interior* temperatures (sampled_peak), whose
+  // interval advances stay on the dense reference arithmetic; the modal
+  // engine still accelerates every stable_boundary solve underneath.
+  const sim::SteadyStateAnalyzer analyzer(platform.model,
+                                          options.ao.eval_engine);
   const double tau = options.ao.transition_overhead;
 
   detail::AoInternal ao = detail::run_ao_internal(platform, t_max_c,

@@ -36,19 +36,21 @@ Matrix expm(const Matrix& a) {
   Matrix a_scaled = std::ldexp(1.0, -squarings) * a;
 
   // Padé(13): U = A(b13 A6³ …), V = even part; exp ≈ (V-U)⁻¹(V+U).
+  // The O(n³) work below runs through the transposed-RHS kernel: one O(n²)
+  // transpose per product buys contiguous row-dot-products on both factors.
   const Matrix identity = Matrix::identity(n);
-  const Matrix a2 = a_scaled * a_scaled;
-  const Matrix a4 = a2 * a2;
-  const Matrix a6 = a4 * a2;
+  const Matrix a2 = multiply_transposed_rhs(a_scaled, a_scaled.transposed());
+  const Matrix a4 = multiply_transposed_rhs(a2, a2.transposed());
+  const Matrix a6 = multiply_transposed_rhs(a4, a2.transposed());
 
   Matrix u_inner = kPade13[13] * a6 + kPade13[11] * a4 + kPade13[9] * a2;
-  u_inner = a6 * u_inner;
+  u_inner = multiply_transposed_rhs(a6, u_inner.transposed());
   u_inner += kPade13[7] * a6 + kPade13[5] * a4 + kPade13[3] * a2 +
              kPade13[1] * identity;
-  const Matrix u = a_scaled * u_inner;
+  const Matrix u = multiply_transposed_rhs(a_scaled, u_inner.transposed());
 
   Matrix v = kPade13[12] * a6 + kPade13[10] * a4 + kPade13[8] * a2;
-  v = a6 * v;
+  v = multiply_transposed_rhs(a6, v.transposed());
   v += kPade13[6] * a6 + kPade13[4] * a4 + kPade13[2] * a2 +
        kPade13[0] * identity;
 
@@ -57,7 +59,8 @@ Matrix expm(const Matrix& a) {
   Matrix result = LuDecomposition(denom).solve(numer);
 
   // Undo the scaling by repeated squaring.
-  for (int s = 0; s < squarings; ++s) result = result * result;
+  for (int s = 0; s < squarings; ++s)
+    result = multiply_transposed_rhs(result, result.transposed());
   return result;
 }
 

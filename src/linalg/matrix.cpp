@@ -178,6 +178,35 @@ Vector operator*(const Matrix& a, const Vector& x) {
   return y;
 }
 
+Matrix multiply_transposed_rhs(const Matrix& a, const Matrix& b_t) {
+  FOSCIL_EXPECTS(a.cols() == b_t.cols());
+  Matrix c(a.rows(), b_t.rows());
+  const std::size_t depth = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_data(i);
+    double* ci = c.row_data(i);
+    for (std::size_t j = 0; j < b_t.rows(); ++j) {
+      const double* bj = b_t.row_data(j);
+      // Four independent accumulators break the loop-carried add latency
+      // chain; both operands stream contiguously.
+      double a0 = 0.0;
+      double a1 = 0.0;
+      double a2 = 0.0;
+      double a3 = 0.0;
+      std::size_t k = 0;
+      for (; k + 4 <= depth; k += 4) {
+        a0 += ai[k] * bj[k];
+        a1 += ai[k + 1] * bj[k + 1];
+        a2 += ai[k + 2] * bj[k + 2];
+        a3 += ai[k + 3] * bj[k + 3];
+      }
+      for (; k < depth; ++k) a0 += ai[k] * bj[k];
+      ci[j] = (a0 + a1) + (a2 + a3);
+    }
+  }
+  return c;
+}
+
 void gemv_accumulate(double alpha, const Matrix& a, const Vector& x,
                      Vector& y) {
   FOSCIL_EXPECTS(a.cols() == x.size());

@@ -140,6 +140,14 @@ class Matrix {
 void gemv_accumulate(double alpha, const Matrix& a, const Vector& x,
                      Vector& y);
 
+/// a · b_tᵀ given the right factor already transposed: every inner product
+/// streams two contiguous rows, so no strided column walks remain — the
+/// cache-friendly form for back-transform batches where the columns of the
+/// logical RHS are naturally produced as rows (e.g. one modal boundary per
+/// candidate schedule).  Requires a.cols() == b_t.cols().
+[[nodiscard]] Matrix multiply_transposed_rhs(const Matrix& a,
+                                             const Matrix& b_t);
+
 /// True when |a_ij - b_ij| <= atol + rtol * |b_ij| for all entries.
 [[nodiscard]] bool allclose(const Matrix& a, const Matrix& b,
                             double rtol = 1e-9, double atol = 1e-12);

@@ -70,14 +70,8 @@ Vector SpectralDecomposition::phi_apply(double t, const Vector& x) const {
   FOSCIL_EXPECTS(x.size() == size());
   FOSCIL_EXPECTS(t >= 0.0);
   Vector y = w_inv_ * x;
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    const double lambda = eigenvalues_[i];
-    // (e^{λt} − 1)/λ with the λ→0 limit handled via expm1 for accuracy.
-    const double lt = lambda * t;
-    const double factor =
-        std::abs(lambda) > 1e-14 ? std::expm1(lt) / lambda : t * (1.0 + 0.5 * lt);
-    y[i] *= factor;
-  }
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] *= phi_factor(eigenvalues_[i], t);
   return w_ * y;
 }
 

@@ -10,10 +10,24 @@
 // in O(n²) per call — the workhorse behind eqs. (3) and (4).
 #pragma once
 
+#include <cmath>
+
 #include "linalg/eigen_sym.hpp"
 #include "linalg/matrix.hpp"
 
 namespace foscil::linalg {
+
+/// Scalar convolution kernel (e^{λt} − 1)/λ of φ(t) = A⁻¹(e^{At} − I) on one
+/// eigenvalue.  The λ→0 limit is t; near it the expm1 quotient loses all
+/// significant digits, so below |λ| = 1e-14 we switch to the two-term series
+/// t·(1 + λt/2) — the shared definition used by both the dense phi_apply and
+/// the modal evaluator's diagonal recurrence (sim/modal.hpp), so the two
+/// engines agree to the last ulp on this factor.
+[[nodiscard]] inline double phi_factor(double lambda, double t) {
+  const double lt = lambda * t;
+  return std::abs(lambda) > 1e-14 ? std::expm1(lt) / lambda
+                                  : t * (1.0 + 0.5 * lt);
+}
 
 /// Eigendecomposition A = W · diag(λ) · W⁻¹ of A = diag(1/c) · S.
 class SpectralDecomposition {

@@ -30,19 +30,16 @@ PeriodicSchedule m_oscillate(const PeriodicSchedule& schedule, int m) {
   return out;
 }
 
-PeriodicSchedule phase_shift(const PeriodicSchedule& schedule,
-                             std::size_t core, double offset) {
-  FOSCIL_EXPECTS(core < schedule.num_cores());
-  const double period = schedule.period();
+std::vector<Segment> rotate_segments(const std::vector<Segment>& segments,
+                                     double period, double offset) {
+  FOSCIL_EXPECTS(period > 0.0);
   double shift = std::fmod(offset, period);
   if (shift < 0.0) shift += period;
-  PeriodicSchedule out = schedule;
-  if (shift == 0.0) return out;
+  if (shift == 0.0) return segments;
 
   // v'(t) = v(t - shift): the tail of length `shift` (ending at the period
   // wrap) moves to the front.  Split the cycle at time (period - shift).
   const double cut = period - shift;
-  const auto& segments = schedule.core_segments(core);
   std::vector<Segment> head;  // [0, cut)  -> goes second
   std::vector<Segment> tail;  // [cut, tp) -> goes first
   double cursor = 0.0;
@@ -72,7 +69,19 @@ PeriodicSchedule phase_shift(const PeriodicSchedule& schedule,
       cleaned.push_back(seg);
     }
   }
-  out.set_core_segments(core, std::move(cleaned));
+  return cleaned;
+}
+
+PeriodicSchedule phase_shift(const PeriodicSchedule& schedule,
+                             std::size_t core, double offset) {
+  FOSCIL_EXPECTS(core < schedule.num_cores());
+  const double period = schedule.period();
+  PeriodicSchedule out = schedule;
+  double shift = std::fmod(offset, period);
+  if (shift < 0.0) shift += period;
+  if (shift == 0.0) return out;  // bit-preserving no-op
+  out.set_core_segments(
+      core, rotate_segments(schedule.core_segments(core), period, offset));
   return out;
 }
 

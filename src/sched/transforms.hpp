@@ -23,4 +23,12 @@ namespace foscil::sched {
 [[nodiscard]] PeriodicSchedule phase_shift(const PeriodicSchedule& schedule,
                                            std::size_t core, double offset);
 
+/// The segment-level core of phase_shift: rotate one core's segment list
+/// (whose durations sum to `period`) by `offset`, dropping numerical slivers
+/// and merging equal-voltage neighbors created by the split.  Lets builders
+/// shift a core before it is installed in a schedule, avoiding a full
+/// schedule copy per shifted core.
+[[nodiscard]] std::vector<Segment> rotate_segments(
+    const std::vector<Segment>& segments, double period, double offset);
+
 }  // namespace foscil::sched

@@ -11,7 +11,11 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
 /// Key-schema version: bump whenever the set of hashed inputs or the
 /// planner semantics change, so stale persisted keys can never alias.
-constexpr std::uint64_t kSchemaVersion = 1;
+/// v2: AoOptions grew eval_engine (hashed — it changes the plan's arithmetic
+/// in the last ulps) and scan_threads (NOT hashed — candidate scans reduce
+/// in deterministic index order, so any thread count yields a bit-identical
+/// plan and must hit the same cache entry).
+constexpr std::uint64_t kSchemaVersion = 2;
 
 [[nodiscard]] std::uint64_t splitmix(std::uint64_t x) noexcept {
   x += 0x9E3779B97F4A7C15ull;
@@ -101,6 +105,8 @@ void mix_ao_options(KeyHasher& hasher, const core::AoOptions& ao) {
   hasher.mix(static_cast<std::uint64_t>(ao.tpt_policy));
   hasher.mix(static_cast<std::uint64_t>(ao.mode_choice));
   hasher.mix_double(ao.t_max_margin);
+  hasher.mix(static_cast<std::uint64_t>(ao.eval_engine));
+  // ao.scan_threads deliberately unhashed; see kSchemaVersion.
 }
 
 }  // namespace

@@ -1,0 +1,231 @@
+#include "sim/modal.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace foscil::sim {
+
+namespace {
+
+// A planning call only ever touches a handful of distinct voltage vectors
+// (one per oscillation state the TPT loop has visited), but a long-lived
+// evaluator serving many platforms' worth of schedules should not grow
+// without bound.  On overflow the memo is simply dropped: recomputation is
+// one O(n²) projection per live voltage state.
+constexpr std::size_t kMaxCacheEntries = 1024;
+
+// The interval-length memo sees ~2 fresh lengths per TPT iteration (the
+// moved boundary's neighbors), so a long ratio-reduction run accumulates a
+// few thousand distinct entries.  Each is 2n doubles — at the cap this is a
+// few MB, dropped wholesale on overflow like the voltage memo.
+constexpr std::size_t kMaxIntervalEntries = 8192;
+
+// Word-wise FNV-1a over the raw bit patterns, with a final avalanche so the
+// low bits the bucket index uses depend on every key word.  Exact-bit keying
+// is intentional (see header).
+[[nodiscard]] std::size_t hash_doubles(const double* values, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= std::bit_cast<std::uint64_t>(values[i]);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
+
+[[nodiscard]] bool equal_doubles(const double* a, std::size_t na,
+                                 const double* b, std::size_t nb) {
+  return na == nb &&
+         (na == 0 || std::memcmp(a, b, na * sizeof(double)) == 0);
+}
+
+}  // namespace
+
+const char* eval_engine_name(EvalEngine engine) {
+  switch (engine) {
+    case EvalEngine::kReference:
+      return "reference";
+    case EvalEngine::kModal:
+      return "modal";
+  }
+  FOSCIL_ASSERT(false);
+  return "?";
+}
+
+std::size_t ModalEvaluator::KeyHash::operator()(
+    const std::vector<double>& key) const {
+  return hash_doubles(key.data(), key.size());
+}
+
+std::size_t ModalEvaluator::KeyHash::operator()(
+    const linalg::Vector& key) const {
+  return hash_doubles(key.data(), key.size());
+}
+
+bool ModalEvaluator::KeyEq::operator()(const std::vector<double>& a,
+                                       const std::vector<double>& b) const {
+  return equal_doubles(a.data(), a.size(), b.data(), b.size());
+}
+
+bool ModalEvaluator::KeyEq::operator()(const std::vector<double>& a,
+                                       const linalg::Vector& b) const {
+  return equal_doubles(a.data(), a.size(), b.data(), b.size());
+}
+
+bool ModalEvaluator::KeyEq::operator()(const linalg::Vector& a,
+                                       const std::vector<double>& b) const {
+  return equal_doubles(a.data(), a.size(), b.data(), b.size());
+}
+
+ModalEvaluator::ModalEvaluator(
+    std::shared_ptr<const thermal::ThermalModel> model)
+    : model_(std::move(model)) {
+  FOSCIL_EXPECTS(model_ != nullptr);
+  const auto& w = model_->spectral().w();
+  const std::size_t cores = model_->num_cores();
+  const std::size_t n = model_->num_nodes();
+  w_die_ = linalg::Matrix(cores, n);
+  for (std::size_t core = 0; core < cores; ++core) {
+    const std::size_t die = model_->network().die_node(core);
+    const double* src = w.row_data(die);
+    double* dst = w_die_.row_data(core);
+    for (std::size_t c = 0; c < n; ++c) dst[c] = src[c];
+  }
+}
+
+std::shared_ptr<const linalg::Vector> ModalEvaluator::modal_b(
+    const linalg::Vector& core_voltages) const {
+  {
+    // Heterogeneous lookup: the hit path hashes the caller's vector in
+    // place — no key materialization, no copy of the cached projection.
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(core_voltages);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  // Miss: project outside the lock so concurrent misses don't serialize on
+  // the O(n²) matvec, then publish (a racing duplicate insert is harmless —
+  // both threads computed the same vector).
+  auto b_hat = std::make_shared<const linalg::Vector>(
+      model_->spectral().w_inverse() * model_->b_vector(core_voltages));
+  std::vector<double> key(core_voltages.begin(), core_voltages.end());
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_.size() >= kMaxCacheEntries) cache_.clear();
+    cache_.emplace(std::move(key), b_hat);
+  }
+  return b_hat;
+}
+
+std::shared_ptr<const linalg::Vector> ModalEvaluator::resolvent_factors(
+    double period) const {
+  FOSCIL_EXPECTS(period > 0.0);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = resolvent_cache_.find(period);
+    if (it != resolvent_cache_.end()) return it->second;
+  }
+  const auto& lambda = model_->spectral().eigenvalues();
+  linalg::Vector factors(lambda.size());
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    const double decay = std::exp(lambda[i] * period);
+    FOSCIL_ASSERT(decay < 1.0);  // guaranteed by stability
+    factors[i] = 1.0 / (1.0 - decay);
+  }
+  auto shared = std::make_shared<const linalg::Vector>(std::move(factors));
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (resolvent_cache_.size() >= kMaxCacheEntries) resolvent_cache_.clear();
+    resolvent_cache_.emplace(period, shared);
+  }
+  return shared;
+}
+
+std::shared_ptr<const ModalEvaluator::IntervalFactors>
+ModalEvaluator::interval_factors(double dt) const {
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = interval_cache_.find(dt);
+    if (it != interval_cache_.end()) return it->second;
+  }
+  const auto& lambda = model_->spectral().eigenvalues();
+  const std::size_t n = lambda.size();
+  auto factors = std::make_shared<IntervalFactors>();
+  factors->exp_lt = linalg::Vector(n);
+  factors->phi_lt = linalg::Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    factors->exp_lt[i] = std::exp(lambda[i] * dt);
+    factors->phi_lt[i] = linalg::phi_factor(lambda[i], dt);
+  }
+  std::shared_ptr<const IntervalFactors> shared = std::move(factors);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (interval_cache_.size() >= kMaxIntervalEntries)
+      interval_cache_.clear();
+    interval_cache_.emplace(dt, shared);
+  }
+  return shared;
+}
+
+linalg::Vector ModalEvaluator::period_end_modal(
+    const sched::PeriodicSchedule& s) const {
+  const std::size_t n = model_->spectral().size();
+  linalg::Vector y(n);  // ambient start: T = 0 is y = 0 in any basis
+  double* y_p = y.data();
+  for (const auto& interval : s.state_intervals()) {
+    const std::shared_ptr<const linalg::Vector> b_hat =
+        modal_b(interval.voltages);
+    const std::shared_ptr<const IntervalFactors> f =
+        interval_factors(interval.length);
+    const double* b_p = b_hat->data();
+    const double* e_p = f->exp_lt.data();
+    const double* p_p = f->phi_lt.data();
+    for (std::size_t i = 0; i < n; ++i)
+      y_p[i] = e_p[i] * y_p[i] + p_p[i] * b_p[i];
+  }
+  return y;
+}
+
+linalg::Vector ModalEvaluator::stable_boundary_modal(
+    const sched::PeriodicSchedule& s) const {
+  linalg::Vector y = period_end_modal(s);
+  const std::shared_ptr<const linalg::Vector> factors =
+      resolvent_factors(s.period());
+  const double* f_p = factors->data();
+  double* y_p = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) y_p[i] *= f_p[i];
+  return y;
+}
+
+linalg::Vector ModalEvaluator::stable_boundary(
+    const sched::PeriodicSchedule& s) const {
+  return model_->spectral().w() * stable_boundary_modal(s);
+}
+
+linalg::Vector ModalEvaluator::core_rises_from_modal(
+    const linalg::Vector& modal) const {
+  return w_die_ * modal;
+}
+
+linalg::Vector ModalEvaluator::stable_core_rises(
+    const sched::PeriodicSchedule& s) const {
+  return core_rises_from_modal(stable_boundary_modal(s));
+}
+
+std::size_t ModalEvaluator::cache_entries() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+std::uint64_t ModalEvaluator::cache_hits() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_hits_;
+}
+
+}  // namespace foscil::sim

@@ -1,0 +1,156 @@
+// Modal-space schedule evaluation: the fast path behind eqs. (3) and (4).
+//
+// The reference walk (TransientSimulator + SteadyStateAnalyzer) pays two
+// dense W/W⁻¹ matvecs per state interval inside exp_apply/phi_apply — an
+// O(k·n²) cost per candidate schedule with k intervals on n thermal nodes.
+// Since the model is LTI and eagerly diagonalized (A = W Λ W⁻¹), the whole
+// evaluation can instead run in eigen-coordinates y = W⁻¹·T:
+//
+//   * the ambient start T(0) = 0 is y = 0 — no projection needed;
+//   * each interval is a *diagonal* recurrence
+//       y ← e^{λ·dt} ⊙ y + φ(λ, dt) ⊙ b̂(v),   b̂(v) = W⁻¹·B(v),
+//     where b̂(v) is memoized per distinct voltage vector (an oscillating
+//     schedule only ever visits a handful of voltage states, so the
+//     projection cost is paid once per state, not once per interval);
+//   * the stable-boundary resolvent (I − e^{A·t_p})⁻¹ is the diagonal
+//     scaling 1/(1 − e^{λ·t_p});
+//   * only the final boundary is transformed back to node space — and when
+//     the caller only needs die-node rises (peak checks, TPT scans), only
+//     the die rows of W are applied: O(cores·n) instead of O(n²).
+//
+// Net per-candidate cost: O(k·n + n²) (or O(k·n + cores·n) for core rises)
+// versus the reference O(k·n²).  The factors used (phi_factor, the resolvent
+// decay, b_vector) are the *same arithmetic* as the reference engine, so the
+// two agree to roundoff; tests/sim/modal_test.cpp pins ≤1e-10.
+//
+// Thread safety: evaluation methods are const and safe to call from many
+// threads sharing one evaluator.  The b̂ memo is the one piece of mutable
+// state, guarded by a mutex per the ThermalModel concurrency contract
+// (thermal/model.hpp); misses compute outside the lock, so concurrent
+// evaluations never serialize on the projection itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "thermal/model.hpp"
+
+namespace foscil::sim {
+
+/// Which arithmetic evaluates candidate schedules: the reference dense
+/// interval walk, or the modal diagonal recurrence.  Both compute the same
+/// quantities; planners expose the choice so differential tests can pin
+/// their agreement and benches can measure the gap.
+enum class EvalEngine {
+  kReference,  ///< dense exp_apply/phi_apply per interval, O(k·n²)
+  kModal,      ///< diagonal recurrence in eigen-coordinates, O(k·n + n²)
+};
+
+[[nodiscard]] const char* eval_engine_name(EvalEngine engine);
+
+class ModalEvaluator {
+ public:
+  explicit ModalEvaluator(std::shared_ptr<const thermal::ThermalModel> model);
+
+  [[nodiscard]] const thermal::ThermalModel& model() const { return *model_; }
+
+  /// End-of-period temperature from ambient start, in modal coordinates
+  /// (apply w() to recover node-space T(t_p)).
+  [[nodiscard]] linalg::Vector period_end_modal(
+      const sched::PeriodicSchedule& s) const;
+
+  /// Stable-status boundary temperature in modal coordinates: the resolvent
+  /// 1/(1 − e^{λ·t_p}) applied to period_end_modal.
+  [[nodiscard]] linalg::Vector stable_boundary_modal(
+      const sched::PeriodicSchedule& s) const;
+
+  /// Node-space stable boundary (matches SteadyStateAnalyzer::stable_boundary
+  /// to roundoff): full W back-transform of stable_boundary_modal.
+  [[nodiscard]] linalg::Vector stable_boundary(
+      const sched::PeriodicSchedule& s) const;
+
+  /// Die-node rises of the stable boundary without the full back-transform:
+  /// only the cores×n die-row slice of W is applied.
+  [[nodiscard]] linalg::Vector stable_core_rises(
+      const sched::PeriodicSchedule& s) const;
+
+  /// Die-node rises from an already-computed modal vector.
+  [[nodiscard]] linalg::Vector core_rises_from_modal(
+      const linalg::Vector& modal) const;
+
+  /// Die-row slice of W (num_cores × num_nodes): row i back-transforms the
+  /// rise of core i's die node.
+  [[nodiscard]] const linalg::Matrix& w_die() const { return w_die_; }
+
+  /// b̂(v) = W⁻¹·B(v) for one voltage vector, served from the memo.  The
+  /// returned pointer stays valid after the bounded memo evicts (entries are
+  /// shared, not owned by the map slot).
+  [[nodiscard]] std::shared_ptr<const linalg::Vector> modal_b(
+      const linalg::Vector& core_voltages) const;
+
+  /// Diagonal resolvent factors 1/(1 − e^{λ·period}), memoized per distinct
+  /// period (a planning loop evaluates thousands of candidates at the same
+  /// sub-period, so the 2n exponentials are paid once, not per candidate).
+  [[nodiscard]] std::shared_ptr<const linalg::Vector> resolvent_factors(
+      double period) const;
+
+  /// Per-interval diagonal factors e^{λ·dt} and φ(λ, dt), memoized per
+  /// distinct interval length.  A TPT scan moves one core's oscillation
+  /// boundary per iteration, so nearly every interval length recurs across
+  /// the thousands of candidates it evaluates; caching turns the dominant
+  /// 2n transcendentals per interval into one hash lookup.  The values are
+  /// the same std::exp / phi_factor arithmetic as the uncached path, so
+  /// results are bit-identical whether or not an entry was cached.
+  struct IntervalFactors {
+    linalg::Vector exp_lt;  ///< e^{λ_i·dt}
+    linalg::Vector phi_lt;  ///< phi_factor(λ_i, dt)
+  };
+  [[nodiscard]] std::shared_ptr<const IntervalFactors> interval_factors(
+      double dt) const;
+
+  /// Memo observability for tests: distinct voltage vectors currently held
+  /// and lifetime hit count.
+  [[nodiscard]] std::size_t cache_entries() const;
+  [[nodiscard]] std::uint64_t cache_hits() const;
+
+ private:
+  // Voltage vectors are memo keys by exact bit pattern: planners construct
+  // them from the same level doubles every time, so exact equality is the
+  // right notion (a vector differing in one ulp is simply a fresh entry).
+  // The hash and equality are transparent over linalg::Vector so the hit
+  // path never materializes a key (C++20 heterogeneous lookup).
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(const std::vector<double>& key) const;
+    std::size_t operator()(const linalg::Vector& key) const;
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const;
+    bool operator()(const std::vector<double>& a,
+                    const linalg::Vector& b) const;
+    bool operator()(const linalg::Vector& a,
+                    const std::vector<double>& b) const;
+  };
+
+  std::shared_ptr<const thermal::ThermalModel> model_;
+  linalg::Matrix w_die_;  // die rows of spectral().w()
+
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<std::vector<double>,
+                             std::shared_ptr<const linalg::Vector>, KeyHash,
+                             KeyEq>
+      cache_;
+  mutable std::unordered_map<double, std::shared_ptr<const linalg::Vector>>
+      resolvent_cache_;
+  mutable std::unordered_map<double, std::shared_ptr<const IntervalFactors>>
+      interval_cache_;
+  mutable std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace foscil::sim

@@ -5,9 +5,7 @@ namespace foscil::sim {
 PeakInfo step_up_peak(const SteadyStateAnalyzer& analyzer,
                       const sched::PeriodicSchedule& s) {
   FOSCIL_EXPECTS(s.is_step_up());
-  const auto& model = analyzer.model();
-  const linalg::Vector boundary = analyzer.stable_boundary(s);
-  const linalg::Vector cores = model.core_rises(boundary);
+  const linalg::Vector cores = analyzer.stable_core_rises(s);
   PeakInfo info;
   info.core = cores.argmax();
   info.rise = cores[info.core];

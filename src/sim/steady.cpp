@@ -5,8 +5,11 @@
 namespace foscil::sim {
 
 SteadyStateAnalyzer::SteadyStateAnalyzer(
-    std::shared_ptr<const thermal::ThermalModel> model)
-    : sim_(std::move(model)) {}
+    std::shared_ptr<const thermal::ThermalModel> model, EvalEngine engine)
+    : sim_(model) {
+  if (engine == EvalEngine::kModal)
+    modal_ = std::make_shared<const ModalEvaluator>(std::move(model));
+}
 
 linalg::Vector SteadyStateAnalyzer::resolvent_apply(
     double period, const linalg::Vector& x) const {
@@ -24,9 +27,16 @@ linalg::Vector SteadyStateAnalyzer::resolvent_apply(
 
 linalg::Vector SteadyStateAnalyzer::stable_boundary(
     const sched::PeriodicSchedule& s) const {
+  if (modal_) return modal_->stable_boundary(s);
   const linalg::Vector cold_end =
       sim_.period_end(s, sim_.ambient_start());
   return resolvent_apply(s.period(), cold_end);
+}
+
+linalg::Vector SteadyStateAnalyzer::stable_core_rises(
+    const sched::PeriodicSchedule& s) const {
+  if (modal_) return modal_->stable_core_rises(s);
+  return model().core_rises(stable_boundary(s));
 }
 
 std::vector<linalg::Vector> SteadyStateAnalyzer::stable_boundaries(

@@ -8,8 +8,16 @@
 // which is eq. (4) specialized to q = z; interior boundaries follow by
 // propagating forward with eq. (3).  (I - K)^{-1} is evaluated through the
 // spectral cache: 1/(1 - e^{lambda_i t_p}) on the eigenbasis.
+//
+// The analyzer evaluates that boundary with one of two engines (sim/modal.hpp):
+// the reference dense interval walk, or the modal diagonal recurrence that
+// stays in eigen-coordinates until the final back-transform.  Both produce
+// the same temperatures to roundoff; the modal engine is the planners' fast
+// path and the reference engine remains the independently-coded cross-check
+// (the Theorem-2 audit certificates are always recomputed on it).
 #pragma once
 
+#include "sim/modal.hpp"
 #include "sim/transient.hpp"
 
 namespace foscil::sim {
@@ -17,15 +25,31 @@ namespace foscil::sim {
 class SteadyStateAnalyzer {
  public:
   explicit SteadyStateAnalyzer(
-      std::shared_ptr<const thermal::ThermalModel> model);
+      std::shared_ptr<const thermal::ThermalModel> model,
+      EvalEngine engine = EvalEngine::kReference);
 
   [[nodiscard]] const TransientSimulator& simulator() const { return sim_; }
   [[nodiscard]] const thermal::ThermalModel& model() const {
     return sim_.model();
   }
 
+  [[nodiscard]] EvalEngine engine() const {
+    return modal_ ? EvalEngine::kModal : EvalEngine::kReference;
+  }
+
+  /// The modal evaluator backing this analyzer, or nullptr when it runs on
+  /// the reference engine.  Exposed so hot loops (TPT scans, peak checks)
+  /// can use the die-row fast path directly.
+  [[nodiscard]] const ModalEvaluator* modal() const { return modal_.get(); }
+
   /// Stable-status temperature at the period start/end boundary.
   [[nodiscard]] linalg::Vector stable_boundary(
+      const sched::PeriodicSchedule& s) const;
+
+  /// Die-node rises of the stable boundary.  Equivalent to
+  /// model().core_rises(stable_boundary(s)) but skips the full node-space
+  /// back-transform on the modal engine (O(cores·n) instead of O(n²)).
+  [[nodiscard]] linalg::Vector stable_core_rises(
       const sched::PeriodicSchedule& s) const;
 
   /// Stable-status temperatures at every state-interval boundary
@@ -43,6 +67,7 @@ class SteadyStateAnalyzer {
 
  private:
   TransientSimulator sim_;
+  std::shared_ptr<const ModalEvaluator> modal_;  // null on kReference
 };
 
 }  // namespace foscil::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "../test_support.hpp"
 #include "core/exs.hpp"
 #include "core/ideal.hpp"
@@ -46,6 +48,21 @@ TEST(AoOscillations, DeltaRepaysTransitionStalls) {
   const double low = (1.0 - osc.ratio_high) * period - delta;
   const double work = 1.3 * (high - tau) + 0.6 * (low - tau);
   EXPECT_NEAR(work, osc.mean_speed() * period, 1e-12);
+}
+
+TEST(AoOscillations, ZeroTauBoundIsUnlimited) {
+  // With no transition stall there is no per-core cost to oscillating
+  // faster, so the bound degenerates to INT_MAX and the caller's max_m cap
+  // is the only limit.
+  const power::VoltageLevels levels({0.6, 1.3});
+  linalg::Vector ideal{1.0, 1.1};
+  const auto cores = detail::make_oscillations(ideal, levels);
+  EXPECT_EQ(detail::oscillation_bound(cores, 0.05, 0.0),
+            std::numeric_limits<int>::max());
+  // A non-oscillating chip still reports 1 regardless of tau.
+  linalg::Vector exact{0.6, 1.3};
+  const auto constant = detail::make_oscillations(exact, levels);
+  EXPECT_EQ(detail::oscillation_bound(constant, 0.05, 0.0), 1);
 }
 
 TEST(AoOscillations, BoundShrinksWithLargerTau) {

@@ -101,6 +101,29 @@ TEST(ConfigLoader, AoOptionsAndThreshold) {
   EXPECT_DOUBLE_EQ(t_max_from_config(Config::parse("")), 55.0);
 }
 
+TEST(ConfigLoader, AoEvalEngineAndScanThreads) {
+  // Default: modal engine, automatic thread fan-out.
+  const AoOptions defaults = ao_options_from_config(Config::parse(""));
+  EXPECT_EQ(defaults.eval_engine, sim::EvalEngine::kModal);
+  EXPECT_EQ(defaults.scan_threads, 0u);
+
+  const AoOptions reference = ao_options_from_config(
+      Config::parse("[ao]\neval_engine = reference\nscan_threads = 3\n"));
+  EXPECT_EQ(reference.eval_engine, sim::EvalEngine::kReference);
+  EXPECT_EQ(reference.scan_threads, 3u);
+
+  const AoOptions modal = ao_options_from_config(
+      Config::parse("[ao]\neval_engine = modal\n"));
+  EXPECT_EQ(modal.eval_engine, sim::EvalEngine::kModal);
+
+  EXPECT_THROW((void)ao_options_from_config(
+                   Config::parse("[ao]\neval_engine = fast\n")),
+               ConfigError);
+  EXPECT_THROW((void)ao_options_from_config(
+                   Config::parse("[ao]\nscan_threads = -2\n")),
+               ConfigError);
+}
+
 TEST(ConfigLoader, MissingMandatoryKeysThrow) {
   EXPECT_THROW((void)platform_from_config(Config::parse("")), ConfigError);
   EXPECT_THROW((void)platform_from_config(

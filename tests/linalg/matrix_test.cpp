@@ -205,5 +205,26 @@ TEST(Matrix, ProductAssociativity) {
   EXPECT_TRUE(allclose((a * b) * c, a * (b * c), 1e-12, 1e-12));
 }
 
+TEST(Matrix, MultiplyTransposedRhsMatchesPlainProduct) {
+  Matrix a(3, 5);
+  Matrix b(5, 4);
+  double seed = 0.3;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t col = 0; col < 5; ++col) a(r, col) = (seed += 0.17);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t col = 0; col < 4; ++col) b(r, col) = (seed -= 0.29);
+  const Matrix expect = a * b;
+  const Matrix got = multiply_transposed_rhs(a, b.transposed());
+  ASSERT_EQ(got.rows(), expect.rows());
+  ASSERT_EQ(got.cols(), expect.cols());
+  EXPECT_TRUE(allclose(got, expect, 1e-13, 1e-13));
+}
+
+TEST(Matrix, MultiplyTransposedRhsRejectsShapeMismatch) {
+  const Matrix a(3, 5);
+  const Matrix wrong(4, 4);  // inner dimensions (cols vs cols) disagree
+  EXPECT_THROW((void)multiply_transposed_rhs(a, wrong), ContractViolation);
+}
+
 }  // namespace
 }  // namespace foscil::linalg

@@ -127,6 +127,44 @@ TEST(Spectral, PhiApplySolvesConstantInputOde) {
   EXPECT_LT((exact - t_euler).inf_norm(), 1e-4);
 }
 
+TEST(Spectral, PhiFactorNearZeroMatchesHighPrecisionSeries) {
+  // phi_factor switches to the truncated series t(1 + lambda t / 2) below
+  // |lambda| = 1e-14, where expm1(lambda t)/lambda loses all digits.  Pin
+  // both branches against a long-double Taylor evaluation of
+  // (e^{lambda t} - 1)/lambda = t (1 + lt/2 + (lt)^2/6 + (lt)^3/24 + ...).
+  const auto series = [](double lambda, double t) {
+    const long double lt = static_cast<long double>(lambda) * t;
+    long double sum = 1.0L;
+    long double term = 1.0L;
+    for (int k = 2; k <= 20; ++k) {
+      term *= lt / k;
+      sum += term;
+    }
+    return static_cast<double>(static_cast<long double>(t) * sum);
+  };
+  const double t = 0.37;
+  for (const double lambda :
+       {0.0, 1e-18, -1e-18, 1e-15, -1e-15, 9e-15, -9e-15, 2e-14, -2e-14,
+        1e-10, -1e-10, 1e-3, -1e-3, -2.5}) {
+    const double expect = series(lambda, t);
+    const double got = phi_factor(lambda, t);
+    EXPECT_NEAR(got, expect, 1e-13 * std::abs(expect))
+        << "lambda " << lambda;
+  }
+}
+
+TEST(Spectral, PhiFactorIsContinuousAcrossBranchThreshold) {
+  // Crossing the 1e-14 branch point must not produce a jump: the series and
+  // expm1 forms agree to roundoff in the overlap region.
+  const double t = 1.3;
+  const double below = phi_factor(0.99e-14, t);   // series branch
+  const double above = phi_factor(1.01e-14, t);   // expm1 branch
+  EXPECT_NEAR(below, above, 1e-12 * t);
+  // Both sides sit within roundoff of the lambda -> 0 limit, which is t.
+  EXPECT_NEAR(below, t, 1e-12 * t);
+  EXPECT_NEAR(above, t, 1e-12 * t);
+}
+
 TEST(Spectral, PhiApproachesMinusAInverseForLargeT) {
   // phi(t) b -> -A^{-1} b as t -> inf (the steady state).
   Rng rng(19);

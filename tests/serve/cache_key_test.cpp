@@ -62,6 +62,17 @@ TEST(CacheKey, EveryPlanningInputSeparatesKeys) {
   core::Platform ambient = base;
   ambient.t_ambient_c = 30.0;
   EXPECT_NE(plan_key(ambient, 55.0, PlannerKind::kAo, {}), reference);
+
+  // Different evaluation engine: last-ulp arithmetic differences make the
+  // plans distinct artifacts, so the engine is part of the key...
+  ao = {};
+  ao.eval_engine = sim::EvalEngine::kReference;
+  EXPECT_NE(plan_key(base, 55.0, PlannerKind::kAo, ao), reference);
+  // ...while the scan thread count is deliberately NOT: any value yields a
+  // bit-identical plan, so threading must share cache entries.
+  ao = {};
+  ao.scan_threads = 7;
+  EXPECT_EQ(plan_key(base, 55.0, PlannerKind::kAo, ao), reference);
 }
 
 TEST(CacheKey, HeterogeneousPowerCoefficientsSeparateKeys) {

@@ -1,0 +1,241 @@
+// Differential battery for the modal evaluation engine (sim/modal.hpp):
+// every quantity the planners consume must match the reference dense walk
+// to roundoff, on randomized platforms and schedules, and the parallel
+// candidate scans must be bit-identical for any thread count.
+#include "sim/modal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "../test_support.hpp"
+#include "core/ao.hpp"
+#include "core/exs.hpp"
+#include "core/pco.hpp"
+#include "sim/peak.hpp"
+#include "sim/steady.hpp"
+
+namespace foscil::sim {
+namespace {
+
+constexpr double kAgreeTol = 1e-10;
+
+TEST(ModalEvaluator, StableBoundaryMatchesReferenceOnRandomPlatforms) {
+  Rng rng(901);
+  const std::vector<std::pair<std::size_t, std::size_t>> grids = {
+      {1, 2}, {2, 2}, {2, 3}};
+  for (const auto& [rows, cols] : grids) {
+    const auto platform = testing::grid_platform(rows, cols);
+    const SteadyStateAnalyzer reference(platform.model);
+    const ModalEvaluator modal(platform.model);
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto s = testing::random_schedule(
+          rng, platform.num_cores(), rng.uniform(0.02, 0.3), 4);
+      const linalg::Vector expect = reference.stable_boundary(s);
+      const linalg::Vector got = modal.stable_boundary(s);
+      EXPECT_LT((got - expect).inf_norm(), kAgreeTol)
+          << rows << "x" << cols << " trial " << trial;
+    }
+  }
+}
+
+TEST(ModalEvaluator, PeriodEndMatchesReferenceTransient) {
+  Rng rng(907);
+  const auto platform = testing::grid_platform(2, 2);
+  const SteadyStateAnalyzer reference(platform.model);
+  const ModalEvaluator modal(platform.model);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto s =
+        testing::random_schedule(rng, platform.num_cores(), 0.1, 5);
+    const linalg::Vector expect = reference.simulator().period_end(
+        s, reference.simulator().ambient_start());
+    const linalg::Vector got =
+        platform.model->spectral().w() * modal.period_end_modal(s);
+    EXPECT_LT((got - expect).inf_norm(), kAgreeTol) << "trial " << trial;
+  }
+}
+
+TEST(ModalEvaluator, CoreRisesMatchFullBackTransform) {
+  // The die-row fast path must equal slicing the full back-transform.
+  Rng rng(911);
+  const auto platform = testing::grid_platform(2, 3);
+  const ModalEvaluator modal(platform.model);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s =
+        testing::random_schedule(rng, platform.num_cores(), 0.05, 4);
+    const linalg::Vector rises = modal.stable_core_rises(s);
+    const linalg::Vector full =
+        platform.model->core_rises(modal.stable_boundary(s));
+    EXPECT_LT((rises - full).inf_norm(), 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(ModalEvaluator, AnalyzerDispatchesToSelectedEngine) {
+  const auto platform = testing::grid_platform(2, 2);
+  const SteadyStateAnalyzer reference(platform.model,
+                                      EvalEngine::kReference);
+  const SteadyStateAnalyzer modal(platform.model, EvalEngine::kModal);
+  EXPECT_EQ(reference.engine(), EvalEngine::kReference);
+  EXPECT_EQ(modal.engine(), EvalEngine::kModal);
+  EXPECT_EQ(reference.modal(), nullptr);
+  ASSERT_NE(modal.modal(), nullptr);
+
+  Rng rng(913);
+  const auto s = testing::random_schedule(rng, platform.num_cores(), 0.1, 3);
+  EXPECT_LT(
+      (modal.stable_boundary(s) - reference.stable_boundary(s)).inf_norm(),
+      kAgreeTol);
+  EXPECT_LT((modal.stable_core_rises(s) - reference.stable_core_rises(s))
+                .inf_norm(),
+            kAgreeTol);
+  const PeakInfo ref_peak = step_up_peak(reference, sched::to_step_up(s));
+  const PeakInfo mod_peak = step_up_peak(modal, sched::to_step_up(s));
+  EXPECT_EQ(mod_peak.core, ref_peak.core);
+  EXPECT_NEAR(mod_peak.rise, ref_peak.rise, kAgreeTol);
+}
+
+TEST(ModalEvaluator, MemoizesVoltageStatesAndIntervalFactors) {
+  const auto platform = testing::grid_platform(2, 2);
+  const ModalEvaluator modal(platform.model);
+  Rng rng(917);
+  const auto s = testing::random_schedule(rng, platform.num_cores(), 0.1, 3);
+  const std::size_t states = s.state_intervals().size();
+
+  const linalg::Vector first = modal.stable_boundary(s);
+  const std::size_t entries = modal.cache_entries();
+  EXPECT_GE(entries, 1u);
+  EXPECT_LE(entries, states);
+
+  // Re-evaluating hits the memo for every interval and changes nothing.
+  const std::uint64_t hits_before = modal.cache_hits();
+  const linalg::Vector second = modal.stable_boundary(s);
+  EXPECT_EQ(modal.cache_entries(), entries);
+  EXPECT_GE(modal.cache_hits(), hits_before + states);
+  EXPECT_EQ((second - first).inf_norm(), 0.0);  // cached factors are exact
+}
+
+TEST(ModalEvaluator, ConcurrentEvaluationsAgree) {
+  // Many threads hammer one shared evaluator with a mix of schedules; every
+  // thread must observe exactly the single-threaded answers (the memo is
+  // the only mutable state, and it only ever stores values identical to a
+  // fresh computation).
+  const auto platform = testing::grid_platform(2, 2);
+  const ModalEvaluator modal(platform.model);
+  Rng rng(919);
+  std::vector<sched::PeriodicSchedule> schedules;
+  std::vector<linalg::Vector> expected;
+  for (int i = 0; i < 6; ++i) {
+    schedules.push_back(
+        testing::random_schedule(rng, platform.num_cores(), 0.08, 4));
+    expected.push_back(modal.stable_boundary(schedules.back()));
+  }
+
+  constexpr int kThreads = 16;
+  std::vector<double> worst(kThreads, 0.0);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      double local = 0.0;
+      for (int rep = 0; rep < 40; ++rep) {
+        const std::size_t i =
+            static_cast<std::size_t>((t + rep) % schedules.size());
+        const linalg::Vector got = modal.stable_boundary(schedules[i]);
+        local = std::max(local, (got - expected[i]).inf_norm());
+      }
+      worst[static_cast<std::size_t>(t)] = local;
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (double w : worst) EXPECT_EQ(w, 0.0);
+}
+
+class EngineDifferential : public ::testing::Test {
+ protected:
+  EngineDifferential()
+      : platform_(testing::grid_platform(2, 2, {0.6, 0.8, 1.0, 1.3})) {}
+
+  core::Platform platform_;
+};
+
+TEST_F(EngineDifferential, RunAoAgreesAcrossEngines) {
+  core::AoOptions reference;
+  reference.eval_engine = EvalEngine::kReference;
+  core::AoOptions modal;
+  modal.eval_engine = EvalEngine::kModal;
+  for (const double t_max : {50.0, 55.0, 60.0}) {
+    const auto ref = core::run_ao(platform_, t_max, reference);
+    const auto mod = core::run_ao(platform_, t_max, modal);
+    EXPECT_EQ(mod.m, ref.m) << "t_max " << t_max;
+    EXPECT_EQ(mod.feasible, ref.feasible) << "t_max " << t_max;
+    EXPECT_NEAR(mod.throughput, ref.throughput, 1e-9) << "t_max " << t_max;
+    EXPECT_NEAR(mod.peak_rise, ref.peak_rise, kAgreeTol) << "t_max " << t_max;
+  }
+}
+
+TEST_F(EngineDifferential, RunAoBitIdenticalAcrossThreadCounts) {
+  for (const auto engine : {EvalEngine::kReference, EvalEngine::kModal}) {
+    core::AoOptions serial;
+    serial.eval_engine = engine;
+    serial.scan_threads = 1;
+    core::AoOptions parallel = serial;
+    parallel.scan_threads = 4;
+    const auto a = core::run_ao(platform_, 55.0, serial);
+    const auto b = core::run_ao(platform_, 55.0, parallel);
+    EXPECT_EQ(b.m, a.m);
+    EXPECT_EQ(b.feasible, a.feasible);
+    EXPECT_EQ(b.throughput, a.throughput);  // bit-identical plan
+    EXPECT_EQ(b.peak_rise, a.peak_rise);
+    EXPECT_EQ(b.evaluations, a.evaluations);
+    for (std::size_t core = 0; core < platform_.num_cores(); ++core) {
+      const auto& sa = a.schedule.core_segments(core);
+      const auto& sb = b.schedule.core_segments(core);
+      ASSERT_EQ(sb.size(), sa.size());
+      for (std::size_t seg = 0; seg < sa.size(); ++seg) {
+        EXPECT_EQ(sb[seg].duration, sa[seg].duration);
+        EXPECT_EQ(sb[seg].voltage, sa[seg].voltage);
+      }
+    }
+  }
+}
+
+TEST_F(EngineDifferential, RunPcoAgreesAcrossEngines) {
+  core::PcoOptions reference;
+  reference.ao.eval_engine = EvalEngine::kReference;
+  core::PcoOptions modal;
+  modal.ao.eval_engine = EvalEngine::kModal;
+  const auto ref = core::run_pco(platform_, 55.0, reference);
+  const auto mod = core::run_pco(platform_, 55.0, modal);
+  EXPECT_EQ(mod.m, ref.m);
+  EXPECT_EQ(mod.feasible, ref.feasible);
+  EXPECT_NEAR(mod.throughput, ref.throughput, 1e-9);
+  EXPECT_NEAR(mod.peak_rise, ref.peak_rise, 1e-8);
+}
+
+TEST_F(EngineDifferential, RunExsBitIdenticalAcrossEnginesAndThreads) {
+  // The incremental EXS path re-confirms every near-budget candidate with
+  // the exact evaluation, so its accepted set — and therefore the winner —
+  // is bit-identical to the reference engine for any thread count.
+  core::ExsOptions reference;
+  reference.eval_engine = EvalEngine::kReference;
+  reference.threads = 1;
+  const auto expect = core::run_exs(platform_, 55.0, reference);
+  for (const auto engine : {EvalEngine::kReference, EvalEngine::kModal}) {
+    for (const unsigned threads : {1u, 4u}) {
+      core::ExsOptions options;
+      options.eval_engine = engine;
+      options.threads = threads;
+      const auto got = core::run_exs(platform_, 55.0, options);
+      EXPECT_EQ(got.feasible, expect.feasible);
+      EXPECT_EQ(got.throughput, expect.throughput);
+      EXPECT_EQ(got.peak_rise, expect.peak_rise);
+      for (std::size_t core = 0; core < platform_.num_cores(); ++core)
+        EXPECT_EQ(got.schedule.voltage_at(core, 0.0),
+                  expect.schedule.voltage_at(core, 0.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace foscil::sim
