@@ -1,0 +1,312 @@
+// X10 — Overload stress: the degradation ladder under sustained pressure
+// (DESIGN.md §12).
+//
+// Workload model: a client fleet offers all-distinct requests (every
+// submit forces a planner run) faster than a deliberately small worker
+// pool can plan them, for a fixed wall-clock storm.  The service must walk
+// the ladder instead of falling over: NORMAL -> DEGRADED (capped-search
+// plans, still Theorem-2 certified) -> SHED (constant-time rejection with
+// a retry-after hint), and recover to NORMAL once the storm passes.
+//
+// Acceptance gate (ISSUE 5, enforced by --smoke in CI and checked on every
+// full run):
+//   * the ladder engages: degraded plans are served AND load is shed, with
+//     the state recovering to NORMAL after the storm,
+//   * zero hangs: every admitted future resolves (the bench itself would
+//     wedge otherwise — ctest/CI timeouts catch it),
+//   * bounded rejection latency: p99 of submit-side shed/reject calls
+//     stays under 50 ms (the path is a hash + one cache probe),
+//   * every degraded response is Theorem-2 certified, and no full-quality
+//     cache entry is ever replaced by a degraded one (the degraded bit is
+//     part of the cache-key schema; verified against the live cache).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/audit.hpp"
+#include "serve/service.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double now_s() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+struct StormConfig {
+  double storm_seconds = 8.0;
+  int clients = 8;
+  unsigned workers = 2;
+  std::size_t queue_capacity = 16;
+};
+
+struct StormOutcome {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t queue_full = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t uncertified_degraded = 0;
+  std::uint64_t other_errors = 0;
+  std::vector<double> rejection_seconds;  ///< latency of throwing submits
+  double min_retry_hint_s = 1e9;
+  double max_retry_hint_s = 0.0;
+};
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t index = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size())));
+  return values[index];
+}
+
+/// Drive the storm: each client submits a fresh (never-repeated) T_max so
+/// every admission is a planner run, as fast as the service admits them.
+StormOutcome run_storm(serve::PlanningService& service,
+                       const core::Platform& platform,
+                       const StormConfig& config) {
+  StormOutcome outcome;
+  std::mutex merge_mutex;
+  std::atomic<std::int64_t> next_point{0};
+  const double deadline = now_s() + config.storm_seconds;
+
+  std::vector<std::thread> fleet;
+  for (int c = 0; c < config.clients; ++c) {
+    fleet.emplace_back([&] {
+      StormOutcome local;
+      std::vector<std::future<serve::PlanResponse>> pending;
+      while (now_s() < deadline) {
+        serve::PlanRequest request;
+        request.platform = platform;
+        // Distinct keys forever: sweep T_max in 1 mK steps.
+        request.t_max_c =
+            55.0 + 1e-3 * static_cast<double>(
+                              next_point.fetch_add(1,
+                                                   std::memory_order_relaxed));
+        ++local.offered;
+        const double t0 = now_s();
+        try {
+          pending.push_back(service.submit(std::move(request)));
+          ++local.admitted;
+        } catch (const serve::OverloadedError& error) {
+          ++local.shed;
+          local.rejection_seconds.push_back(now_s() - t0);
+          local.min_retry_hint_s =
+              std::min(local.min_retry_hint_s, error.retry_after_s);
+          local.max_retry_hint_s =
+              std::max(local.max_retry_hint_s, error.retry_after_s);
+          // Honor a fraction of the hint so the shed path is exercised
+          // repeatedly without spinning a core on rejections alone.
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(error.retry_after_s, 0.02)));
+        } catch (const serve::QueueFullError&) {
+          ++local.queue_full;
+          local.rejection_seconds.push_back(now_s() - t0);
+        }
+      }
+      // Zero-hang check: every admitted future must resolve.
+      for (auto& future : pending) {
+        try {
+          const serve::PlanResponse response = future.get();
+          ++local.completed;
+          if (response.plan->degraded) {
+            ++local.degraded;
+            if (!response.plan->certified_safe) ++local.uncertified_degraded;
+          }
+        } catch (const std::exception&) {
+          ++local.other_errors;
+        }
+      }
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      outcome.offered += local.offered;
+      outcome.admitted += local.admitted;
+      outcome.shed += local.shed;
+      outcome.queue_full += local.queue_full;
+      outcome.completed += local.completed;
+      outcome.degraded += local.degraded;
+      outcome.uncertified_degraded += local.uncertified_degraded;
+      outcome.other_errors += local.other_errors;
+      outcome.rejection_seconds.insert(outcome.rejection_seconds.end(),
+                                       local.rejection_seconds.begin(),
+                                       local.rejection_seconds.end());
+      outcome.min_retry_hint_s =
+          std::min(outcome.min_retry_hint_s, local.min_retry_hint_s);
+      outcome.max_retry_hint_s =
+          std::max(outcome.max_retry_hint_s, local.max_retry_hint_s);
+    });
+  }
+  for (std::thread& client : fleet) client.join();
+  return outcome;
+}
+
+/// The cache-poisoning invariant, checked against the live cache: the
+/// degraded bit is part of the key schema, so a full-quality key can only
+/// ever hold a full-quality plan (and vice versa).
+bool cache_keys_uncontaminated(const serve::PlanningService& service) {
+  bool clean = true;
+  for (const auto& plan : service.cache().export_entries()) {
+    const auto& stored = *service.cache().peek(plan->key);
+    if (stored.degraded != plan->degraded) clean = false;
+    // A full-quality probe of a degraded plan's base inputs must never
+    // surface the degraded entry — by construction their keys differ, so
+    // it suffices that every stored plan sits under its own stamped key.
+    if (stored.key != plan->key) clean = false;
+  }
+  return clean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StormConfig config;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) config.storm_seconds = 3.0;
+
+  bench::print_header("Overload stress: the degradation ladder under fire",
+                      "DESIGN.md §12 / ISSUE 5 (beyond the paper)");
+  const core::Platform platform = bench::paper_platform(3, 3, 2);
+
+  serve::ServiceOptions options;
+  options.workers = config.workers;
+  options.queue_capacity = config.queue_capacity;
+  serve::PlanningService service(options);
+
+  std::printf("storm: %d clients, all-distinct requests, %.0f s against "
+              "%u workers / queue %zu (grid 3x3)\n\n",
+              config.clients, config.storm_seconds, config.workers,
+              config.queue_capacity);
+
+  const core::AuditCounters::Snapshot audits_before =
+      core::AuditCounters::instance().snapshot();
+  const StormOutcome outcome = run_storm(service, platform, config);
+
+  // Post-storm: the queue drains and the ladder must climb back to NORMAL.
+  double recovery_s = 0.0;
+  const double recovery_start = now_s();
+  while (service.load_state() != serve::LoadState::kNormal &&
+         now_s() - recovery_start < 30.0) {
+    serve::PlanRequest probe;
+    probe.platform = platform;
+    probe.t_max_c = 54.0;  // repeated key: fast after the first plan
+    try {
+      (void)service.submit(probe).get();
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  recovery_s = now_s() - recovery_start;
+
+  const serve::ServiceStats stats = service.stats();
+  const double p50 = percentile(outcome.rejection_seconds, 0.50);
+  const double p99 = percentile(outcome.rejection_seconds, 0.99);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"offered", std::to_string(outcome.offered)});
+  table.add_row({"admitted", std::to_string(outcome.admitted)});
+  table.add_row({"completed", std::to_string(outcome.completed)});
+  table.add_row({"degraded served", std::to_string(stats.degraded_served)});
+  table.add_row({"shed (OverloadedError)", std::to_string(outcome.shed)});
+  table.add_row({"queue-full rejects", std::to_string(outcome.queue_full)});
+  table.add_row({"ladder transitions",
+                 std::to_string(stats.overload_transitions)});
+  table.add_row({"final ladder state",
+                 serve::load_state_name(stats.load_state)});
+  table.add_row({"recovery to NORMAL", fmt(recovery_s, 2) + " s"});
+  table.add_row({"rejection latency p50", fmt(1e6 * p50, 1) + " us"});
+  table.add_row({"rejection latency p99", fmt(1e6 * p99, 1) + " us"});
+  if (outcome.shed > 0) {
+    table.add_row({"retry-after hint min",
+                   fmt(1e3 * outcome.min_retry_hint_s, 1) + " ms"});
+    table.add_row({"retry-after hint max",
+                   fmt(1e3 * outcome.max_retry_hint_s, 1) + " ms"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const core::AuditCounters::Snapshot audits_after =
+      core::AuditCounters::instance().snapshot();
+  const std::uint64_t certificates =
+      audits_after.certificates - audits_before.certificates;
+  std::printf("theorem-2 certificates issued during the storm: %llu "
+              "(every planned request, degraded included)\n\n",
+              static_cast<unsigned long long>(certificates));
+
+  // ---- acceptance gate ----
+  bool passed = true;
+  if (stats.degraded_served == 0) {
+    std::printf("GATE FAIL: the ladder never served a degraded plan\n");
+    passed = false;
+  }
+  if (outcome.shed == 0) {
+    std::printf("GATE FAIL: the ladder never shed load\n");
+    passed = false;
+  }
+  if (stats.overload_transitions < 2) {
+    std::printf("GATE FAIL: fewer than 2 ladder transitions (%llu)\n",
+                static_cast<unsigned long long>(stats.overload_transitions));
+    passed = false;
+  }
+  if (service.load_state() != serve::LoadState::kNormal) {
+    std::printf("GATE FAIL: ladder stuck at %s after the storm\n",
+                serve::load_state_name(service.load_state()));
+    passed = false;
+  }
+  if (p99 > 0.050) {
+    std::printf("GATE FAIL: p99 rejection latency %.1f ms > 50 ms\n",
+                1e3 * p99);
+    passed = false;
+  }
+  if (outcome.uncertified_degraded > 0) {
+    std::printf("GATE FAIL: %llu degraded plans served uncertified\n",
+                static_cast<unsigned long long>(
+                    outcome.uncertified_degraded));
+    passed = false;
+  }
+  if (certificates < stats.planned) {
+    std::printf("GATE FAIL: %llu planner runs but only %llu certificates\n",
+                static_cast<unsigned long long>(stats.planned),
+                static_cast<unsigned long long>(certificates));
+    passed = false;
+  }
+  if (!cache_keys_uncontaminated(service)) {
+    std::printf(
+        "GATE FAIL: a cache entry's degraded bit disagrees with its key\n");
+    passed = false;
+  }
+  if (outcome.other_errors > 0) {
+    std::printf("note: %llu admitted requests resolved with errors "
+                "(deadline/cancel under pressure) — delivered, not hung\n",
+                static_cast<unsigned long long>(outcome.other_errors));
+  }
+  if (passed)
+    std::printf("gate passed: ladder engaged (%llu degraded, %llu shed, "
+                "%llu transitions), recovered to NORMAL in %.2f s, p99 "
+                "rejection %.1f us, cache uncontaminated\n",
+                static_cast<unsigned long long>(stats.degraded_served),
+                static_cast<unsigned long long>(outcome.shed),
+                static_cast<unsigned long long>(stats.overload_transitions),
+                recovery_s, 1e6 * p99);
+  return passed ? 0 : 1;
+}

@@ -75,6 +75,8 @@ struct ServedRun {
   double hit_rate = 0.0;
   double hit_latency_us = 0.0;  ///< mean fast-path latency in the timed phase
   bool bit_identical = true;
+  bool warm_loaded = false;   ///< started from a restored snapshot
+  std::uint64_t planned = 0;  ///< planner runs this service performed
 };
 
 /// Answer the full stream (repeats x unique requests) through a service
@@ -83,15 +85,19 @@ struct ServedRun {
 ServedRun run_served(
     const Workload& w, unsigned workers,
     const std::vector<serve::PlanRequest>& requests,
-    const std::vector<std::shared_ptr<const serve::ServedPlan>>& direct) {
+    const std::vector<std::shared_ptr<const serve::ServedPlan>>& direct,
+    const char* load_snapshot = nullptr,
+    const char* save_snapshot = nullptr) {
   serve::ServiceOptions options;
   options.workers = workers;
   options.queue_capacity =
       static_cast<std::size_t>(w.unique * w.repeats) + 16;
+  if (load_snapshot != nullptr) options.snapshot_path = load_snapshot;
   serve::PlanningService service(options);
 
   ServedRun run;
   run.workers = workers;
+  run.warm_loaded = service.stats().snapshot_loads > 0;
   const double start = now_s();
   for (int u = 0; u < w.unique; ++u) {
     const serve::PlanResponse response =
@@ -140,6 +146,8 @@ ServedRun run_served(
   run.plans_per_s =
       static_cast<double>(w.unique * w.repeats) / run.seconds;
   run.hit_rate = service.stats().cache.hit_rate();
+  run.planned = service.stats().planned;
+  if (save_snapshot != nullptr) service.save_snapshot_file(save_snapshot);
   return run;
 }
 
@@ -205,12 +213,18 @@ void write_json(const char* path, const Workload& w, double serial_seconds,
 int main(int argc, char** argv) {
   Workload w;
   const char* json_path = nullptr;
+  const char* load_snapshot = nullptr;
+  const char* save_snapshot = nullptr;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--save-snapshot") == 0 && i + 1 < argc) {
+      save_snapshot = argv[++i];
+    } else if (std::strcmp(argv[i], "--load-snapshot") == 0 && i + 1 < argc) {
+      load_snapshot = argv[++i];
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       const char* name = argv[++i];
       if (std::strcmp(name, "modal") == 0) {
@@ -224,7 +238,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json PATH] "
-                   "[--engine modal|reference]\n",
+                   "[--engine modal|reference] "
+                   "[--save-snapshot PATH] [--load-snapshot PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -270,7 +285,8 @@ int main(int argc, char** argv) {
   TextTable table({"workers", "seconds", "plans/s", "speedup", "hit rate",
                    "hit latency"});
   for (unsigned workers : worker_counts) {
-    runs.push_back(run_served(w, workers, requests, direct));
+    runs.push_back(run_served(w, workers, requests, direct, load_snapshot,
+                              save_snapshot));
     const ServedRun& run = runs.back();
     table.add_row({std::to_string(run.workers), fmt(run.seconds, 3),
                    fmt(run.plans_per_s, 1),
@@ -307,6 +323,24 @@ int main(int argc, char** argv) {
     std::printf("GATE FAIL: speedup %.2fx < 4x at %u workers\n", speedup,
                 gated.workers);
     passed = false;
+  }
+  // Crash-recovery mode: the run must actually have started warm, and the
+  // restored cache alone must answer the whole stream — zero planner runs,
+  // every response bit-identical to plan_direct (checked above).
+  if (load_snapshot != nullptr) {
+    if (!gated.warm_loaded) {
+      std::printf("GATE FAIL: --load-snapshot given but the start was cold\n");
+      passed = false;
+    }
+    if (gated.planned > 0) {
+      std::printf("GATE FAIL: %llu planner runs on a restored cache "
+                  "(expected 0)\n",
+                  static_cast<unsigned long long>(gated.planned));
+      passed = false;
+    }
+    if (passed)
+      std::printf("restored cache: warm start, 0 planner runs, "
+                  "bit-identical to plan_direct\n");
   }
   if (passed)
     std::printf("gate passed: bit-identical, hit rate %.1f%%, %.1fx vs "

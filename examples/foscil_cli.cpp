@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -79,6 +80,13 @@ void print_guard_details(const core::GuardResult& guarded) {
   }
 }
 
+/// Set by SIGINT/SIGTERM during the serve demo: the workload loop drains
+/// early, the service stops cleanly, and a configured snapshot is flushed —
+/// an operator's Ctrl-C never loses the cache a restart could warm from.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_interrupt(int) { g_interrupted = 1; }
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config.ini> "
@@ -98,6 +106,18 @@ int run_serve_demo(const Config& config, const core::Platform& platform,
   const serve::ServeDemoOptions demo =
       serve::demo_options_from_config(config);
   serve::PlanningService service(options);
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+  if (!options.snapshot_path.empty()) {
+    const serve::ServiceStats boot = service.stats();
+    std::printf("snapshot %s: %llu warm-loaded plan(s), %llu load failure(s)"
+                " (%s start)\n",
+                options.snapshot_path.c_str(),
+                static_cast<unsigned long long>(
+                    boot.snapshot_loads > 0 ? boot.cache.entries : 0),
+                static_cast<unsigned long long>(boot.snapshot_load_failures),
+                boot.snapshot_loads > 0 ? "warm" : "cold");
+  }
 
   const auto now_s = [] {
     return std::chrono::duration<double>(
@@ -130,7 +150,7 @@ int run_serve_demo(const Config& config, const core::Platform& platform,
   std::vector<bool> point_failed(
       static_cast<std::size_t>(demo.unique_requests), false);
   const double start = now_s();
-  for (int repeat = 0; repeat < demo.repeats; ++repeat) {
+  for (int repeat = 0; repeat < demo.repeats && !g_interrupted; ++repeat) {
     for (int point = 0; point < demo.unique_requests; ++point) {
       const std::size_t slot = static_cast<std::size_t>(point);
       if (point_failed[slot]) continue;
@@ -181,11 +201,30 @@ int run_serve_demo(const Config& config, const core::Platform& platform,
               static_cast<unsigned long long>(stats.coalesced),
               static_cast<unsigned long long>(stats.rejected_queue_full +
                                               stats.rejected_expired));
+  std::printf("resilience: %llu degraded served, %llu shed, %llu breaker "
+              "rejections, %llu cancelled mid-plan (ladder %s, %llu "
+              "transitions)\n",
+              static_cast<unsigned long long>(stats.degraded_served),
+              static_cast<unsigned long long>(stats.rejected_overload),
+              static_cast<unsigned long long>(stats.breaker_rejections),
+              static_cast<unsigned long long>(stats.cancelled_mid_plan),
+              serve::load_state_name(stats.load_state),
+              static_cast<unsigned long long>(stats.overload_transitions));
+  if (!options.snapshot_path.empty())
+    std::printf("snapshots: %llu saved, %llu loaded, %llu load failures\n",
+                static_cast<unsigned long long>(stats.snapshot_saves),
+                static_cast<unsigned long long>(stats.snapshot_loads),
+                static_cast<unsigned long long>(stats.snapshot_load_failures));
   const core::AuditCounters::Snapshot audits =
       core::AuditCounters::instance().snapshot();
   std::printf("theorem-2 certificates: %llu issued, %llu proved safe\n",
               static_cast<unsigned long long>(audits.certificates),
               static_cast<unsigned long long>(audits.certified_safe));
+  if (g_interrupted) {
+    std::printf("interrupted: flushing snapshot and exiting\n");
+    service.stop();  // drains the queue and writes the final snapshot
+    return 130;
+  }
   return 0;
 }
 
@@ -202,6 +241,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
+  // Surface misspelled keys in known sections (stderr, once per key) —
+  // typed getters with defaults would otherwise ignore them silently.
+  core::warn_unknown_config_keys(config, serve::serve_known_config_keys());
 
   try {
     const core::Platform platform = core::platform_from_config(config);

@@ -178,11 +178,17 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
       parallel_for(
           static_cast<std::size_t>(count),
           [&](std::size_t i) {
+            // Cancellation check point: between candidates, never inside
+            // the evaluation.  A fired token skips the remaining block (the
+            // results are discarded by the throw below).
+            if (options.cancel != nullptr && options.cancel->cancelled())
+              return;
             const auto schedule = detail::build_oscillating_schedule(
                 cores, options.base_period, next + static_cast<int>(i), tau);
             peaks[i] = sim::step_up_peak(analyzer, schedule).rise;
           },
           scan_threads);
+      if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
       evaluations += static_cast<std::size_t>(count);
       for (int i = 0; i < count && !stop; ++i) {
         if (peaks[static_cast<std::size_t>(i)] < best_peak - 1e-12) {
@@ -209,6 +215,7 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
   linalg::Vector core_rises = rises_of(cores);
   ++evaluations;
   while (core_rises.max() > rise_target + tolerance) {
+    if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
     const std::size_t hottest = core_rises.argmax();
     const bool hottest_adjustable =
         cores[hottest].oscillating && cores[hottest].ratio_high > 0.0;
@@ -230,12 +237,15 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
     parallel_for(
         scan.size(),
         [&](std::size_t i) {
+          if (options.cancel != nullptr && options.cancel->cancelled())
+            return;  // between candidates; discarded by the throw below
           std::vector<CoreOscillation> candidate = cores;
           candidate[scan[i]].ratio_high =
               std::max(0.0, candidate[scan[i]].ratio_high - u);
           scan_rises[i] = rises_of(candidate);
         },
         scan_threads);
+    if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
     evaluations += scan.size();
     // Deterministic selection: fold in ascending-core order with the same
     // strict `>` the sequential scan used, so the winner (and therefore the

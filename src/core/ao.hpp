@@ -23,6 +23,7 @@
 #include "core/platform.hpp"
 #include "core/result.hpp"
 #include "sim/modal.hpp"
+#include "util/cancel.hpp"
 
 namespace foscil::core {
 
@@ -66,6 +67,13 @@ struct AoOptions {
   /// candidates are evaluated independently and reduced in deterministic
   /// index order, so any value yields bit-identical results.
   unsigned scan_threads = 0;
+  /// Cooperative cancellation (util/cancel.hpp).  Polled *between*
+  /// candidate evaluations in the m-search and TPT scans — never inside the
+  /// numerics — so a fired token stops the run within one candidate and a
+  /// run that finishes is bit-identical to one planned with no token.
+  /// Raises CancelledError.  Not hashed by the serve cache key (like
+  /// scan_threads, it cannot change a completed plan).
+  const CancelToken* cancel = nullptr;
 };
 
 [[nodiscard]] SchedulerResult run_ao(const Platform& platform, double t_max_c,

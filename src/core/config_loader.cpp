@@ -1,6 +1,9 @@
 #include "core/config_loader.hpp"
 
 #include <cmath>
+#include <iostream>
+#include <mutex>
+#include <set>
 #include <string>
 
 namespace foscil::core {
@@ -352,6 +355,89 @@ GuardOptions guard_options_from_config(const Config& config) {
     reject("guard.max_derate_k", "must be >= 0");
   options.check();
   return options;
+}
+
+namespace {
+
+/// Every "section.key" the loaders in this file read.  Kept literal (not
+/// harvested at call time) so the validator can run without touching any
+/// loader; the unknown-key test cross-checks it against a config
+/// exercising every documented key.
+const char* const kKnownKeys[] = {
+    "platform.rows", "platform.cols", "platform.tiers",
+    "platform.core_edge_mm", "platform.t_ambient_c",
+    "levels.values", "levels.table4", "levels.full_range",
+    "package.r_convection_block", "package.rim_width_blocks",
+    "package.sink_mass_factor", "package.k_tim", "package.t_tim_um",
+    "package.t_spreader_mm", "package.t_sink_base_mm",
+    "package.k_inter_tier", "package.t_inter_tier_um",
+    "power.alpha", "power.beta", "power.gamma", "power.alpha_per_core",
+    "power.beta_per_core", "power.gamma_per_core",
+    "ao.base_period_ms", "ao.tau_us", "ao.t_unit_fraction", "ao.max_m",
+    "ao.t_max_margin_k", "ao.eval_engine", "ao.scan_threads",
+    "run.t_max_c",
+    "faults.intensity", "faults.seed", "faults.sensor_bias_k",
+    "faults.sensor_noise_k", "faults.stuck_sensors", "faults.stuck_at_k",
+    "faults.drop_probability", "faults.delay_probability", "faults.delay_ms",
+    "faults.r_convection_scale", "faults.k_tim_scale", "faults.c_scale",
+    "faults.alpha_scale", "faults.beta_scale", "faults.gamma_scale",
+    "faults.power_jitter", "faults.ambient_drift_c",
+    "faults.ambient_drift_period_s",
+    "guard.horizon_s", "guard.control_period_ms", "guard.samples_per_tick",
+    "guard.trip_margin_k", "guard.reentry_margin_k",
+    "guard.backoff_initial_s", "guard.backoff_factor", "guard.backoff_max_s",
+    "guard.escalate_after", "guard.derate_step_k", "guard.max_derate_k",
+    "identify.enabled", "identify.forgetting", "identify.prior_sigma",
+    "identify.beta_prior_sigma", "identify.gate_sigma",
+    "identify.confidence", "identify.trust_radius", "identify.min_polls",
+    "identify.min_seconds", "identify.significance", "identify.min_theta",
+    "identify.band_floor_k", "identify.max_replans", "identify.replan_delta",
+    "identify.alpha_scale_w", "identify.rel_scale", "identify.bias_scale_k",
+    "identify.drift_scale_k", "identify.drift_period_s",
+    "identify.innovation_clip_k", "identify.conservative",
+};
+
+[[nodiscard]] std::string section_of(const std::string& key) {
+  const std::size_t dot = key.find('.');
+  return dot == std::string::npos ? key : key.substr(0, dot);
+}
+
+}  // namespace
+
+std::vector<std::string> unknown_config_keys(
+    const Config& config, const std::vector<std::string>& extra_known) {
+  std::set<std::string> known(std::begin(kKnownKeys), std::end(kKnownKeys));
+  known.insert(extra_known.begin(), extra_known.end());
+  std::set<std::string> known_sections;
+  for (const std::string& key : known) known_sections.insert(section_of(key));
+
+  std::vector<std::string> unknown;
+  for (const std::string& key : config.keys()) {
+    if (known.count(key) != 0) continue;
+    if (known_sections.count(section_of(key)) == 0) continue;
+    unknown.push_back(key);
+  }
+  return unknown;  // Config::keys() is already sorted
+}
+
+std::vector<std::string> warn_unknown_config_keys(
+    const Config& config, const std::vector<std::string>& extra_known) {
+  // Process-wide memory of keys already warned about, so config re-loads
+  // (file watchers, retry loops) log each misspelling exactly once.
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+
+  std::vector<std::string> fresh;
+  for (const std::string& key : unknown_config_keys(config, extra_known)) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!warned.insert(key).second) continue;
+    }
+    std::cerr << "warning: unknown config key '" << key
+              << "' in a known section (ignored; check for a misspelling)\n";
+    fresh.push_back(key);
+  }
+  return fresh;
 }
 
 }  // namespace foscil::core

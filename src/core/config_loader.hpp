@@ -68,4 +68,21 @@ namespace foscil::core {
 /// embedded.
 [[nodiscard]] GuardOptions guard_options_from_config(const Config& config);
 
+/// Keys the loaders above never read, restricted to sections this library
+/// knows about (a misspelled `[ao] max_n` is silently ignored by the typed
+/// getters — this is how it gets caught).  `extra_known` extends the known
+/// set with keys recognized by other layers (e.g. serve_config's [serve]
+/// keys); a key in `extra_known` also marks its section as known.  Keys in
+/// entirely unknown sections are NOT reported: unknown sections are the
+/// documented extension point for downstream tooling.  Sorted.
+[[nodiscard]] std::vector<std::string> unknown_config_keys(
+    const Config& config, const std::vector<std::string>& extra_known = {});
+
+/// Print one `warning: unknown config key ...` line to stderr per result of
+/// unknown_config_keys — at most once per key per process, so re-loading
+/// the same config (watchers, retries) cannot spam the log.  Returns the
+/// keys warned about on *this* call.
+std::vector<std::string> warn_unknown_config_keys(
+    const Config& config, const std::vector<std::string>& extra_known = {});
+
 }  // namespace foscil::core

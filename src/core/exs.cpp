@@ -17,6 +17,11 @@ namespace {
 /// the 1e-12 relative feasibility tolerance.
 constexpr std::uint64_t kRefreshInterval = 4096;
 
+/// Cancellation poll cadence: cheap enough to be invisible next to the
+/// per-candidate arithmetic, frequent enough that a fired token stops every
+/// chunk within a few milliseconds.
+constexpr std::uint64_t kCancelCheckInterval = 4096;
+
 struct Candidate {
   double throughput = -1.0;
   double peak = 0.0;
@@ -115,6 +120,13 @@ SchedulerResult run_exs(const Platform& platform, double t_max_c,
         // chunk layout and thread count.
         const double slack = rise_target * 1e-6;
         for (std::uint64_t idx = begin; idx < end; ++idx) {
+          // Poll the token between candidates; a fired token abandons the
+          // chunk (the partial accumulator is discarded by the throw after
+          // the reduction).
+          if (options.cancel != nullptr &&
+              (idx - begin) % kCancelCheckInterval == 0 &&
+              options.cancel->cancelled())
+            return acc;
           if (modal) {
             if (temps.max() <= threshold + slack) {
               refresh();  // exact confirm; also resets the drift
@@ -158,6 +170,7 @@ SchedulerResult run_exs(const Platform& platform, double t_max_c,
         return b.better_than(a) ? b : a;
       },
       threads);
+  if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
 
   SchedulerResult result;
   result.scheduler = "EXS";

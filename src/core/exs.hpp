@@ -14,6 +14,7 @@
 #include "core/platform.hpp"
 #include "core/result.hpp"
 #include "sim/modal.hpp"
+#include "util/cancel.hpp"
 
 namespace foscil::core {
 
@@ -29,6 +30,11 @@ struct ExsOptions {
   /// the reference N x N mat-vec.  kReference keeps Algorithm 1's honest
   /// per-candidate cost for timing comparisons.
   sim::EvalEngine eval_engine = sim::EvalEngine::kModal;
+  /// Cooperative cancellation (util/cancel.hpp): each enumeration chunk
+  /// polls the token between candidates (every few thousand) and the run
+  /// raises CancelledError once all chunks have stopped.  A run that is not
+  /// cancelled is bit-identical to one planned with no token.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Thrown when the design space exceeds ExsOptions::max_candidates.

@@ -273,6 +273,26 @@ void ThermalIdentifier::reset_covariance() {
   rls_.set_prior_sigma(cores_, options_.beta_prior_sigma);
 }
 
+IdentifyState ThermalIdentifier::export_state() const {
+  IdentifyState state;
+  state.theta = rls_.theta();
+  state.covariance = rls_.covariance();
+  state.updates = rls_.updates();
+  state.polls = polls_;
+  state.seconds = t_;
+  return state;
+}
+
+void ThermalIdentifier::restore_state(const IdentifyState& state) {
+  rls_.restore(state.theta, state.covariance, state.updates);
+  polls_ = state.polls;
+  t_ = state.seconds;
+  // Dynamic regressor states are trajectory transients, not persisted
+  // knowledge: restart them from zero (they re-integrate from the next
+  // observe() exactly as a fresh run warm-starting at the stable state).
+  for (linalg::Vector& x : x_) x = linalg::Vector(x.size());
+}
+
 CertifiedPlan certified_replan(const Platform& platform, double t_max_c,
                                const ThermalIdentifier& id,
                                const sim::FaultSpec& assumed,

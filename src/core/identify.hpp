@@ -123,6 +123,20 @@ struct IdentifyOptions {
   void check() const;
 };
 
+/// Persistable estimator state for crash-safe recovery (serve/snapshot):
+/// the RLS recursion (theta, covariance, update count) plus the poll tally
+/// and accumulated observation time.  The dynamic regressor integrator
+/// states are intentionally *not* persisted — they are transients of the
+/// run's trajectory that re-integrate from zero after a warm restart —
+/// whereas theta/P are the slowly-earned knowledge worth surviving a crash.
+struct IdentifyState {
+  linalg::Vector theta;        ///< scaled estimate
+  linalg::Matrix covariance;   ///< scaled parameter covariance
+  std::size_t updates = 0;     ///< RLS updates absorbed
+  std::size_t polls = 0;       ///< observe() calls absorbed
+  double seconds = 0.0;        ///< accumulated observation time
+};
+
 /// Recursive estimator of the mismatch vector theta; one instance lives for
 /// the duration of a guarded run and absorbs every poll's residual.
 class ThermalIdentifier {
@@ -193,6 +207,13 @@ class ThermalIdentifier {
   /// Re-open the estimator gain after a regime change (escalation trip):
   /// keeps theta, resets the covariance to the prior.
   void reset_covariance();
+
+  /// Snapshot the persistable estimator state (see IdentifyState).
+  [[nodiscard]] IdentifyState export_state() const;
+  /// Warm-restart from a saved state.  The state's dimensions must match
+  /// this identifier's parameter count; the dynamic regressor states are
+  /// reset to zero and re-integrate from the next observe().
+  void restore_state(const IdentifyState& state);
 
  private:
   [[nodiscard]] sim::PlantPerturbation perturbation_at(

@@ -41,6 +41,10 @@ SchedulerResult run_pco(const Platform& platform, double t_max_c,
 
   auto peak_of = [&](const std::vector<CoreOscillation>& state,
                      int samples) {
+    // Cancellation check point: the phase-search and refill loops call this
+    // once per candidate, so a fired token stops within one evaluation and
+    // never perturbs a candidate that does get evaluated.
+    if (options.ao.cancel != nullptr) options.ao.cancel->throw_if_cancelled();
     const auto schedule =
         detail::build_oscillating_schedule(state, base_period, m, tau);
     ++evaluations;

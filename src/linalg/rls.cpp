@@ -86,4 +86,14 @@ void RlsEstimator::reset_covariance(double sigma) {
   for (std::size_t i = 0; i < dim(); ++i) p_(i, i) = sigma * sigma;
 }
 
+void RlsEstimator::restore(const Vector& theta, const Matrix& covariance,
+                           std::size_t updates) {
+  FOSCIL_EXPECTS(theta.size() == dim());
+  FOSCIL_EXPECTS(covariance.rows() == dim());
+  FOSCIL_EXPECTS(covariance.cols() == dim());
+  theta_ = theta;
+  p_ = covariance;
+  updates_ = updates;
+}
+
 }  // namespace foscil::linalg

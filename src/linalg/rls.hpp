@@ -56,6 +56,14 @@ class RlsEstimator {
   /// correlations involving parameter i.
   void set_prior_sigma(std::size_t i, double sigma);
 
+  /// Overwrite the full recursive state (theta, P, update count) — the
+  /// warm-restart path of crash-safe persistence (serve/snapshot).  The
+  /// estimator continues exactly where the saved one stopped: subsequent
+  /// update() calls are bit-identical to the uninterrupted run.  Dimensions
+  /// must match this estimator's; the covariance must be square in them.
+  void restore(const Vector& theta, const Matrix& covariance,
+               std::size_t updates);
+
  private:
   Vector theta_;
   Matrix p_;

@@ -45,6 +45,20 @@ void PeriodicSchedule::set_core_segments(std::size_t core,
   segments_[core] = std::move(segments);
 }
 
+void PeriodicSchedule::restore_core_segments(std::size_t core,
+                                             std::vector<Segment> segments) {
+  FOSCIL_EXPECTS(core < segments_.size());
+  FOSCIL_EXPECTS(!segments.empty());
+  double total = 0.0;
+  for (const auto& seg : segments) {
+    FOSCIL_EXPECTS(seg.duration > 0.0);
+    FOSCIL_EXPECTS(seg.voltage >= 0.0);
+    total += seg.duration;
+  }
+  FOSCIL_EXPECTS(std::abs(total - period_) <= kRelTol * period_ * 1e3);
+  segments_[core] = std::move(segments);
+}
+
 double PeriodicSchedule::voltage_at(std::size_t core, double t) const {
   FOSCIL_EXPECTS(core < segments_.size());
   double local = std::fmod(t, period_);

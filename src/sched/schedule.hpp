@@ -47,6 +47,14 @@ class PeriodicSchedule {
   /// sum exactly).
   void set_core_segments(std::size_t core, std::vector<Segment> segments);
 
+  /// Verbatim variant for deserialization (serve/snapshot warm restart):
+  /// same validation as set_core_segments but durations are stored exactly
+  /// as given, with no rescale.  The segments must have come from a
+  /// schedule that already went through set_core_segments — re-rescaling
+  /// them would perturb the stored bit patterns and break the snapshot
+  /// round-trip bit-identity guarantee.
+  void restore_core_segments(std::size_t core, std::vector<Segment> segments);
+
   [[nodiscard]] const std::vector<Segment>& core_segments(
       std::size_t core) const {
     FOSCIL_EXPECTS(core < segments_.size());

@@ -15,7 +15,14 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 /// in the last ulps) and scan_threads (NOT hashed — candidate scans reduce
 /// in deterministic index order, so any thread count yields a bit-identical
 /// plan and must hit the same cache entry).
-constexpr std::uint64_t kSchemaVersion = 2;
+/// v3: keys carry a `degraded` bit.  Plans computed under overload with
+/// capped search options live under their own keys, so a degraded plan can
+/// never replace, alias, or be served in place of a full-quality entry.
+/// AoOptions also grew `cancel` (NOT hashed — like scan_threads, a token
+/// can only stop a run, never change a completed plan).  Snapshot format
+/// versioning is coupled to this constant: serve/snapshot.hpp must bump
+/// kSnapshotVersion whenever this changes.
+constexpr std::uint64_t kSchemaVersion = 3;
 
 [[nodiscard]] std::uint64_t splitmix(std::uint64_t x) noexcept {
   x += 0x9E3779B97F4A7C15ull;
@@ -121,13 +128,15 @@ CacheKey platform_fingerprint(const core::Platform& platform) {
 
 CacheKey plan_key(const CacheKey& model_fp, const core::Platform& platform,
                   double t_max_c, PlannerKind kind,
-                  const core::AoOptions& ao, const core::PcoOptions& pco) {
+                  const core::AoOptions& ao, const core::PcoOptions& pco,
+                  bool degraded) {
   KeyHasher hasher;
   hasher.mix(kSchemaVersion);
   hasher.mix(model_fp.hi).mix(model_fp.lo);
   mix_platform_tail(hasher, platform);
   hasher.mix_double(t_max_c);
   hasher.mix(static_cast<std::uint64_t>(kind));
+  hasher.mix(degraded ? 1u : 0u);
   if (kind == PlannerKind::kAo) {
     mix_ao_options(hasher, ao);
   } else {
@@ -142,9 +151,9 @@ CacheKey plan_key(const CacheKey& model_fp, const core::Platform& platform,
 
 CacheKey plan_key(const core::Platform& platform, double t_max_c,
                   PlannerKind kind, const core::AoOptions& ao,
-                  const core::PcoOptions& pco) {
+                  const core::PcoOptions& pco, bool degraded) {
   return plan_key(model_fingerprint(*platform.model), platform, t_max_c,
-                  kind, ao, pco);
+                  kind, ao, pco, degraded);
 }
 
 }  // namespace foscil::serve

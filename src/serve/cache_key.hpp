@@ -79,15 +79,20 @@ class KeyHasher {
 
 /// Canonical key of one planning request.  `ao` is hashed for kAo requests;
 /// `pco` (including its embedded AoOptions) for kPco requests.  Passing a
-/// precomputed `model_fp` skips rehashing the model contents.
+/// precomputed `model_fp` skips rehashing the model contents.  `degraded`
+/// marks a plan computed under overload with capped search options; it is
+/// part of the key schema so degraded and full-quality plans can never
+/// share an entry.
 [[nodiscard]] CacheKey plan_key(const core::Platform& platform,
                                 double t_max_c, PlannerKind kind,
                                 const core::AoOptions& ao,
-                                const core::PcoOptions& pco = {});
+                                const core::PcoOptions& pco = {},
+                                bool degraded = false);
 [[nodiscard]] CacheKey plan_key(const CacheKey& model_fp,
                                 const core::Platform& platform,
                                 double t_max_c, PlannerKind kind,
                                 const core::AoOptions& ao,
-                                const core::PcoOptions& pco = {});
+                                const core::PcoOptions& pco = {},
+                                bool degraded = false);
 
 }  // namespace foscil::serve

@@ -1,0 +1,80 @@
+// Error hierarchy of the planning service.
+//
+// Lives in its own header so every serve/ module (overload controller,
+// circuit breaker, snapshot persistence, the service itself) can throw and
+// catch the same types without include cycles.  All serving-stack failures
+// derive from ServeError; callers that only care about "the service said
+// no" catch the base, callers that implement retry policy catch the
+// specific types (OverloadedError and BreakerOpenError carry retry-after
+// hints).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace foscil::serve {
+
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Admission control: the bounded request queue is full.
+class QueueFullError : public ServeError {
+ public:
+  QueueFullError() : ServeError("planning service queue is full") {}
+};
+
+/// The request's deadline passed before a worker could start planning it.
+class DeadlineExpiredError : public ServeError {
+ public:
+  DeadlineExpiredError()
+      : ServeError("planning request deadline expired before planning") {}
+};
+
+/// The service is stopping / stopped and accepts no new work.
+class ServiceStoppedError : public ServeError {
+ public:
+  ServiceStoppedError() : ServeError("planning service is stopped") {}
+};
+
+/// Load shedding: the overload ladder reached SHED and rejected the
+/// request at submit.  `retry_after_s` estimates when the queue will have
+/// drained enough to admit work again.
+class OverloadedError : public ServeError {
+ public:
+  explicit OverloadedError(double retry_s)
+      : ServeError("planning service overloaded; retry in " +
+                   std::to_string(retry_s * 1e3) + " ms"),
+        retry_after_s(retry_s) {}
+
+  double retry_after_s = 0.0;
+};
+
+/// Per-key circuit breaker: this canonical request has failed repeatedly
+/// and is rejected fast instead of re-burning a worker.  Carries the last
+/// planner error as the negative-cache diagnosis plus a retry-after hint
+/// (the remaining exponential backoff).
+class BreakerOpenError : public ServeError {
+ public:
+  BreakerOpenError(double retry_s, const std::string& diagnosis)
+      : ServeError("circuit breaker open for this request (retry in " +
+                   std::to_string(retry_s * 1e3) +
+                   " ms); last planner error: " + diagnosis),
+        retry_after_s(retry_s),
+        last_error(diagnosis) {}
+
+  double retry_after_s = 0.0;
+  std::string last_error;
+};
+
+/// Snapshot persistence failure: unreadable, truncated, corrupt, or
+/// version-mismatched snapshot file, or an I/O error while writing one.
+/// The message always names the file and the specific defect so operators
+/// can diagnose a failed warm restart from the log line alone.
+class SnapshotError : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+}  // namespace foscil::serve

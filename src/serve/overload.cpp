@@ -1,0 +1,194 @@
+#include "serve/overload.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace foscil::serve {
+
+const char* load_state_name(LoadState state) {
+  switch (state) {
+    case LoadState::kNormal:
+      return "normal";
+    case LoadState::kDegraded:
+      return "degraded";
+    case LoadState::kShed:
+      return "shed";
+  }
+  FOSCIL_ASSERT(false);
+  return "?";
+}
+
+void OverloadOptions::check() const {
+  FOSCIL_EXPECTS(recover_fill >= 0.0);
+  FOSCIL_EXPECTS(recover_fill < degrade_fill);
+  FOSCIL_EXPECTS(degrade_fill < shed_fill);
+  FOSCIL_EXPECTS(shed_fill <= 1.0);
+  FOSCIL_EXPECTS(degraded_max_m >= 1);
+  FOSCIL_EXPECTS(degraded_patience >= 1);
+  FOSCIL_EXPECTS(degraded_phase_grid >= 1);
+  FOSCIL_EXPECTS(degraded_phase_rounds >= 1);
+  FOSCIL_EXPECTS(min_retry_after_s >= 0.0);
+}
+
+OverloadController::OverloadController(OverloadOptions options)
+    : options_(options) {
+  options_.check();
+}
+
+LoadState OverloadController::update(std::size_t queue_depth,
+                                     std::size_t queue_capacity) {
+  FOSCIL_EXPECTS(queue_capacity > 0);
+  if (!options_.enabled) return LoadState::kNormal;
+  const double fill =
+      static_cast<double>(queue_depth) / static_cast<double>(queue_capacity);
+
+  // The service serializes update() under its admission mutex, so a plain
+  // read-modify-write on the atomic is race-free; the atomic exists for the
+  // lock-free readers (stats, benches).
+  const auto current = state();
+  LoadState next = current;
+  switch (current) {
+    case LoadState::kNormal:
+      if (fill >= options_.shed_fill)
+        next = LoadState::kShed;
+      else if (fill >= options_.degrade_fill)
+        next = LoadState::kDegraded;
+      break;
+    case LoadState::kDegraded:
+      if (fill >= options_.shed_fill)
+        next = LoadState::kShed;
+      else if (fill <= options_.recover_fill)
+        next = LoadState::kNormal;
+      break;
+    case LoadState::kShed:
+      // Step down one rung at a time: shedding stops as soon as the queue
+      // is back under the degrade watermark, but full quality only returns
+      // once the backlog has truly drained past the recovery watermark.
+      if (fill <= options_.recover_fill)
+        next = LoadState::kNormal;
+      else if (fill < options_.degrade_fill)
+        next = LoadState::kDegraded;
+      break;
+  }
+  if (next != current) {
+    state_.store(static_cast<int>(next), std::memory_order_release);
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return next;
+}
+
+core::AoOptions degraded_ao_options(core::AoOptions ao,
+                                    const OverloadOptions& opts) {
+  ao.max_m = std::min(ao.max_m, opts.degraded_max_m);
+  ao.m_search_patience = std::min(ao.m_search_patience, opts.degraded_patience);
+  return ao;
+}
+
+core::PcoOptions degraded_pco_options(core::PcoOptions pco,
+                                      const OverloadOptions& opts) {
+  pco.ao = degraded_ao_options(pco.ao, opts);
+  pco.phase_grid = std::min(pco.phase_grid, opts.degraded_phase_grid);
+  pco.phase_rounds = std::min(pco.phase_rounds, opts.degraded_phase_rounds);
+  return pco;
+}
+
+void BreakerOptions::check() const {
+  FOSCIL_EXPECTS(failure_threshold >= 1);
+  FOSCIL_EXPECTS(backoff_initial_s > 0.0);
+  FOSCIL_EXPECTS(backoff_factor >= 1.0);
+  FOSCIL_EXPECTS(backoff_max_s >= backoff_initial_s);
+  FOSCIL_EXPECTS(max_entries >= 1);
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  options_.check();
+}
+
+void CircuitBreaker::admit(const CacheKey& key, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.open) return;
+
+  Entry& entry = it->second;
+  if (now < entry.open_until) {
+    const double remaining =
+        std::chrono::duration<double>(entry.open_until - now).count();
+    throw BreakerOpenError(remaining, entry.last_error);
+  }
+  // Backoff expired: half-open.  Admit exactly one trial; anyone else
+  // arriving before the trial resolves is still rejected (with the full
+  // backoff as the hint — if the trial fails, that is what they'd wait).
+  if (entry.trial_in_flight)
+    throw BreakerOpenError(entry.backoff_s, entry.last_error);
+  entry.trial_in_flight = true;
+  entry.last_update = now;
+}
+
+void CircuitBreaker::record_failure(const CacheKey& key,
+                                    const std::string& reason,
+                                    Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[key];
+  entry.trial_in_flight = false;
+  entry.consecutive_failures += 1;
+  entry.last_error = reason;
+  entry.last_update = now;
+  if (entry.consecutive_failures >= options_.failure_threshold) {
+    // First opening starts at the initial backoff; each further failure
+    // (a failed half-open trial) doubles it up to the cap.
+    entry.backoff_s =
+        entry.open ? std::min(entry.backoff_s * options_.backoff_factor,
+                              options_.backoff_max_s)
+                   : options_.backoff_initial_s;
+    entry.open = true;
+    entry.open_until =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(entry.backoff_s));
+  }
+  if (entries_.size() > options_.max_entries) evict_locked();
+}
+
+void CircuitBreaker::record_success(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(key);
+}
+
+void CircuitBreaker::abandon_trial(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) it->second.trial_in_flight = false;
+}
+
+std::size_t CircuitBreaker::open_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t open = 0;
+  for (const auto& [key, entry] : entries_)
+    if (entry.open) ++open;
+  return open;
+}
+
+std::size_t CircuitBreaker::tracked_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void CircuitBreaker::evict_locked() {
+  // Closed entries (keys merely accumulating failures below the threshold)
+  // go first, oldest update first; open breakers are only dropped when the
+  // table is somehow full of them.
+  while (entries_.size() > options_.max_entries) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          (!it->second.open && victim->second.open) ||
+          (it->second.open == victim->second.open &&
+           it->second.last_update < victim->second.last_update))
+        victim = it;
+    }
+    if (victim == entries_.end()) break;
+    entries_.erase(victim);
+  }
+}
+
+}  // namespace foscil::serve

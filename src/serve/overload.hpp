@@ -1,0 +1,183 @@
+// Graceful degradation and per-key failure isolation for the planning
+// service.
+//
+// Two independent protections live here:
+//
+//   * OverloadController — a hysteresis ladder NORMAL → DEGRADED → SHED
+//     driven by the admission-queue fill fraction.  DEGRADED keeps serving
+//     but plans with capped oscillation depth (`degraded_ao_options`), so a
+//     burst gets fast, still-Theorem-2-certified plans instead of a growing
+//     queue of slow full-quality ones.  SHED rejects cache-missing work
+//     outright with OverloadedError and a retry-after hint.  The watermarks
+//     are hysteretic (recover < degrade < shed) so the ladder cannot
+//     flap on a queue hovering at one threshold.
+//
+//   * CircuitBreaker — a per-canonical-key failure memory.  A request key
+//     whose planner throws `failure_threshold` consecutive times opens a
+//     breaker: further submits for that key are rejected immediately with
+//     BreakerOpenError carrying the cached diagnosis (negative cache), so
+//     one poisoned request cannot repeatedly burn a worker.  The backoff
+//     grows exponentially; when it expires the breaker goes half-open and
+//     admits exactly one trial — success closes it, failure re-opens with
+//     a longer backoff.
+//
+// Both are mechanism-only: the PlanningService decides when to consult
+// them, and cancelled plans (CancelledError) never count as failures.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/ao.hpp"
+#include "core/pco.hpp"
+#include "serve/cache_key.hpp"
+#include "serve/errors.hpp"
+
+namespace foscil::serve {
+
+/// Position on the degradation ladder.
+enum class LoadState { kNormal, kDegraded, kShed };
+
+[[nodiscard]] const char* load_state_name(LoadState state);
+
+struct OverloadOptions {
+  /// Master switch.  false pins the ladder at NORMAL (update() never
+  /// transitions), leaving the bounded queue's QueueFullError as the only
+  /// admission backstop — the pre-ladder behavior.
+  bool enabled = true;
+  /// Queue fill fraction at which NORMAL steps down to DEGRADED.
+  double degrade_fill = 0.50;
+  /// Queue fill fraction at which the ladder drops to SHED.
+  double shed_fill = 0.90;
+  /// Fill fraction below which DEGRADED recovers to NORMAL (hysteresis:
+  /// must be < degrade_fill so a queue hovering at the degrade watermark
+  /// cannot flap the ladder every submit).
+  double recover_fill = 0.25;
+  /// Cap on AoOptions::max_m while DEGRADED (full-quality searches often
+  /// run to hundreds of half-periods; a shallow cap bounds worst-case
+  /// plan latency while keeping every served plan certified).
+  int degraded_max_m = 64;
+  /// Cap on AoOptions::patience while DEGRADED.
+  int degraded_patience = 2;
+  /// Caps on the PCO phase search while DEGRADED.
+  int degraded_phase_grid = 4;
+  int degraded_phase_rounds = 1;
+  /// Floor for the retry-after hint attached to OverloadedError.
+  double min_retry_after_s = 0.05;
+
+  /// Validates watermark ordering and cap positivity.
+  void check() const;
+};
+
+/// Hysteresis ladder over the admission-queue fill fraction.  update() is
+/// called by the service at every submit and worker dequeue; reads are
+/// lock-free so stats/benchmarks can poll the state concurrently.
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadOptions options);
+
+  /// Re-evaluates the ladder for the given queue occupancy and returns the
+  /// (possibly changed) state.  `capacity` must be nonzero.
+  LoadState update(std::size_t queue_depth, std::size_t queue_capacity);
+
+  [[nodiscard]] LoadState state() const {
+    return static_cast<LoadState>(state_.load(std::memory_order_acquire));
+  }
+  /// Number of ladder transitions since construction (observability: a
+  /// healthy service under steady load transitions rarely; a flapping
+  /// ladder means mis-tuned watermarks).
+  [[nodiscard]] std::uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const OverloadOptions& options() const { return options_; }
+
+ private:
+  OverloadOptions options_;
+  std::atomic<int> state_{static_cast<int>(LoadState::kNormal)};
+  std::atomic<std::uint64_t> transitions_{0};
+};
+
+/// The capped planner options used for degraded service.  Only search
+/// *extent* knobs shrink (max_m, patience, phase grid/rounds); tolerances
+/// and the certificate margin are untouched, so degraded plans remain
+/// Theorem-2 certified — they are merely allowed to stop searching sooner.
+[[nodiscard]] core::AoOptions degraded_ao_options(core::AoOptions ao,
+                                                 const OverloadOptions& opts);
+[[nodiscard]] core::PcoOptions degraded_pco_options(core::PcoOptions pco,
+                                                    const OverloadOptions& opts);
+
+struct BreakerOptions {
+  /// Consecutive failures of one key that open its breaker.
+  int failure_threshold = 3;
+  /// First backoff once opened; doubles (by `backoff_factor`) on every
+  /// failed half-open trial, capped at `backoff_max_s`.
+  double backoff_initial_s = 0.1;
+  double backoff_factor = 2.0;
+  double backoff_max_s = 5.0;
+  /// Bound on distinct keys tracked.  When exceeded, closed (non-open)
+  /// entries are evicted first; open breakers are kept so a flood of
+  /// unique healthy keys cannot wash out the memory of a poisoned one.
+  std::size_t max_entries = 1024;
+
+  void check() const;
+};
+
+/// Per-key circuit breaker with a negative cache of the last failure.
+/// Thread-safe; every method takes one short critical section.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(BreakerOptions options);
+
+  /// Gate for one submit of `key`.  Throws BreakerOpenError while the
+  /// breaker is open and backing off.  When the backoff has expired the
+  /// breaker goes half-open: the first caller through is admitted as the
+  /// trial and must later report record_success or record_failure;
+  /// concurrent submits during the trial are still rejected.
+  void admit(const CacheKey& key, Clock::time_point now);
+
+  /// Records a planner failure for `key` (never called for cancellations).
+  void record_failure(const CacheKey& key, const std::string& reason,
+                      Clock::time_point now);
+
+  /// Records a successful plan: closes the breaker and forgets the key.
+  void record_success(const CacheKey& key);
+
+  /// Releases a half-open trial that ended without a verdict (the request
+  /// was cancelled or abandoned before the planner finished).  The breaker
+  /// stays open with its current backoff; the next admit starts a fresh
+  /// trial.  Without this, an aborted trial would jam the breaker open
+  /// forever (trial_in_flight never cleared).
+  void abandon_trial(const CacheKey& key);
+
+  /// Number of keys whose breaker is currently open.
+  [[nodiscard]] std::size_t open_count() const;
+  /// Total number of keys tracked (open or accumulating failures).
+  [[nodiscard]] std::size_t tracked_count() const;
+
+  [[nodiscard]] const BreakerOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    int consecutive_failures = 0;
+    bool open = false;
+    bool trial_in_flight = false;
+    double backoff_s = 0.0;
+    Clock::time_point open_until{};
+    Clock::time_point last_update{};
+    std::string last_error;
+  };
+
+  void evict_locked();
+
+  BreakerOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
+};
+
+}  // namespace foscil::serve

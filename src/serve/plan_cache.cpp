@@ -100,6 +100,20 @@ void PlanCache::insert(const CacheKey& key,
   }
 }
 
+std::vector<std::shared_ptr<const ServedPlan>> PlanCache::export_entries()
+    const {
+  std::vector<std::shared_ptr<const ServedPlan>> out;
+  out.reserve(size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    // Tail = least recently used; emitting tail-first means replaying the
+    // list through insert() leaves the most recent entry at the LRU front.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it)
+      out.push_back(it->plan);
+  }
+  return out;
+}
+
 CacheStats PlanCache::stats() const {
   CacheStats stats;
   stats.capacity = capacity_;

@@ -31,6 +31,11 @@ struct ServedPlan {
   bool certified_safe = false;    ///< certificate clears the rise budget
   CacheKey key{};
   PlannerKind kind = PlannerKind::kAo;
+  /// Planned under overload with capped search options (serve/overload).
+  /// Degraded plans hash to their own cache keys (the degraded bit is part
+  /// of the key schema), so they can never replace or alias a full-quality
+  /// entry; they are still Theorem-2 certified.
+  bool degraded = false;
 };
 
 /// True when two scheduler results are bit-identical in every
@@ -78,6 +83,14 @@ class PlanCache {
   /// Insert (or refresh) an entry at the front of its shard's LRU order,
   /// evicting from the tail while the shard exceeds its capacity.
   void insert(const CacheKey& key, std::shared_ptr<const ServedPlan> plan);
+
+  /// All entries, least recently used first within each shard, so feeding
+  /// the list back through insert() in order reproduces the LRU ordering.
+  /// Taken shard by shard under each shard's lock; concurrent mutation in
+  /// another shard may or may not be included (snapshotting is best-effort
+  /// by design — the service quiesces nothing to take one).
+  [[nodiscard]] std::vector<std::shared_ptr<const ServedPlan>> export_entries()
+      const;
 
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t size() const;

@@ -27,6 +27,40 @@ ServiceOptions service_options_from_config(const Config& config) {
       config.get_double_or("serve.default_deadline_ms", 0.0);
   FOSCIL_EXPECTS(deadline_ms >= 0.0);
   options.default_deadline_s = deadline_ms / 1e3;
+
+  OverloadOptions& overload = options.overload;
+  overload.enabled = config.has("serve.overload_enabled")
+                         ? config.get_bool("serve.overload_enabled")
+                         : overload.enabled;
+  overload.degrade_fill =
+      config.get_double_or("serve.degrade_fill", overload.degrade_fill);
+  overload.shed_fill =
+      config.get_double_or("serve.shed_fill", overload.shed_fill);
+  overload.recover_fill =
+      config.get_double_or("serve.recover_fill", overload.recover_fill);
+  overload.degraded_max_m = static_cast<int>(
+      config.get_int_or("serve.degraded_max_m", overload.degraded_max_m));
+  overload.degraded_patience = static_cast<int>(config.get_int_or(
+      "serve.degraded_patience", overload.degraded_patience));
+  overload.check();
+
+  BreakerOptions& breaker = options.breaker;
+  breaker.failure_threshold = static_cast<int>(config.get_int_or(
+      "serve.breaker_threshold", breaker.failure_threshold));
+  breaker.backoff_initial_s =
+      config.get_double_or("serve.breaker_backoff_initial_ms",
+                           breaker.backoff_initial_s * 1e3) /
+      1e3;
+  breaker.backoff_max_s =
+      config.get_double_or("serve.breaker_backoff_max_ms",
+                           breaker.backoff_max_s * 1e3) /
+      1e3;
+  breaker.check();
+
+  options.snapshot_path = config.get_string_or("serve.snapshot_path", "");
+  options.snapshot_period_s =
+      config.get_double_or("serve.snapshot_period_s", 0.0);
+  FOSCIL_EXPECTS(options.snapshot_period_s >= 0.0);
   return options;
 }
 
@@ -40,6 +74,29 @@ ServeDemoOptions demo_options_from_config(const Config& config) {
   demo.unique_requests = static_cast<int>(unique);
   demo.repeats = static_cast<int>(repeats);
   return demo;
+}
+
+std::vector<std::string> serve_known_config_keys() {
+  return {
+      "serve.workers",
+      "serve.queue_capacity",
+      "serve.cache_capacity",
+      "serve.cache_shards",
+      "serve.default_deadline_ms",
+      "serve.overload_enabled",
+      "serve.degrade_fill",
+      "serve.shed_fill",
+      "serve.recover_fill",
+      "serve.degraded_max_m",
+      "serve.degraded_patience",
+      "serve.breaker_threshold",
+      "serve.breaker_backoff_initial_ms",
+      "serve.breaker_backoff_max_ms",
+      "serve.snapshot_path",
+      "serve.snapshot_period_s",
+      "serve.demo_unique",
+      "serve.demo_repeats",
+  };
 }
 
 }  // namespace foscil::serve

@@ -9,6 +9,17 @@
 //   cache_capacity = 1024    ; LRU plan cache entries
 //   cache_shards = 8         ; lock shards (rounded down to a power of two)
 //   default_deadline_ms = 0  ; per-request deadline default (0 = none)
+//   overload_enabled = true  ; NORMAL/DEGRADED/SHED admission ladder
+//   degrade_fill = 0.5       ; queue fill that triggers degraded planning
+//   shed_fill = 0.9          ; queue fill that triggers load shedding
+//   recover_fill = 0.25      ; queue fill below which NORMAL resumes
+//   degraded_max_m = 64      ; m-search cap while degraded
+//   degraded_patience = 2    ; m-search patience cap while degraded
+//   breaker_threshold = 3    ; consecutive failures that open a breaker
+//   breaker_backoff_initial_ms = 100
+//   breaker_backoff_max_ms = 5000
+//   snapshot_path =          ; warm-restart snapshot file (empty = off)
+//   snapshot_period_s = 0    ; extra periodic flush (> 0 starts a flusher)
 //   demo_unique = 16         ; foscil_cli serve: distinct T_max points
 //   demo_repeats = 32        ; foscil_cli serve: repeats per point
 #pragma once
@@ -30,5 +41,10 @@ struct ServeDemoOptions {
 };
 
 [[nodiscard]] ServeDemoOptions demo_options_from_config(const Config& config);
+
+/// Every "serve.*" key this module reads — the serve layer's contribution
+/// to core::unknown_config_keys / warn_unknown_config_keys, so a
+/// misspelled [serve] knob is warned about instead of silently ignored.
+[[nodiscard]] std::vector<std::string> serve_known_config_keys();
 
 }  // namespace foscil::serve

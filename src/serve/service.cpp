@@ -4,9 +4,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <iostream>
 #include <unordered_map>
 
 #include "core/audit.hpp"
+#include "serve/snapshot.hpp"
+#include "util/cancel.hpp"
 #include "util/parallel_for.hpp"
 
 namespace foscil::serve {
@@ -22,12 +25,14 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
-std::shared_ptr<const ServedPlan> plan_direct(const PlanRequest& request) {
+std::shared_ptr<const ServedPlan> plan_direct(const PlanRequest& request,
+                                              bool degraded) {
   FOSCIL_EXPECTS(request.platform.model != nullptr);
   auto plan = std::make_shared<ServedPlan>();
   plan->kind = request.kind;
+  plan->degraded = degraded;
   plan->key = plan_key(request.platform, request.t_max_c, request.kind,
-                       request.ao, request.pco);
+                       request.ao, request.pco, degraded);
   plan->result =
       request.kind == PlannerKind::kAo
           ? core::run_ao(request.platform, request.t_max_c, request.ao)
@@ -46,6 +51,13 @@ struct InFlightRequest {
   CacheKey key{};
   PlanRequest request;
   Clock::time_point submitted{};
+  bool degraded = false;  ///< planned with capped options, keyed separately
+  /// Shared cancellation: carries the max deadline over all waiters (no
+  /// deadline at all once a deadline-free waiter joins), so the planner
+  /// stops as soon as nobody's budget can still be met.  The token's own
+  /// atomics make deadline extension by coalescing submitters race-free
+  /// against the planner polling it.
+  CancelToken token;
 
   struct Waiter {
     std::promise<PlanResponse> promise;
@@ -58,12 +70,18 @@ struct InFlightRequest {
 };
 
 struct PlanningService::Impl {
+  explicit Impl(const ServiceOptions& opts)
+      : options(opts), overload(opts.overload), breaker(opts.breaker) {}
+
   ServiceOptions options;
+  OverloadController overload;
+  CircuitBreaker breaker;
 
   std::mutex mutex;
   std::mutex stop_mutex;  ///< serializes stop() callers; never nested
   std::size_t worker_count = 0;
   std::condition_variable work_ready;
+  std::condition_variable snapshot_tick;  ///< wakes the snapshot flusher
   std::deque<std::shared_ptr<InFlightRequest>> queue;
   // Keyed by canonical request hash: an identical concurrent miss attaches
   // here instead of planning twice.  Entries stay until the plan (or its
@@ -71,7 +89,14 @@ struct PlanningService::Impl {
   std::unordered_map<CacheKey, std::shared_ptr<InFlightRequest>, CacheKeyHash>
       in_flight;
   bool stopping = false;
+  bool final_flush_done = false;  ///< guarded by stop_mutex
   std::size_t queue_peak = 0;
+
+  // Identification state carried by snapshots: set by set_identify_state,
+  // refreshed by a successful warm load.
+  std::mutex identify_mutex;
+  std::optional<core::IdentifyState> identify;
+  std::optional<core::IdentifyState> loaded_identify;
 
   // Lazily-initialized, mutex-guarded memo of model content fingerprints.
   // ThermalModel itself has no lazy caches (everything is eager and
@@ -93,6 +118,31 @@ struct PlanningService::Impl {
   std::atomic<std::uint64_t> rejected_queue_full{0};
   std::atomic<std::uint64_t> rejected_expired{0};
   std::atomic<std::uint64_t> expired_in_queue{0};
+  std::atomic<std::uint64_t> cancelled_mid_plan{0};
+  std::atomic<std::uint64_t> degraded_served{0};
+  std::atomic<std::uint64_t> rejected_overload{0};
+  std::atomic<std::uint64_t> breaker_rejections{0};
+  std::atomic<std::uint64_t> snapshot_saves{0};
+  std::atomic<std::uint64_t> snapshot_loads{0};
+  std::atomic<std::uint64_t> snapshot_load_failures{0};
+  /// EWMA of recent planner wall times, feeding the SHED retry-after hint.
+  /// Plain exchange arithmetic (load/compute/store) — the hint is
+  /// heuristic; a lost update between workers is harmless.
+  std::atomic<double> ewma_plan_seconds{0.0};
+
+  [[nodiscard]] double retry_after_hint(std::size_t queue_depth) const {
+    const double per_plan = ewma_plan_seconds.load(std::memory_order_relaxed);
+    const double backlog =
+        per_plan * static_cast<double>(queue_depth) /
+        static_cast<double>(std::max<std::size_t>(1, worker_count));
+    return std::max(options.overload.min_retry_after_s, backlog);
+  }
+
+  void note_plan_seconds(double seconds) {
+    const double old = ewma_plan_seconds.load(std::memory_order_relaxed);
+    const double next = old == 0.0 ? seconds : 0.8 * old + 0.2 * seconds;
+    ewma_plan_seconds.store(next, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] CacheKey memoized_model_fingerprint(
       const std::shared_ptr<const thermal::ThermalModel>& model) {
@@ -117,15 +167,27 @@ struct PlanningService::Impl {
 
 PlanningService::PlanningService(ServiceOptions options)
     : cache_(options.cache_capacity, options.cache_shards),
-      impl_(std::make_unique<Impl>()) {
+      impl_(std::make_unique<Impl>(options)) {
   FOSCIL_EXPECTS(options.queue_capacity >= 1);
-  impl_->options = options;
+  FOSCIL_EXPECTS(options.snapshot_period_s >= 0.0);
+  // Warm start before any worker can race the cache: a corrupt, truncated,
+  // version-mismatched, or missing snapshot is counted and ignored — the
+  // snapshot is an optimization, never required for correctness.
+  if (!options.snapshot_path.empty()) {
+    try {
+      load_snapshot_file(options.snapshot_path);
+    } catch (const SnapshotError&) {
+      impl_->snapshot_load_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   const unsigned workers =
       options.workers == 0 ? hardware_parallelism() : options.workers;
   impl_->worker_count = workers;
   threads_.reserve(workers);
   for (unsigned w = 0; w < workers; ++w)
     threads_.emplace_back([this] { worker_loop(); });
+  if (!options.snapshot_path.empty() && options.snapshot_period_s > 0.0)
+    snapshot_thread_ = std::thread([this] { snapshot_loop(); });
 }
 
 PlanningService::~PlanningService() { stop(); }
@@ -137,24 +199,42 @@ void PlanningService::stop() {
     impl_->stopping = true;
   }
   impl_->work_ready.notify_all();
+  impl_->snapshot_tick.notify_all();
   for (std::thread& thread : threads_)
     if (thread.joinable()) thread.join();
   threads_.clear();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  // Final flush after the workers have drained, so the snapshot sees every
+  // plan the service admitted.  Best-effort: a full disk must not turn
+  // shutdown into a crash.
+  if (!impl_->options.snapshot_path.empty() && !impl_->final_flush_done) {
+    impl_->final_flush_done = true;
+    try {
+      save_snapshot_file(impl_->options.snapshot_path);
+    } catch (const SnapshotError& error) {
+      std::cerr << "foscil-serve: shutdown snapshot failed: " << error.what()
+                << "\n";
+    }
+  }
 }
 
 std::future<PlanResponse> PlanningService::submit(PlanRequest request) {
-  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  Impl& impl = *impl_;
+  impl.submitted.fetch_add(1, std::memory_order_relaxed);
   const Clock::time_point now = Clock::now();
 
   const CacheKey model_fp =
-      impl_->memoized_model_fingerprint(request.platform.model);
-  const CacheKey key = plan_key(model_fp, request.platform, request.t_max_c,
-                                request.kind, request.ao, request.pco);
+      impl.memoized_model_fingerprint(request.platform.model);
+  const CacheKey full_key =
+      plan_key(model_fp, request.platform, request.t_max_c, request.kind,
+               request.ao, request.pco);
 
-  // Fast path: a hit costs one fingerprint hash and one shard lookup.
-  if (std::shared_ptr<const ServedPlan> hit = cache_.lookup(key)) {
-    impl_->fast_path_hits.fetch_add(1, std::memory_order_relaxed);
-    impl_->completed.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: a full-quality hit costs one fingerprint hash and one shard
+  // lookup, and is served in every ladder state — degradation and load
+  // shedding only gate *planning*, never cached answers.
+  if (std::shared_ptr<const ServedPlan> hit = cache_.lookup(full_key)) {
+    impl.fast_path_hits.fetch_add(1, std::memory_order_relaxed);
+    impl.completed.fetch_add(1, std::memory_order_relaxed);
     PlanResponse response;
     response.plan = std::move(hit);
     response.cache_hit = true;
@@ -167,13 +247,55 @@ std::future<PlanResponse> PlanningService::submit(PlanRequest request) {
 
   const double deadline_s = request.deadline_s >= 0.0
                                 ? request.deadline_s
-                                : impl_->options.default_deadline_s;
+                                : impl.options.default_deadline_s;
   const bool has_deadline =
-      request.deadline_s >= 0.0 || impl_->options.default_deadline_s > 0.0;
+      request.deadline_s >= 0.0 || impl.options.default_deadline_s > 0.0;
   if (has_deadline && deadline_s <= 0.0) {
     // A miss with no time budget cannot be planned in time; reject now.
-    impl_->rejected_expired.fetch_add(1, std::memory_order_relaxed);
+    impl.rejected_expired.fetch_add(1, std::memory_order_relaxed);
     throw DeadlineExpiredError();
+  }
+
+  // Degradation ladder: position depends on queue occupancy alone, so it
+  // is evaluated (with hysteresis) on every miss.
+  LoadState state;
+  std::size_t queue_depth;
+  {
+    const std::lock_guard<std::mutex> lock(impl.mutex);
+    if (impl.stopping) throw ServiceStoppedError();
+    queue_depth = impl.queue.size();
+    state = impl.overload.update(queue_depth, impl.options.queue_capacity);
+  }
+  if (state == LoadState::kShed) {
+    impl.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    throw OverloadedError(impl.retry_after_hint(queue_depth));
+  }
+
+  CacheKey key = full_key;
+  const bool degraded = state == LoadState::kDegraded;
+  if (degraded) {
+    // Cap the search extent (never the tolerances or the certificate), and
+    // re-key: the degraded bit is part of the key schema, so this plan can
+    // never collide with — or later shadow — the full-quality entry.
+    if (request.kind == PlannerKind::kAo)
+      request.ao = degraded_ao_options(request.ao, impl.options.overload);
+    else
+      request.pco = degraded_pco_options(request.pco, impl.options.overload);
+    key = plan_key(model_fp, request.platform, request.t_max_c, request.kind,
+                   request.ao, request.pco, true);
+    if (std::shared_ptr<const ServedPlan> hit = cache_.lookup(key)) {
+      impl.fast_path_hits.fetch_add(1, std::memory_order_relaxed);
+      impl.degraded_served.fetch_add(1, std::memory_order_relaxed);
+      impl.completed.fetch_add(1, std::memory_order_relaxed);
+      PlanResponse response;
+      response.plan = std::move(hit);
+      response.cache_hit = true;
+      response.total_seconds = seconds_between(now, Clock::now());
+      std::promise<PlanResponse> ready;
+      std::future<PlanResponse> future = ready.get_future();
+      ready.set_value(std::move(response));
+      return future;
+    }
   }
 
   InFlightRequest::Waiter waiter;
@@ -185,29 +307,48 @@ std::future<PlanResponse> PlanningService::submit(PlanRequest request) {
   std::future<PlanResponse> future = waiter.promise.get_future();
 
   {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
-    if (impl_->stopping) throw ServiceStoppedError();
-    const auto in_flight = impl_->in_flight.find(key);
-    if (in_flight != impl_->in_flight.end()) {
+    const std::lock_guard<std::mutex> lock(impl.mutex);
+    if (impl.stopping) throw ServiceStoppedError();
+    const auto in_flight = impl.in_flight.find(key);
+    if (in_flight != impl.in_flight.end()) {
+      // Keep the shared run alive while *any* waiter still has budget: the
+      // token deadline is the max over waiters, and vanishes entirely once
+      // a deadline-free waiter joins (extend past a cleared deadline is a
+      // no-op, so the order of joins cannot resurrect one).
+      if (waiter.has_deadline)
+        in_flight->second->token.extend_deadline(waiter.deadline);
+      else
+        in_flight->second->token.clear_deadline();
       waiter.coalesced = true;
-      impl_->coalesced.fetch_add(1, std::memory_order_relaxed);
+      impl.coalesced.fetch_add(1, std::memory_order_relaxed);
       in_flight->second->waiters.push_back(std::move(waiter));
       return future;
     }
-    if (impl_->queue.size() >= impl_->options.queue_capacity) {
-      impl_->rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+    if (impl.queue.size() >= impl.options.queue_capacity) {
+      impl.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
       throw QueueFullError();
+    }
+    // Breaker gate last: after the queue-capacity check, so a rejection
+    // here can only mean "this key is poisoned", and a half-open trial is
+    // only ever claimed by a request that is guaranteed a queue slot.
+    try {
+      impl.breaker.admit(key, now);
+    } catch (const BreakerOpenError&) {
+      impl.breaker_rejections.fetch_add(1, std::memory_order_relaxed);
+      throw;
     }
     auto job = std::make_shared<InFlightRequest>();
     job->key = key;
     job->request = std::move(request);
     job->submitted = now;
+    job->degraded = degraded;
+    if (waiter.has_deadline) job->token.set_deadline(waiter.deadline);
     job->waiters.push_back(std::move(waiter));
-    impl_->in_flight.emplace(key, job);
-    impl_->queue.push_back(std::move(job));
-    impl_->queue_peak = std::max(impl_->queue_peak, impl_->queue.size());
+    impl.in_flight.emplace(key, job);
+    impl.queue.push_back(std::move(job));
+    impl.queue_peak = std::max(impl.queue_peak, impl.queue.size());
   }
-  impl_->work_ready.notify_one();
+  impl.work_ready.notify_one();
   return future;
 }
 
@@ -249,7 +390,12 @@ void PlanningService::worker_loop() {
       for (auto& waiter : expired)
         waiter.promise.set_exception(
             std::make_exception_ptr(DeadlineExpiredError()));
-      if (abandon) continue;  // nobody left to pay for this plan
+      if (abandon) {
+        // The job may hold this key's half-open breaker trial; release it
+        // so the abandoned run cannot jam the breaker open forever.
+        impl.breaker.abandon_trial(job->key);
+        continue;  // nobody left to pay for this plan
+      }
     }
 
     const Clock::time_point started = Clock::now();
@@ -259,14 +405,34 @@ void PlanningService::worker_loop() {
     std::shared_ptr<const ServedPlan> plan = cache_.peek(job->key);
     const bool served_from_cache = plan != nullptr;
     std::exception_ptr error;
+    bool cancelled = false;
     if (!plan) {
       try {
         impl.planned.fetch_add(1, std::memory_order_relaxed);
-        plan = plan_direct(job->request);
+        // Attach the shared token so the planner stops within one
+        // candidate evaluation once every waiter's deadline has passed
+        // (or the service is tearing the job down).
+        if (job->request.kind == PlannerKind::kAo)
+          job->request.ao.cancel = &job->token;
+        else
+          job->request.pco.ao.cancel = &job->token;
+        plan = plan_direct(job->request, job->degraded);
         FOSCIL_ASSERT(plan->key == job->key);
         cache_.insert(job->key, plan);
+        impl.breaker.record_success(job->key);
+        impl.note_plan_seconds(seconds_between(started, Clock::now()));
+      } catch (const CancelledError&) {
+        // Expected outcome, not a planner defect: no breaker strike, no
+        // `failed` count — but the trial (if any) must be released.
+        cancelled = true;
+        impl.breaker.abandon_trial(job->key);
+      } catch (const std::exception& e) {
+        error = std::current_exception();
+        impl.breaker.record_failure(job->key, e.what(), Clock::now());
       } catch (...) {
         error = std::current_exception();
+        impl.breaker.record_failure(job->key, "unknown planner error",
+                                    Clock::now());
       }
     }
 
@@ -278,6 +444,12 @@ void PlanningService::worker_loop() {
     }
     const Clock::time_point finished = Clock::now();
     for (auto& waiter : waiters) {
+      if (cancelled) {
+        impl.cancelled_mid_plan.fetch_add(1, std::memory_order_relaxed);
+        waiter.promise.set_exception(
+            std::make_exception_ptr(CancelledError()));
+        continue;
+      }
       if (error) {
         impl.failed.fetch_add(1, std::memory_order_relaxed);
         waiter.promise.set_exception(error);
@@ -290,9 +462,67 @@ void PlanningService::worker_loop() {
       response.queue_seconds = seconds_between(waiter.submitted, started);
       response.total_seconds = seconds_between(waiter.submitted, finished);
       impl.completed.fetch_add(1, std::memory_order_relaxed);
+      if (plan->degraded)
+        impl.degraded_served.fetch_add(1, std::memory_order_relaxed);
       waiter.promise.set_value(std::move(response));
     }
   }
+}
+
+void PlanningService::snapshot_loop() {
+  Impl& impl = *impl_;
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(impl.options.snapshot_period_s));
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  for (;;) {
+    impl.snapshot_tick.wait_for(lock, period, [&] { return impl.stopping; });
+    if (impl.stopping) return;  // stop() writes the final snapshot itself
+    lock.unlock();
+    try {
+      save_snapshot_file(impl.options.snapshot_path);
+    } catch (const SnapshotError& snapshot_error) {
+      // Periodic flushes are best-effort; the next tick retries.
+      std::cerr << "foscil-serve: periodic snapshot failed: "
+                << snapshot_error.what() << "\n";
+    }
+    lock.lock();
+  }
+}
+
+void PlanningService::save_snapshot_file(const std::string& path) {
+  SnapshotData data;
+  for (const auto& plan : cache_.export_entries()) data.plans.push_back(*plan);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->identify_mutex);
+    data.identify = impl_->identify;
+  }
+  save_snapshot(path, data);
+  impl_->snapshot_saves.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlanningService::load_snapshot_file(const std::string& path) {
+  SnapshotData data = load_snapshot(path);  // throws before any mutation
+  for (ServedPlan& plan : data.plans) {
+    const CacheKey key = plan.key;
+    cache_.insert(key, std::make_shared<const ServedPlan>(std::move(plan)));
+  }
+  if (data.identify.has_value()) {
+    const std::lock_guard<std::mutex> lock(impl_->identify_mutex);
+    impl_->identify = data.identify;
+    impl_->loaded_identify = std::move(data.identify);
+  }
+  impl_->snapshot_loads.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<core::IdentifyState> PlanningService::loaded_identify_state()
+    const {
+  const std::lock_guard<std::mutex> lock(impl_->identify_mutex);
+  return impl_->loaded_identify;
+}
+
+void PlanningService::set_identify_state(core::IdentifyState state) {
+  const std::lock_guard<std::mutex> lock(impl_->identify_mutex);
+  impl_->identify = std::move(state);
 }
 
 ServiceStats PlanningService::stats() const {
@@ -310,6 +540,20 @@ ServiceStats PlanningService::stats() const {
       impl_->rejected_expired.load(std::memory_order_relaxed);
   stats.expired_in_queue =
       impl_->expired_in_queue.load(std::memory_order_relaxed);
+  stats.cancelled_mid_plan =
+      impl_->cancelled_mid_plan.load(std::memory_order_relaxed);
+  stats.degraded_served =
+      impl_->degraded_served.load(std::memory_order_relaxed);
+  stats.rejected_overload =
+      impl_->rejected_overload.load(std::memory_order_relaxed);
+  stats.breaker_rejections =
+      impl_->breaker_rejections.load(std::memory_order_relaxed);
+  stats.snapshot_saves = impl_->snapshot_saves.load(std::memory_order_relaxed);
+  stats.snapshot_loads = impl_->snapshot_loads.load(std::memory_order_relaxed);
+  stats.snapshot_load_failures =
+      impl_->snapshot_load_failures.load(std::memory_order_relaxed);
+  stats.overload_transitions = impl_->overload.transitions();
+  stats.load_state = impl_->overload.state();
   stats.workers = impl_->worker_count;
   {
     const std::lock_guard<std::mutex> lock(impl_->mutex);
@@ -321,6 +565,10 @@ ServiceStats PlanningService::stats() const {
 
 unsigned PlanningService::worker_count() const {
   return static_cast<unsigned>(impl_->worker_count);
+}
+
+LoadState PlanningService::load_state() const {
+  return impl_->overload.state();
 }
 
 }  // namespace foscil::serve

@@ -22,6 +22,17 @@
 // cache.  An expired-at-submit request is only admitted if the cache can
 // serve it instantly.
 //
+// Robustness: the service degrades before it falls over.  Requests carry
+// cooperative CancelTokens (a deadline that passes mid-plan stops the
+// planner within one candidate and reports CancelledError); a hysteresis
+// overload ladder (serve/overload.hpp) caps search depth under pressure
+// (DEGRADED) and sheds load with retry-after hints before the queue can
+// grow unbounded (SHED); a per-key circuit breaker stops a poisoned
+// request from repeatedly burning workers; and an optional snapshot file
+// (serve/snapshot.hpp) makes restarts warm — the cache reloads
+// bit-identical plans, and corrupt snapshots are rejected cleanly in
+// favor of a cold start.
+//
 // Thread-safety contract: Platform/ThermalModel are immutable after
 // construction (see thermal/model.hpp), the planners are reentrant pure
 // functions of their arguments, and every piece of shared mutable state in
@@ -31,36 +42,16 @@
 #pragma once
 
 #include <future>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "core/identify.hpp"
+#include "serve/errors.hpp"
+#include "serve/overload.hpp"
 #include "serve/plan_cache.hpp"
 
 namespace foscil::serve {
-
-class ServeError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Admission control: the bounded request queue is full.
-class QueueFullError : public ServeError {
- public:
-  QueueFullError() : ServeError("planning service queue is full") {}
-};
-
-/// The request's deadline passed before a worker could start planning it.
-class DeadlineExpiredError : public ServeError {
- public:
-  DeadlineExpiredError()
-      : ServeError("planning request deadline expired before planning") {}
-};
-
-/// The service is stopping / stopped and accepts no new work.
-class ServiceStoppedError : public ServeError {
- public:
-  ServiceStoppedError() : ServeError("planning service is stopped") {}
-};
 
 struct ServiceOptions {
   unsigned workers = 0;             ///< 0 = hardware_parallelism()
@@ -68,6 +59,18 @@ struct ServiceOptions {
   std::size_t cache_capacity = 1024;
   std::size_t cache_shards = 8;
   double default_deadline_s = 0.0;  ///< <= 0: no default deadline
+  /// Degradation ladder watermarks and degraded-search caps.
+  OverloadOptions overload{};
+  /// Per-key failure isolation.
+  BreakerOptions breaker{};
+  /// Snapshot file for crash-safe warm restarts.  Empty: persistence off.
+  /// Non-empty: the constructor attempts a warm start from this file (a
+  /// missing/corrupt file is counted and ignored — the service starts
+  /// cold), and stop() flushes a final snapshot to it.
+  std::string snapshot_path;
+  /// > 0: a background thread additionally flushes the snapshot every this
+  /// many seconds, so a crash loses at most one period of cached plans.
+  double snapshot_period_s = 0.0;
 };
 
 struct PlanRequest {
@@ -99,6 +102,15 @@ struct ServiceStats {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_expired = 0;  ///< dead on arrival at submit
   std::uint64_t expired_in_queue = 0;  ///< dequeued past their deadline
+  std::uint64_t cancelled_mid_plan = 0;  ///< waiters whose plan was cut short
+  std::uint64_t degraded_served = 0;     ///< responses carrying degraded plans
+  std::uint64_t rejected_overload = 0;   ///< shed at submit (OverloadedError)
+  std::uint64_t breaker_rejections = 0;  ///< rejected by an open breaker
+  std::uint64_t snapshot_saves = 0;
+  std::uint64_t snapshot_loads = 0;         ///< successful warm starts
+  std::uint64_t snapshot_load_failures = 0; ///< corrupt/missing -> cold start
+  std::uint64_t overload_transitions = 0;   ///< ladder state changes
+  LoadState load_state = LoadState::kNormal;
   std::size_t queue_peak = 0;
   std::size_t workers = 0;
   CacheStats cache;
@@ -114,32 +126,60 @@ class PlanningService {
   PlanningService& operator=(const PlanningService&) = delete;
 
   /// Admit one request.  Returns a future that yields the response, or
-  /// throws QueueFullError / DeadlineExpiredError / ServiceStoppedError at
-  /// submit.  Failures after admission (expiry in queue, planner errors)
+  /// throws QueueFullError / DeadlineExpiredError / ServiceStoppedError /
+  /// OverloadedError / BreakerOpenError at submit.  Failures after
+  /// admission (expiry in queue, cancellation mid-plan, planner errors)
   /// are delivered through the future.
   [[nodiscard]] std::future<PlanResponse> submit(PlanRequest request);
 
-  /// Stop accepting work, drain the queue, join the workers.  Idempotent.
+  /// Stop accepting work, drain the queue, join the workers, and (when a
+  /// snapshot path is configured) flush a final snapshot.  Idempotent.
   void stop();
+
+  /// Serialize the current cache contents (and the identify state, if one
+  /// was set or warm-loaded) to `path` atomically.  Throws SnapshotError
+  /// on I/O failure.  Counted in ServiceStats::snapshot_saves.
+  void save_snapshot_file(const std::string& path);
+
+  /// Warm-start from `path`: insert every snapshotted plan into the cache
+  /// (bit-identical to when it was saved) and retain the identify state
+  /// for loaded_identify_state().  Throws SnapshotError when the file is
+  /// missing, corrupt, truncated, or version-mismatched — the cache is
+  /// left untouched (cold) in that case.
+  void load_snapshot_file(const std::string& path);
+
+  /// Identify state restored by the last successful snapshot load, for the
+  /// owner of the ThermalIdentifier to re-arm it after a warm restart.
+  [[nodiscard]] std::optional<core::IdentifyState> loaded_identify_state()
+      const;
+  /// Attach the current identification state so subsequent snapshots
+  /// persist it alongside the cached plans.
+  void set_identify_state(core::IdentifyState state);
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const PlanCache& cache() const { return cache_; }
   [[nodiscard]] unsigned worker_count() const;
+  [[nodiscard]] LoadState load_state() const;
 
  private:
   struct Impl;
   void worker_loop();
+  void snapshot_loop();
 
   PlanCache cache_;
   std::unique_ptr<Impl> impl_;
   std::vector<std::thread> threads_;
+  std::thread snapshot_thread_;
 };
 
 /// Plan one request directly on the calling thread — the planner run plus
 /// the Theorem-2 certificate, exactly as a service worker would compute it,
 /// but with no cache, queue, or coalescing.  This is the serial baseline
 /// for benchmarking and the oracle for the differential tests.
+/// `degraded` stamps the plan and its key with the degraded bit; the
+/// caller is responsible for having already capped the request's search
+/// options (see degraded_ao_options) — the flag itself changes no math.
 [[nodiscard]] std::shared_ptr<const ServedPlan> plan_direct(
-    const PlanRequest& request);
+    const PlanRequest& request, bool degraded = false);
 
 }  // namespace foscil::serve

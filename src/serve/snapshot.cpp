@@ -1,0 +1,360 @@
+#include "serve/snapshot.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace foscil::serve {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'O', 'S', 'C', 'S', 'N', 'A', 'P'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
+
+// FNV-1a over raw bytes — the same construction the cache key uses, applied
+// here as a corruption check (not a security boundary; a snapshot file is
+// operator-controlled local state).
+std::uint64_t checksum_bytes(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// ---- writer ---------------------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+  void f64(double v) { u64(double_bits(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes_.append(s);
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+// ---- reader ---------------------------------------------------------------
+
+// Cursor over the payload.  Every read is bounds-checked; an overrun means
+// the payload structure disagrees with its own length fields, which the
+// checksum cannot catch if the file was *written* malformed — so the reader
+// never trusts a length without checking it against the bytes remaining.
+class Reader {
+ public:
+  Reader(const std::string& bytes, const std::string& path)
+      : bytes_(bytes), path_(path) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double f64() { return bits_double(u64()); }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(bytes_.data() + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) fail("boolean field holds " + std::to_string(v));
+    return v == 1;
+  }
+
+  /// A count of fixed-size records; rejected when even `bytes_each` bytes
+  /// per record would overrun the payload, so a corrupt count cannot drive
+  /// a multi-gigabyte allocation before the overrun is noticed.
+  std::uint64_t count(std::uint64_t bytes_each) {
+    const std::uint64_t n = u64();
+    if (bytes_each != 0 && n > (bytes_.size() - pos_) / bytes_each)
+      fail("record count " + std::to_string(n) + " overruns payload");
+    return n;
+  }
+
+  void expect_exhausted() const {
+    if (pos_ != bytes_.size())
+      fail(std::to_string(bytes_.size() - pos_) +
+           " trailing bytes after payload");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SnapshotError("snapshot " + path_ + ": " + what);
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > bytes_.size() - pos_)
+      fail("truncated payload (needed " + std::to_string(n) + " bytes at " +
+           std::to_string(pos_) + ")");
+  }
+
+  const std::string& bytes_;
+  std::string path_;
+  std::size_t pos_ = 0;
+};
+
+// ---- plan / identify payloads ---------------------------------------------
+
+void write_plan(Writer& w, const ServedPlan& plan) {
+  w.u64(plan.key.hi);
+  w.u64(plan.key.lo);
+  w.u8(plan.kind == PlannerKind::kPco ? 1 : 0);
+  w.u8(plan.degraded ? 1 : 0);
+  w.u8(plan.certified_safe ? 1 : 0);
+  w.f64(plan.certificate_rise);
+
+  const core::SchedulerResult& r = plan.result;
+  w.str(r.scheduler);
+  w.u8(r.feasible ? 1 : 0);
+  w.f64(r.throughput);
+  w.f64(r.peak_rise);
+  w.f64(r.peak_celsius);
+  w.u64(static_cast<std::uint64_t>(r.m));
+  w.f64(r.seconds);
+  w.u64(r.evaluations);
+
+  const sched::PeriodicSchedule& s = r.schedule;
+  w.u64(s.num_cores());
+  w.f64(s.period());
+  for (std::size_t core = 0; core < s.num_cores(); ++core) {
+    const auto& segments = s.core_segments(core);
+    w.u64(segments.size());
+    for (const auto& seg : segments) {
+      w.f64(seg.duration);
+      w.f64(seg.voltage);
+    }
+  }
+}
+
+ServedPlan read_plan(Reader& r) {
+  ServedPlan plan;
+  plan.key.hi = r.u64();
+  plan.key.lo = r.u64();
+  const std::uint8_t kind = r.u8();
+  if (kind > 1) r.fail("planner kind holds " + std::to_string(kind));
+  plan.kind = kind == 1 ? PlannerKind::kPco : PlannerKind::kAo;
+  plan.degraded = r.boolean();
+  plan.certified_safe = r.boolean();
+  plan.certificate_rise = r.f64();
+
+  core::SchedulerResult& res = plan.result;
+  res.scheduler = r.str();
+  res.feasible = r.boolean();
+  res.throughput = r.f64();
+  res.peak_rise = r.f64();
+  res.peak_celsius = r.f64();
+  const std::uint64_t m = r.u64();
+  if (m == 0 || m > static_cast<std::uint64_t>(std::numeric_limits<int>::max()))
+    r.fail("oscillation factor holds " + std::to_string(m));
+  res.m = static_cast<int>(m);
+  res.seconds = r.f64();
+  res.evaluations = static_cast<std::size_t>(r.u64());
+
+  const std::uint64_t cores = r.count(8 + 8);  // >= count + period per core
+  if (cores == 0) r.fail("schedule with zero cores");
+  const double period = r.f64();
+  if (!(period > 0.0)) r.fail("schedule with non-positive period");
+  sched::PeriodicSchedule schedule(static_cast<std::size_t>(cores), period);
+  for (std::size_t core = 0; core < cores; ++core) {
+    const std::uint64_t nseg = r.count(16);  // two doubles per segment
+    if (nseg == 0) r.fail("core with zero segments");
+    std::vector<sched::Segment> segments;
+    segments.reserve(static_cast<std::size_t>(nseg));
+    for (std::uint64_t i = 0; i < nseg; ++i) {
+      sched::Segment seg;
+      seg.duration = r.f64();
+      seg.voltage = r.f64();
+      if (!(seg.duration > 0.0)) r.fail("segment with non-positive duration");
+      if (!(seg.voltage >= 0.0)) r.fail("segment with negative voltage");
+      segments.push_back(seg);
+    }
+    double total = 0.0;
+    for (const auto& seg : segments) total += seg.duration;
+    if (std::abs(total - period) > 1e-6 * period)
+      r.fail("core segments do not sum to the period");
+    // Verbatim restore: set_core_segments would rescale the durations and
+    // break the bit-identical round trip.
+    schedule.restore_core_segments(core, std::move(segments));
+  }
+  res.schedule = std::move(schedule);
+  return plan;
+}
+
+void write_identify(Writer& w, const core::IdentifyState& state) {
+  const std::size_t dim = state.theta.size();
+  w.u64(dim);
+  for (std::size_t i = 0; i < dim; ++i) w.f64(state.theta[i]);
+  for (std::size_t rr = 0; rr < dim; ++rr)
+    for (std::size_t cc = 0; cc < dim; ++cc) w.f64(state.covariance(rr, cc));
+  w.u64(state.updates);
+  w.u64(state.polls);
+  w.f64(state.seconds);
+}
+
+core::IdentifyState read_identify(Reader& r) {
+  core::IdentifyState state;
+  const std::uint64_t dim = r.count(8);  // at least theta itself
+  if (dim == 0) r.fail("identify state with zero parameters");
+  if (dim > (std::uint64_t{1} << 16)) r.fail("identify state dimension");
+  state.theta = linalg::Vector(static_cast<std::size_t>(dim));
+  for (std::size_t i = 0; i < dim; ++i) state.theta[i] = r.f64();
+  state.covariance = linalg::Matrix(static_cast<std::size_t>(dim),
+                                    static_cast<std::size_t>(dim));
+  for (std::size_t rr = 0; rr < dim; ++rr)
+    for (std::size_t cc = 0; cc < dim; ++cc) state.covariance(rr, cc) = r.f64();
+  state.updates = static_cast<std::size_t>(r.u64());
+  state.polls = static_cast<std::size_t>(r.u64());
+  state.seconds = r.f64();
+  return state;
+}
+
+}  // namespace
+
+void save_snapshot(const std::string& path, const SnapshotData& data) {
+  FOSCIL_EXPECTS(!path.empty());
+
+  Writer payload;
+  payload.u64(data.plans.size());
+  for (const ServedPlan& plan : data.plans) write_plan(payload, plan);
+  payload.u8(data.identify.has_value() ? 1 : 0);
+  if (data.identify.has_value()) write_identify(payload, *data.identify);
+
+  Writer header;
+  header.u32(kSnapshotVersion);
+  header.u32(0);  // reserved flags
+  header.u64(payload.bytes().size());
+  header.u64(checksum_bytes(payload.bytes()));
+
+  // Atomic publish: a crash before the rename leaves the previous snapshot
+  // (or no snapshot) in place; rename within one directory replaces the
+  // destination in a single step on POSIX.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SnapshotError("snapshot " + tmp + ": cannot open");
+    out.write(kMagic, sizeof(kMagic));
+    out.write(header.bytes().data(),
+              static_cast<std::streamsize>(header.bytes().size()));
+    out.write(payload.bytes().data(),
+              static_cast<std::streamsize>(payload.bytes().size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw SnapshotError("snapshot " + tmp + ": write failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("snapshot " + path + ": rename failed");
+  }
+}
+
+SnapshotData load_snapshot(const std::string& path) {
+  FOSCIL_EXPECTS(!path.empty());
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("snapshot " + path + ": cannot open");
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof())
+    throw SnapshotError("snapshot " + path + ": read failed");
+
+  if (file.size() < kHeaderSize)
+    throw SnapshotError("snapshot " + path + ": truncated header (" +
+                        std::to_string(file.size()) + " bytes)");
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0)
+    throw SnapshotError("snapshot " + path + ": bad magic");
+
+  Reader header(file, path);
+  // Skip past the magic by re-reading it through the cursor.
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) header.u8();
+  const std::uint32_t version = header.u32();
+  if (version != kSnapshotVersion)
+    throw SnapshotError("snapshot " + path + ": format version " +
+                        std::to_string(version) + " (this build reads " +
+                        std::to_string(kSnapshotVersion) + ")");
+  const std::uint32_t flags = header.u32();
+  if (flags != 0)
+    throw SnapshotError("snapshot " + path + ": unknown flags " +
+                        std::to_string(flags));
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t stored_checksum = header.u64();
+  if (file.size() - kHeaderSize != payload_size)
+    throw SnapshotError(
+        "snapshot " + path + ": payload size mismatch (header says " +
+        std::to_string(payload_size) + ", file holds " +
+        std::to_string(file.size() - kHeaderSize) + ")");
+
+  const std::string payload = file.substr(kHeaderSize);
+  const std::uint64_t actual_checksum = checksum_bytes(payload);
+  if (actual_checksum != stored_checksum)
+    throw SnapshotError("snapshot " + path + ": checksum mismatch");
+
+  Reader r(payload, path);
+  SnapshotData data;
+  // Smallest possible serialized plan is well over 64 bytes; 32 is a safe
+  // lower bound that still rejects absurd counts before allocating.
+  const std::uint64_t plan_count = r.count(32);
+  data.plans.reserve(static_cast<std::size_t>(plan_count));
+  for (std::uint64_t i = 0; i < plan_count; ++i)
+    data.plans.push_back(read_plan(r));
+  if (r.boolean()) data.identify = read_identify(r);
+  r.expect_exhausted();
+  return data;
+}
+
+}  // namespace foscil::serve

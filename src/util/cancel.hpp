@@ -1,0 +1,107 @@
+// Cooperative cancellation for long-running planner loops.
+//
+// A CancelToken combines an explicit cancel flag with an optional deadline
+// on the steady clock.  The token is *advisory*: code that holds one polls
+// it between units of work (candidate evaluations, m-iterations) and raises
+// CancelledError when it fires.  Checks never happen inside the numerics —
+// a planner run that is not cancelled produces bit-identical results
+// whether or not a token was attached, because the token only ever decides
+// *whether* the next candidate is evaluated, never *how*.
+//
+// Thread-safety: all members are lock-free atomics.  One token is typically
+// shared between the thread that may cancel (a serving-stack worker pool,
+// a signal handler) and the planner threads that poll it; `cancelled()` is
+// safe to call from any number of threads concurrently with `cancel()` /
+// `extend_deadline()`.
+//
+// Deadline semantics are designed for request coalescing: a token starts
+// with no deadline, `set_deadline` arms one, and `extend_deadline` only
+// ever moves it later (or removes it).  When several waiters share one
+// planner run, the run must continue while *any* waiter still has budget,
+// so the shared token carries the maximum deadline — and no deadline at
+// all as soon as one waiter has none.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace foscil {
+
+/// Raised by a planner whose CancelToken fired mid-run.  Derives from
+/// runtime_error (not ContractViolation): cancellation is an expected,
+/// recoverable outcome, not a programming error.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("planning run cancelled") {}
+  explicit CancelledError(const char* what) : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Explicitly cancel: every subsequent cancelled() is true.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm (or overwrite) the deadline.
+  void set_deadline(Clock::time_point deadline) noexcept {
+    deadline_ns_.store(to_ns(deadline), std::memory_order_relaxed);
+  }
+
+  /// Remove the deadline entirely (the token can then only fire via
+  /// cancel()).  Used when a deadline-free waiter joins a shared run.
+  void clear_deadline() noexcept {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  /// Move the deadline later, never earlier: the effective deadline becomes
+  /// max(current, `deadline`).  No-op when the deadline was already removed.
+  void extend_deadline(Clock::time_point deadline) noexcept {
+    const std::int64_t proposed = to_ns(deadline);
+    std::int64_t current = deadline_ns_.load(std::memory_order_relaxed);
+    while (current < proposed &&
+           !deadline_ns_.compare_exchange_weak(current, proposed,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// True once cancel() was called or the deadline passed.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != kNoDeadline && to_ns(Clock::now()) >= deadline;
+  }
+
+  /// Raise CancelledError when the token has fired.  The planner's
+  /// per-candidate check point.
+  void throw_if_cancelled() const {
+    if (cancelled()) throw CancelledError();
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  [[nodiscard]] static std::int64_t to_ns(Clock::time_point t) noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace foscil

@@ -344,6 +344,50 @@ TEST(ConfigLoader, GuardSectionParsesWithUnits) {
                ConfigError);  // rejected with the offending key named
 }
 
+TEST(ConfigLoader, ReportsUnknownKeysInKnownSectionsOnly) {
+  const Config c = Config::parse(
+      "[platform]\nrows = 2\ncols = 2\nrowz = 3\n"
+      "[ao]\nmax_mm = 9\n"
+      "[myapp]\nanything = 1\n");
+  // Misspellings inside sections the loader reads are reported (sorted);
+  // a section the loader knows nothing about belongs to someone else and
+  // stays silent.
+  EXPECT_EQ(unknown_config_keys(c),
+            (std::vector<std::string>{"ao.max_mm", "platform.rowz"}));
+  EXPECT_TRUE(unknown_config_keys(Config::parse(
+                  "[platform]\nrows = 1\ncols = 3\n"))
+                  .empty());
+}
+
+TEST(ConfigLoader, ExtraKnownKeysAdoptTheirSection) {
+  const Config c = Config::parse("[serve]\nworkers = 2\nworkerz = 3\n");
+  // Without help, [serve] is foreign to the core loader: silence.
+  EXPECT_TRUE(unknown_config_keys(c).empty());
+  // Once a caller claims one serve key, the section is known and the
+  // misspelled sibling is flagged.
+  EXPECT_EQ(unknown_config_keys(c, {"serve.workers"}),
+            std::vector<std::string>{"serve.workerz"});
+}
+
+TEST(ConfigLoader, WarnsOnStderrExactlyOncePerKey) {
+  // Key names unique to this test keep it independent of warning state
+  // accumulated by any other test in the process.
+  const Config c = Config::parse("[run]\nt_max_c_typo_for_warn_test = 1\n");
+  ::testing::internal::CaptureStderr();
+  const std::vector<std::string> first = warn_unknown_config_keys(c);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(first,
+            std::vector<std::string>{"run.t_max_c_typo_for_warn_test"});
+  EXPECT_NE(warning.find("unknown config key"), std::string::npos);
+  EXPECT_NE(warning.find("run.t_max_c_typo_for_warn_test"),
+            std::string::npos);
+
+  // Reloading the same config (file watchers, retries) stays quiet.
+  ::testing::internal::CaptureStderr();
+  EXPECT_TRUE(warn_unknown_config_keys(c).empty());
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
 TEST(ConfigLoader, EndToEndSchedulesFromConfig) {
   const Config c = Config::parse(
       "[platform]\nrows = 1\ncols = 3\n"

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "util/rng.hpp"
 
@@ -105,6 +107,49 @@ TEST(Rls, AllZeroRegressorIsSkipped) {
   // In particular the skipped update must not wind up the covariance
   // through the forgetting division.
   EXPECT_DOUBLE_EQ(est.max_sigma(), 1.0);
+}
+
+TEST(Rls, RestoreContinuesBitIdenticallyAfterInterruption) {
+  // The warm-restart contract of serve/snapshot: an estimator restored from
+  // saved state must produce exactly the trajectory the uninterrupted one
+  // would have — bit for bit, since the snapshot stores doubles verbatim.
+  RlsEstimator uninterrupted(3, 2.0, 0.995);
+  for (int k = 0; k < 60; ++k) {
+    const Vector phi = regressor(k);
+    uninterrupted.update(phi, truth(phi));
+  }
+  const Vector saved_theta = uninterrupted.theta();
+  const Matrix saved_p = uninterrupted.covariance();
+  const std::size_t saved_updates = uninterrupted.updates();
+
+  RlsEstimator revived(3, 2.0, 0.995);
+  revived.restore(saved_theta, saved_p, saved_updates);
+  EXPECT_EQ(revived.updates(), saved_updates);
+  for (int k = 60; k < 120; ++k) {
+    const Vector phi = regressor(k);
+    uninterrupted.update(phi, truth(phi));
+    revived.update(phi, truth(phi));
+  }
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(revived.theta()[i]),
+              std::bit_cast<std::uint64_t>(uninterrupted.theta()[i]))
+        << "theta[" << i << "]";
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(revived.covariance()(r, c)),
+                std::bit_cast<std::uint64_t>(
+                    uninterrupted.covariance()(r, c)))
+          << "P(" << r << "," << c << ")";
+}
+
+TEST(Rls, RestoreRejectsMismatchedDimensions) {
+  RlsEstimator est(3, 1.0);
+  EXPECT_THROW(est.restore(Vector{1.0, 2.0}, Matrix(3, 3), 1),
+               ContractViolation);
+  EXPECT_THROW(est.restore(Vector{1.0, 2.0, 3.0}, Matrix(2, 2), 1),
+               ContractViolation);
+  EXPECT_THROW(est.restore(Vector{1.0, 2.0, 3.0}, Matrix(3, 2), 1),
+               ContractViolation);
 }
 
 TEST(Rls, InvalidConstructionViolatesContract) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 namespace foscil::sched {
 namespace {
@@ -57,6 +59,34 @@ TEST(PeriodicSchedule, TinyRoundingInDurationsIsRescaled) {
   double total = 0.0;
   for (const auto& seg : s.core_segments(0)) total += seg.duration;
   EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(PeriodicSchedule, RestoreCoreSegmentsIsVerbatim) {
+  // The snapshot loader (serve/snapshot) must reproduce saved schedules bit
+  // for bit, so restore_core_segments skips the rescale that
+  // set_core_segments applies to tiny rounding residue.
+  const double head = 0.5 + 1e-13;
+  PeriodicSchedule rescaled(1, 1.0);
+  rescaled.set_core_segments(0, {{head, 1.0}, {0.5, 0.6}});
+  EXPECT_NE(std::bit_cast<std::uint64_t>(rescaled.core_segments(0)[0].duration),
+            std::bit_cast<std::uint64_t>(head))
+      << "set_core_segments should have rescaled this duration";
+
+  PeriodicSchedule verbatim(1, 1.0);
+  verbatim.restore_core_segments(0, {{head, 1.0}, {0.5, 0.6}});
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(verbatim.core_segments(0)[0].duration),
+            std::bit_cast<std::uint64_t>(head));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(verbatim.core_segments(0)[1].duration),
+            std::bit_cast<std::uint64_t>(0.5));
+  EXPECT_DOUBLE_EQ(verbatim.core_segments(0)[0].voltage, 1.0);
+}
+
+TEST(PeriodicSchedule, RestoreCoreSegmentsStillValidates) {
+  PeriodicSchedule s(1, 1.0);
+  EXPECT_THROW(s.restore_core_segments(0, {{0.5, 1.0}}), ContractViolation);
+  EXPECT_THROW(s.restore_core_segments(0, {}), ContractViolation);
+  EXPECT_THROW(s.restore_core_segments(0, {{1.0, -0.1}}), ContractViolation);
+  EXPECT_THROW(s.restore_core_segments(1, {{1.0, 0.6}}), ContractViolation);
 }
 
 TEST(PeriodicSchedule, StateIntervalsMergeBreakpoints) {

@@ -3,6 +3,10 @@
 // values.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "core/config_loader.hpp"
 #include "serve/serve_config.hpp"
 
 namespace foscil::serve {
@@ -59,6 +63,56 @@ TEST(ServeConfig, MalformedValuesViolateTheContract) {
   EXPECT_THROW((void)demo_options_from_config(
                    Config::parse("[serve]\ndemo_unique = 0\n")),
                ContractViolation);
+}
+
+TEST(ServeConfig, RobustnessKeysParseIntoOptions) {
+  const Config config = Config::parse(
+      "[serve]\n"
+      "overload_enabled = true\n"
+      "degrade_fill = 0.4\n"
+      "shed_fill = 0.8\n"
+      "recover_fill = 0.1\n"
+      "degraded_max_m = 32\n"
+      "degraded_patience = 1\n"
+      "breaker_threshold = 5\n"
+      "breaker_backoff_initial_ms = 250\n"
+      "breaker_backoff_max_ms = 8000\n"
+      "snapshot_path = /tmp/foscil.snap\n"
+      "snapshot_period_s = 30\n");
+  const ServiceOptions options = service_options_from_config(config);
+  EXPECT_TRUE(options.overload.enabled);
+  EXPECT_DOUBLE_EQ(options.overload.degrade_fill, 0.4);
+  EXPECT_DOUBLE_EQ(options.overload.shed_fill, 0.8);
+  EXPECT_DOUBLE_EQ(options.overload.recover_fill, 0.1);
+  EXPECT_EQ(options.overload.degraded_max_m, 32);
+  EXPECT_EQ(options.overload.degraded_patience, 1);
+  EXPECT_EQ(options.breaker.failure_threshold, 5);
+  EXPECT_DOUBLE_EQ(options.breaker.backoff_initial_s, 0.25);
+  EXPECT_DOUBLE_EQ(options.breaker.backoff_max_s, 8.0);
+  EXPECT_EQ(options.snapshot_path, "/tmp/foscil.snap");
+  EXPECT_DOUBLE_EQ(options.snapshot_period_s, 30.0);
+
+  // Inverted watermarks are rejected at load time, not at first overload.
+  EXPECT_THROW((void)service_options_from_config(Config::parse(
+                   "[serve]\ndegrade_fill = 0.9\nshed_fill = 0.5\n")),
+               ContractViolation);
+  EXPECT_THROW((void)service_options_from_config(
+                   Config::parse("[serve]\nsnapshot_period_s = -1\n")),
+               ContractViolation);
+}
+
+TEST(ServeConfig, KnownKeyListCoversEveryKeyTheLoaderReads) {
+  // Feed a config that sets every advertised serve key; none of them may
+  // come back as unknown, and a typo must.
+  std::string body = "[serve]\n";
+  for (const std::string& key : serve_known_config_keys())
+    body += key.substr(key.find('.') + 1) + " = 1\n";
+  const Config config = Config::parse(body);
+  EXPECT_TRUE(
+      core::unknown_config_keys(config, serve_known_config_keys()).empty());
+  EXPECT_EQ(core::unknown_config_keys(Config::parse("[serve]\nworkerz = 1\n"),
+                                      serve_known_config_keys()),
+            std::vector<std::string>{"serve.workerz"});
 }
 
 TEST(ServeConfig, ParsedOptionsConstructAWorkingService) {

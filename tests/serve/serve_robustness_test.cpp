@@ -1,0 +1,446 @@
+// Graceful-degradation battery for the planning service: the overload
+// ladder (NORMAL -> DEGRADED -> SHED with hysteresis), the per-key circuit
+// breaker with its negative cache, cooperative cancellation of in-flight
+// plans, and the shutdown race (every admitted waiter resolves, never
+// hangs).  The cache-poisoning invariant — a degraded plan can never
+// replace or alias a full-quality entry — is asserted end-to-end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/overload.hpp"
+#include "serve/service.hpp"
+#include "../test_support.hpp"
+#include "util/cancel.hpp"
+
+namespace foscil::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+PlanRequest request_2x2(double t_max_c) {
+  PlanRequest request;
+  request.platform = testing::grid_platform(2, 2);
+  request.t_max_c = t_max_c;
+  return request;
+}
+
+PlanRequest request_3x3(double t_max_c) {
+  PlanRequest request;
+  request.platform = testing::grid_platform(3, 3);
+  request.t_max_c = t_max_c;
+  return request;
+}
+
+// ---- overload ladder --------------------------------------------------
+
+TEST(OverloadLadder, WalksDownAndRecoversWithHysteresis) {
+  OverloadOptions options;  // degrade 0.5, shed 0.9, recover 0.25
+  OverloadController ladder(options);
+  EXPECT_EQ(ladder.state(), LoadState::kNormal);
+
+  EXPECT_EQ(ladder.update(4, 10), LoadState::kNormal);
+  EXPECT_EQ(ladder.update(5, 10), LoadState::kDegraded);
+  // Hysteresis: dropping just below the degrade watermark is not enough.
+  EXPECT_EQ(ladder.update(4, 10), LoadState::kDegraded);
+  EXPECT_EQ(ladder.update(3, 10), LoadState::kDegraded);
+  EXPECT_EQ(ladder.update(2, 10), LoadState::kNormal);
+
+  EXPECT_EQ(ladder.update(9, 10), LoadState::kShed);
+  // One rung at a time on the way back up.
+  EXPECT_EQ(ladder.update(4, 10), LoadState::kDegraded);
+  EXPECT_EQ(ladder.update(1, 10), LoadState::kNormal);
+  EXPECT_EQ(ladder.transitions(), 5u);
+}
+
+TEST(OverloadLadder, ShedRecoversDirectlyToNormalWhenFullyDrained) {
+  OverloadController ladder(OverloadOptions{});
+  EXPECT_EQ(ladder.update(10, 10), LoadState::kShed);
+  EXPECT_EQ(ladder.update(0, 10), LoadState::kNormal);
+}
+
+TEST(OverloadLadder, DisabledLadderIsPinnedAtNormal) {
+  OverloadOptions options;
+  options.enabled = false;
+  OverloadController ladder(options);
+  EXPECT_EQ(ladder.update(10, 10), LoadState::kNormal);
+  EXPECT_EQ(ladder.transitions(), 0u);
+}
+
+TEST(OverloadLadder, DegradedOptionsCapOnlySearchExtent) {
+  OverloadOptions overload;
+  core::AoOptions ao;
+  ao.max_m = 4096;
+  ao.m_search_patience = 8;
+  ao.t_max_margin = 0.25;
+  const core::AoOptions capped = degraded_ao_options(ao, overload);
+  EXPECT_EQ(capped.max_m, overload.degraded_max_m);
+  EXPECT_EQ(capped.m_search_patience, overload.degraded_patience);
+  // Safety knobs untouched: degraded plans stay certified.
+  EXPECT_EQ(capped.t_max_margin, ao.t_max_margin);
+  EXPECT_EQ(capped.base_period, ao.base_period);
+
+  core::PcoOptions pco;
+  const core::PcoOptions pco_capped = degraded_pco_options(pco, overload);
+  EXPECT_LE(pco_capped.phase_grid, overload.degraded_phase_grid);
+  EXPECT_LE(pco_capped.phase_rounds, overload.degraded_phase_rounds);
+  EXPECT_EQ(pco_capped.peak_samples, pco.peak_samples);
+
+  // A request already below the caps is left alone.
+  core::AoOptions small;
+  small.max_m = 8;
+  small.m_search_patience = 1;
+  const core::AoOptions unchanged = degraded_ao_options(small, overload);
+  EXPECT_EQ(unchanged.max_m, 8);
+  EXPECT_EQ(unchanged.m_search_patience, 1);
+}
+
+// ---- circuit breaker --------------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterThresholdAndCachesTheDiagnosis) {
+  BreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  const CacheKey key{1, 2};
+  const Clock::time_point t0 = Clock::now();
+
+  breaker.record_failure(key, "planner exploded", t0);
+  breaker.record_failure(key, "planner exploded", t0);
+  EXPECT_NO_THROW(breaker.admit(key, t0)) << "below the threshold";
+  breaker.record_failure(key, "planner exploded", t0);
+  EXPECT_EQ(breaker.open_count(), 1u);
+  try {
+    breaker.admit(key, t0);
+    FAIL() << "expected BreakerOpenError";
+  } catch (const BreakerOpenError& error) {
+    EXPECT_EQ(error.last_error, "planner exploded");
+    EXPECT_GT(error.retry_after_s, 0.0);
+    EXPECT_NE(std::string(error.what()).find("planner exploded"),
+              std::string::npos);
+  }
+  // Other keys are unaffected.
+  EXPECT_NO_THROW(breaker.admit(CacheKey{3, 4}, t0));
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsOneTrialAndSuccessCloses) {
+  BreakerOptions options;
+  options.failure_threshold = 1;
+  options.backoff_initial_s = 0.1;
+  CircuitBreaker breaker(options);
+  const CacheKey key{7, 7};
+  const Clock::time_point t0 = Clock::now();
+
+  breaker.record_failure(key, "boom", t0);
+  EXPECT_THROW(breaker.admit(key, t0), BreakerOpenError);
+
+  // After the backoff: exactly one trial goes through; a concurrent
+  // second submit is still rejected.
+  const Clock::time_point later = t0 + std::chrono::milliseconds(200);
+  EXPECT_NO_THROW(breaker.admit(key, later));
+  EXPECT_THROW(breaker.admit(key, later), BreakerOpenError);
+
+  breaker.record_success(key);
+  EXPECT_EQ(breaker.open_count(), 0u);
+  EXPECT_EQ(breaker.tracked_count(), 0u);
+  EXPECT_NO_THROW(breaker.admit(key, later));
+}
+
+TEST(CircuitBreaker, FailedTrialReopensWithExponentialBackoff) {
+  BreakerOptions options;
+  options.failure_threshold = 1;
+  options.backoff_initial_s = 0.1;
+  options.backoff_factor = 2.0;
+  options.backoff_max_s = 0.3;
+  CircuitBreaker breaker(options);
+  const CacheKey key{9, 9};
+  Clock::time_point now = Clock::now();
+
+  breaker.record_failure(key, "boom", now);  // open, backoff 0.1
+  now += std::chrono::milliseconds(150);
+  EXPECT_NO_THROW(breaker.admit(key, now));  // trial
+  breaker.record_failure(key, "boom again", now);  // backoff 0.2
+  // 0.15 s later: still inside the doubled backoff.
+  EXPECT_THROW(breaker.admit(key, now + std::chrono::milliseconds(150)),
+               BreakerOpenError);
+  EXPECT_NO_THROW(breaker.admit(key, now + std::chrono::milliseconds(250)));
+  breaker.record_failure(key, "boom", now + std::chrono::milliseconds(250));
+  // Capped at backoff_max_s: a 0.35 s wait must clear a 0.3 s cap.
+  EXPECT_NO_THROW(breaker.admit(key, now + std::chrono::milliseconds(650)));
+}
+
+TEST(CircuitBreaker, AbandonedTrialDoesNotJamTheBreaker) {
+  BreakerOptions options;
+  options.failure_threshold = 1;
+  options.backoff_initial_s = 0.05;
+  CircuitBreaker breaker(options);
+  const CacheKey key{5, 5};
+  const Clock::time_point t0 = Clock::now();
+
+  breaker.record_failure(key, "boom", t0);
+  const Clock::time_point later = t0 + std::chrono::milliseconds(100);
+  EXPECT_NO_THROW(breaker.admit(key, later));  // trial claimed
+  breaker.abandon_trial(key);                  // ... but never resolved
+  // A fresh trial is admitted instead of being rejected forever.
+  EXPECT_NO_THROW(breaker.admit(key, later + std::chrono::milliseconds(1)));
+}
+
+TEST(CircuitBreaker, EvictionPrefersClosedEntriesAndKeepsOpenBreakers) {
+  BreakerOptions options;
+  options.failure_threshold = 2;
+  options.max_entries = 4;
+  CircuitBreaker breaker(options);
+  const Clock::time_point t0 = Clock::now();
+
+  // One open breaker...
+  const CacheKey poisoned{100, 100};
+  breaker.record_failure(poisoned, "bad", t0);
+  breaker.record_failure(poisoned, "bad", t0);
+  EXPECT_EQ(breaker.open_count(), 1u);
+  // ...then a flood of single-failure keys.
+  for (std::uint64_t i = 0; i < 16; ++i)
+    breaker.record_failure(CacheKey{i, i}, "meh", t0);
+  EXPECT_LE(breaker.tracked_count(), options.max_entries);
+  EXPECT_EQ(breaker.open_count(), 1u) << "the open breaker must survive";
+  EXPECT_THROW(breaker.admit(poisoned, t0), BreakerOpenError);
+}
+
+// ---- service-level: breaker + negative cache ----------------------------
+
+TEST(ServeRobustness, RepeatedPlannerFailuresOpenTheBreaker) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.backoff_initial_s = 60.0;  // stays open for the test
+  options.breaker.backoff_max_s = 120.0;
+  PlanningService service(options);
+
+  // T_max far below ambient (35 C) violates the planner's precondition
+  // deterministically — the canonical poison request.
+  const auto poison = [] { return request_2x2(5.0); };
+  for (int i = 0; i < 2; ++i)
+    EXPECT_THROW((void)service.submit(poison()).get(), std::exception);
+
+  // Third submit: rejected at submit, with the cached diagnosis, without
+  // burning a worker.
+  const std::uint64_t planned_before = service.stats().planned;
+  EXPECT_THROW((void)service.submit(poison()), BreakerOpenError);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.planned, planned_before);
+  EXPECT_EQ(stats.breaker_rejections, 1u);
+  EXPECT_EQ(stats.failed, 2u);
+
+  // Healthy requests with different keys are unaffected.
+  EXPECT_NO_THROW((void)service.submit(request_2x2(55.0)).get());
+}
+
+// ---- service-level: degradation ladder ----------------------------------
+
+TEST(ServeRobustness, BacklogTriggersDegradedPlansThatStayCertified) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.overload.degrade_fill = 0.2;   // one queued request degrades
+  options.overload.recover_fill = 0.05;
+  options.overload.shed_fill = 0.95;
+  options.overload.degraded_max_m = 16;
+  PlanningService service(options);
+
+  // Distinct 3x3 requests: each plan takes tens of milliseconds, so later
+  // submits observe a non-empty queue and ride the ladder down.
+  std::vector<std::future<PlanResponse>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(service.submit(request_3x3(55.0 + i)));
+
+  bool saw_degraded = false;
+  for (auto& future : futures) {
+    const PlanResponse response = future.get();
+    ASSERT_NE(response.plan, nullptr);
+    if (response.plan->degraded) {
+      saw_degraded = true;
+      EXPECT_LE(response.plan->result.m, 16);
+      // Degraded never means uncertified: the Theorem-2 certificate is
+      // computed for every served plan.
+      EXPECT_TRUE(response.plan->certified_safe);
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_GE(service.stats().degraded_served, 1u);
+  EXPECT_EQ(service.stats().failed, 0u);
+}
+
+TEST(ServeRobustness, DegradedPlansNeverPoisonFullQualityCacheEntries) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.overload.degrade_fill = 0.2;
+  options.overload.recover_fill = 0.05;
+  options.overload.degraded_max_m = 16;
+  PlanningService service(options);
+
+  std::vector<std::future<PlanResponse>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(service.submit(request_3x3(55.0 + i)));
+  std::optional<double> degraded_t_max;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const PlanResponse response = futures[i].get();
+    if (response.plan->degraded && !degraded_t_max)
+      degraded_t_max = 55.0 + static_cast<double>(i);
+  }
+  if (!degraded_t_max) GTEST_SKIP() << "ladder never engaged on this run";
+
+  // The queue has drained; the ladder recovers on the next miss.  The same
+  // request now plans full-quality: the degraded entry lives under its own
+  // key (schema v3 hashes the degraded bit) and cannot shadow this one.
+  const PlanRequest base = request_3x3(*degraded_t_max);
+  const CacheKey full_key = plan_key(base.platform, base.t_max_c, base.kind,
+                                     base.ao, base.pco);
+  EXPECT_EQ(service.cache().peek(full_key), nullptr)
+      << "degraded plan leaked into the full-quality key";
+  const PlanResponse full = service.submit(base).get();
+  EXPECT_FALSE(full.plan->degraded);
+  EXPECT_FALSE(full.cache_hit)
+      << "full-quality request must re-plan, not reuse the degraded entry";
+  // Both entries now coexist under distinct keys.
+  EXPECT_NE(service.cache().peek(full_key), nullptr);
+}
+
+TEST(ServeRobustness, ShedRejectsWithRetryAfterAndBoundedLatency) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.overload.degrade_fill = 0.2;
+  options.overload.shed_fill = 0.5;  // one queued request sheds
+  options.overload.recover_fill = 0.05;
+  PlanningService service(options);
+
+  std::vector<std::future<PlanResponse>> admitted;
+  int shed = 0;
+  double worst_rejection_s = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const Clock::time_point before = Clock::now();
+    try {
+      admitted.push_back(service.submit(request_3x3(50.0 + i)));
+    } catch (const OverloadedError& error) {
+      ++shed;
+      EXPECT_GT(error.retry_after_s, 0.0);
+      worst_rejection_s = std::max(
+          worst_rejection_s,
+          std::chrono::duration<double>(Clock::now() - before).count());
+    }
+  }
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(service.stats().rejected_overload,
+            static_cast<std::uint64_t>(shed));
+  // Rejection is a constant-time path: key hash + one cache probe + ladder
+  // check.  1 s is orders of magnitude of slack over the ~us reality.
+  EXPECT_LT(worst_rejection_s, 1.0);
+  for (auto& future : admitted) EXPECT_NO_THROW((void)future.get());
+}
+
+// ---- service-level: cancellation ----------------------------------------
+
+TEST(ServeRobustness, DeadlinePassingMidPlanCancelsCooperatively) {
+  ServiceOptions options;
+  options.workers = 1;
+  PlanningService service(options);
+
+  // A deliberately heavy PCO request (wide phase grid, many rounds) that
+  // takes far longer than the 100 ms budget; the worker dequeues it within
+  // microseconds, so the deadline fires *during* planning, not in queue.
+  PlanRequest request = request_3x3(55.0);
+  request.kind = PlannerKind::kPco;
+  request.pco.phase_grid = 48;
+  request.pco.phase_rounds = 4;
+  request.pco.peak_samples = 96;
+  request.deadline_s = 0.1;
+
+  std::future<PlanResponse> future = service.submit(request);
+  EXPECT_THROW((void)future.get(), CancelledError);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled_mid_plan, 1u);
+  EXPECT_EQ(stats.failed, 0u) << "cancellation is not a planner failure";
+  // A cancelled run must leave nothing in the cache.
+  EXPECT_EQ(stats.cache.entries, 0u);
+}
+
+TEST(ServeRobustness, CoalescedWaiterWithoutDeadlineKeepsThePlanAlive) {
+  ServiceOptions options;
+  options.workers = 1;
+  PlanningService service(options);
+
+  // Occupy the worker so the next two submits coalesce in the queue.
+  std::future<PlanResponse> blocker = service.submit(request_3x3(70.0));
+
+  PlanRequest request = request_3x3(55.0);
+  request.deadline_s = 120.0;  // finite budget...
+  std::future<PlanResponse> with_deadline = service.submit(request);
+  request.deadline_s = -1.0;   // ...joined by an unbounded waiter
+  std::future<PlanResponse> unbounded = service.submit(request);
+
+  EXPECT_NO_THROW((void)blocker.get());
+  EXPECT_NO_THROW((void)with_deadline.get());
+  const PlanResponse response = unbounded.get();
+  EXPECT_TRUE(response.coalesced);
+  EXPECT_EQ(service.stats().cancelled_mid_plan, 0u);
+}
+
+// ---- shutdown race -------------------------------------------------------
+
+TEST(ServeRobustness, DestructionMidFlightResolvesEveryWaiter) {
+  for (int round = 0; round < 3; ++round) {
+    auto service = std::make_unique<PlanningService>([] {
+      ServiceOptions options;
+      options.workers = 2;
+      options.queue_capacity = 32;
+      return options;
+    }());
+
+    std::vector<std::future<PlanResponse>> futures;
+    std::mutex futures_mutex;
+    std::atomic<bool> stopped{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; !stopped.load(std::memory_order_relaxed); ++i) {
+          try {
+            auto future =
+                service->submit(request_2x2(45.0 + t * 25 + i % 20));
+            const std::lock_guard<std::mutex> lock(futures_mutex);
+            futures.push_back(std::move(future));
+          } catch (const ServiceStoppedError&) {
+            return;  // the expected end of the submit loop
+          } catch (const ServeError&) {
+            // Queue-full / shed during the burst: also fine, keep going.
+          }
+        }
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service->stop();  // races in-flight planning and concurrent submits
+    stopped.store(true, std::memory_order_relaxed);
+    for (std::thread& thread : submitters) thread.join();
+    service.reset();  // full destruction with futures still outstanding
+
+    // Every admitted waiter resolves — with a plan or a service error,
+    // never a hang (wait_for guards against deadlock) and never a UAF
+    // (the promises were fulfilled before the workers joined).
+    for (auto& future : futures) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready);
+      try {
+        const PlanResponse response = future.get();
+        EXPECT_NE(response.plan, nullptr);
+      } catch (const ServeError&) {
+      } catch (const CancelledError&) {
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace foscil::serve

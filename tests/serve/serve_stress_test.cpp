@@ -106,6 +106,10 @@ TEST(ServeStress, FullQueueRejectsAtSubmitWithoutBlocking) {
   ServiceOptions options;
   options.workers = 1;
   options.queue_capacity = 2;
+  // Pin the overload ladder at NORMAL so this test exercises the raw
+  // bounded-queue backstop; the ladder's own rejections are covered by the
+  // overload test battery.
+  options.overload.enabled = false;
   PlanningService service(options);
 
   // Distinct keys so nothing coalesces: one occupies the worker, two sit

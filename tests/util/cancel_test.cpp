@@ -1,0 +1,107 @@
+// CancelToken semantics: flag, deadline arming/extension/clearing, and the
+// coalescing-friendly "max deadline wins, no deadline beats all" ordering.
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace foscil {
+namespace {
+
+using Clock = CancelToken::Clock;
+
+TEST(CancelToken, StartsInertAndFiresOnExplicitCancel) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.throw_if_cancelled(), CancelledError);
+}
+
+TEST(CancelToken, DeadlineInThePastFiresImmediately) {
+  CancelToken token;
+  token.set_deadline(Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.throw_if_cancelled(), CancelledError);
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotFireEarly) {
+  CancelToken token;
+  token.set_deadline(Clock::now() + std::chrono::hours(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, DeadlinePassingFiresTheToken) {
+  CancelToken token;
+  token.set_deadline(Clock::now() + std::chrono::milliseconds(5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, ExtendMovesTheDeadlineLaterNeverEarlier) {
+  CancelToken token;
+  const Clock::time_point late = Clock::now() + std::chrono::hours(1);
+  token.set_deadline(late);
+  // An earlier proposal must not shorten the budget.
+  token.extend_deadline(Clock::now() - std::chrono::hours(1));
+  EXPECT_FALSE(token.cancelled());
+  // A later proposal takes effect (observable as still-not-cancelled after
+  // replacing with a past deadline first).
+  token.set_deadline(Clock::now() - std::chrono::milliseconds(1));
+  token.extend_deadline(late);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, ClearRemovesTheDeadlineAndExtendCannotResurrectIt) {
+  CancelToken token;
+  token.set_deadline(Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.cancelled());
+  token.clear_deadline();
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+  // Once a deadline-free waiter joined a shared run, a later deadline-
+  // carrying waiter must not re-arm the timer: extend is a max, and "no
+  // deadline" is the top element.
+  token.extend_deadline(Clock::now() + std::chrono::milliseconds(1));
+  EXPECT_FALSE(token.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, ExplicitCancelWinsOverAnyDeadline) {
+  CancelToken token;
+  token.set_deadline(Clock::now() + std::chrono::hours(1));
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.clear_deadline();
+  EXPECT_TRUE(token.cancelled()) << "cancel() is sticky";
+}
+
+TEST(CancelToken, ConcurrentExtendersAndPollersAreRaceFree) {
+  CancelToken token;
+  token.set_deadline(Clock::now() + std::chrono::milliseconds(50));
+  std::atomic<bool> stop{false};
+  std::thread extender([&] {
+    while (!stop.load()) {
+      token.extend_deadline(Clock::now() + std::chrono::milliseconds(50));
+      std::this_thread::yield();
+    }
+  });
+  // A poller thread hammers cancelled() while the extender keeps pushing
+  // the deadline out; the token must never fire.
+  const Clock::time_point until =
+      Clock::now() + std::chrono::milliseconds(30);
+  bool fired = false;
+  while (Clock::now() < until) fired = fired || token.cancelled();
+  stop.store(true);
+  extender.join();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace foscil
