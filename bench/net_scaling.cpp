@@ -1,0 +1,396 @@
+// X11 — Networked-tier scaling and chaos: real processes, real sockets,
+// real kills (DESIGN.md §13).
+//
+// The binary re-execs itself (via /proc/self/exe) as shard processes, so
+// the measurement covers exactly what production would run: a
+// PlanningService behind a PlanServer event loop in its own process, a
+// client fleet routing by consistent hash, SIGTERM draining a shard
+// gracefully, SIGKILL murdering one mid-load.
+//
+// Full run: plans/s for 1 -> 4 shard processes under a mixed
+// unique+repeat workload, then the chaos scenario.
+//
+// Acceptance gate (--smoke, the CI multi-process job):
+//   * two shards serve a client fleet with ZERO client-visible failures
+//     while one shard is SIGKILLed mid-load — retries and ring failover
+//     absorb the murder;
+//   * the killed shard restarts on its old port, warm-loads the snapshot
+//     its periodic flusher left behind, and is gated NOT_READY until the
+//     restore finishes (await_ready observes the gate);
+//   * a key planned before the kill is served from the restarted shard's
+//     warm cache bit-identically (cache_hit, plans_bit_identical);
+//   * the surviving shard SIGTERM-drains and exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
+#include "serve/service.hpp"
+#include "util/table.hpp"
+
+using namespace foscil;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double now_s() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Every process (shards and clients alike) plans on this platform; the
+/// fingerprint in each request pins the agreement on the wire.
+core::Platform bench_platform() { return bench::paper_platform(1, 2, 2); }
+
+serve::net::WirePlanRequest request_for(int point) {
+  serve::net::WirePlanRequest request;
+  request.t_max_c = 50.0 + 0.25 * static_cast<double>(point);
+  request.ao.max_m = 8;  // small searches: the wire is under test, not AO
+  return request;
+}
+
+// ---- shard child mode ----------------------------------------------------
+
+volatile std::sig_atomic_t g_terminate = 0;
+
+extern "C" void on_terminate(int) { g_terminate = 1; }
+
+/// `--shard` entry: serve until SIGTERM (graceful drain, exit 0) or
+/// SIGKILL (the chaos case).  Prints "PORT <n>" so the parent learns an
+/// ephemeral port.
+int run_shard(std::uint16_t port, const std::string& snapshot,
+              double flush_s) {
+  serve::ServiceOptions service_options;
+  service_options.workers = 2;
+  service_options.warm_load_at_construction = false;
+  if (!snapshot.empty()) {
+    // The periodic flusher is what makes a SIGKILL survivable: the warm
+    // snapshot on disk is at most one period stale.
+    service_options.snapshot_path = snapshot;
+    service_options.snapshot_period_s = flush_s;
+  }
+  serve::PlanningService service(service_options);
+
+  serve::net::ServerOptions server_options;
+  server_options.listen_port = port;
+  server_options.warm_snapshot_path = snapshot;
+  server_options.drain_snapshot_path = snapshot;
+  serve::net::PlanServer server(service, bench_platform(), server_options);
+  const std::uint16_t bound = server.listen();
+  std::printf("PORT %u\n", bound);
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, on_terminate);
+  std::signal(SIGINT, on_terminate);
+  server.run([] { return g_terminate != 0; });
+  service.stop();
+  return 0;
+}
+
+// ---- parent-side process control ------------------------------------------
+
+struct ShardProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// fork + exec /proc/self/exe --shard, read the child's PORT line.
+ShardProc spawn_shard(std::uint16_t port, const std::string& snapshot,
+                      double flush_s) {
+  int port_pipe[2];
+  if (::pipe(port_pipe) != 0) {
+    std::perror("pipe");
+    std::exit(2);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    ::dup2(port_pipe[1], STDOUT_FILENO);
+    ::close(port_pipe[0]);
+    ::close(port_pipe[1]);
+    const std::string port_arg = std::to_string(port);
+    const std::string flush_arg = std::to_string(flush_s);
+    ::execl("/proc/self/exe", "/proc/self/exe", "--shard", "--port",
+            port_arg.c_str(), "--snapshot", snapshot.c_str(), "--flush-s",
+            flush_arg.c_str(), static_cast<char*>(nullptr));
+    std::perror("execl /proc/self/exe");
+    std::_Exit(127);
+  }
+  ::close(port_pipe[1]);
+  FILE* from_child = ::fdopen(port_pipe[0], "r");
+  char line[64] = {0};
+  unsigned bound = 0;
+  if (from_child == nullptr || std::fgets(line, sizeof(line), from_child) ==
+                                   nullptr ||
+      std::sscanf(line, "PORT %u", &bound) != 1) {
+    std::fprintf(stderr, "shard child did not report a port\n");
+    std::exit(2);
+  }
+  std::fclose(from_child);  // child keeps writing into a closed pipe: fine
+  return {pid, static_cast<std::uint16_t>(bound)};
+}
+
+/// SIGTERM + waitpid; returns true iff the child exited 0 (graceful drain).
+bool terminate_shard(const ShardProc& shard) {
+  ::kill(shard.pid, SIGTERM);
+  int status = 0;
+  ::waitpid(shard.pid, &status, 0);
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+void kill_shard_hard(const ShardProc& shard) {
+  ::kill(shard.pid, SIGKILL);
+  int status = 0;
+  ::waitpid(shard.pid, &status, 0);
+}
+
+std::vector<serve::net::Endpoint> endpoints_of(
+    const std::vector<ShardProc>& shards) {
+  std::vector<serve::net::Endpoint> endpoints;
+  for (const ShardProc& shard : shards)
+    endpoints.push_back({"127.0.0.1", shard.port});
+  return endpoints;
+}
+
+serve::net::ClientOptions fleet_client_options() {
+  serve::net::ClientOptions options;
+  options.backoff_initial_s = 0.01;
+  options.backoff_max_s = 0.25;
+  options.max_retries = 6;  // chaos windows span a restart; be patient
+  return options;
+}
+
+// ---- workloads ------------------------------------------------------------
+
+struct FleetOutcome {
+  std::uint64_t plans = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;
+};
+
+/// `threads` clients hammer a `unique_keys`-wide keyspace for `seconds`.
+/// NetClient is single-threaded by contract, so each thread owns one.
+FleetOutcome drive_fleet(const std::vector<serve::net::Endpoint>& endpoints,
+                         int threads, int unique_keys, double seconds) {
+  std::vector<FleetOutcome> outcomes(static_cast<std::size_t>(threads));
+  std::vector<std::thread> fleet;
+  const double deadline = now_s() + seconds;
+  for (int t = 0; t < threads; ++t) {
+    fleet.emplace_back([&, t] {
+      FleetOutcome& mine = outcomes[static_cast<std::size_t>(t)];
+      serve::net::NetClient client(endpoints, bench_platform(),
+                                   fleet_client_options());
+      int point = t;  // interleave the fleet across the keyspace
+      while (now_s() < deadline) {
+        try {
+          const serve::net::WirePlanResponse response =
+              client.plan(request_for(point % unique_keys));
+          ++mine.plans;
+          if (response.cache_hit) ++mine.cache_hits;
+        } catch (const std::exception&) {
+          ++mine.failures;
+        }
+        point += threads;
+      }
+      mine.retries = client.stats().retries;
+      mine.failovers = client.stats().failovers;
+    });
+  }
+  for (std::thread& thread : fleet) thread.join();
+  FleetOutcome total;
+  for (const FleetOutcome& outcome : outcomes) {
+    total.plans += outcome.plans;
+    total.cache_hits += outcome.cache_hits;
+    total.failures += outcome.failures;
+    total.retries += outcome.retries;
+    total.failovers += outcome.failovers;
+  }
+  return total;
+}
+
+std::string snapshot_path_for(int shard_index) {
+  return "/tmp/foscil_bench_net_shard" + std::to_string(shard_index) +
+         "_" + std::to_string(static_cast<long>(::getpid())) + ".snap";
+}
+
+// ---- scenarios ------------------------------------------------------------
+
+/// Throughput sweep: plans/s against 1, 2, 4 shard processes.
+bool run_scaling(double seconds) {
+  std::printf("-- scaling: mixed workload (64 unique keys, repeats), "
+              "%d-thread client fleet, %.1f s per point --\n\n", 4, seconds);
+  TextTable table(
+      {"shards", "plans", "plans/s", "hit rate", "failures", "drain ok"});
+  bool all_drained = true;
+  for (const int count : {1, 2, 4}) {
+    std::vector<ShardProc> shards;
+    for (int i = 0; i < count; ++i)
+      shards.push_back(spawn_shard(0, "", 0.0));
+    const double t0 = now_s();
+    const FleetOutcome outcome =
+        drive_fleet(endpoints_of(shards), 4, 64, seconds);
+    const double elapsed = now_s() - t0;
+    bool drained = true;
+    for (const ShardProc& shard : shards)
+      drained = terminate_shard(shard) && drained;
+    all_drained = all_drained && drained;
+    table.add_row({std::to_string(count), std::to_string(outcome.plans),
+                   fmt(static_cast<double>(outcome.plans) / elapsed, 1),
+                   fmt(100.0 * static_cast<double>(outcome.cache_hits) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               outcome.plans, 1)),
+                       1) + " %",
+                   std::to_string(outcome.failures),
+                   drained ? "yes" : "NO"});
+    if (outcome.failures > 0) all_drained = false;
+  }
+  std::printf("%s\n", table.str().c_str());
+  return all_drained;
+}
+
+/// The chaos scenario — the CI gate.  Returns true iff every assertion
+/// held; prints what happened either way.
+bool run_chaos(double load_seconds) {
+  std::printf("-- chaos: SIGKILL one of two shards mid-load, warm "
+              "restart, zero client-visible failures --\n\n");
+  const std::string snapshot0 = snapshot_path_for(0);
+  const std::string snapshot1 = snapshot_path_for(1);
+  std::remove(snapshot0.c_str());
+  std::remove(snapshot1.c_str());
+
+  std::vector<ShardProc> shards;
+  shards.push_back(spawn_shard(0, snapshot0, 0.1));
+  shards.push_back(spawn_shard(0, snapshot1, 0.1));
+  const std::vector<serve::net::Endpoint> endpoints = endpoints_of(shards);
+
+  bool passed = true;
+  const auto gate = [&passed](bool ok, const char* what) {
+    std::printf("  %s: %s\n", ok ? "ok" : "GATE FAIL", what);
+    passed = passed && ok;
+  };
+
+  // Reference plan, fetched before any murder: shard 0's warm restart
+  // must reproduce it bit-identically from its snapshot.
+  serve::net::NetClient probe(endpoints, bench_platform(),
+                              fleet_client_options());
+  int victim_point = 0;
+  while (probe.route(request_for(victim_point)) != 0) ++victim_point;
+  const serve::net::WirePlanResponse reference =
+      probe.plan(request_for(victim_point));
+  gate(!reference.cache_hit, "reference key planned on shard 0");
+
+  // Let the periodic flusher persist it before the kill.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // Fleet under load; the killer fires mid-window.
+  std::atomic<bool> kill_done{false};
+  std::thread killer([&] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(load_seconds * 0.3));
+    kill_shard_hard(shards[0]);
+    kill_done.store(true);
+  });
+  const FleetOutcome under_fire =
+      drive_fleet(endpoints, 4, 32, load_seconds);
+  killer.join();
+
+  std::printf("  fleet: %llu plans, %llu failures, %llu retries, "
+              "%llu failovers during the murder window\n",
+              static_cast<unsigned long long>(under_fire.plans),
+              static_cast<unsigned long long>(under_fire.failures),
+              static_cast<unsigned long long>(under_fire.retries),
+              static_cast<unsigned long long>(under_fire.failovers));
+  gate(under_fire.failures == 0,
+       "zero client-visible failures through the SIGKILL");
+  gate(under_fire.plans > 0, "the fleet made progress");
+  gate(under_fire.failovers > 0, "ring failover engaged");
+
+  // Restart the victim on its old port: READY must gate the warm restore.
+  shards[0] = spawn_shard(shards[0].port, snapshot0, 0.1);
+  serve::net::NetClient after(endpoints, bench_platform(),
+                              fleet_client_options());
+  gate(after.await_ready(0, 10.0), "restarted shard reports READY");
+  try {
+    const serve::net::ReadyInfo info = after.ready(0);
+    gate(info.warm_plans > 0, "warm restore loaded snapshotted plans");
+    const serve::net::WirePlanResponse revived =
+        after.plan(request_for(victim_point));
+    gate(revived.cache_hit, "pre-kill key served from the warm cache");
+    gate(serve::plans_bit_identical(revived.plan.result,
+                                    reference.plan.result),
+         "warm plan is bit-identical to the pre-kill plan");
+  } catch (const std::exception& error) {
+    std::printf("  GATE FAIL: restarted shard unusable: %s\n", error.what());
+    passed = false;
+  }
+
+  // Both shards must drain gracefully on SIGTERM.
+  gate(terminate_shard(shards[0]), "restarted shard drains, exit 0");
+  gate(terminate_shard(shards[1]), "survivor shard drains, exit 0");
+
+  std::remove(snapshot0.c_str());
+  std::remove(snapshot1.c_str());
+  std::printf("\n");
+  return passed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Hidden child mode: --shard --port N --snapshot PATH --flush-s S.
+  if (argc > 1 && std::strcmp(argv[1], "--shard") == 0) {
+    std::uint16_t port = 0;
+    std::string snapshot;
+    double flush_s = 0.0;
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strcmp(argv[i], "--port") == 0)
+        port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      else if (std::strcmp(argv[i], "--snapshot") == 0)
+        snapshot = argv[i + 1];
+      else if (std::strcmp(argv[i], "--flush-s") == 0)
+        flush_s = std::atof(argv[i + 1]);
+    }
+    return run_shard(port, snapshot, flush_s);
+  }
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "Networked tier: multi-process scaling and kill-one-shard chaos",
+      "DESIGN.md §13 / ISSUE 6 (beyond the paper)");
+
+  bool passed = true;
+  if (!smoke) passed = run_scaling(3.0) && passed;
+  passed = run_chaos(smoke ? 2.0 : 4.0) && passed;
+
+  std::printf(passed ? "SMOKE PASS: chaos gate held\n"
+                     : "SMOKE FAIL: see GATE FAIL lines above\n");
+  return passed ? 0 : 1;
+}

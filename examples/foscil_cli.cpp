@@ -14,13 +14,23 @@
 // and drives it with a repeated-request workload shaped by the config's
 // [serve] section (see src/serve/serve_config.hpp), printing cache, queue,
 // and Theorem-2 certificate statistics.
+//
+// "serve --listen [host:port]" exposes the same service over TCP
+// (src/serve/net): it prints the bound endpoint, serves plan frames until
+// SIGTERM/SIGINT, then drains gracefully — finish in-flight work, flush
+// the snapshot, exit 0.  "client --connect host:port[,host:port...]"
+// drives such shards with the demo workload through the consistent-hash
+// client (retries, failover), or sends one control operation with
+// --health / --ready / --drain.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/ao.hpp"
 #include "core/audit.hpp"
@@ -30,6 +40,7 @@
 #include "core/lns.hpp"
 #include "core/pco.hpp"
 #include "core/reactive.hpp"
+#include "serve/net/client.hpp"
 #include "serve/serve_config.hpp"
 #include "util/table.hpp"
 
@@ -90,9 +101,240 @@ void handle_interrupt(int) { g_interrupted = 1; }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config.ini> "
-               "[lns|exs|ao|pco|reactive|guard|serve|all]\n",
-               argv0);
+               "[lns|exs|ao|pco|reactive|guard|serve|client|all]\n"
+               "       %s <config.ini> serve --listen [host:port]\n"
+               "       %s <config.ini> client --connect host:port[,...] "
+               "[--requests N] [--health|--ready|--drain]\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+bool parse_endpoint(const std::string& spec, serve::net::Endpoint* out) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
+    return false;
+  out->host = spec.substr(0, colon);
+  char* end = nullptr;
+  const long port = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535)
+    return false;
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+bool parse_endpoint_list(const std::string& csv,
+                         std::vector<serve::net::Endpoint>* out) {
+  std::size_t at = 0;
+  while (at <= csv.size()) {
+    const std::size_t comma = csv.find(',', at);
+    const std::string spec = comma == std::string::npos
+                                 ? csv.substr(at)
+                                 : csv.substr(at, comma - at);
+    serve::net::Endpoint endpoint;
+    if (!parse_endpoint(spec, &endpoint)) return false;
+    out->push_back(endpoint);
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return !out->empty();
+}
+
+/// One "NAME=count" per nonzero status code — the wire taxonomy surfaced
+/// on the command line for both the server and the client side.
+void print_status_counters(
+    const char* label,
+    const std::array<std::uint64_t, serve::kStatusCodeCount>& counts) {
+  std::string line;
+  for (std::size_t i = 0; i < serve::kStatusCodeCount; ++i) {
+    if (counts[i] == 0) continue;
+    if (!line.empty()) line += ", ";
+    line += serve::status_code_name(static_cast<serve::StatusCode>(i));
+    line += '=';
+    line += std::to_string(counts[i]);
+  }
+  std::printf("%s: %s\n", label, line.empty() ? "none" : line.c_str());
+}
+
+/// "serve --listen": the networked shard.  Runs until SIGTERM/SIGINT,
+/// then drains gracefully (finish in-flight, flush snapshot) and exits 0.
+int run_serve_net(const Config& config, const core::Platform& platform,
+                  int argc, char** argv) {
+  serve::ServiceOptions service_options =
+      serve::service_options_from_config(config);
+  serve::net::ServerOptions server_options =
+      serve::server_options_from_config(config);
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") != 0) continue;
+    if (i + 1 >= argc || argv[i + 1][0] == '-') continue;  // keep config
+    serve::net::Endpoint endpoint;
+    if (!parse_endpoint(argv[i + 1], &endpoint)) {
+      std::fprintf(stderr, "error: bad --listen endpoint %s\n", argv[i + 1]);
+      return 2;
+    }
+    server_options.listen_host = endpoint.host;
+    server_options.listen_port = endpoint.port;
+  }
+  // The [serve] snapshot path doubles as the warm/drain file unless [net]
+  // overrides it; the restore is deferred to the server so READY can gate
+  // on it.
+  if (server_options.warm_snapshot_path.empty())
+    server_options.warm_snapshot_path = service_options.snapshot_path;
+  if (server_options.drain_snapshot_path.empty())
+    server_options.drain_snapshot_path = service_options.snapshot_path;
+  service_options.warm_load_at_construction = false;
+
+  serve::PlanningService service(service_options);
+  serve::net::PlanServer server(service, platform, server_options);
+  const std::uint16_t port = server.listen();
+  std::printf("listening on %s:%u (%u workers, cache %zu entries)\n",
+              server_options.listen_host.c_str(), port,
+              service.worker_count(), service.cache().capacity());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+  server.run([] { return g_interrupted != 0; });
+
+  const serve::net::ServerStats net_stats = server.stats();
+  const serve::ServiceStats stats = service.stats();
+  std::printf("drained: %llu requests, %llu responses, %llu connections "
+              "(%llu shed, %llu malformed, %llu timed out)\n",
+              static_cast<unsigned long long>(net_stats.requests),
+              static_cast<unsigned long long>(net_stats.responses),
+              static_cast<unsigned long long>(net_stats.accepted),
+              static_cast<unsigned long long>(net_stats.shed_connections),
+              static_cast<unsigned long long>(net_stats.malformed_closes),
+              static_cast<unsigned long long>(net_stats.timeout_closes));
+  std::array<std::uint64_t, serve::kStatusCodeCount> rejections =
+      stats.rejections_by_code;
+  for (std::size_t i = 0; i < serve::kStatusCodeCount; ++i)
+    rejections[i] += net_stats.statuses_by_code[i];
+  print_status_counters("statuses", rejections);
+  service.stop();
+  std::printf("snapshot flushed, exiting\n");
+  return 0;
+}
+
+/// "client --connect": drive shards over the wire with the demo workload,
+/// or send one control operation (--health / --ready / --drain).
+int run_net_client(const Config& config, const core::Platform& platform,
+                   double t_max, const core::AoOptions& ao_options,
+                   int argc, char** argv) {
+  std::vector<serve::net::Endpoint> endpoints;
+  bool do_health = false, do_ready = false, do_drain = false;
+  long requests_override = -1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      if (!parse_endpoint_list(argv[++i], &endpoints)) {
+        std::fprintf(stderr, "error: bad --connect list\n");
+        return 2;
+      }
+    } else if (arg == "--health") {
+      do_health = true;
+    } else if (arg == "--ready") {
+      do_ready = true;
+    } else if (arg == "--drain") {
+      do_drain = true;
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests_override = std::strtol(argv[++i], nullptr, 10);
+    }
+  }
+  if (endpoints.empty()) {
+    std::fprintf(stderr, "error: client mode needs --connect host:port\n");
+    return 2;
+  }
+  serve::net::NetClient client(endpoints, platform);
+
+  if (do_health || do_ready || do_drain) {
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      const std::string label = endpoints[i].label();
+      try {
+        if (do_drain) {
+          client.drain(i);
+          std::printf("%s: drain acknowledged\n", label.c_str());
+          continue;
+        }
+        if (do_ready) {
+          const serve::net::ReadyInfo info = client.ready(i);
+          std::printf("%s: ready=%d draining=%d warm_plans=%llu "
+                      "load_failures=%llu\n",
+                      label.c_str(), info.ready, info.draining,
+                      static_cast<unsigned long long>(info.warm_plans),
+                      static_cast<unsigned long long>(info.load_failures));
+          continue;
+        }
+        const serve::net::HealthInfo info = client.health(i);
+        std::printf("%s: %s ready=%d draining=%d conns=%llu cache=%llu "
+                    "entries (%llu hits / %llu lookups) ewma_plan=%.1f ms "
+                    "retry_hint=%.1f ms\n",
+                    label.c_str(),
+                    serve::load_state_name(
+                        static_cast<serve::LoadState>(info.load_state)),
+                    info.ready, info.draining,
+                    static_cast<unsigned long long>(info.connections),
+                    static_cast<unsigned long long>(info.cache_entries),
+                    static_cast<unsigned long long>(info.cache_hits),
+                    static_cast<unsigned long long>(info.cache_lookups),
+                    info.ewma_plan_seconds * 1e3,
+                    info.retry_after_hint_s * 1e3);
+        print_status_counters(("  " + label + " rejections").c_str(),
+                              info.rejections_by_code);
+      } catch (const serve::net::NetClientError& error) {
+        std::printf("%s: unreachable (%s)\n", label.c_str(), error.what());
+      }
+    }
+    return 0;
+  }
+
+  const serve::ServeDemoOptions demo = serve::demo_options_from_config(config);
+  const double deadline_s =
+      serve::service_options_from_config(config).default_deadline_s;
+  long total = static_cast<long>(demo.unique_requests) * demo.repeats;
+  if (requests_override > 0) total = requests_override;
+
+  const auto now_s = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  std::uint64_t failures = 0;
+  const double start = now_s();
+  for (long n = 0; n < total && !g_interrupted; ++n) {
+    serve::net::WirePlanRequest request;
+    // Same sweep as the in-process demo so shard caches see recurring keys.
+    const int point = static_cast<int>(n) % demo.unique_requests;
+    request.t_max_c =
+        t_max + 5.0 * static_cast<double>(point) /
+                    static_cast<double>(std::max(demo.unique_requests, 2) - 1);
+    request.ao = ao_options;
+    request.deadline_s = deadline_s > 0.0 ? deadline_s : -1.0;
+    try {
+      (void)client.plan(request);
+    } catch (const serve::net::NetClientError& error) {
+      ++failures;
+      if (failures <= 3)
+        std::fprintf(stderr, "request %ld failed: %s\n", n, error.what());
+    }
+  }
+  const double elapsed = now_s() - start;
+
+  const serve::net::ClientStats stats = client.stats();
+  std::printf("client: %llu plans in %.3f s (%.1f/s) across %zu shard(s)\n",
+              static_cast<unsigned long long>(stats.plans), elapsed,
+              static_cast<double>(stats.plans) / std::max(elapsed, 1e-9),
+              endpoints.size());
+  std::printf("        %llu cache hits, %llu retries, %llu failovers, "
+              "%llu reconnects, %llu transport errors\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.reconnects),
+              static_cast<unsigned long long>(stats.transport_errors));
+  print_status_counters("        statuses seen", stats.statuses_by_code);
+  std::printf("failed requests: %llu\n",
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
 }
 
 /// Stand up the planning service and replay a repeated-request workload
@@ -256,8 +498,15 @@ int main(int argc, char** argv) {
                 platform.model->num_nodes(), platform.levels.count(),
                 platform.t_ambient_c, t_max);
 
+    bool listen_mode = false;
+    for (int i = 3; i < argc; ++i)
+      if (std::strcmp(argv[i], "--listen") == 0) listen_mode = true;
+    if (which == "serve" && listen_mode)
+      return run_serve_net(config, platform, argc, argv);
     if (which == "serve")
       return run_serve_demo(config, platform, t_max, ao_options);
+    if (which == "client")
+      return run_net_client(config, platform, t_max, ao_options, argc, argv);
 
     TextTable table({"scheduler", "throughput", "peak", "m", "evals",
                      "time", "feasible"});

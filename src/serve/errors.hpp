@@ -9,8 +9,11 @@
 // hints).
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+
+#include "util/cancel.hpp"
 
 namespace foscil::serve {
 
@@ -76,5 +79,105 @@ class SnapshotError : public ServeError {
  public:
   using ServeError::ServeError;
 };
+
+// ---- stable wire status taxonomy ------------------------------------------
+//
+// Every way the serving stack can say "no" maps onto one stable numeric
+// status code, shared between in-process stats (ServiceStats::
+// rejections_by_code) and the network tier (serve/net/wire.hpp Status
+// frames).  The numeric values are a wire contract: once assigned they are
+// never reused or renumbered, only appended to — a v1 client must be able
+// to classify a v9 server's rejections.  Codes 1..5 are framing-layer
+// defects only the network tier can produce; codes 6..13 are the service's
+// own rejection taxonomy; kDegraded is an annotation (the request was
+// *served*, from a capped search), counted so operators can see degraded
+// traffic per code next to the hard rejections.
+enum class StatusCode : std::uint16_t {
+  kOk = 0,
+  kMalformed = 1,           ///< frame/body failed strict validation
+  kUnsupportedVersion = 2,  ///< protocol version skew
+  kTooLarge = 3,            ///< declared body length over the cap
+  kPlatformMismatch = 4,    ///< request fingerprint != server platform
+  kNotReady = 5,            ///< still warming from snapshot; retry
+  kQueueFull = 6,           ///< QueueFullError
+  kDeadlineExpired = 7,     ///< DeadlineExpiredError
+  kShed = 8,                ///< OverloadedError (EWMA retry-after hint)
+  kBreakerOpen = 9,         ///< BreakerOpenError (backoff retry hint)
+  kStopping = 10,           ///< ServiceStoppedError / draining server
+  kPlannerFailed = 11,      ///< planner threw; deterministic, don't retry
+  kCancelled = 12,          ///< CancelledError mid-plan
+  kDegraded = 13,           ///< served, but from a capped (degraded) search
+};
+
+inline constexpr std::size_t kStatusCodeCount = 14;
+
+[[nodiscard]] constexpr std::size_t status_index(StatusCode code) noexcept {
+  return static_cast<std::size_t>(code);
+}
+
+[[nodiscard]] inline const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kMalformed: return "MALFORMED";
+    case StatusCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case StatusCode::kTooLarge: return "TOO_LARGE";
+    case StatusCode::kPlatformMismatch: return "PLATFORM_MISMATCH";
+    case StatusCode::kNotReady: return "NOT_READY";
+    case StatusCode::kQueueFull: return "QUEUE_FULL";
+    case StatusCode::kDeadlineExpired: return "DEADLINE_EXPIRED";
+    case StatusCode::kShed: return "SHED";
+    case StatusCode::kBreakerOpen: return "BREAKER_OPEN";
+    case StatusCode::kStopping: return "STOPPING";
+    case StatusCode::kPlannerFailed: return "PLANNER_FAILED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDegraded: return "DEGRADED";
+  }
+  return "UNKNOWN";
+}
+
+/// True for statuses a client may retry automatically (possibly against
+/// another shard): transient conditions that say nothing about the request
+/// itself.  Deterministic failures (malformed, mismatched platform, planner
+/// error) must never be retried — they would fail identically everywhere.
+[[nodiscard]] inline bool status_retryable(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kNotReady:
+    case StatusCode::kQueueFull:
+    case StatusCode::kShed:
+    case StatusCode::kBreakerOpen:
+    case StatusCode::kStopping:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Classify a serving-stack exception onto the wire taxonomy.  Unknown
+/// exception types classify as kPlannerFailed — the catch-all for "the
+/// request reached a planner and the planner said no".
+[[nodiscard]] inline StatusCode status_code_of(const std::exception& error) {
+  if (dynamic_cast<const QueueFullError*>(&error) != nullptr)
+    return StatusCode::kQueueFull;
+  if (dynamic_cast<const DeadlineExpiredError*>(&error) != nullptr)
+    return StatusCode::kDeadlineExpired;
+  if (dynamic_cast<const OverloadedError*>(&error) != nullptr)
+    return StatusCode::kShed;
+  if (dynamic_cast<const BreakerOpenError*>(&error) != nullptr)
+    return StatusCode::kBreakerOpen;
+  if (dynamic_cast<const ServiceStoppedError*>(&error) != nullptr)
+    return StatusCode::kStopping;
+  if (dynamic_cast<const CancelledError*>(&error) != nullptr)
+    return StatusCode::kCancelled;
+  return StatusCode::kPlannerFailed;
+}
+
+/// Retry-after hint carried by an exception (seconds), 0 when it has none.
+[[nodiscard]] inline double retry_after_of(const std::exception& error) {
+  if (const auto* overloaded = dynamic_cast<const OverloadedError*>(&error))
+    return overloaded->retry_after_s;
+  if (const auto* breaker = dynamic_cast<const BreakerOpenError*>(&error))
+    return breaker->retry_after_s;
+  return 0.0;
+}
 
 }  // namespace foscil::serve

@@ -1,0 +1,407 @@
+#include "serve/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace foscil::serve::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_until(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+int poll_timeout_ms(Clock::time_point deadline) {
+  const double remaining = seconds_until(deadline);
+  if (remaining <= 0.0) return 0;
+  return static_cast<int>(std::min(remaining * 1000.0 + 1.0, 3.6e6));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+void ClientOptions::check() const {
+  FOSCIL_EXPECTS(connect_timeout_s > 0.0);
+  FOSCIL_EXPECTS(io_timeout_s > 0.0);
+  FOSCIL_EXPECTS(backoff_initial_s > 0.0);
+  FOSCIL_EXPECTS(backoff_max_s >= backoff_initial_s);
+  FOSCIL_EXPECTS(backoff_multiplier >= 1.0);
+  FOSCIL_EXPECTS(ring_vnodes >= 1);
+  FOSCIL_EXPECTS(max_body_bytes >= 1);
+  FOSCIL_EXPECTS(max_body_bytes <= kMaxBodyBytes);
+}
+
+struct NetClient::Impl {
+  Impl(std::vector<Endpoint> endpoints, core::Platform plat,
+       ClientOptions opts)
+      : options(std::move(opts)),
+        ring(std::move(endpoints), options.ring_vnodes),
+        platform(std::move(plat)),
+        platform_fp(platform_fingerprint(platform)) {
+    options.check();
+    FOSCIL_EXPECTS(platform.model != nullptr);
+    sockets.assign(ring.size(), -1);
+    for (std::size_t i = 0; i < ring.size(); ++i)
+      assemblers.emplace_back(options.max_body_bytes);
+  }
+
+  ~Impl() {
+    for (const int fd : sockets)
+      if (fd >= 0) ::close(fd);
+  }
+
+  ClientOptions options;
+  HashRing ring;
+  core::Platform platform;
+  CacheKey platform_fp;
+  std::vector<int> sockets;
+  std::vector<FrameAssembler> assemblers;
+  std::uint64_t next_request_id = 0;
+  ClientStats stats;
+
+  void drop(std::size_t index) {
+    if (sockets[index] >= 0) ::close(sockets[index]);
+    sockets[index] = -1;
+    assemblers[index] = FrameAssembler(options.max_body_bytes);
+  }
+
+  /// Lazily (re)connect endpoint `index`.  Nonblocking connect bounded by
+  /// the tighter of connect_timeout_s and `deadline`.
+  bool ensure_connected(std::size_t index, Clock::time_point deadline) {
+    if (sockets[index] >= 0) return true;
+    const Endpoint& endpoint = ring.endpoints()[index];
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+
+    const Clock::time_point connect_deadline = std::min(
+        deadline, Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         options.connect_timeout_s)));
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    const int n = ::poll(&p, 1, poll_timeout_ms(connect_deadline));
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (n <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      ::close(fd);
+      return false;
+    }
+    sockets[index] = fd;
+    assemblers[index] = FrameAssembler(options.max_body_bytes);
+    ++stats.reconnects;
+    return true;
+  }
+
+  bool send_all(std::size_t index, const std::string& data,
+                Clock::time_point deadline) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(sockets[index], data.data() + sent,
+                               data.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd p{};
+        p.fd = sockets[index];
+        p.events = POLLOUT;
+        const int timeout = poll_timeout_ms(deadline);
+        if (timeout <= 0 || ::poll(&p, 1, timeout) <= 0) return false;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  /// Wait for the frame answering `want_id`.  Stale frames for earlier
+  /// (timed-out, already-abandoned) ids are discarded; a Status frame with
+  /// id 0 is the server's terminal stream diagnosis — the connection is
+  /// about to close, so it fails the read.  Returns false on any
+  /// transport or framing failure (the socket is dropped).
+  bool recv_reply(std::size_t index, std::uint64_t want_id, Frame* out,
+                  Clock::time_point deadline) {
+    FrameAssembler& assembler = assemblers[index];
+    for (;;) {
+      Frame frame;
+      const FrameAssembler::Result result = assembler.next(&frame);
+      if (result == FrameAssembler::Result::kBad) {
+        drop(index);
+        return false;
+      }
+      if (result == FrameAssembler::Result::kFrame) {
+        if (frame.request_id == want_id) {
+          *out = std::move(frame);
+          return true;
+        }
+        if (frame.type == FrameType::kStatus && frame.request_id == 0) {
+          drop(index);
+          return false;
+        }
+        continue;  // stale reply to an abandoned request
+      }
+
+      pollfd p{};
+      p.fd = sockets[index];
+      p.events = POLLIN;
+      const int timeout = poll_timeout_ms(deadline);
+      if (timeout <= 0 || ::poll(&p, 1, timeout) <= 0) {
+        drop(index);
+        return false;
+      }
+      char buf[16384];
+      const ssize_t n = ::recv(sockets[index], buf, sizeof(buf), 0);
+      if (n > 0) {
+        assembler.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR))
+        continue;
+      drop(index);  // orderly close or hard error
+      return false;
+    }
+  }
+
+  bool roundtrip(std::size_t index, FrameType type, const std::string& body,
+                 Frame* reply, Clock::time_point deadline) {
+    if (!ensure_connected(index, deadline)) return false;
+    const std::uint64_t id = ++next_request_id;
+    if (!send_all(index, encode_frame(type, id, body), deadline)) {
+      drop(index);
+      return false;
+    }
+    return recv_reply(index, id, reply, deadline);
+  }
+
+  WirePlanResponse plan(WirePlanRequest request) {
+    request.platform_fp = platform_fp;
+    const CacheKey key = plan_key(platform, request.t_max_c, request.kind,
+                                  request.ao, request.pco);
+    const std::vector<std::size_t> order = ring.successors(key);
+
+    const bool has_budget = request.deadline_s >= 0.0;
+    const Clock::time_point budget_deadline =
+        has_budget ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            request.deadline_s))
+                   : Clock::time_point::max();
+
+    StatusCode last_code = StatusCode::kPlannerFailed;
+    std::string last_message = "no endpoint reachable";
+    double backoff = options.backoff_initial_s;
+
+    for (std::size_t round = 0; round <= options.max_retries; ++round) {
+      if (round > 0) {
+        ++stats.retries;
+        double pause = backoff;
+        if (has_budget)
+          pause = std::min(pause, std::max(0.0,
+                                           seconds_until(budget_deadline)));
+        std::this_thread::sleep_for(std::chrono::duration<double>(pause));
+        backoff = std::min(backoff * options.backoff_multiplier,
+                           options.backoff_max_s);
+      }
+
+      for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        if (has_budget && seconds_until(budget_deadline) <= 0.0)
+          throw NetClientError(StatusCode::kDeadlineExpired,
+                               "plan: client deadline exhausted (last: " +
+                                   last_message + ")");
+        if (pos > 0) ++stats.failovers;
+        const std::size_t index = order[pos];
+
+        // Each attempt is bounded by io_timeout_s and the overall budget;
+        // the wire carries the remaining budget so the server gives up in
+        // step with us.
+        const Clock::time_point attempt_deadline = std::min(
+            budget_deadline,
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options.io_timeout_s)));
+        WirePlanRequest attempt = request;
+        if (has_budget)
+          attempt.deadline_s = std::max(0.0, seconds_until(budget_deadline));
+
+        Frame reply;
+        if (!roundtrip(index, FrameType::kPlanRequest,
+                       encode_plan_request(attempt), &reply,
+                       attempt_deadline)) {
+          ++stats.transport_errors;
+          continue;
+        }
+
+        if (reply.type == FrameType::kPlanResponse) {
+          WirePlanResponse response;
+          try {
+            response = decode_plan_response(reply.body);
+          } catch (const MalformedFrameError&) {
+            drop(index);
+            ++stats.transport_errors;
+            continue;
+          }
+          ++stats.plans;
+          if (response.cache_hit) ++stats.cache_hits;
+          return response;
+        }
+        if (reply.type == FrameType::kStatus) {
+          WireStatus status;
+          try {
+            status = decode_status(reply.body);
+          } catch (const MalformedFrameError&) {
+            drop(index);
+            ++stats.transport_errors;
+            continue;
+          }
+          ++stats.statuses_by_code[status_index(status.code)];
+          if (!status_retryable(status.code))
+            throw NetClientError(status.code,
+                                 std::string(status_code_name(status.code)) +
+                                     ": " + status.message);
+          last_code = status.code;
+          last_message = status.message;
+          if (status.retry_after_s > 0.0)
+            backoff = std::clamp(status.retry_after_s,
+                                 options.backoff_initial_s,
+                                 options.backoff_max_s);
+          continue;
+        }
+        // Anything else is a protocol violation from the server side.
+        drop(index);
+        ++stats.transport_errors;
+      }
+    }
+    throw NetClientError(last_code, "plan: retries exhausted (last: " +
+                                        last_message + ")");
+  }
+
+  Frame control(std::size_t index, FrameType type, FrameType expect) {
+    FOSCIL_EXPECTS(index < ring.size());
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(options.io_timeout_s));
+    Frame reply;
+    if (!roundtrip(index, type, "", &reply, deadline)) {
+      ++stats.transport_errors;
+      throw NetClientError(StatusCode::kPlannerFailed,
+                           "control frame failed: endpoint " +
+                               ring.endpoints()[index].label() +
+                               " unreachable");
+    }
+    if (reply.type != expect) {
+      drop(index);
+      throw NetClientError(StatusCode::kMalformed,
+                           "control frame: unexpected reply type");
+    }
+    return reply;
+  }
+};
+
+NetClient::NetClient(std::vector<Endpoint> endpoints, core::Platform platform,
+                     ClientOptions options)
+    : impl_(std::make_unique<Impl>(std::move(endpoints), std::move(platform),
+                                   std::move(options))) {}
+
+NetClient::~NetClient() = default;
+
+WirePlanResponse NetClient::plan(WirePlanRequest request) {
+  return impl_->plan(std::move(request));
+}
+
+std::size_t NetClient::route(const WirePlanRequest& request) const {
+  return impl_->ring.owner(plan_key(impl_->platform, request.t_max_c,
+                                    request.kind, request.ao, request.pco));
+}
+
+HealthInfo NetClient::health(std::size_t endpoint_index) {
+  const Frame reply = impl_->control(endpoint_index, FrameType::kHealth,
+                                     FrameType::kHealthReply);
+  try {
+    return decode_health(reply.body);
+  } catch (const MalformedFrameError& error) {
+    impl_->drop(endpoint_index);
+    throw NetClientError(StatusCode::kMalformed, error.what());
+  }
+}
+
+ReadyInfo NetClient::ready(std::size_t endpoint_index) {
+  const Frame reply = impl_->control(endpoint_index, FrameType::kReady,
+                                     FrameType::kReadyReply);
+  try {
+    return decode_ready(reply.body);
+  } catch (const MalformedFrameError& error) {
+    impl_->drop(endpoint_index);
+    throw NetClientError(StatusCode::kMalformed, error.what());
+  }
+}
+
+void NetClient::drain(std::size_t endpoint_index) {
+  (void)impl_->control(endpoint_index, FrameType::kDrain,
+                       FrameType::kDrainReply);
+}
+
+bool NetClient::await_ready(std::size_t endpoint_index, double timeout_s,
+                            double poll_interval_s) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    try {
+      if (ready(endpoint_index).ready != 0) return true;
+    } catch (const NetClientError&) {
+      // Connection refused or garbled while the shard restarts: keep
+      // polling until the timeout.
+    }
+    if (seconds_until(deadline) <= 0.0) return false;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(poll_interval_s));
+  }
+}
+
+const HashRing& NetClient::ring() const { return impl_->ring; }
+
+const ClientStats& NetClient::stats() const { return impl_->stats; }
+
+}  // namespace foscil::serve::net

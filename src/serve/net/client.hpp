@@ -1,0 +1,126 @@
+// Client library for the networked planning tier.
+//
+// A NetClient owns one blocking socket per shard endpoint (lazily
+// connected, transparently reconnected) and routes every plan request by
+// consistent hash of its 128-bit content key (serve/net/ring.hpp), so a
+// fleet of clients keeps each shard's cache hot on a stable, disjoint key
+// range.  Request semantics:
+//
+//   * deadlines — plan() anchors the caller's budget once, at entry; every
+//     attempt (including waits between retries) draws from that budget,
+//     and the wire carries the *remaining* budget so the server's
+//     CancelToken expires in step with the caller;
+//   * retries — plan lookups are idempotent (a plan is a pure function of
+//     its key), so transport failures and retryable statuses (NOT_READY,
+//     QUEUE_FULL, SHED, BREAKER_OPEN, STOPPING) back off exponentially
+//     (bounded, budget-capped) and retry automatically.  Non-retryable
+//     statuses (MALFORMED, PLATFORM_MISMATCH, PLANNER_FAILED, ...) throw
+//     immediately — retrying cannot help.  Control operations (drain) are
+//     never retried automatically;
+//   * failover — within one retry round the client walks the key's ring
+//     successor order, so when a shard dies mid-load its keys land on the
+//     next live node while the rest of the fleet's routing is untouched;
+//     the dead shard's socket is dropped and reconnected on demand once
+//     it returns.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "serve/net/ring.hpp"
+#include "serve/net/wire.hpp"
+
+namespace foscil::serve::net {
+
+/// Final client-side failure: every eligible endpoint and retry was
+/// exhausted (code carries the last rejection seen, kPlannerFailed for
+/// pure transport failures), or a non-retryable status arrived.
+class NetClientError : public ServeError {
+ public:
+  NetClientError(StatusCode code, const std::string& what)
+      : ServeError(what), code_(code) {}
+  [[nodiscard]] StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+struct ClientOptions {
+  double connect_timeout_s = 1.0;
+  /// Per-reply wait (also bounds each send).  The per-request deadline, if
+  /// tighter, wins.
+  double io_timeout_s = 10.0;
+  /// Automatic retry rounds after the first attempt (idempotent plan
+  /// lookups only).  Each round walks the full failover order.
+  std::size_t max_retries = 4;
+  double backoff_initial_s = 0.02;
+  double backoff_max_s = 0.5;
+  double backoff_multiplier = 2.0;
+  std::size_t ring_vnodes = 64;
+  /// Inbound body cap (plan responses are the big frames).
+  std::uint32_t max_body_bytes = kMaxBodyBytes;
+
+  void check() const;
+};
+
+struct ClientStats {
+  std::uint64_t plans = 0;        ///< plan() calls that returned a plan
+  std::uint64_t cache_hits = 0;   ///< ... served from a shard's cache
+  std::uint64_t retries = 0;      ///< extra attempts beyond the first
+  std::uint64_t failovers = 0;    ///< attempts on a non-owner endpoint
+  std::uint64_t reconnects = 0;   ///< sockets (re)established
+  std::uint64_t transport_errors = 0;
+  /// Status frames received, by code (statuses the retry loop absorbed
+  /// and the terminal ones alike), indexed by status_index().
+  std::array<std::uint64_t, kStatusCodeCount> statuses_by_code{};
+};
+
+/// Not thread-safe: one NetClient per client thread (they are cheap; the
+/// expensive state is the server-side cache).
+class NetClient {
+ public:
+  /// `platform` must equal the shards' platform — its fingerprint rides in
+  /// every request and a mismatch is rejected server-side.
+  NetClient(std::vector<Endpoint> endpoints, core::Platform platform,
+            ClientOptions options = {});
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Plan (or fetch) one request.  `request.platform_fp` is overwritten
+  /// with this client's platform fingerprint; `request.deadline_s` (>= 0)
+  /// is the total budget for every attempt, wait, and retry.  Throws
+  /// NetClientError when the budget, the retry allowance, or every
+  /// endpoint is exhausted.
+  [[nodiscard]] WirePlanResponse plan(WirePlanRequest request);
+
+  /// The endpoint index plan() would try first for this request.
+  [[nodiscard]] std::size_t route(const WirePlanRequest& request) const;
+
+  /// Single-attempt control operations against one endpoint (never
+  /// retried; throw NetClientError on failure).
+  [[nodiscard]] HealthInfo health(std::size_t endpoint_index);
+  [[nodiscard]] ReadyInfo ready(std::size_t endpoint_index);
+  void drain(std::size_t endpoint_index);
+
+  /// Block until endpoint reports ready (true) or the timeout passes
+  /// (false).  Connection failures count as not-ready (the shard may be
+  /// restarting); polls every `poll_interval_s`.
+  [[nodiscard]] bool await_ready(std::size_t endpoint_index,
+                                 double timeout_s,
+                                 double poll_interval_s = 0.05);
+
+  [[nodiscard]] const HashRing& ring() const;
+  [[nodiscard]] const ClientStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace foscil::serve::net

@@ -1,0 +1,86 @@
+#include "serve/net/ring.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace foscil::serve::net {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t splitmix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t ring_fold(const CacheKey& key) noexcept {
+  // Mix both halves through a finalizer so the ring position shares no
+  // bit pattern with the cache's shard selector (which uses key.hi alone).
+  return splitmix(key.hi ^ splitmix(key.lo));
+}
+
+HashRing::HashRing(std::vector<Endpoint> endpoints, std::size_t vnodes)
+    : endpoints_(std::move(endpoints)) {
+  FOSCIL_EXPECTS(!endpoints_.empty());
+  FOSCIL_EXPECTS(vnodes >= 1);
+  points_.reserve(endpoints_.size() * vnodes);
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    const std::string label = endpoints_[e].label();
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // Derive each virtual point from the endpoint label, then diffuse:
+      // FNV alone clusters sequential "#i" suffixes.
+      const std::uint64_t h =
+          splitmix(fnv1a(label + "#" + std::to_string(v)));
+      points_.push_back({h, e});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Tie-break on endpoint index so equal hashes (possible with
+              // colliding labels) still sort deterministically.
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.endpoint < b.endpoint;
+            });
+}
+
+std::size_t HashRing::first_point_at_or_after(std::uint64_t hash) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Point& p, std::uint64_t h) { return p.hash < h; });
+  return it == points_.end() ? 0 : static_cast<std::size_t>(
+                                       it - points_.begin());
+}
+
+std::size_t HashRing::owner(const CacheKey& key) const {
+  return points_[first_point_at_or_after(ring_fold(key))].endpoint;
+}
+
+std::vector<std::size_t> HashRing::successors(const CacheKey& key) const {
+  std::vector<std::size_t> order;
+  order.reserve(endpoints_.size());
+  std::vector<bool> seen(endpoints_.size(), false);
+  std::size_t at = first_point_at_or_after(ring_fold(key));
+  for (std::size_t step = 0; step < points_.size(); ++step) {
+    const Point& point = points_[(at + step) % points_.size()];
+    if (seen[point.endpoint]) continue;
+    seen[point.endpoint] = true;
+    order.push_back(point.endpoint);
+    if (order.size() == endpoints_.size()) break;
+  }
+  return order;
+}
+
+}  // namespace foscil::serve::net

@@ -1,0 +1,68 @@
+// Consistent-hash routing of 128-bit plan keys across shard endpoints.
+//
+// The client owns a ring of virtual nodes (`vnodes` points per endpoint,
+// each hashed from "host:port#i"); a plan key routes to the endpoint
+// owning the first ring point at or after the key's fold.  Properties the
+// tests pin down:
+//   * deterministic — every client with the same endpoint list routes a
+//     key identically, so shard caches stay disjoint and hot;
+//   * bounded disruption — removing one endpoint only re-routes the keys
+//     it owned (its arcs fall to the successors), which is exactly the
+//     failover path: when a shard dies, its keys land on the next live
+//     node and the rest of the fleet's cache locality is untouched;
+//   * failover order — successors(key) enumerates every endpoint, nearest
+//     arc first, no repeats, so a client walks it for retries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/cache_key.hpp"
+
+namespace foscil::serve::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string label() const {
+    return host + ":" + std::to_string(port);
+  }
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+class HashRing {
+ public:
+  /// `endpoints` must be non-empty; `vnodes` >= 1 points per endpoint.
+  explicit HashRing(std::vector<Endpoint> endpoints, std::size_t vnodes = 64);
+
+  /// Endpoint index owning `key`.
+  [[nodiscard]] std::size_t owner(const CacheKey& key) const;
+
+  /// Every endpoint index in failover order for `key`: the owner first,
+  /// then each remaining endpoint in ring order from the key's position.
+  [[nodiscard]] std::vector<std::size_t> successors(const CacheKey& key) const;
+
+  [[nodiscard]] const std::vector<Endpoint>& endpoints() const {
+    return endpoints_;
+  }
+  [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::size_t endpoint = 0;
+  };
+
+  [[nodiscard]] std::size_t first_point_at_or_after(std::uint64_t hash) const;
+
+  std::vector<Endpoint> endpoints_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+/// Fold a 128-bit plan key onto the ring's 64-bit hash space.  Must be
+/// identical across every client build (wire-stable routing).
+[[nodiscard]] std::uint64_t ring_fold(const CacheKey& key) noexcept;
+
+}  // namespace foscil::serve::net

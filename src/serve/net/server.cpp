@@ -1,0 +1,829 @@
+#include "serve/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace foscil::serve::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// One readiness event, backend-agnostic.
+struct IoEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool broken = false;  ///< HUP/ERR — close without ceremony
+};
+
+/// Readiness backend: epoll where available, poll(2) as the portable
+/// fallback (selectable everywhere via ServerOptions::force_poll so the
+/// fallback stays testable on Linux too).  Level-triggered in both
+/// backends, so a partial read or write simply re-arms.
+class Poller {
+ public:
+  explicit Poller(bool force_poll) {
+#ifdef __linux__
+    if (!force_poll) epoll_fd_ = ::epoll_create1(0);
+#else
+    (void)force_poll;
+#endif
+  }
+  ~Poller() {
+#ifdef __linux__
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+  }
+
+  void add(int fd, bool want_read, bool want_write) {
+    interest_[fd] = {want_read, want_write};
+#ifdef __linux__
+    if (epoll_fd_ >= 0) {
+      epoll_event ev{};
+      ev.events = events_of(want_read, want_write);
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+#endif
+  }
+
+  void update(int fd, bool want_read, bool want_write) {
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) return;
+    if (it->second.read == want_read && it->second.write == want_write) return;
+    it->second = {want_read, want_write};
+#ifdef __linux__
+    if (epoll_fd_ >= 0) {
+      epoll_event ev{};
+      ev.events = events_of(want_read, want_write);
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    }
+#endif
+  }
+
+  void remove(int fd) {
+    interest_.erase(fd);
+#ifdef __linux__
+    if (epoll_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  }
+
+  void wait(std::vector<IoEvent>& events, int timeout_ms) {
+    events.clear();
+#ifdef __linux__
+    if (epoll_fd_ >= 0) {
+      std::array<epoll_event, 64> raw{};
+      const int n = ::epoll_wait(epoll_fd_, raw.data(),
+                                 static_cast<int>(raw.size()), timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        const epoll_event& e = raw[static_cast<std::size_t>(i)];
+        IoEvent ev;
+        ev.fd = e.data.fd;
+        ev.readable = (e.events & EPOLLIN) != 0;
+        ev.writable = (e.events & EPOLLOUT) != 0;
+        ev.broken = (e.events & (EPOLLERR | EPOLLHUP)) != 0;
+        events.push_back(ev);
+      }
+      return;
+    }
+#endif
+    std::vector<pollfd> fds;
+    fds.reserve(interest_.size());
+    for (const auto& [fd, want] : interest_) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = static_cast<short>((want.read ? POLLIN : 0) |
+                                    (want.write ? POLLOUT : 0));
+      fds.push_back(p);
+    }
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : fds) {
+      if (p.revents == 0) continue;
+      IoEvent ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & POLLIN) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.broken = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events.push_back(ev);
+    }
+  }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+#ifdef __linux__
+  static std::uint32_t events_of(bool want_read, bool want_write) {
+    return (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  }
+  int epoll_fd_ = -1;
+#endif
+  std::unordered_map<int, Interest> interest_;
+};
+
+}  // namespace
+
+void ServerOptions::check() const {
+  FOSCIL_EXPECTS(max_connections >= 1);
+  FOSCIL_EXPECTS(max_in_flight_per_connection >= 1);
+  FOSCIL_EXPECTS(max_body_bytes >= 1);
+  FOSCIL_EXPECTS(max_body_bytes <= kMaxBodyBytes);
+  FOSCIL_EXPECTS(max_outbound_bytes >= kFrameHeaderSize);
+  FOSCIL_EXPECTS(read_idle_timeout_s > 0.0);
+  FOSCIL_EXPECTS(write_stall_timeout_s > 0.0);
+}
+
+struct PlanServer::Impl {
+  Impl(PlanningService& svc, core::Platform plat, ServerOptions opts,
+       std::atomic<bool>* ready_flag, std::atomic<bool>* draining_flag)
+      : service(svc),
+        platform(std::move(plat)),
+        options(std::move(opts)),
+        platform_fp(platform_fingerprint(platform)),
+        poller(options.force_poll),
+        ready(ready_flag),
+        draining(draining_flag) {}
+
+  struct Pending {
+    std::uint64_t request_id = 0;
+    std::future<PlanResponse> future;
+  };
+
+  struct Connection {
+    int fd = -1;
+    FrameAssembler assembler;
+    std::string out;
+    std::deque<Pending> pending;
+    Clock::time_point last_read{};
+    Clock::time_point last_write_progress{};
+    Clock::time_point partial_since{};
+    bool has_partial = false;
+    bool condemned = false;  ///< flush out, then close; never read again
+
+    explicit Connection(std::uint32_t max_body) : assembler(max_body) {}
+  };
+
+  PlanningService& service;
+  core::Platform platform;
+  ServerOptions options;
+  CacheKey platform_fp;
+  Poller poller;
+  std::atomic<bool>* ready;
+  std::atomic<bool>* draining;
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::unordered_map<int, Connection> conns;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> drain_requested{false};
+  std::atomic<std::size_t> open_connections{0};
+  bool listener_closed = false;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::atomic<std::uint64_t> shed_connections{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> malformed_closes{0};
+  std::atomic<std::uint64_t> timeout_closes{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> drains{0};
+  std::array<std::atomic<std::uint64_t>, kStatusCodeCount> statuses{};
+
+  std::uint64_t warm_plans = 0;
+  std::uint64_t warm_failures = 0;
+
+  void wake() {
+    if (wake_write < 0) return;
+    const char byte = 'w';
+    // Best-effort: a full pipe already guarantees a pending wake.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write, &byte, 1);
+  }
+
+  // ---- outbound -----------------------------------------------------------
+
+  void enqueue_frame(Connection& conn, FrameType type,
+                     std::uint64_t request_id, const std::string& body,
+                     Clock::time_point now) {
+    if (conn.out.empty()) conn.last_write_progress = now;
+    conn.out += encode_frame(type, request_id, body);
+    frames_out.fetch_add(1, std::memory_order_relaxed);
+    poller.update(conn.fd, !conn.condemned, true);
+  }
+
+  void enqueue_status(Connection& conn, std::uint64_t request_id,
+                      StatusCode code, double retry_after_s,
+                      std::string message, Clock::time_point now) {
+    statuses[status_index(code)].fetch_add(1, std::memory_order_relaxed);
+    WireStatus status;
+    status.code = code;
+    status.retry_after_s = retry_after_s;
+    status.message = std::move(message);
+    enqueue_frame(conn, FrameType::kStatus, request_id, encode_status(status),
+                  now);
+  }
+
+  void condemn(Connection& conn) {
+    // The stream can no longer be trusted to be frame-aligned: flush the
+    // best-effort diagnosis already buffered, then close.  Reading stops
+    // immediately and in-flight answers are dropped (they have no valid
+    // stream to land on).
+    conn.condemned = true;
+    conn.pending.clear();
+    poller.update(conn.fd, false, true);
+  }
+
+  void close_connection(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    poller.remove(fd);
+    ::close(fd);
+    conns.erase(it);
+    closed.fetch_add(1, std::memory_order_relaxed);
+    open_connections.store(conns.size(), std::memory_order_relaxed);
+  }
+
+  // ---- accept -------------------------------------------------------------
+
+  void accept_ready(Clock::time_point now) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN, or a transient accept error: try later
+      if (conns.size() >= options.max_connections) {
+        shed_one(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto [it, inserted] =
+          conns.emplace(fd, Connection(options.max_body_bytes));
+      it->second.fd = fd;
+      it->second.last_read = now;
+      it->second.last_write_progress = now;
+      poller.add(fd, true, false);
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      open_connections.store(conns.size(), std::memory_order_relaxed);
+    }
+  }
+
+  /// Over the connection cap: tell the peer why (single best-effort
+  /// nonblocking send on the fresh socket) and close.
+  void shed_one(int fd) {
+    shed_connections.fetch_add(1, std::memory_order_relaxed);
+    statuses[status_index(StatusCode::kShed)].fetch_add(
+        1, std::memory_order_relaxed);
+    WireStatus status;
+    status.code = StatusCode::kShed;
+    status.retry_after_s = 0.2;
+    status.message = "connection limit reached";
+    const std::string frame =
+        encode_frame(FrameType::kStatus, 0, encode_status(status));
+    set_nonblocking(fd);
+    [[maybe_unused]] const ssize_t n =
+        ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  }
+
+  // ---- inbound ------------------------------------------------------------
+
+  /// Returns false when the connection must be closed now.
+  bool handle_readable(Connection& conn, Clock::time_point now) {
+    if (conn.condemned) return true;  // stopped reading already
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.last_read = now;
+        conn.assembler.feed(buf, static_cast<std::size_t>(n));
+        if (!process_frames(conn, now)) return true;  // condemned, flushing
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) return false;  // orderly peer close
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;  // hard socket error
+    }
+    // Slow-loris bookkeeping: a partial frame parked in the assembler
+    // starts (or continues) the read-idle countdown.
+    if (conn.assembler.buffered() > 0) {
+      if (!conn.has_partial) {
+        conn.has_partial = true;
+        conn.partial_since = now;
+      }
+    } else {
+      conn.has_partial = false;
+    }
+    return true;
+  }
+
+  /// Drain every complete frame out of the assembler.  Returns false once
+  /// the connection has been condemned (stop touching the assembler).
+  bool process_frames(Connection& conn, Clock::time_point now) {
+    Frame frame;
+    for (;;) {
+      const FrameAssembler::Result result = conn.assembler.next(&frame);
+      if (result == FrameAssembler::Result::kNeedMore) return true;
+      if (result == FrameAssembler::Result::kBad) {
+        malformed_closes.fetch_add(1, std::memory_order_relaxed);
+        enqueue_status(conn, 0, conn.assembler.reply(), 0.0,
+                       conn.assembler.defect(), now);
+        condemn(conn);
+        return false;
+      }
+      frames_in.fetch_add(1, std::memory_order_relaxed);
+      if (!handle_frame(conn, frame, now)) return false;
+    }
+  }
+
+  bool handle_frame(Connection& conn, const Frame& frame,
+                    Clock::time_point now) {
+    switch (frame.type) {
+      case FrameType::kPlanRequest:
+        handle_plan_request(conn, frame, now);
+        return true;
+      case FrameType::kHealth:
+        enqueue_frame(conn, FrameType::kHealthReply, frame.request_id,
+                      encode_health(health_info()), now);
+        return true;
+      case FrameType::kReady: {
+        ReadyInfo info;
+        info.ready = ready->load(std::memory_order_acquire) ? 1 : 0;
+        info.draining = draining->load(std::memory_order_acquire) ? 1 : 0;
+        info.warm_plans = warm_plans;
+        info.load_failures = warm_failures;
+        enqueue_frame(conn, FrameType::kReadyReply, frame.request_id,
+                      encode_ready(info), now);
+        return true;
+      }
+      case FrameType::kDrain:
+        drains.fetch_add(1, std::memory_order_relaxed);
+        enqueue_frame(conn, FrameType::kDrainReply, frame.request_id, "", now);
+        drain_requested.store(true, std::memory_order_release);
+        return true;
+      default:
+        // A server-to-client frame arriving at the server means the peer
+        // is not speaking the protocol; same terminal handling as garbage.
+        malformed_closes.fetch_add(1, std::memory_order_relaxed);
+        enqueue_status(conn, frame.request_id, StatusCode::kMalformed, 0.0,
+                       "unexpected frame type for a server", now);
+        condemn(conn);
+        return false;
+    }
+  }
+
+  void handle_plan_request(Connection& conn, const Frame& frame,
+                           Clock::time_point now) {
+    WirePlanRequest wire;
+    try {
+      wire = decode_plan_request(frame.body);
+    } catch (const MalformedFrameError& error) {
+      malformed_closes.fetch_add(1, std::memory_order_relaxed);
+      enqueue_status(conn, frame.request_id, StatusCode::kMalformed, 0.0,
+                     error.what(), now);
+      condemn(conn);
+      return;
+    }
+    if (!ready->load(std::memory_order_acquire)) {
+      enqueue_status(conn, frame.request_id, StatusCode::kNotReady, 0.05,
+                     "warming up", now);
+      return;
+    }
+    if (draining->load(std::memory_order_acquire) ||
+        drain_requested.load(std::memory_order_acquire)) {
+      enqueue_status(conn, frame.request_id, StatusCode::kStopping, 0.1,
+                     "draining", now);
+      return;
+    }
+    if (!(wire.platform_fp == platform_fp)) {
+      enqueue_status(conn, frame.request_id, StatusCode::kPlatformMismatch,
+                     0.0, "platform fingerprint does not match this shard",
+                     now);
+      return;
+    }
+    if (wire.t_max_c <= platform.t_ambient_c) {
+      // Semantic reject, not a framing defect: answer and keep the
+      // connection (a well-formed stream stays trusted).  Rejecting here
+      // keeps an impossible thermal budget from burning a worker and
+      // poisoning the per-key breaker.
+      enqueue_status(conn, frame.request_id, StatusCode::kMalformed, 0.0,
+                     "t_max_c at or below ambient", now);
+      return;
+    }
+    if (conn.pending.size() >= in_flight_cap()) {
+      enqueue_status(conn, frame.request_id, StatusCode::kShed,
+                     service.stats().retry_after_hint_s,
+                     "per-connection in-flight limit", now);
+      return;
+    }
+
+    PlanRequest request;
+    request.platform = platform;
+    request.t_max_c = wire.t_max_c;
+    request.kind = wire.kind;
+    request.ao = wire.ao;
+    request.pco = wire.pco;
+    request.deadline_s = wire.deadline_s;
+    try {
+      Pending pending;
+      pending.request_id = frame.request_id;
+      pending.future = service.submit(std::move(request));
+      conn.pending.push_back(std::move(pending));
+      requests.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& error) {
+      enqueue_status(conn, frame.request_id, status_code_of(error),
+                     retry_after_of(error), error.what(), now);
+    }
+  }
+
+  /// Per-connection admission shrinks with the service's overload ladder
+  /// so a client fleet feels DEGRADED/SHED as early backpressure.
+  std::size_t in_flight_cap() const {
+    const std::size_t full = options.max_in_flight_per_connection;
+    switch (service.load_state()) {
+      case LoadState::kNormal:
+        return full;
+      case LoadState::kDegraded:
+        return full >= 2 ? full / 2 : 1;
+      case LoadState::kShed:
+        return 1;
+    }
+    return full;
+  }
+
+  HealthInfo health_info() {
+    const ServiceStats service_stats = service.stats();
+    HealthInfo info;
+    info.submitted = service_stats.submitted;
+    info.completed = service_stats.completed;
+    info.planned = service_stats.planned;
+    info.fast_path_hits = service_stats.fast_path_hits;
+    info.cache_entries = service_stats.cache.entries;
+    info.cache_hits = service_stats.cache.hits;
+    info.cache_lookups = service_stats.cache.lookups();
+    info.snapshot_saves = service_stats.snapshot_saves;
+    info.snapshot_loads = service_stats.snapshot_loads;
+    info.load_state = static_cast<std::uint16_t>(service_stats.load_state);
+    info.ready = ready->load(std::memory_order_acquire) ? 1 : 0;
+    info.draining = draining->load(std::memory_order_acquire) ? 1 : 0;
+    info.connections = conns.size();
+    info.ewma_plan_seconds = service_stats.ewma_plan_seconds;
+    info.retry_after_hint_s = service_stats.retry_after_hint_s;
+    // The service's own rejection breakdown plus the framing-layer codes
+    // only this tier can produce.
+    info.rejections_by_code = service_stats.rejections_by_code;
+    for (std::size_t i = 0; i < kStatusCodeCount; ++i)
+      info.rejections_by_code[i] +=
+          statuses[i].load(std::memory_order_relaxed);
+    return info;
+  }
+
+  // ---- completion and writes ---------------------------------------------
+
+  void pump_futures(Clock::time_point now) {
+    std::vector<int> overflowed;
+    for (auto& [fd, conn] : conns) {
+      for (auto it = conn.pending.begin(); it != conn.pending.end();) {
+        if (it->future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          ++it;
+          continue;
+        }
+        const std::uint64_t request_id = it->request_id;
+        try {
+          const PlanResponse response = it->future.get();
+          WirePlanResponse wire;
+          wire.cache_hit = response.cache_hit;
+          wire.degraded = response.plan->degraded;
+          wire.server_seconds = response.total_seconds;
+          wire.plan = *response.plan;
+          enqueue_frame(conn, FrameType::kPlanResponse, request_id,
+                        encode_plan_response(wire), now);
+          responses.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception& error) {
+          enqueue_status(conn, request_id, status_code_of(error),
+                         retry_after_of(error), error.what(), now);
+        }
+        it = conn.pending.erase(it);
+      }
+      if (conn.out.size() > options.max_outbound_bytes)
+        overflowed.push_back(fd);
+    }
+    for (const int fd : overflowed) {
+      // A reader this slow would grow the buffer without bound; treat it
+      // like any other stalled peer.
+      timeout_closes.fetch_add(1, std::memory_order_relaxed);
+      close_connection(fd);
+    }
+  }
+
+  /// Returns false when the connection must be closed now.
+  bool handle_writable(Connection& conn, Clock::time_point now) {
+    while (!conn.out.empty()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out.erase(0, static_cast<std::size_t>(n));
+        conn.last_write_progress = now;
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // hard socket error
+    }
+    if (conn.condemned) return false;  // diagnosis flushed; close
+    poller.update(conn.fd, true, false);
+    return true;
+  }
+
+  void enforce_timeouts(Clock::time_point now) {
+    std::vector<int> expired;
+    for (const auto& [fd, conn] : conns) {
+      const bool read_stalled =
+          conn.has_partial && seconds_between(conn.partial_since, now) >
+                                  options.read_idle_timeout_s;
+      const bool write_stalled =
+          !conn.out.empty() &&
+          seconds_between(conn.last_write_progress, now) >
+              options.write_stall_timeout_s;
+      const bool idle =
+          options.idle_timeout_s > 0.0 && conn.pending.empty() &&
+          conn.out.empty() &&
+          seconds_between(conn.last_read, now) > options.idle_timeout_s;
+      if (read_stalled || write_stalled || idle) expired.push_back(fd);
+    }
+    for (const int fd : expired) {
+      timeout_closes.fetch_add(1, std::memory_order_relaxed);
+      close_connection(fd);
+    }
+  }
+
+  // ---- loop ---------------------------------------------------------------
+
+  int loop_timeout_ms(bool drain_engaged) const {
+    for (const auto& [fd, conn] : conns)
+      if (!conn.pending.empty()) return 2;  // futures resolve off-loop
+    if (drain_engaged) return 2;
+    return 25;
+  }
+
+  void run_loop(const std::function<bool()>& external_drain) {
+    FOSCIL_EXPECTS(listen_fd >= 0);  // listen() first
+
+    // Warm-up sequencing: the socket is already open (peers connect and
+    // wait in the listen backlog), the restore attempt runs, then READY
+    // flips.  A corrupt or missing snapshot degrades to a cold start —
+    // warm-up must never prevent serving.
+    if (!options.manual_ready) {
+      if (!options.warm_snapshot_path.empty()) {
+        const std::size_t before = service.cache().size();
+        try {
+          service.load_snapshot_file(options.warm_snapshot_path);
+          warm_plans = service.cache().size() - before;
+        } catch (const SnapshotError& error) {
+          ++warm_failures;
+          std::cerr << "foscil-net: warm start failed (serving cold): "
+                    << error.what() << "\n";
+        }
+      }
+      ready->store(true, std::memory_order_release);
+    }
+
+    std::vector<IoEvent> events;
+    bool drain_engaged = false;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!drain_engaged &&
+          (drain_requested.load(std::memory_order_acquire) ||
+           (external_drain && external_drain()))) {
+        drain_engaged = true;
+        draining->store(true, std::memory_order_release);
+        if (!listener_closed) {
+          poller.remove(listen_fd);
+          ::close(listen_fd);
+          listen_fd = -1;
+          listener_closed = true;
+        }
+      }
+
+      // Drain completion: nothing in flight, nothing left to flush.
+      if (drain_engaged) {
+        bool quiet = true;
+        for (const auto& [fd, conn] : conns)
+          if (!conn.pending.empty() || !conn.out.empty()) quiet = false;
+        if (quiet) break;
+      }
+
+      poller.wait(events, loop_timeout_ms(drain_engaged));
+      const Clock::time_point now = Clock::now();
+
+      for (const IoEvent& event : events) {
+        if (event.fd == wake_read) {
+          char sink[64];
+          while (::read(wake_read, sink, sizeof(sink)) > 0) {
+          }
+          continue;
+        }
+        if (event.fd == listen_fd && !listener_closed) {
+          accept_ready(now);
+          continue;
+        }
+        auto it = conns.find(event.fd);
+        if (it == conns.end()) continue;
+        if (event.broken) {
+          close_connection(event.fd);
+          continue;
+        }
+        bool alive = true;
+        if (event.readable) alive = handle_readable(it->second, now);
+        if (alive && (event.writable || !it->second.out.empty()))
+          alive = handle_writable(it->second, now);
+        if (!alive) close_connection(event.fd);
+      }
+
+      pump_futures(now);
+      enforce_timeouts(now);
+    }
+
+    // Hard stop or drain complete: close everything still open.
+    std::vector<int> fds;
+    fds.reserve(conns.size());
+    for (const auto& [fd, conn] : conns) fds.push_back(fd);
+    for (const int fd : fds) close_connection(fd);
+    if (!listener_closed && listen_fd >= 0) {
+      poller.remove(listen_fd);
+      ::close(listen_fd);
+      listen_fd = -1;
+      listener_closed = true;
+    }
+
+    // The drain contract ends with one snapshot flush so a planned restart
+    // starts warm; a hard shutdown() skips it.  The flush is serialized
+    // against any periodic flusher by the service's flush mutex.
+    if (drain_engaged && !options.drain_snapshot_path.empty()) {
+      try {
+        service.save_snapshot_file(options.drain_snapshot_path);
+      } catch (const SnapshotError& error) {
+        std::cerr << "foscil-net: drain snapshot failed: " << error.what()
+                  << "\n";
+      }
+    }
+  }
+};
+
+PlanServer::PlanServer(PlanningService& service, core::Platform platform,
+                       ServerOptions options)
+    : impl_(std::make_unique<Impl>(service, std::move(platform),
+                                   std::move(options), &ready_, &draining_)) {
+  impl_->options.check();
+  FOSCIL_EXPECTS(impl_->platform.model != nullptr);
+}
+
+PlanServer::~PlanServer() {
+  shutdown();
+  Impl& impl = *impl_;
+  for (auto& [fd, conn] : impl.conns) ::close(fd);
+  impl.conns.clear();
+  if (impl.listen_fd >= 0) ::close(impl.listen_fd);
+  if (impl.wake_read >= 0) ::close(impl.wake_read);
+  if (impl.wake_write >= 0) ::close(impl.wake_write);
+}
+
+std::uint16_t PlanServer::listen() {
+  Impl& impl = *impl_;
+  FOSCIL_EXPECTS(impl.listen_fd < 0);
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0)
+    throw ServeError("net server: cannot create wake pipe: " +
+                     std::string(std::strerror(errno)));
+  impl.wake_read = pipe_fds[0];
+  impl.wake_write = pipe_fds[1];
+  set_nonblocking(impl.wake_read);
+  set_nonblocking(impl.wake_write);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw ServeError("net server: cannot create socket: " +
+                     std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl.options.listen_port);
+  if (::inet_pton(AF_INET, impl.options.listen_host.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw ServeError("net server: bad listen host " +
+                     impl.options.listen_host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("net server: cannot bind " + impl.options.listen_host +
+                     ":" + std::to_string(impl.options.listen_port) + ": " +
+                     why);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("net server: cannot listen: " + why);
+  }
+  set_nonblocking(fd);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("net server: getsockname failed: " + why);
+  }
+  impl.listen_fd = fd;
+  port_ = ntohs(bound.sin_port);
+
+  impl.poller.add(impl.wake_read, true, false);
+  impl.poller.add(impl.listen_fd, true, false);
+  return port_;
+}
+
+void PlanServer::run(const std::function<bool()>& external_drain) {
+  impl_->run_loop(external_drain);
+}
+
+void PlanServer::begin_drain() {
+  impl_->drain_requested.store(true, std::memory_order_release);
+  impl_->wake();
+}
+
+void PlanServer::shutdown() {
+  impl_->stop.store(true, std::memory_order_release);
+  impl_->wake();
+}
+
+void PlanServer::set_ready(bool ready) {
+  ready_.store(ready, std::memory_order_release);
+}
+
+ServerStats PlanServer::stats() const {
+  const Impl& impl = *impl_;
+  ServerStats stats;
+  stats.accepted = impl.accepted.load(std::memory_order_relaxed);
+  stats.closed = impl.closed.load(std::memory_order_relaxed);
+  stats.shed_connections =
+      impl.shed_connections.load(std::memory_order_relaxed);
+  stats.frames_in = impl.frames_in.load(std::memory_order_relaxed);
+  stats.frames_out = impl.frames_out.load(std::memory_order_relaxed);
+  stats.malformed_closes =
+      impl.malformed_closes.load(std::memory_order_relaxed);
+  stats.timeout_closes = impl.timeout_closes.load(std::memory_order_relaxed);
+  stats.requests = impl.requests.load(std::memory_order_relaxed);
+  stats.responses = impl.responses.load(std::memory_order_relaxed);
+  stats.drains = impl.drains.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kStatusCodeCount; ++i)
+    stats.statuses_by_code[i] =
+        impl.statuses[i].load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::size_t PlanServer::connection_count() const {
+  return impl_->open_connections.load(std::memory_order_relaxed);
+}
+
+}  // namespace foscil::serve::net

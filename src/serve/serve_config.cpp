@@ -76,6 +76,47 @@ ServeDemoOptions demo_options_from_config(const Config& config) {
   return demo;
 }
 
+net::ServerOptions server_options_from_config(const Config& config) {
+  net::ServerOptions options;
+  options.listen_host =
+      config.get_string_or("net.listen_host", options.listen_host);
+  const long port = config.get_int_or("net.listen_port", 0);
+  FOSCIL_EXPECTS(port >= 0 && port <= 65535);
+  options.listen_port = static_cast<std::uint16_t>(port);
+
+  const long connections = config.get_int_or(
+      "net.max_connections", static_cast<long>(options.max_connections));
+  FOSCIL_EXPECTS(connections >= 1);
+  options.max_connections = static_cast<std::size_t>(connections);
+
+  const long in_flight = config.get_int_or(
+      "net.max_in_flight",
+      static_cast<long>(options.max_in_flight_per_connection));
+  FOSCIL_EXPECTS(in_flight >= 1);
+  options.max_in_flight_per_connection = static_cast<std::size_t>(in_flight);
+
+  const long body_kib = config.get_int_or(
+      "net.max_body_kib", static_cast<long>(options.max_body_bytes >> 10));
+  FOSCIL_EXPECTS(body_kib >= 1);
+  options.max_body_bytes = static_cast<std::uint32_t>(body_kib) << 10;
+
+  options.read_idle_timeout_s = config.get_double_or(
+      "net.read_idle_timeout_s", options.read_idle_timeout_s);
+  options.write_stall_timeout_s = config.get_double_or(
+      "net.write_stall_timeout_s", options.write_stall_timeout_s);
+  options.idle_timeout_s =
+      config.get_double_or("net.idle_timeout_s", options.idle_timeout_s);
+  options.warm_snapshot_path =
+      config.get_string_or("net.warm_snapshot_path", "");
+  options.drain_snapshot_path =
+      config.get_string_or("net.drain_snapshot_path", "");
+  options.force_poll = config.has("net.force_poll")
+                           ? config.get_bool("net.force_poll")
+                           : options.force_poll;
+  options.check();
+  return options;
+}
+
 std::vector<std::string> serve_known_config_keys() {
   return {
       "serve.workers",
@@ -96,6 +137,17 @@ std::vector<std::string> serve_known_config_keys() {
       "serve.snapshot_period_s",
       "serve.demo_unique",
       "serve.demo_repeats",
+      "net.listen_host",
+      "net.listen_port",
+      "net.max_connections",
+      "net.max_in_flight",
+      "net.max_body_kib",
+      "net.read_idle_timeout_s",
+      "net.write_stall_timeout_s",
+      "net.idle_timeout_s",
+      "net.warm_snapshot_path",
+      "net.drain_snapshot_path",
+      "net.force_poll",
   };
 }
 

@@ -22,8 +22,25 @@
 //   snapshot_period_s = 0    ; extra periodic flush (> 0 starts a flusher)
 //   demo_unique = 16         ; foscil_cli serve: distinct T_max points
 //   demo_repeats = 32        ; foscil_cli serve: repeats per point
+//
+// The network front end (serve/net/server.hpp) reads its own [net]
+// section:
+//
+//   [net]
+//   listen_host = 127.0.0.1
+//   listen_port = 0            ; 0 = ephemeral (printed at startup)
+//   max_connections = 256      ; beyond this, connections are shed
+//   max_in_flight = 32         ; per-connection cap at NORMAL load
+//   max_body_kib = 1024        ; inbound frame body cap
+//   read_idle_timeout_s = 5    ; partial-frame (slow-loris) timeout
+//   write_stall_timeout_s = 5  ; stalled-writer timeout
+//   idle_timeout_s = 0         ; reap idle connections (0 = never)
+//   warm_snapshot_path =       ; restore after listen, gate READY on it
+//   drain_snapshot_path =      ; final flush on graceful drain
+//   force_poll = false         ; use the poll(2) backend even with epoll
 #pragma once
 
+#include "serve/net/server.hpp"
 #include "serve/service.hpp"
 #include "util/config.hpp"
 
@@ -41,6 +58,11 @@ struct ServeDemoOptions {
 };
 
 [[nodiscard]] ServeDemoOptions demo_options_from_config(const Config& config);
+
+/// Network front-end knobs from [net] (defaults when absent).  Throws
+/// ConfigError / ContractViolation on malformed values.
+[[nodiscard]] net::ServerOptions server_options_from_config(
+    const Config& config);
 
 /// Every "serve.*" key this module reads — the serve layer's contribution
 /// to core::unknown_config_keys / warn_unknown_config_keys, so a

@@ -79,6 +79,13 @@ struct PlanningService::Impl {
 
   std::mutex mutex;
   std::mutex stop_mutex;  ///< serializes stop() callers; never nested
+  /// Serializes every snapshot writer (periodic flusher, stop()'s final
+  /// flush, explicit save_snapshot_file callers).  All writers stage
+  /// through the same `path + ".tmp"` file; without this, a SIGTERM-driven
+  /// final flush racing a background periodic flush interleaves two
+  /// writers on that tmp file and can publish a corrupt snapshot.  Never
+  /// held together with `mutex` or `stop_mutex`.
+  std::mutex flush_mutex;
   std::size_t worker_count = 0;
   std::condition_variable work_ready;
   std::condition_variable snapshot_tick;  ///< wakes the snapshot flusher
@@ -173,7 +180,7 @@ PlanningService::PlanningService(ServiceOptions options)
   // Warm start before any worker can race the cache: a corrupt, truncated,
   // version-mismatched, or missing snapshot is counted and ignored — the
   // snapshot is an optimization, never required for correctness.
-  if (!options.snapshot_path.empty()) {
+  if (!options.snapshot_path.empty() && options.warm_load_at_construction) {
     try {
       load_snapshot_file(options.snapshot_path);
     } catch (const SnapshotError&) {
@@ -490,6 +497,12 @@ void PlanningService::snapshot_loop() {
 }
 
 void PlanningService::save_snapshot_file(const std::string& path) {
+  // One writer at a time: concurrent flushes (periodic thread vs. a
+  // SIGTERM-driven final flush vs. explicit callers) would interleave on
+  // the shared tmp file.  The cache export itself is taken inside the
+  // critical section so the last flush to finish also wrote the freshest
+  // content.
+  const std::lock_guard<std::mutex> flush_lock(impl_->flush_mutex);
   SnapshotData data;
   for (const auto& plan : cache_.export_entries()) data.plans.push_back(*plan);
   {
@@ -555,11 +568,30 @@ ServiceStats PlanningService::stats() const {
   stats.overload_transitions = impl_->overload.transitions();
   stats.load_state = impl_->overload.state();
   stats.workers = impl_->worker_count;
+  std::size_t queue_depth = 0;
   {
     const std::lock_guard<std::mutex> lock(impl_->mutex);
     stats.queue_peak = impl_->queue_peak;
+    queue_depth = impl_->queue.size();
   }
   stats.cache = cache_.stats();
+  stats.ewma_plan_seconds =
+      impl_->ewma_plan_seconds.load(std::memory_order_relaxed);
+  stats.retry_after_hint_s = impl_->retry_after_hint(queue_depth);
+  // Project the counters onto the stable wire taxonomy.  Expiry before and
+  // after admission are one client-visible condition (DEADLINE_EXPIRED);
+  // kDegraded is an annotation, not a rejection (those requests were
+  // served), surfaced per-code so operators see degraded traffic next to
+  // the hard rejections it prevented.
+  auto& codes = stats.rejections_by_code;
+  codes[status_index(StatusCode::kQueueFull)] = stats.rejected_queue_full;
+  codes[status_index(StatusCode::kDeadlineExpired)] =
+      stats.rejected_expired + stats.expired_in_queue;
+  codes[status_index(StatusCode::kShed)] = stats.rejected_overload;
+  codes[status_index(StatusCode::kBreakerOpen)] = stats.breaker_rejections;
+  codes[status_index(StatusCode::kCancelled)] = stats.cancelled_mid_plan;
+  codes[status_index(StatusCode::kPlannerFailed)] = stats.failed;
+  codes[status_index(StatusCode::kDegraded)] = stats.degraded_served;
   return stats;
 }
 

@@ -41,6 +41,7 @@
 // ThreadSanitizer in CI.
 #pragma once
 
+#include <array>
 #include <future>
 #include <optional>
 #include <stdexcept>
@@ -71,6 +72,13 @@ struct ServiceOptions {
   /// > 0: a background thread additionally flushes the snapshot every this
   /// many seconds, so a crash loses at most one period of cached plans.
   double snapshot_period_s = 0.0;
+  /// When true (the default) a configured snapshot_path is warm-loaded in
+  /// the constructor, before any worker starts.  The network front end
+  /// (serve/net/server.hpp) sets this false so it can open its listening
+  /// socket first and answer READY=false while it restores — warm-up
+  /// becomes an externally observable state instead of silent startup
+  /// latency.  stop()/periodic flushing are unaffected by this flag.
+  bool warm_load_at_construction = true;
 };
 
 struct PlanRequest {
@@ -114,6 +122,19 @@ struct ServiceStats {
   std::size_t queue_peak = 0;
   std::size_t workers = 0;
   CacheStats cache;
+  /// EWMA of recent planner wall times and the retry-after hint it implies
+  /// at the current queue depth — the same hint OverloadedError (and the
+  /// wire SHED status) carries, surfaced so operators and health frames
+  /// can see the advertised backoff.
+  double ewma_plan_seconds = 0.0;
+  double retry_after_hint_s = 0.0;
+  /// Rejection/annotation breakdown on the stable wire status taxonomy
+  /// (serve/errors.hpp StatusCode), indexed by status_index().  Derived
+  /// from the counters above: every rejection the service can issue maps
+  /// to exactly one code.  Framing-layer codes (MALFORMED, TOO_LARGE, ...)
+  /// stay zero here — only the network tier can produce those; it counts
+  /// them in its own ServerStats.
+  std::array<std::uint64_t, kStatusCodeCount> rejections_by_code{};
 };
 
 /// Fixed-pool planning service.  All public methods are thread-safe.

@@ -263,6 +263,20 @@ core::IdentifyState read_identify(Reader& r) {
 
 }  // namespace
 
+std::string encode_plan_bytes(const ServedPlan& plan) {
+  Writer w;
+  write_plan(w, plan);
+  return w.bytes();
+}
+
+ServedPlan decode_plan_bytes(const std::string& bytes,
+                             const std::string& context) {
+  Reader r(bytes, context);
+  ServedPlan plan = read_plan(r);
+  r.expect_exhausted();
+  return plan;
+}
+
 void save_snapshot(const std::string& path, const SnapshotData& data) {
   FOSCIL_EXPECTS(!path.empty());
 

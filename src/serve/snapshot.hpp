@@ -74,4 +74,16 @@ void save_snapshot(const std::string& path, const SnapshotData& data);
 /// bit-identically.
 [[nodiscard]] SnapshotData load_snapshot(const std::string& path);
 
+/// Serialize one ServedPlan to the snapshot's plan record layout (no
+/// header, no checksum — the caller frames it).  The network tier reuses
+/// this as the PlanResponse body so a plan crossing the wire round-trips
+/// bit-identically through exactly the code the snapshot tests pin down.
+[[nodiscard]] std::string encode_plan_bytes(const ServedPlan& plan);
+
+/// Parse one plan record.  Strict: every length is bounds-checked, every
+/// field validated, and trailing bytes are rejected.  Throws SnapshotError
+/// naming `context` and the defect.
+[[nodiscard]] ServedPlan decode_plan_bytes(const std::string& bytes,
+                                           const std::string& context);
+
 }  // namespace foscil::serve

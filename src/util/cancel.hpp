@@ -104,4 +104,30 @@ class CancelToken {
   std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
 };
 
+// ---- deadline plumbing helpers --------------------------------------------
+//
+// The serving stack passes time budgets across layers in three shapes: a
+// relative budget in seconds (wire requests, config knobs), a steady-clock
+// time point (CancelToken, waiter bookkeeping), and "remaining budget"
+// (retry loops that must shrink the budget on every attempt).  These
+// helpers are the single conversion point, so every layer rounds the same
+// way and a deadline survives client -> wire -> service -> CancelToken
+// without drift beyond clock-read jitter.
+
+/// Steady-clock deadline `seconds` from now.  `seconds` must be finite.
+[[nodiscard]] inline CancelToken::Clock::time_point deadline_after(
+    double seconds) {
+  return CancelToken::Clock::now() +
+         std::chrono::duration_cast<CancelToken::Clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+/// Seconds until `deadline`; negative once it has passed.
+[[nodiscard]] inline double seconds_until(
+    CancelToken::Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline -
+                                       CancelToken::Clock::now())
+      .count();
+}
+
 }  // namespace foscil

@@ -1,0 +1,134 @@
+// Consistent-hash routing (serve/net/ring.hpp): determinism, balance,
+// bounded disruption on endpoint loss, and complete failover ordering.
+// These are the properties the client's shard routing and kill-one-shard
+// failover depend on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "serve/net/ring.hpp"
+
+namespace foscil::serve::net {
+namespace {
+
+std::vector<Endpoint> fleet(std::size_t n) {
+  std::vector<Endpoint> endpoints;
+  for (std::size_t i = 0; i < n; ++i)
+    endpoints.push_back({"127.0.0.1", static_cast<std::uint16_t>(9000 + i)});
+  return endpoints;
+}
+
+/// A spread of synthetic 128-bit keys; splitmix-style stepping so the
+/// folds exercise the whole ring, deterministically.
+std::vector<CacheKey> sample_keys(std::size_t n) {
+  std::vector<CacheKey> keys;
+  std::uint64_t x = 0x243F6A8885A308D3ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += 0x9E3779B97F4A7C15ull;
+    keys.push_back({x ^ (x >> 31), x * 0xBF58476D1CE4E5B9ull});
+  }
+  return keys;
+}
+
+TEST(HashRing, RoutingIsDeterministicAcrossIndependentBuilds) {
+  // Two clients constructing rings from the same endpoint list must agree
+  // on every key — that is what keeps shard caches disjoint and hot.
+  const HashRing a(fleet(5));
+  const HashRing b(fleet(5));
+  for (const CacheKey& key : sample_keys(512)) {
+    EXPECT_EQ(a.owner(key), b.owner(key));
+    EXPECT_EQ(a.successors(key), b.successors(key));
+  }
+}
+
+TEST(HashRing, FoldIsStableAndSensitiveToBothHalves) {
+  const CacheKey key{0x1234, 0x5678};
+  EXPECT_EQ(ring_fold(key), ring_fold(key));
+  EXPECT_NE(ring_fold(key), ring_fold({0x1235, 0x5678}));
+  EXPECT_NE(ring_fold(key), ring_fold({0x1234, 0x5679}));
+  EXPECT_NE(ring_fold({1, 2}), ring_fold({2, 1}));  // halves not symmetric
+}
+
+TEST(HashRing, LoadSpreadsAcrossEveryEndpoint) {
+  // With 64 vnodes per endpoint the spread is not perfect, but no
+  // endpoint may starve or absorb a majority of the keyspace.
+  const std::size_t shards = 4;
+  const HashRing ring(fleet(shards));
+  std::map<std::size_t, int> owned;
+  const int keys = 4096;
+  for (const CacheKey& key : sample_keys(keys)) ++owned[ring.owner(key)];
+  EXPECT_EQ(owned.size(), shards);
+  for (const auto& [endpoint, count] : owned) {
+    EXPECT_GT(count, keys / (static_cast<int>(shards) * 4))
+        << "endpoint " << endpoint << " starving";
+    EXPECT_LT(count, keys / 2) << "endpoint " << endpoint << " hot-spotted";
+  }
+}
+
+TEST(HashRing, RemovingOneEndpointOnlyMovesItsOwnKeys) {
+  // The failover property: when shard d dies, only the keys d owned may
+  // re-route, and every key another shard owned stays put.
+  const std::size_t shards = 5;
+  const HashRing full(fleet(shards));
+  for (std::size_t dead = 0; dead < shards; ++dead) {
+    std::vector<Endpoint> survivors;
+    for (std::size_t i = 0; i < shards; ++i)
+      if (i != dead) survivors.push_back(fleet(shards)[i]);
+    const HashRing shrunk(survivors);
+    int moved = 0;
+    for (const CacheKey& key : sample_keys(1024)) {
+      const std::size_t before = full.owner(key);
+      const Endpoint& after = shrunk.endpoints()[shrunk.owner(key)];
+      if (before == dead) {
+        ++moved;
+      } else {
+        EXPECT_EQ(after, full.endpoints()[before])
+            << "a survivor's key moved when endpoint " << dead << " died";
+      }
+    }
+    // The dead endpoint's share actually existed (the test has teeth).
+    EXPECT_GT(moved, 0);
+  }
+}
+
+TEST(HashRing, SuccessorsEnumerateEveryEndpointOwnerFirstNoRepeats) {
+  const std::size_t shards = 6;
+  const HashRing ring(fleet(shards));
+  for (const CacheKey& key : sample_keys(256)) {
+    const std::vector<std::size_t> order = ring.successors(key);
+    ASSERT_EQ(order.size(), shards);
+    EXPECT_EQ(order.front(), ring.owner(key));
+    const std::set<std::size_t> distinct(order.begin(), order.end());
+    EXPECT_EQ(distinct.size(), shards);
+  }
+}
+
+TEST(HashRing, SuccessorFailoverAgreesWithTheShrunkenRing) {
+  // The client retries along successors(); the second entry must be the
+  // endpoint a ring without the owner would route to.  (Ring order from
+  // the key's position is exactly arc inheritance.)
+  const std::size_t shards = 4;
+  const HashRing full(fleet(shards));
+  for (const CacheKey& key : sample_keys(512)) {
+    const std::vector<std::size_t> order = full.successors(key);
+    std::vector<Endpoint> survivors;
+    for (std::size_t i = 0; i < shards; ++i)
+      if (i != order.front()) survivors.push_back(full.endpoints()[i]);
+    const HashRing shrunk(survivors);
+    EXPECT_EQ(shrunk.endpoints()[shrunk.owner(key)],
+              full.endpoints()[order[1]]);
+  }
+}
+
+TEST(HashRing, SingleEndpointOwnsEverything) {
+  const HashRing ring(fleet(1));
+  for (const CacheKey& key : sample_keys(64)) {
+    EXPECT_EQ(ring.owner(key), 0u);
+    EXPECT_EQ(ring.successors(key), std::vector<std::size_t>{0});
+  }
+}
+
+}  // namespace
+}  // namespace foscil::serve::net

@@ -102,12 +102,18 @@ TEST(ServeConfig, RobustnessKeysParseIntoOptions) {
 }
 
 TEST(ServeConfig, KnownKeyListCoversEveryKeyTheLoaderReads) {
-  // Feed a config that sets every advertised serve key; none of them may
-  // come back as unknown, and a typo must.
-  std::string body = "[serve]\n";
-  for (const std::string& key : serve_known_config_keys())
-    body += key.substr(key.find('.') + 1) + " = 1\n";
-  const Config config = Config::parse(body);
+  // Feed a config that sets every advertised key (the serve layer owns
+  // both [serve] and [net]); none of them may come back as unknown, and a
+  // typo must.
+  std::string serve_body = "[serve]\n";
+  std::string net_body = "[net]\n";
+  for (const std::string& key : serve_known_config_keys()) {
+    const std::size_t dot = key.find('.');
+    std::string& body =
+        key.substr(0, dot) == "serve" ? serve_body : net_body;
+    body += key.substr(dot + 1) + " = 1\n";
+  }
+  const Config config = Config::parse(serve_body + net_body);
   EXPECT_TRUE(
       core::unknown_config_keys(config, serve_known_config_keys()).empty());
   EXPECT_EQ(core::unknown_config_keys(Config::parse("[serve]\nworkerz = 1\n"),

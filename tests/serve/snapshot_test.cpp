@@ -5,6 +5,7 @@
 // cold — and still serving — from a bad one.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -324,6 +325,59 @@ TEST(SnapshotService, ExplicitSaveRestoresLruOrderAcrossRestart) {
   (void)revived.submit(request_2x2(70.0)).get();
   EXPECT_TRUE(revived.submit(a).get().cache_hit);
   EXPECT_FALSE(revived.submit(b).get().cache_hit);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotService, ConcurrentFlushersNeverCorruptTheSnapshotFile) {
+  // Regression: the periodic flusher, explicit save_snapshot_file callers,
+  // and stop()'s final flush all target the same path.  Without the flush
+  // mutex two writers interleave stage-and-rename and a reader can observe
+  // a torn file.  Hammer every writer concurrently while mutating the
+  // cache; the file must load cleanly at every moment and after stop().
+  const std::string path = temp_path("concurrent_flush.snap");
+  std::remove(path.c_str());
+  {
+    ServiceOptions options;
+    options.workers = 2;
+    options.snapshot_path = path;
+    options.snapshot_period_s = 0.005;  // aggressive periodic flusher
+    PlanningService service(options);
+    (void)service.submit(request_2x2(55.0)).get();
+
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 3; ++w)
+      writers.emplace_back([&service, &path, &done] {
+        while (!done.load()) service.save_snapshot_file(path);
+      });
+    std::thread mutator([&service, &done] {
+      double t_max = 56.0;
+      while (!done.load()) {
+        (void)service.submit(request_2x2(t_max)).get();
+        t_max += 0.5;
+      }
+    });
+    // Concurrent reader: every observable file state must parse.
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+    int loads = 0;
+    while (std::chrono::steady_clock::now() < until) {
+      EXPECT_NO_THROW((void)load_snapshot(path)) << "torn snapshot observed";
+      ++loads;
+    }
+    EXPECT_GT(loads, 0);
+    done.store(true);
+    for (std::thread& writer : writers) writer.join();
+    mutator.join();
+    service.stop();  // final flush races nothing: writers are joined
+  }
+  // The file stop() left behind warms a fresh service.
+  ServiceOptions revived_options;
+  revived_options.workers = 1;
+  revived_options.snapshot_path = path;
+  PlanningService revived(revived_options);
+  EXPECT_EQ(revived.stats().snapshot_loads, 1u);
+  EXPECT_GE(revived.stats().cache.entries, 1u);
   std::remove(path.c_str());
 }
 
