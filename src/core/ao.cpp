@@ -127,6 +127,28 @@ unsigned resolve_scan_threads(unsigned requested, std::size_t num_nodes) {
   return num_nodes >= 32 ? hardware_parallelism() : 1u;
 }
 
+/// Partition [0, count) into at most `threads` contiguous chunks and run
+/// `body(begin, end)` over them concurrently.  The candidate scans use this
+/// so each worker hands its whole chunk to the analyzer as one batch: SIMD
+/// lanes (batched back-transform, amortized factor caches) compose with the
+/// thread fan-out.  Batching is bit-identical to per-candidate evaluation
+/// and each index is computed exactly once, so results stay independent of
+/// the thread count even though the chunk boundaries move with it.
+template <typename Body>
+void parallel_chunks(std::size_t count, unsigned threads, const Body& body) {
+  if (count == 0) return;
+  const std::size_t workers = std::max<std::size_t>(1, threads);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  const std::size_t n_chunks = (count + chunk - 1) / chunk;
+  parallel_for(
+      n_chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        body(begin, std::min(count, begin + chunk));
+      },
+      threads);
+}
+
 }  // namespace
 
 AoInternal run_ao_internal(const Platform& platform, double t_max_c,
@@ -175,19 +197,25 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
     while (!stop && next <= bound) {
       const int count = std::min(block, bound - next + 1);
       std::vector<double> peaks(static_cast<std::size_t>(count));
-      parallel_for(
-          static_cast<std::size_t>(count),
-          [&](std::size_t i) {
-            // Cancellation check point: between candidates, never inside
-            // the evaluation.  A fired token skips the remaining block (the
+      parallel_chunks(
+          static_cast<std::size_t>(count), scan_threads,
+          [&](std::size_t begin, std::size_t end) {
+            // Cancellation check point: between chunks, never inside the
+            // evaluation.  A fired token skips the remaining chunks (the
             // results are discarded by the throw below).
             if (options.cancel != nullptr && options.cancel->cancelled())
               return;
-            const auto schedule = detail::build_oscillating_schedule(
-                cores, options.base_period, next + static_cast<int>(i), tau);
-            peaks[i] = sim::step_up_peak(analyzer, schedule).rise;
-          },
-          scan_threads);
+            std::vector<sched::PeriodicSchedule> schedules;
+            schedules.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i)
+              schedules.push_back(detail::build_oscillating_schedule(
+                  cores, options.base_period, next + static_cast<int>(i),
+                  tau));
+            const std::vector<sim::PeakInfo> batch =
+                sim::batch_step_up_peaks(analyzer, schedules);
+            for (std::size_t i = begin; i < end; ++i)
+              peaks[i] = batch[i - begin].rise;
+          });
       if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
       evaluations += static_cast<std::size_t>(count);
       for (int i = 0; i < count && !stop; ++i) {
@@ -234,17 +262,25 @@ AoInternal run_ao_internal(const Platform& platform, double t_max_c,
     }
     if (scan.empty()) break;  // no adjustable core remains
     std::vector<linalg::Vector> scan_rises(scan.size());
-    parallel_for(
-        scan.size(),
-        [&](std::size_t i) {
+    parallel_chunks(
+        scan.size(), scan_threads, [&](std::size_t begin, std::size_t end) {
           if (options.cancel != nullptr && options.cancel->cancelled())
-            return;  // between candidates; discarded by the throw below
-          std::vector<CoreOscillation> candidate = cores;
-          candidate[scan[i]].ratio_high =
-              std::max(0.0, candidate[scan[i]].ratio_high - u);
-          scan_rises[i] = rises_of(candidate);
-        },
-        scan_threads);
+            return;  // between chunks; discarded by the throw below
+          std::vector<sched::PeriodicSchedule> schedules;
+          schedules.reserve(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            std::vector<CoreOscillation> candidate = cores;
+            candidate[scan[i]].ratio_high =
+                std::max(0.0, candidate[scan[i]].ratio_high - u);
+            schedules.push_back(detail::build_oscillating_schedule(
+                candidate, options.base_period, best_m, tau));
+          }
+          std::vector<linalg::Vector> batch =
+              analyzer.batch_stable_core_rises(schedules.data(),
+                                               schedules.size());
+          for (std::size_t i = begin; i < end; ++i)
+            scan_rises[i] = std::move(batch[i - begin]);
+        });
     if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
     evaluations += scan.size();
     // Deterministic selection: fold in ascending-core order with the same

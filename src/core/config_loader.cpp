@@ -6,6 +6,8 @@
 #include <set>
 #include <string>
 
+#include "linalg/simd.hpp"
+
 namespace foscil::core {
 
 namespace {
@@ -161,6 +163,21 @@ AoOptions ao_options_from_config(const Config& config) {
       config.get_int_or("ao.scan_threads", options.scan_threads);
   if (scan_threads < 0) reject("ao.scan_threads", "must be >= 0");
   options.scan_threads = static_cast<unsigned>(scan_threads);
+  // SIMD dispatch is a process-wide kernel-table selection, not a per-run
+  // option struct field: every engine (modal, reference, EXS) reads the
+  // same table.  The config key overrides the FOSCIL_SIMD environment
+  // default; set_active_level clamps avx2 to scalar on CPUs without it.
+  if (config.has("sim.simd")) {
+    const std::string simd = config.get_string("sim.simd");
+    if (simd == "scalar")
+      linalg::simd::set_active_level(linalg::simd::Level::kScalar);
+    else if (simd == "avx2")
+      linalg::simd::set_active_level(linalg::simd::Level::kAvx2);
+    else if (simd == "auto")
+      linalg::simd::set_active_level(linalg::simd::detected_level());
+    else
+      reject("sim.simd", "must be 'scalar', 'avx2', or 'auto'");
+  }
   return options;
 }
 
@@ -375,6 +392,7 @@ const char* const kKnownKeys[] = {
     "power.beta_per_core", "power.gamma_per_core",
     "ao.base_period_ms", "ao.tau_us", "ao.t_unit_fraction", "ao.max_m",
     "ao.t_max_margin_k", "ao.eval_engine", "ao.scan_threads",
+    "sim.simd",
     "run.t_max_c",
     "faults.intensity", "faults.seed", "faults.sensor_bias_k",
     "faults.sensor_noise_k", "faults.stuck_sensors", "faults.stuck_at_k",

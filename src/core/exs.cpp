@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "linalg/lu.hpp"
+#include "linalg/simd.hpp"
 #include "util/parallel_for.hpp"
 #include "util/stopwatch.hpp"
 
@@ -63,11 +64,20 @@ SchedulerResult run_exs(const Platform& platform, double t_max_c,
       m_dd(r, c) =
           inv(model.network().die_node(r), model.network().die_node(c));
 
+  // Explicit transposed copy of the die block: the odometer fold adds one
+  // *column* of M_dd into temps per changed digit, and the transposed copy
+  // turns that strided walk into a contiguous row the axpy kernel streams.
+  // (An explicit copy, not a symmetry assumption — the LU-computed inverse
+  // is only symmetric to roundoff.)
+  const linalg::Matrix m_dd_t = m_dd.transposed();
+
   // Per-(core, level) heat lookup table (cores may be heterogeneous).
   linalg::Matrix psi_of(cores, num_levels);
   for (std::size_t c = 0; c < cores; ++c)
     for (std::size_t l = 0; l < num_levels; ++l)
       psi_of(c, l) = model.power().psi(c, levels[l]);
+
+  const linalg::simd::Kernels& kern = linalg::simd::kernels();
 
   const bool modal = options.eval_engine == sim::EvalEngine::kModal;
   const unsigned threads =
@@ -103,12 +113,8 @@ SchedulerResult run_exs(const Platform& platform, double t_max_c,
             psi[c] = psi_of(c, digits[c]);
             speed_sum += levels[digits[c]];
           }
-          for (std::size_t r = 0; r < cores; ++r) {
-            double acc_t = 0.0;
-            for (std::size_t c = 0; c < cores; ++c)
-              acc_t += m_dd(r, c) * psi[c];
-            temps[r] = acc_t;
-          }
+          for (std::size_t r = 0; r < cores; ++r)
+            temps[r] = kern.dot(m_dd.row_data(r), psi.data(), cores);
         };
         if (modal) refresh();
         std::uint64_t since_refresh = 0;
@@ -150,9 +156,8 @@ SchedulerResult run_exs(const Platform& platform, double t_max_c,
             const std::size_t fresh = old + 1 < num_levels ? old + 1 : 0;
             digits[c] = fresh;
             if (modal) {
-              for (std::size_t r = 0; r < cores; ++r)
-                temps[r] +=
-                    m_dd(r, c) * (psi_of(c, fresh) - psi_of(c, old));
+              kern.axpy(cores, psi_of(c, fresh) - psi_of(c, old),
+                        m_dd_t.row_data(c), temps.data());
               speed_sum += levels[fresh] - levels[old];
             }
             if (fresh != 0) break;  // no carry

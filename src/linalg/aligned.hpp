@@ -1,0 +1,52 @@
+// 32-byte-aligned storage for the dense kernels (DESIGN.md §14).
+//
+// The SIMD kernel layer (linalg/simd.hpp) streams Matrix/Vector buffers
+// with 256-bit loads.  Unaligned AVX2 loads are cheap on current
+// microarchitectures, but a buffer whose start straddles a cache line
+// splits *every* load of a whole-buffer sweep; aligning the start to 32
+// bytes makes element-wise kernels and row 0 split-free and keeps the door
+// open for aligned streaming stores.  Rows of a matrix whose column count
+// is not a multiple of 4 remain unaligned, so kernels never assume more
+// than the buffer-start contract and always issue unaligned loads.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace foscil::linalg {
+
+/// Alignment (bytes) guaranteed for the start of every Matrix/Vector
+/// buffer: one AVX2 register, two per cache line.
+inline constexpr std::size_t kSimdAlignment = 32;
+
+/// Minimal aligned allocator: every allocation starts on a
+/// kSimdAlignment boundary.  Stateless, so all instances are equal and
+/// buffers can move between containers freely.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > static_cast<std::size_t>(-1) / sizeof(T)) throw std::bad_alloc();
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kSimdAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kSimdAlignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Contiguous double storage whose data() is 32-byte aligned.
+using AlignedBuffer = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace foscil::linalg

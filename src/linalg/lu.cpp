@@ -4,6 +4,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "linalg/simd.hpp"
+
 namespace foscil::linalg {
 
 namespace {
@@ -62,13 +64,14 @@ LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
     }
 
     const double inv_pivot = 1.0 / lu_(k, k);
+    const simd::Kernels& kern = simd::kernels();
     for (std::size_t r = k + 1; r < n; ++r) {
       const double factor = lu_(r, k) * inv_pivot;
       lu_(r, k) = factor;
       if (factor == 0.0) continue;
       const double* uk = lu_.row_data(k);
       double* ur = lu_.row_data(r);
-      for (std::size_t c = k + 1; c < n; ++c) ur[c] -= factor * uk[c];
+      kern.axpy(n - k - 1, -factor, uk + k + 1, ur + k + 1);
     }
   }
 }
@@ -77,20 +80,20 @@ Vector LuDecomposition::solve(const Vector& b) const {
   const std::size_t n = size();
   FOSCIL_EXPECTS(b.size() == n);
 
-  // Forward substitution on the permuted RHS (L has unit diagonal).
+  // Forward substitution on the permuted RHS (L has unit diagonal).  The
+  // gathered prefix/suffix products run through the dot kernel, so the
+  // substitutions vectorize while staying bit-identical across dispatch.
+  const simd::Kernels& kern = simd::kernels();
   Vector y(n);
   for (std::size_t r = 0; r < n; ++r) {
-    double acc = b[perm_[r]];
     const double* row = lu_.row_data(r);
-    for (std::size_t c = 0; c < r; ++c) acc -= row[c] * y[c];
-    y[r] = acc;
+    y[r] = b[perm_[r]] - kern.dot(row, y.data(), r);
   }
   // Back substitution through U.
   for (std::size_t ri = n; ri-- > 0;) {
-    double acc = y[ri];
     const double* row = lu_.row_data(ri);
-    for (std::size_t c = ri + 1; c < n; ++c) acc -= row[c] * y[c];
-    y[ri] = acc / row[ri];
+    y[ri] = (y[ri] - kern.dot(row + ri + 1, y.data() + ri + 1, n - ri - 1)) /
+            row[ri];
   }
   return y;
 }

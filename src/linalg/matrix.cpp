@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd.hpp"
+
 namespace foscil::linalg {
 
 Vector& Vector::operator+=(const Vector& rhs) {
@@ -58,9 +60,7 @@ Vector operator*(double scale, Vector v) { return v *= scale; }
 
 double dot(const Vector& a, const Vector& b) {
   FOSCIL_EXPECTS(a.size() == b.size());
-  double total = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
-  return total;
+  return simd::kernels().dot(a.data(), b.data(), a.size());
 }
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -158,14 +158,15 @@ Matrix operator*(double scale, Matrix m) { return m *= scale; }
 Matrix operator*(const Matrix& a, const Matrix& b) {
   FOSCIL_EXPECTS(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  // ikj loop order keeps the inner loop streaming over contiguous rows.
+  // ikj loop order keeps the inner loop streaming over contiguous rows; the
+  // axpy kernel vectorizes it without changing per-element arithmetic.
+  const simd::Kernels& kern = simd::kernels();
   for (std::size_t i = 0; i < a.rows(); ++i) {
     double* ci = c.row_data(i);
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
       if (aik == 0.0) continue;
-      const double* bk = b.row_data(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+      kern.axpy(b.cols(), aik, b.row_data(k), ci);
     }
   }
   return c;
@@ -181,29 +182,9 @@ Vector operator*(const Matrix& a, const Vector& x) {
 Matrix multiply_transposed_rhs(const Matrix& a, const Matrix& b_t) {
   FOSCIL_EXPECTS(a.cols() == b_t.cols());
   Matrix c(a.rows(), b_t.rows());
-  const std::size_t depth = a.cols();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_data(i);
-    double* ci = c.row_data(i);
-    for (std::size_t j = 0; j < b_t.rows(); ++j) {
-      const double* bj = b_t.row_data(j);
-      // Four independent accumulators break the loop-carried add latency
-      // chain; both operands stream contiguously.
-      double a0 = 0.0;
-      double a1 = 0.0;
-      double a2 = 0.0;
-      double a3 = 0.0;
-      std::size_t k = 0;
-      for (; k + 4 <= depth; k += 4) {
-        a0 += ai[k] * bj[k];
-        a1 += ai[k + 1] * bj[k + 1];
-        a2 += ai[k + 2] * bj[k + 2];
-        a3 += ai[k + 3] * bj[k + 3];
-      }
-      for (; k < depth; ++k) a0 += ai[k] * bj[k];
-      ci[j] = (a0 + a1) + (a2 + a3);
-    }
-  }
+  if (c.empty()) return c;
+  simd::kernels().mtr(a.rows(), b_t.rows(), a.cols(), a.row_data(0), a.cols(),
+                      b_t.row_data(0), b_t.cols(), c.row_data(0), c.cols());
   return c;
 }
 
@@ -211,12 +192,9 @@ void gemv_accumulate(double alpha, const Matrix& a, const Vector& x,
                      Vector& y) {
   FOSCIL_EXPECTS(a.cols() == x.size());
   FOSCIL_EXPECTS(a.rows() == y.size());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double* row = a.row_data(r);
-    double acc = 0.0;
-    for (std::size_t c = 0; c < a.cols(); ++c) acc += row[c] * x[c];
-    y[r] += alpha * acc;
-  }
+  const simd::Kernels& kern = simd::kernels();
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    y[r] += alpha * kern.dot(a.row_data(r), x.data(), a.cols());
 }
 
 bool allclose(const Matrix& a, const Matrix& b, double rtol, double atol) {

@@ -10,20 +10,22 @@
 
 #include <cstddef>
 #include <initializer_list>
-#include <vector>
 
+#include "linalg/aligned.hpp"
 #include "util/contracts.hpp"
 
 namespace foscil::linalg {
 
 class Matrix;
 
-/// Dense real vector.
+/// Dense real vector.  Storage starts 32-byte aligned (linalg/aligned.hpp)
+/// so the SIMD kernel layer streams it split-free.
 class Vector {
  public:
   Vector() = default;
   explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
-  Vector(std::initializer_list<double> values) : data_(values) {}
+  Vector(std::initializer_list<double> values)
+      : data_(values.begin(), values.end()) {}
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
@@ -63,7 +65,7 @@ class Vector {
   [[nodiscard]] double two_norm() const;
 
  private:
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 [[nodiscard]] Vector operator+(Vector lhs, const Vector& rhs);
@@ -71,7 +73,9 @@ class Vector {
 [[nodiscard]] Vector operator*(double scale, Vector v);
 [[nodiscard]] double dot(const Vector& a, const Vector& b);
 
-/// Dense real matrix, row-major.
+/// Dense real matrix, row-major.  Storage starts 32-byte aligned
+/// (linalg/aligned.hpp); rows are packed with no padding, so only row 0 is
+/// guaranteed aligned — kernels issue unaligned loads throughout.
 class Matrix {
  public:
   Matrix() = default;
@@ -127,7 +131,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 [[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
@@ -142,9 +146,11 @@ void gemv_accumulate(double alpha, const Matrix& a, const Vector& x,
 
 /// a · b_tᵀ given the right factor already transposed: every inner product
 /// streams two contiguous rows, so no strided column walks remain — the
-/// cache-friendly form for back-transform batches where the columns of the
+/// packed-GEMM form for back-transform batches where the columns of the
 /// logical RHS are naturally produced as rows (e.g. one modal boundary per
-/// candidate schedule).  Requires a.cols() == b_t.cols().
+/// candidate schedule).  Dispatches to the SIMD kernel layer
+/// (linalg/simd.hpp), whose AVX2 micro-tile reuses each A-row load across
+/// four b_t rows.  Requires a.cols() == b_t.cols().
 [[nodiscard]] Matrix multiply_transposed_rhs(const Matrix& a,
                                              const Matrix& b_t);
 

@@ -1,0 +1,138 @@
+#include "linalg/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace foscil::linalg::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels: the differential oracle.  Every loop below is the literal
+// reduction-order contract from the header; the AVX2 kernels mirror it
+// lane-for-lane, so any divergence is a bug the tail-case battery catches.
+// ---------------------------------------------------------------------------
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    s0 += a[k] * b[k];
+    s1 += a[k + 1] * b[k + 1];
+    s2 += a[k + 2] * b[k + 2];
+    s3 += a[k + 3] * b[k + 3];
+    s4 += a[k + 4] * b[k + 4];
+    s5 += a[k + 5] * b[k + 5];
+    s6 += a[k + 6] * b[k + 6];
+    s7 += a[k + 7] * b[k + 7];
+  }
+  const double u0 = s0 + s4;
+  const double u1 = s1 + s5;
+  const double u2 = s2 + s6;
+  const double u3 = s3 + s7;
+  double r = (u0 + u2) + (u1 + u3);
+  for (; k < n; ++k) r += a[k] * b[k];
+  return r;
+}
+
+void axpy_scalar(std::size_t n, double alpha, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void modal_step_scalar(std::size_t n, const double* e, const double* p,
+                       const double* b, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = e[i] * y[i] + p[i] * b[i];
+}
+
+void hadamard_scale_scalar(std::size_t n, const double* f, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= f[i];
+}
+
+void mtr_scalar(std::size_t m, std::size_t n, std::size_t depth,
+                const double* a, std::size_t lda, const double* b_t,
+                std::size_t ldb, double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j)
+      ci[j] = dot_scalar(ai, b_t + j * ldb, depth);
+  }
+}
+
+constexpr Kernels kScalarTable{Level::kScalar,     dot_scalar,
+                               axpy_scalar,        modal_step_scalar,
+                               hadamard_scale_scalar, mtr_scalar};
+
+[[nodiscard]] bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+[[nodiscard]] Level level_from_env() {
+  const char* env = std::getenv("FOSCIL_SIMD");
+  if (env == nullptr || std::strcmp(env, "auto") == 0 ||
+      std::strcmp(env, "") == 0)
+    return detected_level();
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    if (detected_level() == Level::kAvx2) return Level::kAvx2;
+    std::cerr << "warning: FOSCIL_SIMD=avx2 requested but this CPU lacks "
+                 "AVX2; using scalar kernels\n";
+    return Level::kScalar;
+  }
+  std::cerr << "warning: unknown FOSCIL_SIMD value '" << env
+            << "' (expected scalar|avx2|auto); using auto\n";
+  return detected_level();
+}
+
+[[nodiscard]] std::atomic<Level>& active_slot() {
+  static std::atomic<Level> slot{level_from_env()};
+  return slot;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Level detected_level() {
+  static const Level level =
+      cpu_has_avx2() ? Level::kAvx2 : Level::kScalar;
+  return level;
+}
+
+Level active_level() {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+Level set_active_level(Level level) {
+  if (level == Level::kAvx2 && detected_level() != Level::kAvx2)
+    level = Level::kScalar;
+  return active_slot().exchange(level, std::memory_order_relaxed);
+}
+
+const Kernels& kernels(Level level) {
+  return level == Level::kAvx2 ? detail::avx2_kernels()
+                               : detail::scalar_kernels();
+}
+
+const Kernels& kernels() { return kernels(active_level()); }
+
+namespace detail {
+const Kernels& scalar_kernels() { return kScalarTable; }
+}  // namespace detail
+
+}  // namespace foscil::linalg::simd

@@ -1,0 +1,93 @@
+// Runtime-dispatched SIMD microkernels (DESIGN.md §14).
+//
+// Every dense hot loop in the repo — the GEMM behind the Padé expm
+// products, LU forward/back substitution, the modal diagonal recurrences,
+// the die-row back-transforms — funnels through this table of kernels.
+// Each kernel has two implementations: a portable scalar one and an AVX2
+// one, selected once at startup by CPUID and overridable at runtime
+// (set_active_level, or the FOSCIL_SIMD=scalar|avx2|auto environment
+// variable read on first use).  The scalar table is not a fallback of last
+// resort: it is the differential oracle the SIMD path is pinned against
+// (tests/linalg/simd_test.cpp) and CI runs a forced-scalar lane.
+//
+// Reduction-order contract: both implementations of every kernel perform
+// the SAME floating-point operations in the SAME order, so the dispatch
+// level never changes a result bit.  Concretely:
+//   * element-wise kernels (axpy, modal_step, hadamard_scale) perform one
+//     independent mul/add chain per element — lane width is unobservable;
+//   * dot products use a fixed eight-accumulator shape: accumulator l sums
+//     elements k ≡ l (mod 8); the reduction is u_l = s_l + s_{l+4}, then
+//     (u0+u2) + (u1+u3); tail elements (k >= 8⌊n/8⌋) are folded in
+//     sequentially afterwards.  The AVX2 kernels realize exactly this with
+//     two 4-lane accumulators, and their translation unit is compiled with
+//     -ffp-contract=off so no implicit FMA contraction can change a
+//     rounding.
+// FMA is deliberately not used: a fused multiply-add rounds once where the
+// scalar oracle rounds twice, which would break the bit-identity guarantee
+// the planners and the serve cache rely on (a plan must not depend on the
+// machine that planned it).
+#pragma once
+
+#include <cstddef>
+
+namespace foscil::linalg::simd {
+
+enum class Level {
+  kScalar = 0,  ///< portable C++, the differential oracle
+  kAvx2 = 1,    ///< 256-bit AVX2 (no FMA — see the contract above)
+};
+
+[[nodiscard]] const char* level_name(Level level);
+
+/// Best level the running CPU supports (CPUID, probed once).
+[[nodiscard]] Level detected_level();
+
+/// Level the kernel table currently dispatches to.
+[[nodiscard]] Level active_level();
+
+/// Select the dispatch level; requests above detected_level() clamp to
+/// scalar.  Returns the previous level so tests can save/restore.  The
+/// switch is atomic, but callers should only flip it at startup or in
+/// single-threaded test setup — kernels resolved before the switch keep
+/// running on the old level.
+Level set_active_level(Level level);
+
+/// One resolved kernel table.  Hot loops fetch the table once per
+/// operation (not per inner iteration) and call through it.
+struct Kernels {
+  Level level;
+  /// Canonical eight-accumulator dot product (see contract above).
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  /// y[i] += alpha * x[i] for i in [0, n).
+  void (*axpy)(std::size_t n, double alpha, const double* x, double* y);
+  /// y[i] = e[i]*y[i] + p[i]*b[i] — one modal interval step (eq. 3 on the
+  /// eigenbasis), evaluated as two mults and one add per element.
+  void (*modal_step)(std::size_t n, const double* e, const double* p,
+                     const double* b, double* y);
+  /// y[i] *= f[i] — the diagonal resolvent application.
+  void (*hadamard_scale)(std::size_t n, const double* f, double* y);
+  /// C (m×n, row stride ldc) = A (m×depth, row stride lda) · Bᵀ with B
+  /// supplied pre-transposed as b_t (n×depth, row stride ldb) — the packed
+  /// GEMM form where both factors stream contiguous rows.  Every element
+  /// is one canonical dot; the AVX2 kernel blocks four b_t rows per pass
+  /// so each A-row load is reused fourfold.
+  void (*mtr)(std::size_t m, std::size_t n, std::size_t depth,
+              const double* a, std::size_t lda, const double* b_t,
+              std::size_t ldb, double* c, std::size_t ldc);
+};
+
+/// Kernel table for the active level.
+[[nodiscard]] const Kernels& kernels();
+
+/// Kernel table for a specific level (differential tests pin both sides;
+/// asking for an unsupported level returns the scalar table).
+[[nodiscard]] const Kernels& kernels(Level level);
+
+namespace detail {
+// Implemented in simd.cpp / simd_avx2.cpp; the AVX2 table degrades to the
+// scalar one when the build target or CPU cannot run it.
+[[nodiscard]] const Kernels& scalar_kernels();
+[[nodiscard]] const Kernels& avx2_kernels();
+}  // namespace detail
+
+}  // namespace foscil::linalg::simd

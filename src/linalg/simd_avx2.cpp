@@ -1,0 +1,156 @@
+// AVX2 kernel table (DESIGN.md §14).
+//
+// This translation unit is the only one compiled with -mavx2, and it is
+// compiled with -ffp-contract=off: GCC is otherwise free to contract the
+// mul/add builtin pairs below into FMAs, which round once where the scalar
+// oracle rounds twice and would silently break the bit-identity contract.
+// The kernels are mirror images of the scalar ones in simd.cpp — same
+// eight-accumulator dot shape (two 4-lane registers), same reduction
+// order, same sequential tails — so dispatch level never changes a result
+// bit.  Callers reach this table only after the CPUID probe in simd.cpp
+// says the instructions exist.
+#include "linalg/simd.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace foscil::linalg::simd {
+
+namespace {
+
+/// Reduce the two 4-lane accumulators to the canonical scalar: lane sums
+/// u_l = s_l + s_{l+4}, then (u0+u2) + (u1+u3) — exactly the scalar
+/// oracle's reduction order.
+[[nodiscard]] inline double hsum8(__m256d lo, __m256d hi) {
+  const __m256d u = _mm256_add_pd(lo, hi);               // [u0 u1 u2 u3]
+  const __m128d front = _mm256_castpd256_pd128(u);       // [u0 u1]
+  const __m128d back = _mm256_extractf128_pd(u, 1);      // [u2 u3]
+  const __m128d pair = _mm_add_pd(front, back);          // [u0+u2, u1+u3]
+  return _mm_cvtsd_f64(pair) +
+         _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+double dot_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d lo = _mm256_setzero_pd();
+  __m256d hi = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    lo = _mm256_add_pd(
+        lo, _mm256_mul_pd(_mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k)));
+    hi = _mm256_add_pd(hi, _mm256_mul_pd(_mm256_loadu_pd(a + k + 4),
+                                         _mm256_loadu_pd(b + k + 4)));
+  }
+  double r = hsum8(lo, hi);
+  for (; k < n; ++k) r += a[k] * b[k];
+  return r;
+}
+
+void axpy_avx2(std::size_t n, double alpha, const double* x, double* y) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void modal_step_avx2(std::size_t n, const double* e, const double* p,
+                     const double* b, double* y) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d decay =
+        _mm256_mul_pd(_mm256_loadu_pd(e + i), _mm256_loadu_pd(y + i));
+    const __m256d drive =
+        _mm256_mul_pd(_mm256_loadu_pd(p + i), _mm256_loadu_pd(b + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(decay, drive));
+  }
+  for (; i < n; ++i) y[i] = e[i] * y[i] + p[i] * b[i];
+}
+
+void hadamard_scale_avx2(std::size_t n, const double* f, double* y) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(
+        y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(f + i)));
+  for (; i < n; ++i) y[i] *= f[i];
+}
+
+void mtr_avx2(std::size_t m, std::size_t n, std::size_t depth,
+              const double* a, std::size_t lda, const double* b_t,
+              std::size_t ldb, double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    std::size_t j = 0;
+    // 1×4 micro-tile: four b_t rows share every A-row load.  Each of the
+    // four outputs keeps its own lo/hi accumulator pair, so per element
+    // the arithmetic is exactly dot_avx2 (and therefore dot_scalar).
+    for (; j + 4 <= n; j += 4) {
+      const double* b0 = b_t + j * ldb;
+      const double* b1 = b0 + ldb;
+      const double* b2 = b1 + ldb;
+      const double* b3 = b2 + ldb;
+      __m256d lo0 = _mm256_setzero_pd(), hi0 = _mm256_setzero_pd();
+      __m256d lo1 = _mm256_setzero_pd(), hi1 = _mm256_setzero_pd();
+      __m256d lo2 = _mm256_setzero_pd(), hi2 = _mm256_setzero_pd();
+      __m256d lo3 = _mm256_setzero_pd(), hi3 = _mm256_setzero_pd();
+      std::size_t k = 0;
+      for (; k + 8 <= depth; k += 8) {
+        const __m256d a_lo = _mm256_loadu_pd(ai + k);
+        const __m256d a_hi = _mm256_loadu_pd(ai + k + 4);
+        lo0 = _mm256_add_pd(lo0, _mm256_mul_pd(a_lo, _mm256_loadu_pd(b0 + k)));
+        hi0 = _mm256_add_pd(hi0,
+                            _mm256_mul_pd(a_hi, _mm256_loadu_pd(b0 + k + 4)));
+        lo1 = _mm256_add_pd(lo1, _mm256_mul_pd(a_lo, _mm256_loadu_pd(b1 + k)));
+        hi1 = _mm256_add_pd(hi1,
+                            _mm256_mul_pd(a_hi, _mm256_loadu_pd(b1 + k + 4)));
+        lo2 = _mm256_add_pd(lo2, _mm256_mul_pd(a_lo, _mm256_loadu_pd(b2 + k)));
+        hi2 = _mm256_add_pd(hi2,
+                            _mm256_mul_pd(a_hi, _mm256_loadu_pd(b2 + k + 4)));
+        lo3 = _mm256_add_pd(lo3, _mm256_mul_pd(a_lo, _mm256_loadu_pd(b3 + k)));
+        hi3 = _mm256_add_pd(hi3,
+                            _mm256_mul_pd(a_hi, _mm256_loadu_pd(b3 + k + 4)));
+      }
+      double r0 = hsum8(lo0, hi0);
+      double r1 = hsum8(lo1, hi1);
+      double r2 = hsum8(lo2, hi2);
+      double r3 = hsum8(lo3, hi3);
+      for (; k < depth; ++k) {
+        r0 += ai[k] * b0[k];
+        r1 += ai[k] * b1[k];
+        r2 += ai[k] * b2[k];
+        r3 += ai[k] * b3[k];
+      }
+      ci[j] = r0;
+      ci[j + 1] = r1;
+      ci[j + 2] = r2;
+      ci[j + 3] = r3;
+    }
+    for (; j < n; ++j) ci[j] = dot_avx2(ai, b_t + j * ldb, depth);
+  }
+}
+
+constexpr Kernels kAvx2Table{Level::kAvx2,       dot_avx2,
+                             axpy_avx2,          modal_step_avx2,
+                             hadamard_scale_avx2, mtr_avx2};
+
+}  // namespace
+
+namespace detail {
+const Kernels& avx2_kernels() { return kAvx2Table; }
+}  // namespace detail
+
+}  // namespace foscil::linalg::simd
+
+#else  // !defined(__AVX2__)
+
+namespace foscil::linalg::simd::detail {
+// Built without AVX2 codegen (non-x86 target, or a toolchain without
+// -mavx2): the probe in simd.cpp reports scalar-only, and any explicit
+// request for the AVX2 table degrades to the oracle.
+const Kernels& avx2_kernels() { return scalar_kernels(); }
+}  // namespace foscil::linalg::simd::detail
+
+#endif

@@ -92,14 +92,32 @@ std::vector<StateInterval> PeriodicSchedule::state_intervals() const {
 
   std::vector<StateInterval> intervals;
   intervals.reserve(merged.size() - 1);
+  // Per-core cursor walk: interval midpoints are strictly increasing, so
+  // each core's segment list is traversed once for the whole schedule
+  // instead of restarting a voltage_at scan per (interval, core).  The
+  // cursor takes the same sequential prefix sums voltage_at computes and
+  // applies the same strict `<`, so the sampled voltages are bit-identical
+  // (fmod is exact for 0 <= midpoint < period, so voltage_at's wrap is a
+  // no-op here).
+  const std::size_t cores = num_cores();
+  std::vector<std::size_t> seg_index(cores, 0);
+  std::vector<double> seg_end(cores);
+  for (std::size_t core = 0; core < cores; ++core)
+    seg_end[core] = segments_[core].front().duration;
   for (std::size_t k = 0; k + 1 < merged.size(); ++k) {
     StateInterval interval;
     interval.start = merged[k];
     interval.length = merged[k + 1] - merged[k];
-    interval.voltages = linalg::Vector(num_cores());
+    interval.voltages = linalg::Vector(cores);
     const double midpoint = interval.start + 0.5 * interval.length;
-    for (std::size_t core = 0; core < num_cores(); ++core)
-      interval.voltages[core] = voltage_at(core, midpoint);
+    for (std::size_t core = 0; core < cores; ++core) {
+      const auto& segs = segments_[core];
+      while (midpoint >= seg_end[core] && seg_index[core] + 1 < segs.size()) {
+        ++seg_index[core];
+        seg_end[core] += segs[seg_index[core]].duration;
+      }
+      interval.voltages[core] = segs[seg_index[core]].voltage;
+    }
     intervals.push_back(std::move(interval));
   }
   return intervals;

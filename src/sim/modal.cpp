@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "linalg/simd.hpp"
+
 namespace foscil::sim {
 
 namespace {
@@ -22,14 +24,31 @@ constexpr std::size_t kMaxCacheEntries = 1024;
 // few MB, dropped wholesale on overflow like the voltage memo.
 constexpr std::size_t kMaxIntervalEntries = 8192;
 
-// Word-wise FNV-1a over the raw bit patterns, with a final avalanche so the
-// low bits the bucket index uses depend on every key word.  Exact-bit keying
-// is intentional (see header).
+// Four interleaved FNV-1a lanes over the raw bit patterns, folded and
+// avalanched at the end so the low bits the bucket index uses depend on
+// every key word.  A single FNV chain serializes on the multiply latency;
+// four independent lanes run it at throughput, which matters because the
+// memo hit path hashes a cores-sized voltage vector per state interval.
+// Exact-bit keying is intentional (see header).
 [[nodiscard]] std::size_t hash_doubles(const double* values, std::size_t n) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= std::bit_cast<std::uint64_t>(values[i]);
-    h *= 1099511628211ull;
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t lane[4] = {kOffset, kOffset + 1, kOffset + 2, kOffset + 3};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t l = 0; l < 4; ++l) {
+      lane[l] ^= std::bit_cast<std::uint64_t>(values[i + l]);
+      lane[l] *= kPrime;
+    }
+  }
+  for (; i < n; ++i) {
+    lane[i % 4] ^= std::bit_cast<std::uint64_t>(values[i]);
+    lane[i % 4] *= kPrime;
+  }
+  std::uint64_t h = lane[0];
+  for (std::size_t l = 1; l < 4; ++l) {
+    h ^= lane[l];
+    h *= kPrime;
   }
   h ^= h >> 32;
   h *= 0xd6e8feb86659fd93ull;
@@ -156,12 +175,12 @@ ModalEvaluator::interval_factors(double dt) const {
   }
   const auto& lambda = model_->spectral().eigenvalues();
   const std::size_t n = lambda.size();
-  auto factors = std::make_shared<IntervalFactors>();
-  factors->exp_lt = linalg::Vector(n);
-  factors->phi_lt = linalg::Vector(n);
+  auto factors = std::make_shared<IntervalFactors>(n);
+  double* e_p = factors->exp();
+  double* p_p = factors->phi();
   for (std::size_t i = 0; i < n; ++i) {
-    factors->exp_lt[i] = std::exp(lambda[i] * dt);
-    factors->phi_lt[i] = linalg::phi_factor(lambda[i], dt);
+    e_p[i] = std::exp(lambda[i] * dt);
+    p_p[i] = linalg::phi_factor(lambda[i], dt);
   }
   std::shared_ptr<const IntervalFactors> shared = std::move(factors);
   {
@@ -176,18 +195,14 @@ ModalEvaluator::interval_factors(double dt) const {
 linalg::Vector ModalEvaluator::period_end_modal(
     const sched::PeriodicSchedule& s) const {
   const std::size_t n = model_->spectral().size();
+  const linalg::simd::Kernels& kern = linalg::simd::kernels();
   linalg::Vector y(n);  // ambient start: T = 0 is y = 0 in any basis
-  double* y_p = y.data();
   for (const auto& interval : s.state_intervals()) {
     const std::shared_ptr<const linalg::Vector> b_hat =
         modal_b(interval.voltages);
     const std::shared_ptr<const IntervalFactors> f =
         interval_factors(interval.length);
-    const double* b_p = b_hat->data();
-    const double* e_p = f->exp_lt.data();
-    const double* p_p = f->phi_lt.data();
-    for (std::size_t i = 0; i < n; ++i)
-      y_p[i] = e_p[i] * y_p[i] + p_p[i] * b_p[i];
+    kern.modal_step(n, f->exp(), f->phi(), b_hat->data(), y.data());
   }
   return y;
 }
@@ -197,9 +212,7 @@ linalg::Vector ModalEvaluator::stable_boundary_modal(
   linalg::Vector y = period_end_modal(s);
   const std::shared_ptr<const linalg::Vector> factors =
       resolvent_factors(s.period());
-  const double* f_p = factors->data();
-  double* y_p = y.data();
-  for (std::size_t i = 0; i < y.size(); ++i) y_p[i] *= f_p[i];
+  linalg::simd::kernels().hadamard_scale(y.size(), factors->data(), y.data());
   return y;
 }
 
@@ -216,6 +229,74 @@ linalg::Vector ModalEvaluator::core_rises_from_modal(
 linalg::Vector ModalEvaluator::stable_core_rises(
     const sched::PeriodicSchedule& s) const {
   return core_rises_from_modal(stable_boundary_modal(s));
+}
+
+std::vector<linalg::Vector> ModalEvaluator::batch_stable_core_rises(
+    const sched::PeriodicSchedule* schedules, std::size_t count) const {
+  std::vector<linalg::Vector> rises(count);
+  if (count == 0) return rises;
+  const std::size_t n = model_->spectral().size();
+  const linalg::simd::Kernels& kern = linalg::simd::kernels();
+
+  // Batch-local views of the global memos.  Candidates in one batch (a
+  // planner scan chunk) share almost all of their voltage states, interval
+  // lengths, and the period, so resolving each distinct key once here drops
+  // the global mutex traffic from two locks per interval per candidate to a
+  // handful per batch.  The values are the *same shared factor objects* the
+  // single-candidate path uses, so nothing about the arithmetic changes.
+  std::unordered_map<std::vector<double>,
+                     std::shared_ptr<const linalg::Vector>, KeyHash, KeyEq>
+      local_b;
+  std::unordered_map<double, std::shared_ptr<const IntervalFactors>>
+      local_intervals;
+  std::unordered_map<double, std::shared_ptr<const linalg::Vector>>
+      local_resolvents;
+  local_b.reserve(64);
+  local_intervals.reserve(64);
+  local_resolvents.reserve(8);
+
+  // One modal boundary per row: batch-major SoA so the back-transform below
+  // is a single packed GEMM over contiguous rows.
+  linalg::Matrix y(count, n);
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const sched::PeriodicSchedule& s = schedules[idx];
+    double* y_row = y.row_data(idx);
+    for (const auto& interval : s.state_intervals()) {
+      auto b_it = local_b.find(interval.voltages);
+      if (b_it == local_b.end())
+        b_it = local_b
+                   .emplace(std::vector<double>(interval.voltages.begin(),
+                                                interval.voltages.end()),
+                            modal_b(interval.voltages))
+                   .first;
+      auto f_it = local_intervals.find(interval.length);
+      if (f_it == local_intervals.end())
+        f_it = local_intervals
+                   .emplace(interval.length, interval_factors(interval.length))
+                   .first;
+      kern.modal_step(n, f_it->second->exp(), f_it->second->phi(),
+                      b_it->second->data(), y_row);
+    }
+    auto r_it = local_resolvents.find(s.period());
+    if (r_it == local_resolvents.end())
+      r_it = local_resolvents
+                 .emplace(s.period(), resolvent_factors(s.period()))
+                 .first;
+    kern.hadamard_scale(n, r_it->second->data(), y_row);
+  }
+
+  // Fused back-transform: R = W_die · Yᵀ is cores × count; column idx is
+  // candidate idx's die rises.  multiply_transposed_rhs computes each entry
+  // with the canonical dot kernel, exactly as the single-candidate gemv
+  // does, so batching cannot move a bit.
+  const linalg::Matrix r = linalg::multiply_transposed_rhs(w_die_, y);
+  const std::size_t cores = w_die_.rows();
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    linalg::Vector out(cores);
+    for (std::size_t core = 0; core < cores; ++core) out[core] = r(core, idx);
+    rises[idx] = std::move(out);
+  }
+  return rises;
 }
 
 std::size_t ModalEvaluator::cache_entries() const {

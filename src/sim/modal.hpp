@@ -78,6 +78,19 @@ class ModalEvaluator {
   [[nodiscard]] linalg::Vector stable_core_rises(
       const sched::PeriodicSchedule& s) const;
 
+  /// Stable-boundary die rises for `count` schedules in one pass,
+  /// bit-identical to calling stable_core_rises on each.  Two batch
+  /// economies: (a) factor lookups go through batch-local caches, so the
+  /// global memo mutex is taken once per *distinct* voltage state, interval
+  /// length, and period across the whole batch instead of twice per interval
+  /// per candidate; (b) the per-candidate back-transforms fuse into one
+  /// packed GEMM W_die · Yᵀ over the row-per-candidate boundary matrix Y,
+  /// which the SIMD micro-tile kernel amortizes across four candidates per
+  /// W-row load.  Per element it is the same dot kernel as the single-
+  /// candidate gemv, hence the bit-identity.
+  [[nodiscard]] std::vector<linalg::Vector> batch_stable_core_rises(
+      const sched::PeriodicSchedule* schedules, std::size_t count) const;
+
   /// Die-node rises from an already-computed modal vector.
   [[nodiscard]] linalg::Vector core_rises_from_modal(
       const linalg::Vector& modal) const;
@@ -105,9 +118,27 @@ class ModalEvaluator {
   /// 2n transcendentals per interval into one hash lookup.  The values are
   /// the same std::exp / phi_factor arithmetic as the uncached path, so
   /// results are bit-identical whether or not an entry was cached.
-  struct IntervalFactors {
-    linalg::Vector exp_lt;  ///< e^{λ_i·dt}
-    linalg::Vector phi_lt;  ///< phi_factor(λ_i, dt)
+  ///
+  /// Storage is structure-of-arrays in one aligned allocation: e^{λ·dt}
+  /// occupies [0, n) and φ(λ, dt) occupies [n, 2n), so the modal_step
+  /// kernel streams both halves contiguously and the pair costs one
+  /// allocation instead of two.
+  class IntervalFactors {
+   public:
+    explicit IntervalFactors(std::size_t n) : n_(n), packed_(2 * n) {}
+
+    /// e^{λ_i·dt}, i in [0, n).
+    [[nodiscard]] const double* exp() const { return packed_.data(); }
+    [[nodiscard]] double* exp() { return packed_.data(); }
+    /// phi_factor(λ_i, dt), i in [0, n).
+    [[nodiscard]] const double* phi() const { return packed_.data() + n_; }
+    [[nodiscard]] double* phi() { return packed_.data() + n_; }
+
+    [[nodiscard]] std::size_t size() const { return n_; }
+
+   private:
+    std::size_t n_;
+    linalg::Vector packed_;
   };
   [[nodiscard]] std::shared_ptr<const IntervalFactors> interval_factors(
       double dt) const;

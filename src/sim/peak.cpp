@@ -13,6 +13,21 @@ PeakInfo step_up_peak(const SteadyStateAnalyzer& analyzer,
   return info;
 }
 
+std::vector<PeakInfo> batch_step_up_peaks(
+    const SteadyStateAnalyzer& analyzer,
+    const std::vector<sched::PeriodicSchedule>& schedules) {
+  for (const auto& s : schedules) FOSCIL_EXPECTS(s.is_step_up());
+  const std::vector<linalg::Vector> rises =
+      analyzer.batch_stable_core_rises(schedules.data(), schedules.size());
+  std::vector<PeakInfo> peaks(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    peaks[i].core = rises[i].argmax();
+    peaks[i].rise = rises[i][peaks[i].core];
+    peaks[i].time = schedules[i].period();
+  }
+  return peaks;
+}
+
 PeakInfo sampled_peak(const SteadyStateAnalyzer& analyzer,
                       const sched::PeriodicSchedule& s,
                       int samples_per_interval) {

@@ -25,6 +25,13 @@ struct PeakInfo {
 [[nodiscard]] PeakInfo step_up_peak(const SteadyStateAnalyzer& analyzer,
                                     const sched::PeriodicSchedule& s);
 
+/// step_up_peak for a batch of step-up candidates, bit-identical to the
+/// per-schedule calls; the stable rises come from one amortized batch
+/// evaluation (SteadyStateAnalyzer::batch_stable_core_rises).
+[[nodiscard]] std::vector<PeakInfo> batch_step_up_peaks(
+    const SteadyStateAnalyzer& analyzer,
+    const std::vector<sched::PeriodicSchedule>& schedules);
+
 /// General path: densely sampled stable-status peak.  `samples_per_interval`
 /// controls resolution within each state interval.
 [[nodiscard]] PeakInfo sampled_peak(const SteadyStateAnalyzer& analyzer,

@@ -39,6 +39,15 @@ linalg::Vector SteadyStateAnalyzer::stable_core_rises(
   return model().core_rises(stable_boundary(s));
 }
 
+std::vector<linalg::Vector> SteadyStateAnalyzer::batch_stable_core_rises(
+    const sched::PeriodicSchedule* schedules, std::size_t count) const {
+  if (modal_) return modal_->batch_stable_core_rises(schedules, count);
+  std::vector<linalg::Vector> rises(count);
+  for (std::size_t i = 0; i < count; ++i)
+    rises[i] = stable_core_rises(schedules[i]);
+  return rises;
+}
+
 std::vector<linalg::Vector> SteadyStateAnalyzer::stable_boundaries(
     const sched::PeriodicSchedule& s) const {
   const linalg::Vector start = stable_boundary(s);

@@ -52,6 +52,13 @@ class SteadyStateAnalyzer {
   [[nodiscard]] linalg::Vector stable_core_rises(
       const sched::PeriodicSchedule& s) const;
 
+  /// stable_core_rises for a whole candidate batch, bit-identical to the
+  /// per-schedule calls.  On the modal engine this is the amortized SoA
+  /// pass (ModalEvaluator::batch_stable_core_rises); the reference engine
+  /// evaluates each schedule independently.
+  [[nodiscard]] std::vector<linalg::Vector> batch_stable_core_rises(
+      const sched::PeriodicSchedule* schedules, std::size_t count) const;
+
   /// Stable-status temperatures at every state-interval boundary
   /// (element q is T_ss(t_q); element 0 equals the last element).
   [[nodiscard]] std::vector<linalg::Vector> stable_boundaries(

@@ -1,0 +1,269 @@
+// Kernel-layer differential battery (DESIGN.md §14).
+//
+// The SIMD dispatch contract is that every kernel produces bit-identical
+// results at every level, for every length — including the awkward tails a
+// 4/8-wide vector loop has to mop up.  These tests pin that contract by
+// running the scalar oracle and the best-available table over the same
+// inputs and asserting exact (==) agreement, then repeat the check through
+// the public Matrix/LU entry points that route through the kernels.
+#include "linalg/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "linalg/aligned.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace foscil::linalg {
+namespace {
+
+// Deliberately awkward lengths: below one lane group, straddling the 4-wide
+// and 8-wide boundaries, and odd sizes covering every tail remainder.
+constexpr std::size_t kTailSizes[] = {1, 2, 3, 5, 7, 8, 9, 13, 16, 29, 50, 67};
+
+/// Restores the dispatch level on scope exit so a failing test cannot leak
+/// a forced level into later tests.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level)
+      : previous_(simd::set_active_level(level)) {}
+  ~ScopedLevel() { simd::set_active_level(previous_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  simd::Level previous_;
+};
+
+[[nodiscard]] std::vector<double> random_values(std::size_t n,
+                                                std::size_t seed) {
+  std::mt19937 rng(static_cast<std::uint32_t>(seed));
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::vector<double> values(n);
+  for (auto& v : values) v = dist(rng);
+  return values;
+}
+
+[[nodiscard]] Matrix random_matrix(std::size_t rows, std::size_t cols,
+                                   std::size_t seed) {
+  const std::vector<double> values = random_values(rows * cols, seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = values[r * cols + c];
+  return m;
+}
+
+bool has_avx2() { return simd::detected_level() == simd::Level::kAvx2; }
+
+TEST(SimdDispatch, DetectedLevelIsStable) {
+  EXPECT_EQ(simd::detected_level(), simd::detected_level());
+}
+
+TEST(SimdDispatch, SetActiveLevelRoundTrips) {
+  const simd::Level original = simd::active_level();
+  const simd::Level previous = simd::set_active_level(simd::Level::kScalar);
+  EXPECT_EQ(previous, original);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  EXPECT_EQ(simd::kernels().level, simd::Level::kScalar);
+  simd::set_active_level(original);
+  EXPECT_EQ(simd::active_level(), original);
+}
+
+TEST(SimdDispatch, Avx2RequestClampsToDetected) {
+  const simd::Level original = simd::active_level();
+  simd::set_active_level(simd::Level::kAvx2);
+  if (has_avx2())
+    EXPECT_EQ(simd::active_level(), simd::Level::kAvx2);
+  else
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  simd::set_active_level(original);
+}
+
+TEST(SimdDispatch, LevelNamesAreStable) {
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, TablesReportTheirLevel) {
+  EXPECT_EQ(simd::kernels(simd::Level::kScalar).level, simd::Level::kScalar);
+  if (has_avx2())
+    EXPECT_EQ(simd::kernels(simd::Level::kAvx2).level, simd::Level::kAvx2);
+  else
+    EXPECT_EQ(simd::kernels(simd::Level::kAvx2).level, simd::Level::kScalar);
+}
+
+TEST(AlignedAllocation, VectorAndMatrixStorageStartAligned) {
+  for (const std::size_t n : kTailSizes) {
+    const Vector v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kSimdAlignment, 0u)
+        << "n=" << n;
+    const Matrix m(n, n, 1.0);
+    EXPECT_EQ(
+        reinterpret_cast<std::uintptr_t>(m.row_data(0)) % kSimdAlignment, 0u)
+        << "n=" << n;
+  }
+}
+
+// --- Kernel-level tail battery: exact agreement scalar vs best table. ------
+
+TEST(SimdKernels, DotAgreesExactlyAtAllTailLengths) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const simd::Kernels& scalar = simd::kernels(simd::Level::kScalar);
+  const simd::Kernels& best = simd::kernels(simd::Level::kAvx2);
+  for (const std::size_t n : kTailSizes) {
+    const std::vector<double> a = random_values(n, 100 + n);
+    const std::vector<double> b = random_values(n, 200 + n);
+    EXPECT_EQ(scalar.dot(a.data(), b.data(), n), best.dot(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, AxpyAgreesExactlyAtAllTailLengths) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const simd::Kernels& scalar = simd::kernels(simd::Level::kScalar);
+  const simd::Kernels& best = simd::kernels(simd::Level::kAvx2);
+  for (const std::size_t n : kTailSizes) {
+    const std::vector<double> x = random_values(n, 300 + n);
+    std::vector<double> y_s = random_values(n, 400 + n);
+    std::vector<double> y_v = y_s;
+    scalar.axpy(n, -1.75, x.data(), y_s.data());
+    best.axpy(n, -1.75, x.data(), y_v.data());
+    EXPECT_EQ(y_s, y_v) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, ModalStepAgreesExactlyAtAllTailLengths) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const simd::Kernels& scalar = simd::kernels(simd::Level::kScalar);
+  const simd::Kernels& best = simd::kernels(simd::Level::kAvx2);
+  for (const std::size_t n : kTailSizes) {
+    const std::vector<double> e = random_values(n, 500 + n);
+    const std::vector<double> p = random_values(n, 600 + n);
+    const std::vector<double> b = random_values(n, 700 + n);
+    std::vector<double> y_s = random_values(n, 800 + n);
+    std::vector<double> y_v = y_s;
+    scalar.modal_step(n, e.data(), p.data(), b.data(), y_s.data());
+    best.modal_step(n, e.data(), p.data(), b.data(), y_v.data());
+    EXPECT_EQ(y_s, y_v) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, HadamardScaleAgreesExactlyAtAllTailLengths) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const simd::Kernels& scalar = simd::kernels(simd::Level::kScalar);
+  const simd::Kernels& best = simd::kernels(simd::Level::kAvx2);
+  for (const std::size_t n : kTailSizes) {
+    const std::vector<double> f = random_values(n, 900 + n);
+    std::vector<double> y_s = random_values(n, 1000 + n);
+    std::vector<double> y_v = y_s;
+    scalar.hadamard_scale(n, f.data(), y_s.data());
+    best.hadamard_scale(n, f.data(), y_v.data());
+    EXPECT_EQ(y_s, y_v) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, MtrAgreesExactlyAtAllTailShapes) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const simd::Kernels& scalar = simd::kernels(simd::Level::kScalar);
+  const simd::Kernels& best = simd::kernels(simd::Level::kAvx2);
+  // Shapes exercise the 1x4 j-micro-tile remainder (n mod 4), the 8-wide
+  // depth tail (depth mod 8), and single-row/-column degenerate cases.
+  for (const std::size_t m : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    for (const std::size_t n : kTailSizes) {
+      for (const std::size_t depth : kTailSizes) {
+        const std::vector<double> a =
+            random_values(m * depth, static_cast<std::uint32_t>(
+                                         1100 + m * 131 + n * 17 + depth));
+        const std::vector<double> b =
+            random_values(n * depth, static_cast<std::uint32_t>(
+                                         1200 + m * 131 + n * 17 + depth));
+        std::vector<double> c_s(m * n, -7.0);
+        std::vector<double> c_v(m * n, 7.0);  // different garbage on purpose
+        scalar.mtr(m, n, depth, a.data(), depth, b.data(), depth, c_s.data(),
+                   n);
+        best.mtr(m, n, depth, a.data(), depth, b.data(), depth, c_v.data(), n);
+        EXPECT_EQ(c_s, c_v) << "m=" << m << " n=" << n << " depth=" << depth;
+      }
+    }
+  }
+}
+
+// --- Public entry points: bit-identical across dispatch levels. ------------
+
+TEST(SimdMatrixOps, MultiplyBitIdenticalAcrossLevels) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  for (const std::size_t n : {std::size_t{3}, std::size_t{7}, std::size_t{29},
+                              std::size_t{50}}) {
+    const Matrix a = random_matrix(n, n, static_cast<std::uint32_t>(40 + n));
+    const Matrix b = random_matrix(n, n, static_cast<std::uint32_t>(50 + n));
+    Matrix scalar_ab, best_ab, scalar_mtr, best_mtr;
+    {
+      const ScopedLevel forced(simd::Level::kScalar);
+      scalar_ab = a * b;
+      scalar_mtr = multiply_transposed_rhs(a, b);
+    }
+    {
+      const ScopedLevel forced(simd::Level::kAvx2);
+      best_ab = a * b;
+      best_mtr = multiply_transposed_rhs(a, b);
+    }
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_EQ(scalar_ab(r, c), best_ab(r, c)) << n << ":" << r << "," << c;
+        EXPECT_EQ(scalar_mtr(r, c), best_mtr(r, c))
+            << n << ":" << r << "," << c;
+      }
+  }
+}
+
+TEST(SimdMatrixOps, LuSolveBitIdenticalAcrossLevels) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  for (const std::size_t n : {std::size_t{3}, std::size_t{7}, std::size_t{29},
+                              std::size_t{67}}) {
+    Matrix a = random_matrix(n, n, static_cast<std::uint32_t>(60 + n));
+    for (std::size_t i = 0; i < n; ++i)
+      a(i, i) += 8.0;  // diagonally dominant: well-conditioned, no pivoting luck
+    const std::vector<double> rhs =
+        random_values(n, static_cast<std::uint32_t>(70 + n));
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = rhs[i];
+    Vector x_scalar, x_best;
+    {
+      const ScopedLevel forced(simd::Level::kScalar);
+      x_scalar = LuDecomposition(a).solve(b);
+    }
+    {
+      const ScopedLevel forced(simd::Level::kAvx2);
+      x_best = LuDecomposition(a).solve(b);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(x_scalar[i], x_best[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(SimdMatrixOps, ExpmBitIdenticalAcrossLevels) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const std::size_t n = 29;
+  Matrix a = random_matrix(n, n, 80);
+  a *= 0.3;
+  Matrix scalar_exp, best_exp;
+  {
+    const ScopedLevel forced(simd::Level::kScalar);
+    scalar_exp = expm(a);
+  }
+  {
+    const ScopedLevel forced(simd::Level::kAvx2);
+    best_exp = expm(a);
+  }
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      EXPECT_EQ(scalar_exp(r, c), best_exp(r, c)) << r << "," << c;
+}
+
+}  // namespace
+}  // namespace foscil::linalg
