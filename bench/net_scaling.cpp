@@ -8,18 +8,28 @@
 // gracefully, SIGKILL murdering one mid-load.
 //
 // Full run: plans/s for 1 -> 4 shard processes under a mixed
-// unique+repeat workload, then the chaos scenario.
+// unique+repeat workload, then the latency storm and both chaos
+// scenarios.
 //
-// Acceptance gate (--smoke, the CI multi-process job):
-//   * two shards serve a client fleet with ZERO client-visible failures
-//     while one shard is SIGKILLed mid-load — retries and ring failover
-//     absorb the murder;
-//   * the killed shard restarts on its old port, warm-loads the snapshot
-//     its periodic flusher left behind, and is gated NOT_READY until the
-//     restore finishes (await_ready observes the gate);
-//   * a key planned before the kill is served from the restarted shard's
-//     warm cache bit-identically (cache_hit, plans_bit_identical);
-//   * the surviving shard SIGTERM-drains and exits 0.
+// Acceptance gates (--smoke, the CI multi-process job):
+//   * storm: a planner-bound distinct-key storm reports p50/p99/p999
+//     request latency with zero failures and p99 within budget;
+//   * chaos: two shards serve a client fleet with ZERO client-visible
+//     failures while one shard is SIGKILLed mid-load — retries and ring
+//     failover absorb the murder; the victim restarts on its old port,
+//     warm-loads the snapshot its periodic flusher left behind, is gated
+//     NOT_READY until the restore finishes, and serves a pre-kill key
+//     bit-identically from its warm cache; the survivor SIGTERM-drains
+//     and exits 0;
+//   * membership chaos (DESIGN.md §15): every shard sits behind a
+//     FaultProxy and advertises the proxy as its ring identity.  The
+//     fleet runs with gossip membership enabled through an asymmetric
+//     partition, link delay, and reply corruption — zero failures — then
+//     one shard is SIGKILLed and a replacement process takes over the
+//     same proxy identity (set_upstream): still zero failures, the
+//     reassigned keys come back warm (>= 80 %), and every plan is
+//     bit-identical to its pre-kill reference.
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,10 +43,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "serve/net/client.hpp"
+#include "serve/net/fault_proxy.hpp"
 #include "serve/net/server.hpp"
 #include "serve/service.hpp"
 #include "util/table.hpp"
@@ -63,6 +75,27 @@ serve::net::WirePlanRequest request_for(int point) {
   return request;
 }
 
+/// Distinct key per point at a fine spacing: the storm never repeats a
+/// key, so every request is a cold plan (planner-bound, not cache-bound).
+serve::net::WirePlanRequest storm_request(int point) {
+  serve::net::WirePlanRequest request;
+  request.t_max_c = 50.0 + 0.001 * static_cast<double>(point);
+  request.ao.max_m = 8;
+  return request;
+}
+
+/// Membership timings for the chaos battery: fast enough that suspicion,
+/// death, and rejoin all happen inside a few-second bench window.  The
+/// --fast shard flag applies the same values server-side.
+serve::net::MembershipOptions chaos_membership() {
+  serve::net::MembershipOptions options;
+  options.heartbeat_interval_s = 0.05;
+  options.suspect_timeout_s = 0.3;
+  options.dead_timeout_s = 0.9;
+  options.rejoin_probe_interval_s = 0.2;
+  return options;
+}
+
 // ---- shard child mode ----------------------------------------------------
 
 volatile std::sig_atomic_t g_terminate = 0;
@@ -71,9 +104,11 @@ extern "C" void on_terminate(int) { g_terminate = 1; }
 
 /// `--shard` entry: serve until SIGTERM (graceful drain, exit 0) or
 /// SIGKILL (the chaos case).  Prints "PORT <n>" so the parent learns an
-/// ephemeral port.
+/// ephemeral port.  With --advertise-port the shard's ring identity is
+/// the fault proxy in front of it; --fast applies the chaos membership
+/// timings.
 int run_shard(std::uint16_t port, const std::string& snapshot,
-              double flush_s) {
+              double flush_s, std::uint16_t advertise_port, bool fast) {
   serve::ServiceOptions service_options;
   service_options.workers = 2;
   service_options.warm_load_at_construction = false;
@@ -89,6 +124,14 @@ int run_shard(std::uint16_t port, const std::string& snapshot,
   server_options.listen_port = port;
   server_options.warm_snapshot_path = snapshot;
   server_options.drain_snapshot_path = snapshot;
+  if (advertise_port != 0) {
+    server_options.advertised_host = "127.0.0.1";
+    server_options.advertised_port = advertise_port;
+  }
+  if (fast) {
+    server_options.membership = chaos_membership();
+    server_options.handoff_retry_interval_s = 0.1;
+  }
   serve::net::PlanServer server(service, bench_platform(), server_options);
   const std::uint16_t bound = server.listen();
   std::printf("PORT %u\n", bound);
@@ -110,7 +153,27 @@ struct ShardProc {
 
 /// fork + exec /proc/self/exe --shard, read the child's PORT line.
 ShardProc spawn_shard(std::uint16_t port, const std::string& snapshot,
-                      double flush_s) {
+                      double flush_s, std::uint16_t advertise_port = 0,
+                      bool fast = false) {
+  // Everything the child needs is allocated BEFORE fork(): the chaos
+  // batteries spawn replacements from a helper thread, and a child of a
+  // multithreaded parent may only call async-signal-safe functions
+  // between fork and exec (no malloc).
+  std::vector<std::string> args = {
+      "/proc/self/exe", "--shard",
+      "--port",         std::to_string(port),
+      "--snapshot",     snapshot,
+      "--flush-s",      std::to_string(flush_s)};
+  if (advertise_port != 0) {
+    args.push_back("--advertise-port");
+    args.push_back(std::to_string(advertise_port));
+  }
+  if (fast) args.push_back("--fast");
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
   int port_pipe[2];
   if (::pipe(port_pipe) != 0) {
     std::perror("pipe");
@@ -125,12 +188,7 @@ ShardProc spawn_shard(std::uint16_t port, const std::string& snapshot,
     ::dup2(port_pipe[1], STDOUT_FILENO);
     ::close(port_pipe[0]);
     ::close(port_pipe[1]);
-    const std::string port_arg = std::to_string(port);
-    const std::string flush_arg = std::to_string(flush_s);
-    ::execl("/proc/self/exe", "/proc/self/exe", "--shard", "--port",
-            port_arg.c_str(), "--snapshot", snapshot.c_str(), "--flush-s",
-            flush_arg.c_str(), static_cast<char*>(nullptr));
-    std::perror("execl /proc/self/exe");
+    ::execv("/proc/self/exe", argv.data());
     std::_Exit(127);
   }
   ::close(port_pipe[1]);
@@ -177,6 +235,22 @@ serve::net::ClientOptions fleet_client_options() {
   return options;
 }
 
+/// Fleet options for the membership chaos battery: gossip-driven routing,
+/// and timeouts tight enough that a black-holed link surfaces (and fails
+/// over) well inside the bench window.
+serve::net::ClientOptions membership_client_options() {
+  serve::net::ClientOptions options = fleet_client_options();
+  options.connect_timeout_s = 0.5;
+  options.io_timeout_s = 0.5;
+  options.membership_enabled = true;
+  options.membership = chaos_membership();
+  return options;
+}
+
+void sleep_s(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
 // ---- workloads ------------------------------------------------------------
 
 struct FleetOutcome {
@@ -190,7 +264,8 @@ struct FleetOutcome {
 /// `threads` clients hammer a `unique_keys`-wide keyspace for `seconds`.
 /// NetClient is single-threaded by contract, so each thread owns one.
 FleetOutcome drive_fleet(const std::vector<serve::net::Endpoint>& endpoints,
-                         int threads, int unique_keys, double seconds) {
+                         int threads, int unique_keys, double seconds,
+                         const serve::net::ClientOptions& client_options) {
   std::vector<FleetOutcome> outcomes(static_cast<std::size_t>(threads));
   std::vector<std::thread> fleet;
   const double deadline = now_s() + seconds;
@@ -198,7 +273,7 @@ FleetOutcome drive_fleet(const std::vector<serve::net::Endpoint>& endpoints,
     fleet.emplace_back([&, t] {
       FleetOutcome& mine = outcomes[static_cast<std::size_t>(t)];
       serve::net::NetClient client(endpoints, bench_platform(),
-                                   fleet_client_options());
+                                   client_options);
       int point = t;  // interleave the fleet across the keyspace
       while (now_s() < deadline) {
         try {
@@ -246,8 +321,8 @@ bool run_scaling(double seconds) {
     for (int i = 0; i < count; ++i)
       shards.push_back(spawn_shard(0, "", 0.0));
     const double t0 = now_s();
-    const FleetOutcome outcome =
-        drive_fleet(endpoints_of(shards), 4, 64, seconds);
+    const FleetOutcome outcome = drive_fleet(endpoints_of(shards), 4, 64,
+                                             seconds, fleet_client_options());
     const double elapsed = now_s() - t0;
     bool drained = true;
     for (const ShardProc& shard : shards)
@@ -265,6 +340,282 @@ bool run_scaling(double seconds) {
   }
   std::printf("%s\n", table.str().c_str());
   return all_drained;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Planner-bound distinct-key storm: every request is a new key, so the
+/// measured latency is request -> cold plan -> response across the wire.
+/// Gates: zero failures, p99 within budget.
+bool run_storm(double seconds) {
+  constexpr double kP99BudgetS = 0.25;
+  std::printf("-- storm: distinct-key cold-plan latency, 2 shards, "
+              "4-thread fleet, %.1f s --\n\n", seconds);
+  std::vector<ShardProc> shards;
+  for (int i = 0; i < 2; ++i) shards.push_back(spawn_shard(0, "", 0.0));
+  const std::vector<serve::net::Endpoint> endpoints = endpoints_of(shards);
+
+  const int threads = 4;
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(threads));
+  std::vector<std::uint64_t> failures(static_cast<std::size_t>(threads), 0);
+  std::vector<std::uint64_t> hits(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> fleet;
+  const double deadline = now_s() + seconds;
+  for (int t = 0; t < threads; ++t) {
+    fleet.emplace_back([&, t] {
+      serve::net::NetClient client(endpoints, bench_platform(),
+                                   fleet_client_options());
+      int point = t;  // global stride: no key is ever requested twice
+      while (now_s() < deadline) {
+        const double t0 = now_s();
+        try {
+          const serve::net::WirePlanResponse response =
+              client.plan(storm_request(point));
+          latencies[static_cast<std::size_t>(t)].push_back(now_s() - t0);
+          if (response.cache_hit) ++hits[static_cast<std::size_t>(t)];
+        } catch (const std::exception&) {
+          ++failures[static_cast<std::size_t>(t)];
+        }
+        point += threads;
+      }
+    });
+  }
+  for (std::thread& thread : fleet) thread.join();
+  bool drained = true;
+  for (const ShardProc& shard : shards)
+    drained = terminate_shard(shard) && drained;
+
+  std::vector<double> merged;
+  std::uint64_t failed = 0;
+  std::uint64_t hit = 0;
+  for (int t = 0; t < threads; ++t) {
+    const auto index = static_cast<std::size_t>(t);
+    merged.insert(merged.end(), latencies[index].begin(),
+                  latencies[index].end());
+    failed += failures[index];
+    hit += hits[index];
+  }
+  std::sort(merged.begin(), merged.end());
+
+  const double p50 = percentile(merged, 0.50);
+  const double p99 = percentile(merged, 0.99);
+  const double p999 = percentile(merged, 0.999);
+  TextTable table({"requests", "plans/s", "p50 ms", "p99 ms", "p999 ms",
+                   "hits", "failures"});
+  table.add_row({std::to_string(merged.size()),
+                 fmt(static_cast<double>(merged.size()) / seconds, 1),
+                 fmt(p50 * 1e3, 2), fmt(p99 * 1e3, 2), fmt(p999 * 1e3, 2),
+                 std::to_string(hit), std::to_string(failed)});
+  std::printf("%s\n", table.str().c_str());
+
+  bool passed = true;
+  const auto gate = [&passed](bool ok, const char* what) {
+    std::printf("  %s: %s\n", ok ? "ok" : "GATE FAIL", what);
+    passed = passed && ok;
+  };
+  gate(drained, "storm shards drain, exit 0");
+  gate(failed == 0, "zero failures under the storm");
+  gate(!merged.empty(), "the storm made progress");
+  gate(p99 <= kP99BudgetS, "p99 within the 250 ms cold-plan budget");
+  std::printf("\n");
+  return passed;
+}
+
+/// One shard behind one fault proxy, its ring identity being the proxy
+/// (start proxy -> spawn shard advertising it -> point proxy at shard).
+struct ProxiedShard {
+  std::unique_ptr<serve::net::FaultProxy> proxy;
+  ShardProc shard;
+
+  static ProxiedShard start(const std::string& snapshot,
+                            std::uint64_t seed) {
+    ProxiedShard out;
+    serve::net::FaultProxyOptions options;
+    options.seed = seed;
+    out.proxy = std::make_unique<serve::net::FaultProxy>(options);
+    const std::uint16_t identity = out.proxy->start();
+    out.shard = spawn_shard(0, snapshot, 0.1, identity, true);
+    out.proxy->set_upstream({"127.0.0.1", out.shard.port});
+    return out;
+  }
+
+  [[nodiscard]] serve::net::Endpoint endpoint() const {
+    return proxy->endpoint();
+  }
+};
+
+/// The membership chaos battery — the DESIGN.md §15 gate.  Network churn
+/// (asymmetric partition, delay, reply corruption) must be invisible to
+/// clients; a SIGKILL plus a replacement process taking over the same
+/// proxy identity must keep the reassigned keys warm and every plan
+/// bit-identical.
+bool run_membership_chaos(double seconds) {
+  std::printf("-- membership chaos: gossip fleet through fault proxies, "
+              "churn + SIGKILL + replacement takeover --\n\n");
+  const std::string snapshot0 = snapshot_path_for(2);
+  const std::string snapshot1 = snapshot_path_for(3);
+  std::remove(snapshot0.c_str());
+  std::remove(snapshot1.c_str());
+
+  ProxiedShard a = ProxiedShard::start(snapshot0, 2026);
+  ProxiedShard b = ProxiedShard::start(snapshot1, 2027);
+  const std::vector<serve::net::Endpoint> identities = {a.endpoint(),
+                                                        b.endpoint()};
+
+  bool passed = true;
+  const auto gate = [&passed](bool ok, const char* what) {
+    std::printf("  %s: %s\n", ok ? "ok" : "GATE FAIL", what);
+    passed = passed && ok;
+  };
+
+  // Warm a known keyspace and keep every response as the reference the
+  // post-takeover fleet must reproduce bit-identically.
+  constexpr int kKeys = 40;
+  serve::net::NetClient warm_client(identities, bench_platform(),
+                                    membership_client_options());
+  std::vector<serve::net::WirePlanRequest> warmed;
+  std::vector<serve::net::WirePlanResponse> truth;
+  std::vector<bool> on_victim;  // keys owned by shard A (the future victim)
+  const std::size_t victim_index = warm_client.index_of(a.endpoint());
+  std::size_t victim_keys = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    warmed.push_back(request_for(i));
+    truth.push_back(warm_client.plan(warmed.back()));
+    on_victim.push_back(warm_client.route(warmed.back()) == victim_index);
+    if (on_victim.back()) ++victim_keys;
+  }
+  std::printf("  warmed %d keys (%zu on the victim shard)\n", kKeys,
+              victim_keys);
+  gate(victim_keys >= 5, "the hash spread keys onto the victim");
+  sleep_s(0.4);  // let each shard's periodic flusher persist the cache
+
+  // Churn phase: asymmetric partition on B, then delay + reply-direction
+  // corruption on A, healing everything before the window ends.  The
+  // fleet must see NOTHING.  (Replies only, so the battery pins the
+  // client-side checksum rejection path; server-side detection of
+  // corrupted requests is proven in fault_proxy_test.)
+  const double churn_window = seconds * 0.6;
+  std::thread churner([&] {
+    sleep_s(churn_window * 0.15);
+    b.proxy->set_drop_to_upstream(true);  // B hears nothing, replies fine
+    sleep_s(churn_window * 0.25);
+    b.proxy->set_drop_to_upstream(false);
+    b.proxy->drop_connections();
+    sleep_s(churn_window * 0.10);
+    a.proxy->set_delay(0.02);
+    a.proxy->set_corrupt_to_upstream(false);
+    a.proxy->set_corrupt_probability(0.2);
+    sleep_s(churn_window * 0.25);
+    a.proxy->set_delay(0.0);
+    a.proxy->set_corrupt_probability(0.0);
+    a.proxy->drop_connections();
+  });
+  const FleetOutcome churn = drive_fleet(identities, 4, kKeys, churn_window,
+                                         membership_client_options());
+  churner.join();
+  std::printf("  churn: %llu plans, %llu failures, %llu retries, %llu "
+              "failovers; %llu chunks corrupted, %llu dropped\n",
+              static_cast<unsigned long long>(churn.plans),
+              static_cast<unsigned long long>(churn.failures),
+              static_cast<unsigned long long>(churn.retries),
+              static_cast<unsigned long long>(churn.failovers),
+              static_cast<unsigned long long>(
+                  a.proxy->stats().chunks_corrupted),
+              static_cast<unsigned long long>(
+                  b.proxy->stats().chunks_dropped));
+  gate(churn.failures == 0, "zero client-visible failures through churn");
+  gate(churn.plans > 0, "the fleet made progress through churn");
+  gate(b.proxy->stats().chunks_dropped > 0, "the partition actually bit");
+
+  // Kill phase: SIGKILL shard A mid-load; a replacement process takes
+  // over the SAME ring identity (the proxy) via set_upstream and
+  // warm-loads A's snapshot.
+  const double kill_window = seconds * 0.6;
+  std::thread killer([&] {
+    sleep_s(kill_window * 0.3);
+    kill_shard_hard(a.shard);
+    a.shard = spawn_shard(0, snapshot0, 0.1, a.endpoint().port, true);
+    a.proxy->set_upstream({"127.0.0.1", a.shard.port});
+  });
+  const FleetOutcome under_fire = drive_fleet(
+      identities, 4, kKeys, kill_window, membership_client_options());
+  killer.join();
+  std::printf("  kill: %llu plans, %llu failures, %llu retries, %llu "
+              "failovers during the takeover window\n",
+              static_cast<unsigned long long>(under_fire.plans),
+              static_cast<unsigned long long>(under_fire.failures),
+              static_cast<unsigned long long>(under_fire.retries),
+              static_cast<unsigned long long>(under_fire.failovers));
+  gate(under_fire.failures == 0,
+       "zero client-visible failures through the takeover");
+  gate(under_fire.plans > 0, "the fleet made progress through the kill");
+  gate(under_fire.failovers > 0, "ring failover engaged");
+
+  // Settle: the replacement must gate NOT_READY until its warm restore
+  // finishes, and the fleet's membership view must converge back to two
+  // live shards.
+  serve::net::NetClient probe(identities, bench_platform(),
+                              membership_client_options());
+  bool ready = false;
+  try {
+    ready = probe.await_ready(probe.index_of(a.endpoint()), 20.0);
+  } catch (const std::exception&) {
+  }
+  gate(ready, "replacement shard reports READY after warm restore");
+  const double settle_deadline = now_s() + 10.0;
+  bool converged = false;
+  while (now_s() < settle_deadline && !converged) {
+    probe.tick();
+    converged = true;
+    for (const serve::net::MemberRecord& record :
+         probe.membership_view().members)
+      converged = converged &&
+                  record.health == serve::net::MemberHealth::kAlive;
+    sleep_s(0.02);
+  }
+  gate(converged, "membership converged to an all-alive view");
+
+  // Final sweep: every warmed key must come back bit-identical, and the
+  // reassigned (victim) keys must come back WARM — the replacement's
+  // snapshot restore stood in for the murdered cache.
+  std::size_t victim_hits = 0;
+  bool all_identical = true;
+  std::uint64_t sweep_failures = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const auto index = static_cast<std::size_t>(i);
+    try {
+      const serve::net::WirePlanResponse response = probe.plan(warmed[index]);
+      all_identical =
+          all_identical && serve::plans_bit_identical(
+                               response.plan.result, truth[index].plan.result);
+      if (on_victim[index] && response.cache_hit) ++victim_hits;
+    } catch (const std::exception&) {
+      ++sweep_failures;
+    }
+  }
+  std::printf("  sweep: %zu/%zu victim keys warm after takeover\n",
+              victim_hits, victim_keys);
+  gate(sweep_failures == 0, "final sweep had zero failures");
+  gate(all_identical, "every plan bit-identical to its pre-kill reference");
+  gate(victim_hits * 5 >= victim_keys * 4,
+       ">= 80 % of reassigned keys served warm");
+
+  gate(terminate_shard(a.shard), "replacement shard drains, exit 0");
+  gate(terminate_shard(b.shard), "survivor shard drains, exit 0");
+  a.proxy->stop();
+  b.proxy->stop();
+  std::remove(snapshot0.c_str());
+  std::remove(snapshot1.c_str());
+  std::printf("\n");
+  return passed;
 }
 
 /// The chaos scenario — the CI gate.  Returns true iff every assertion
@@ -310,7 +661,7 @@ bool run_chaos(double load_seconds) {
     kill_done.store(true);
   });
   const FleetOutcome under_fire =
-      drive_fleet(endpoints, 4, 32, load_seconds);
+      drive_fleet(endpoints, 4, 32, load_seconds, fleet_client_options());
   killer.join();
 
   std::printf("  fleet: %llu plans, %llu failures, %llu retries, "
@@ -356,20 +707,27 @@ bool run_chaos(double load_seconds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Hidden child mode: --shard --port N --snapshot PATH --flush-s S.
+  // Hidden child mode: --shard --port N --snapshot PATH --flush-s S
+  //                    [--advertise-port N] [--fast].
   if (argc > 1 && std::strcmp(argv[1], "--shard") == 0) {
     std::uint16_t port = 0;
+    std::uint16_t advertise_port = 0;
     std::string snapshot;
     double flush_s = 0.0;
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strcmp(argv[i], "--port") == 0)
-        port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
-      else if (std::strcmp(argv[i], "--snapshot") == 0)
-        snapshot = argv[i + 1];
-      else if (std::strcmp(argv[i], "--flush-s") == 0)
-        flush_s = std::atof(argv[i + 1]);
+    bool fast = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--fast") == 0)
+        fast = true;
+      else if (i + 1 < argc && std::strcmp(argv[i], "--port") == 0)
+        port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      else if (i + 1 < argc && std::strcmp(argv[i], "--advertise-port") == 0)
+        advertise_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      else if (i + 1 < argc && std::strcmp(argv[i], "--snapshot") == 0)
+        snapshot = argv[++i];
+      else if (i + 1 < argc && std::strcmp(argv[i], "--flush-s") == 0)
+        flush_s = std::atof(argv[++i]);
     }
-    return run_shard(port, snapshot, flush_s);
+    return run_shard(port, snapshot, flush_s, advertise_port, fast);
   }
 
   bool smoke = false;
@@ -388,9 +746,11 @@ int main(int argc, char** argv) {
 
   bool passed = true;
   if (!smoke) passed = run_scaling(3.0) && passed;
+  passed = run_storm(smoke ? 2.0 : 4.0) && passed;
   passed = run_chaos(smoke ? 2.0 : 4.0) && passed;
+  passed = run_membership_chaos(smoke ? 4.0 : 8.0) && passed;
 
-  std::printf(passed ? "SMOKE PASS: chaos gate held\n"
+  std::printf(passed ? "SMOKE PASS: storm and chaos gates held\n"
                      : "SMOKE FAIL: see GATE FAIL lines above\n");
   return passed ? 0 : 1;
 }

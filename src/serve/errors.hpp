@@ -107,9 +107,10 @@ enum class StatusCode : std::uint16_t {
   kPlannerFailed = 11,      ///< planner threw; deterministic, don't retry
   kCancelled = 12,          ///< CancelledError mid-plan
   kDegraded = 13,           ///< served, but from a capped (degraded) search
+  kStaleEpoch = 14,         ///< handoff carried an older membership epoch
 };
 
-inline constexpr std::size_t kStatusCodeCount = 14;
+inline constexpr std::size_t kStatusCodeCount = 15;
 
 [[nodiscard]] constexpr std::size_t status_index(StatusCode code) noexcept {
   return static_cast<std::size_t>(code);
@@ -131,6 +132,7 @@ inline constexpr std::size_t kStatusCodeCount = 14;
     case StatusCode::kPlannerFailed: return "PLANNER_FAILED";
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kDegraded: return "DEGRADED";
+    case StatusCode::kStaleEpoch: return "STALE_EPOCH";
   }
   return "UNKNOWN";
 }

@@ -12,9 +12,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <thread>
 
 #include "util/contracts.hpp"
+#include "util/rng.hpp"
 
 namespace foscil::serve::net {
 
@@ -24,6 +26,12 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_until(Clock::time_point deadline) {
   return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+/// Monotonic seconds for the membership table (same clock everywhere).
+double mono_seconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
 }
 
 int poll_timeout_ms(Clock::time_point deadline) {
@@ -48,47 +56,73 @@ void ClientOptions::check() const {
   FOSCIL_EXPECTS(ring_vnodes >= 1);
   FOSCIL_EXPECTS(max_body_bytes >= 1);
   FOSCIL_EXPECTS(max_body_bytes <= kMaxBodyBytes);
+  FOSCIL_EXPECTS(gossip_timeout_s > 0.0);
+  membership.check();
 }
 
 struct NetClient::Impl {
   Impl(std::vector<Endpoint> endpoints, core::Platform plat,
        ClientOptions opts)
       : options(std::move(opts)),
-        ring(std::move(endpoints), options.ring_vnodes),
+        ring(endpoints, options.ring_vnodes),
         platform(std::move(plat)),
-        platform_fp(platform_fingerprint(platform)) {
+        platform_fp(platform_fingerprint(platform)),
+        membership(options.membership, endpoints, mono_seconds()),
+        rng(options.backoff_seed != 0 ? options.backoff_seed
+                                      : std::random_device{}()) {
     options.check();
     FOSCIL_EXPECTS(platform.model != nullptr);
-    sockets.assign(ring.size(), -1);
-    for (std::size_t i = 0; i < ring.size(); ++i)
-      assemblers.emplace_back(options.max_body_bytes);
+    for (const Endpoint& endpoint : ring.endpoints())
+      ring_to_peer.push_back(peer_of(endpoint));
+    ring_epoch = membership.epoch();
   }
 
   ~Impl() {
-    for (const int fd : sockets)
-      if (fd >= 0) ::close(fd);
+    for (const Peer& peer : peers)
+      if (peer.fd >= 0) ::close(peer.fd);
   }
+
+  /// One shard connection slot.  The registry only grows (a dead shard
+  /// keeps its slot, disconnected), so peer indices are stable even as
+  /// the routing ring is rebuilt around them.
+  struct Peer {
+    Endpoint endpoint;
+    int fd = -1;
+    FrameAssembler assembler;
+  };
 
   ClientOptions options;
   HashRing ring;
   core::Platform platform;
   CacheKey platform_fp;
-  std::vector<int> sockets;
-  std::vector<FrameAssembler> assemblers;
+  MembershipTable membership;
+  Rng rng;
+  std::vector<Peer> peers;
+  std::vector<std::size_t> ring_to_peer;  ///< ring index -> peer index
+  std::uint64_t ring_epoch = 0;  ///< membership epoch the ring was built at
+  double last_tick_s = -1e300;
   std::uint64_t next_request_id = 0;
   ClientStats stats;
 
-  void drop(std::size_t index) {
-    if (sockets[index] >= 0) ::close(sockets[index]);
-    sockets[index] = -1;
-    assemblers[index] = FrameAssembler(options.max_body_bytes);
+  std::size_t peer_of(const Endpoint& endpoint) {
+    for (std::size_t i = 0; i < peers.size(); ++i)
+      if (peers[i].endpoint == endpoint) return i;
+    peers.push_back(
+        Peer{endpoint, -1, FrameAssembler(options.max_body_bytes)});
+    return peers.size() - 1;
   }
 
-  /// Lazily (re)connect endpoint `index`.  Nonblocking connect bounded by
-  /// the tighter of connect_timeout_s and `deadline`.
-  bool ensure_connected(std::size_t index, Clock::time_point deadline) {
-    if (sockets[index] >= 0) return true;
-    const Endpoint& endpoint = ring.endpoints()[index];
+  void drop(std::size_t peer) {
+    if (peers[peer].fd >= 0) ::close(peers[peer].fd);
+    peers[peer].fd = -1;
+    peers[peer].assembler = FrameAssembler(options.max_body_bytes);
+  }
+
+  /// Lazily (re)connect peer `peer`.  Nonblocking connect bounded by the
+  /// tighter of connect_timeout_s and `deadline`.
+  bool ensure_connected(std::size_t peer, Clock::time_point deadline) {
+    if (peers[peer].fd >= 0) return true;
+    const Endpoint& endpoint = peers[peer].endpoint;
 
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return false;
@@ -126,17 +160,17 @@ struct NetClient::Impl {
       ::close(fd);
       return false;
     }
-    sockets[index] = fd;
-    assemblers[index] = FrameAssembler(options.max_body_bytes);
+    peers[peer].fd = fd;
+    peers[peer].assembler = FrameAssembler(options.max_body_bytes);
     ++stats.reconnects;
     return true;
   }
 
-  bool send_all(std::size_t index, const std::string& data,
+  bool send_all(std::size_t peer, const std::string& data,
                 Clock::time_point deadline) {
     std::size_t sent = 0;
     while (sent < data.size()) {
-      const ssize_t n = ::send(sockets[index], data.data() + sent,
+      const ssize_t n = ::send(peers[peer].fd, data.data() + sent,
                                data.size() - sent, MSG_NOSIGNAL);
       if (n > 0) {
         sent += static_cast<std::size_t>(n);
@@ -144,7 +178,7 @@ struct NetClient::Impl {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         pollfd p{};
-        p.fd = sockets[index];
+        p.fd = peers[peer].fd;
         p.events = POLLOUT;
         const int timeout = poll_timeout_ms(deadline);
         if (timeout <= 0 || ::poll(&p, 1, timeout) <= 0) return false;
@@ -161,14 +195,14 @@ struct NetClient::Impl {
   /// id 0 is the server's terminal stream diagnosis — the connection is
   /// about to close, so it fails the read.  Returns false on any
   /// transport or framing failure (the socket is dropped).
-  bool recv_reply(std::size_t index, std::uint64_t want_id, Frame* out,
+  bool recv_reply(std::size_t peer, std::uint64_t want_id, Frame* out,
                   Clock::time_point deadline) {
-    FrameAssembler& assembler = assemblers[index];
+    FrameAssembler& assembler = peers[peer].assembler;
     for (;;) {
       Frame frame;
       const FrameAssembler::Result result = assembler.next(&frame);
       if (result == FrameAssembler::Result::kBad) {
-        drop(index);
+        drop(peer);
         return false;
       }
       if (result == FrameAssembler::Result::kFrame) {
@@ -177,22 +211,22 @@ struct NetClient::Impl {
           return true;
         }
         if (frame.type == FrameType::kStatus && frame.request_id == 0) {
-          drop(index);
+          drop(peer);
           return false;
         }
         continue;  // stale reply to an abandoned request
       }
 
       pollfd p{};
-      p.fd = sockets[index];
+      p.fd = peers[peer].fd;
       p.events = POLLIN;
       const int timeout = poll_timeout_ms(deadline);
       if (timeout <= 0 || ::poll(&p, 1, timeout) <= 0) {
-        drop(index);
+        drop(peer);
         return false;
       }
       char buf[16384];
-      const ssize_t n = ::recv(sockets[index], buf, sizeof(buf), 0);
+      const ssize_t n = ::recv(peers[peer].fd, buf, sizeof(buf), 0);
       if (n > 0) {
         assembler.feed(buf, static_cast<std::size_t>(n));
         continue;
@@ -200,23 +234,114 @@ struct NetClient::Impl {
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
                     errno == EINTR))
         continue;
-      drop(index);  // orderly close or hard error
+      drop(peer);  // orderly close or hard error
       return false;
     }
   }
 
-  bool roundtrip(std::size_t index, FrameType type, const std::string& body,
+  bool roundtrip(std::size_t peer, FrameType type, const std::string& body,
                  Frame* reply, Clock::time_point deadline) {
-    if (!ensure_connected(index, deadline)) return false;
+    if (!ensure_connected(peer, deadline)) return false;
     const std::uint64_t id = ++next_request_id;
-    if (!send_all(index, encode_frame(type, id, body), deadline)) {
-      drop(index);
+    if (!send_all(peer, encode_frame(type, id, body), deadline)) {
+      drop(peer);
       return false;
     }
-    return recv_reply(index, id, reply, deadline);
+    return recv_reply(peer, id, reply, deadline);
   }
+
+  // ---- membership ---------------------------------------------------------
+
+  /// Request-path evidence feeds the detector, but never rebuilds the ring
+  /// mid-plan (the plan loop holds ring indices); the next tick does.
+  void note_alive(std::size_t ring_index) {
+    if (!options.membership_enabled) return;
+    membership.observe_alive(ring.endpoints()[ring_index], 0,
+                             mono_seconds());
+  }
+
+  void note_unreachable(std::size_t ring_index) {
+    if (!options.membership_enabled) return;
+    membership.observe_unreachable(ring.endpoints()[ring_index],
+                                   mono_seconds());
+  }
+
+  void maybe_tick() {
+    if (!options.membership_enabled) return;
+    if (mono_seconds() - last_tick_s <
+        options.membership.heartbeat_interval_s * 0.5)
+      return;
+    tick_round();
+  }
+
+  void tick_round() {
+    const double start = mono_seconds();
+    last_tick_s = start;
+    for (const Endpoint& target : membership.due_probes(start))
+      probe(target);
+    membership.tick(mono_seconds());
+    refresh_ring();
+  }
+
+  /// One gossip round trip: push our view, merge the shard's merged view
+  /// back.  Success is direct evidence of life; failure, of trouble.
+  void probe(const Endpoint& target) {
+    ++stats.gossip_probes;
+    const std::size_t peer = peer_of(target);
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options.gossip_timeout_s));
+    WireGossip gossip;
+    gossip.sender_is_shard = 0;
+    gossip.view = membership.view();
+    Frame reply;
+    if (!roundtrip(peer, FrameType::kGossip, encode_gossip(gossip), &reply,
+                   deadline) ||
+        reply.type != FrameType::kGossipReply) {
+      ++stats.gossip_probe_failures;
+      drop(peer);
+      membership.observe_unreachable(target, mono_seconds());
+      return;
+    }
+    try {
+      const WireGossipReply merged = decode_gossip_reply(reply.body);
+      membership.merge(merged.view, mono_seconds());
+      membership.observe_alive(target, merged.responder_incarnation,
+                               mono_seconds());
+    } catch (const MalformedFrameError&) {
+      ++stats.gossip_probe_failures;
+      drop(peer);
+      membership.observe_unreachable(target, mono_seconds());
+    }
+  }
+
+  /// Rebuild the routing ring over the current live set when the epoch
+  /// moved.  An empty live set keeps the last ring — routing to possibly
+  /// dead shards (and failing) beats routing to nothing.
+  void refresh_ring() {
+    const std::uint64_t epoch = membership.epoch();
+    if (epoch == ring_epoch) return;
+    ring_epoch = epoch;
+    std::vector<Endpoint> live = membership.live_endpoints();
+    if (live.empty()) return;
+    ring = HashRing(std::move(live), options.ring_vnodes);
+    ring_to_peer.clear();
+    for (const Endpoint& endpoint : ring.endpoints())
+      ring_to_peer.push_back(peer_of(endpoint));
+    ++stats.ring_rebuilds;
+  }
+
+  void join_endpoint(const Endpoint& endpoint) {
+    membership.join(endpoint, 0, mono_seconds());
+    probe(endpoint);  // learn its real incarnation right away
+    refresh_ring();
+  }
+
+  // ---- plan ---------------------------------------------------------------
 
   WirePlanResponse plan(WirePlanRequest request) {
+    maybe_tick();
     request.platform_fp = platform_fp;
     const CacheKey key = plan_key(platform, request.t_max_c, request.kind,
                                   request.ao, request.pco);
@@ -237,12 +362,22 @@ struct NetClient::Impl {
       if (round > 0) {
         ++stats.retries;
         double pause = backoff;
+        if (options.backoff_jitter)
+          pause = std::min(
+              options.backoff_max_s,
+              rng.uniform(options.backoff_initial_s, backoff * 3.0));
         if (has_budget)
           pause = std::min(pause, std::max(0.0,
                                            seconds_until(budget_deadline)));
         std::this_thread::sleep_for(std::chrono::duration<double>(pause));
-        backoff = std::min(backoff * options.backoff_multiplier,
-                           options.backoff_max_s);
+        if (options.backoff_jitter)
+          // Decorrelated jitter: the next draw ranges off the sleep we
+          // actually took, so a fleet kicked by one event de-syncs fast.
+          backoff = std::clamp(pause, options.backoff_initial_s,
+                               options.backoff_max_s);
+        else
+          backoff = std::min(backoff * options.backoff_multiplier,
+                             options.backoff_max_s);
       }
 
       for (std::size_t pos = 0; pos < order.size(); ++pos) {
@@ -252,6 +387,7 @@ struct NetClient::Impl {
                                    last_message + ")");
         if (pos > 0) ++stats.failovers;
         const std::size_t index = order[pos];
+        const std::size_t peer = ring_to_peer[index];
 
         // Each attempt is bounded by io_timeout_s and the overall budget;
         // the wire carries the remaining budget so the server gives up in
@@ -266,10 +402,11 @@ struct NetClient::Impl {
           attempt.deadline_s = std::max(0.0, seconds_until(budget_deadline));
 
         Frame reply;
-        if (!roundtrip(index, FrameType::kPlanRequest,
+        if (!roundtrip(peer, FrameType::kPlanRequest,
                        encode_plan_request(attempt), &reply,
                        attempt_deadline)) {
           ++stats.transport_errors;
+          note_unreachable(index);
           continue;
         }
 
@@ -278,12 +415,13 @@ struct NetClient::Impl {
           try {
             response = decode_plan_response(reply.body);
           } catch (const MalformedFrameError&) {
-            drop(index);
+            drop(peer);
             ++stats.transport_errors;
             continue;
           }
           ++stats.plans;
           if (response.cache_hit) ++stats.cache_hits;
+          note_alive(index);
           return response;
         }
         if (reply.type == FrameType::kStatus) {
@@ -291,11 +429,12 @@ struct NetClient::Impl {
           try {
             status = decode_status(reply.body);
           } catch (const MalformedFrameError&) {
-            drop(index);
+            drop(peer);
             ++stats.transport_errors;
             continue;
           }
           ++stats.statuses_by_code[status_index(status.code)];
+          note_alive(index);  // a rejection is still a live shard talking
           if (!status_retryable(status.code))
             throw NetClientError(status.code,
                                  std::string(status_code_name(status.code)) +
@@ -309,7 +448,7 @@ struct NetClient::Impl {
           continue;
         }
         // Anything else is a protocol violation from the server side.
-        drop(index);
+        drop(peer);
         ++stats.transport_errors;
       }
     }
@@ -319,11 +458,12 @@ struct NetClient::Impl {
 
   Frame control(std::size_t index, FrameType type, FrameType expect) {
     FOSCIL_EXPECTS(index < ring.size());
+    const std::size_t peer = ring_to_peer[index];
     const Clock::time_point deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(options.io_timeout_s));
     Frame reply;
-    if (!roundtrip(index, type, "", &reply, deadline)) {
+    if (!roundtrip(peer, type, "", &reply, deadline)) {
       ++stats.transport_errors;
       throw NetClientError(StatusCode::kPlannerFailed,
                            "control frame failed: endpoint " +
@@ -331,7 +471,7 @@ struct NetClient::Impl {
                                " unreachable");
     }
     if (reply.type != expect) {
-      drop(index);
+      drop(peer);
       throw NetClientError(StatusCode::kMalformed,
                            "control frame: unexpected reply type");
     }
@@ -361,7 +501,7 @@ HealthInfo NetClient::health(std::size_t endpoint_index) {
   try {
     return decode_health(reply.body);
   } catch (const MalformedFrameError& error) {
-    impl_->drop(endpoint_index);
+    impl_->drop(impl_->ring_to_peer[endpoint_index]);
     throw NetClientError(StatusCode::kMalformed, error.what());
   }
 }
@@ -372,7 +512,7 @@ ReadyInfo NetClient::ready(std::size_t endpoint_index) {
   try {
     return decode_ready(reply.body);
   } catch (const MalformedFrameError& error) {
-    impl_->drop(endpoint_index);
+    impl_->drop(impl_->ring_to_peer[endpoint_index]);
     throw NetClientError(StatusCode::kMalformed, error.what());
   }
 }
@@ -398,6 +538,31 @@ bool NetClient::await_ready(std::size_t endpoint_index, double timeout_s,
     std::this_thread::sleep_for(
         std::chrono::duration<double>(poll_interval_s));
   }
+}
+
+void NetClient::tick() {
+  if (!impl_->options.membership_enabled) return;
+  impl_->tick_round();
+}
+
+void NetClient::join(const Endpoint& endpoint) {
+  impl_->join_endpoint(endpoint);
+}
+
+MembershipView NetClient::membership_view() const {
+  return impl_->membership.view();
+}
+
+std::uint64_t NetClient::membership_epoch() const {
+  return impl_->membership.epoch();
+}
+
+std::size_t NetClient::index_of(const Endpoint& endpoint) const {
+  const std::vector<Endpoint>& endpoints = impl_->ring.endpoints();
+  for (std::size_t i = 0; i < endpoints.size(); ++i)
+    if (endpoints[i] == endpoint) return i;
+  throw NetClientError(StatusCode::kPlannerFailed,
+                       "endpoint " + endpoint.label() + " is not in the ring");
 }
 
 const HashRing& NetClient::ring() const { return impl_->ring; }

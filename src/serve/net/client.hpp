@@ -21,7 +21,16 @@
 //     successor order, so when a shard dies mid-load its keys land on the
 //     next live node while the rest of the fleet's routing is untouched;
 //     the dead shard's socket is dropped and reconnected on demand once
-//     it returns.
+//     it returns;
+//   * membership (opt-in) — with membership_enabled the constructor's
+//     endpoint list is only a *seed list*: the client gossips with the
+//     shards (kGossip round trips driven by tick(), rate-limited inside
+//     plan()), walks each member through alive -> suspect -> dead, and
+//     rebuilds its routing ring whenever the membership epoch moves — so
+//     a dead shard leaves the ring entirely and a joined or returned
+//     shard enters it without reconfiguration.  The request path itself
+//     is evidence: a served plan marks the shard alive, a transport
+//     failure marks it suspect.
 #pragma once
 
 #include <array>
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "core/platform.hpp"
+#include "serve/net/membership.hpp"
 #include "serve/net/ring.hpp"
 #include "serve/net/wire.hpp"
 
@@ -60,9 +70,25 @@ struct ClientOptions {
   double backoff_initial_s = 0.02;
   double backoff_max_s = 0.5;
   double backoff_multiplier = 2.0;
+  /// Decorrelated jitter on retry backoff (sleep drawn uniformly from
+  /// [initial, 3 * previous], capped at backoff_max_s).  A fleet of
+  /// clients kicked by the same shard failure would otherwise retry in
+  /// deterministic lockstep and re-arrive as a thundering herd.
+  bool backoff_jitter = true;
+  /// Jitter seed; 0 seeds from std::random_device (every client distinct),
+  /// nonzero pins the sleep sequence for deterministic tests.
+  std::uint64_t backoff_seed = 0;
   std::size_t ring_vnodes = 64;
   /// Inbound body cap (plan responses are the big frames).
   std::uint32_t max_body_bytes = kMaxBodyBytes;
+
+  /// Treat the constructor endpoints as a membership seed list and keep a
+  /// gossip-fed live ring (see class comment).  Off by default: static
+  /// fleets keep the exact pre-membership behavior.
+  bool membership_enabled = false;
+  MembershipOptions membership{};
+  /// Budget for one gossip probe round trip.
+  double gossip_timeout_s = 0.25;
 
   void check() const;
 };
@@ -74,6 +100,9 @@ struct ClientStats {
   std::uint64_t failovers = 0;    ///< attempts on a non-owner endpoint
   std::uint64_t reconnects = 0;   ///< sockets (re)established
   std::uint64_t transport_errors = 0;
+  std::uint64_t gossip_probes = 0;          ///< kGossip round trips tried
+  std::uint64_t gossip_probe_failures = 0;  ///< ... that failed
+  std::uint64_t ring_rebuilds = 0;          ///< routing ring rebuilt
   /// Status frames received, by code (statuses the retry loop absorbed
   /// and the terminal ones alike), indexed by status_index().
   std::array<std::uint64_t, kStatusCodeCount> statuses_by_code{};
@@ -114,6 +143,24 @@ class NetClient {
   [[nodiscard]] bool await_ready(std::size_t endpoint_index,
                                  double timeout_s,
                                  double poll_interval_s = 0.05);
+
+  /// One membership round: gossip with every member due a probe, apply
+  /// timeout transitions, rebuild the ring if the epoch moved.  No-op
+  /// unless membership_enabled.  plan() calls this itself (rate-limited
+  /// to the heartbeat interval), so an actively planning client needs no
+  /// external driver; an idle one calls tick() to keep probing.
+  void tick();
+
+  /// Announce a shard (operator-driven join): the endpoint enters this
+  /// client's table alive, is probed immediately for its incarnation, and
+  /// propagates to the rest of the fleet through normal gossip.
+  void join(const Endpoint& endpoint);
+
+  [[nodiscard]] MembershipView membership_view() const;
+  [[nodiscard]] std::uint64_t membership_epoch() const;
+  /// Current ring index of `endpoint`; throws NetClientError when it is
+  /// not in the ring (dead or never seen).
+  [[nodiscard]] std::size_t index_of(const Endpoint& endpoint) const;
 
   [[nodiscard]] const HashRing& ring() const;
   [[nodiscard]] const ClientStats& stats() const;

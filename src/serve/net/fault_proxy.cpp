@@ -1,0 +1,489 @@
+#include "serve/net/fault_proxy.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/errors.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace foscil::serve::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+void FaultProxyOptions::check() const {
+  // An unset upstream (port 0) is legal: set_upstream() supplies it later
+  // and the proxy refuses connections until then.
+  FOSCIL_EXPECTS(upstream.port == 0 || !upstream.host.empty());
+  FOSCIL_EXPECTS(corrupt_probability >= 0.0 && corrupt_probability <= 1.0);
+  FOSCIL_EXPECTS(drop_probability >= 0.0 && drop_probability <= 1.0);
+  FOSCIL_EXPECTS(reorder_probability >= 0.0 && reorder_probability <= 1.0);
+  FOSCIL_EXPECTS(delay_s >= 0.0);
+}
+
+struct FaultProxy::Impl {
+  explicit Impl(FaultProxyOptions opts)
+      : options(std::move(opts)),
+        corrupt_p(options.corrupt_probability),
+        drop_p(options.drop_probability),
+        reorder_p(options.reorder_probability),
+        delay(options.delay_s),
+        close_after(options.close_after_bytes),
+        rng(options.seed),
+        upstream_target(options.upstream) {
+    options.check();
+  }
+
+  /// One delivery unit: whatever one recv() returned, faulted as a whole.
+  struct Chunk {
+    std::string bytes;
+    Clock::time_point due;
+  };
+
+  struct Conn {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    bool upstream_connecting = false;
+    bool client_eof = false;
+    bool upstream_eof = false;
+    std::deque<Chunk> to_upstream;
+    std::deque<Chunk> to_client;
+    std::uint64_t forwarded_bytes = 0;
+  };
+
+  FaultProxyOptions options;
+  std::atomic<bool> partitioned{false};
+  std::atomic<bool> drop_up{false};
+  std::atomic<bool> drop_down{false};
+  std::atomic<double> corrupt_p;
+  std::atomic<bool> corrupt_up{true};
+  std::atomic<bool> corrupt_down{true};
+  std::atomic<double> drop_p;
+  std::atomic<double> reorder_p;
+  std::atomic<double> delay;
+  std::atomic<std::uint64_t> close_after;
+  std::atomic<bool> kill_conns{false};
+  std::atomic<bool> stop_flag{false};
+
+  Rng rng;  ///< proxy thread only
+  mutable std::mutex upstream_mutex;
+  Endpoint upstream_target;  ///< guarded by upstream_mutex
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  std::thread thread;
+  std::vector<Conn> conns;
+
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> refused_connections{0};
+  std::atomic<std::uint64_t> chunks_forwarded{0};
+  std::atomic<std::uint64_t> bytes_forwarded{0};
+  std::atomic<std::uint64_t> chunks_corrupted{0};
+  std::atomic<std::uint64_t> chunks_dropped{0};
+  std::atomic<std::uint64_t> chunks_reordered{0};
+  std::atomic<std::uint64_t> forced_closes{0};
+
+  void close_conn(Conn& conn) {
+    if (conn.client_fd >= 0) ::close(conn.client_fd);
+    if (conn.upstream_fd >= 0) ::close(conn.upstream_fd);
+    conn.client_fd = -1;
+    conn.upstream_fd = -1;
+  }
+
+  void accept_one() {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    Endpoint target;
+    {
+      const std::lock_guard<std::mutex> lock(upstream_mutex);
+      target = upstream_target;
+    }
+    // No upstream yet (bootstrap window) behaves like a partition: the
+    // connection is refused, not black-holed into a hang.
+    if (partitioned.load(std::memory_order_relaxed) || target.port == 0) {
+      refused_connections.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      return;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const int up = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (up < 0) {
+      ::close(fd);
+      return;
+    }
+    set_nonblocking(up);
+    ::setsockopt(up, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(target.port);
+    if (::inet_pton(AF_INET, target.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      ::close(up);
+      return;
+    }
+    const int rc =
+        ::connect(up, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      ::close(fd);
+      ::close(up);
+      return;
+    }
+    Conn conn;
+    conn.client_fd = fd;
+    conn.upstream_fd = up;
+    conn.upstream_connecting = rc != 0;
+    conns.push_back(std::move(conn));
+    connections.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Run one received chunk through the fault schedule and queue it (or
+  /// not).  `to_upstream_dir` is the direction of travel.
+  void schedule_chunk(Conn& conn, bool to_upstream_dir, std::string bytes,
+                      Clock::time_point now) {
+    const bool black_holed =
+        partitioned.load(std::memory_order_relaxed) ||
+        (to_upstream_dir ? drop_up.load(std::memory_order_relaxed)
+                         : drop_down.load(std::memory_order_relaxed));
+    if (black_holed) {
+      chunks_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;  // consumed, never delivered: a wire-level black hole
+    }
+    const double p_drop = drop_p.load(std::memory_order_relaxed);
+    if (p_drop > 0.0 && rng.uniform(0.0, 1.0) < p_drop) {
+      chunks_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const bool corrupt_this_dir =
+        to_upstream_dir ? corrupt_up.load(std::memory_order_relaxed)
+                        : corrupt_down.load(std::memory_order_relaxed);
+    const double p_corrupt = corrupt_p.load(std::memory_order_relaxed);
+    if (corrupt_this_dir && p_corrupt > 0.0 && !bytes.empty() &&
+        rng.uniform(0.0, 1.0) < p_corrupt) {
+      const std::size_t bit = rng.index(bytes.size() * 8);
+      bytes[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+      chunks_corrupted.fetch_add(1, std::memory_order_relaxed);
+    }
+    Chunk chunk;
+    chunk.bytes = std::move(bytes);
+    chunk.due = now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              delay.load(std::memory_order_relaxed)));
+    std::deque<Chunk>& queue =
+        to_upstream_dir ? conn.to_upstream : conn.to_client;
+    const double p_reorder = reorder_p.load(std::memory_order_relaxed);
+    queue.push_back(std::move(chunk));
+    if (queue.size() >= 2 && p_reorder > 0.0 &&
+        rng.uniform(0.0, 1.0) < p_reorder) {
+      // Deliver this chunk before the one already queued ahead of it.
+      std::swap(queue[queue.size() - 1], queue[queue.size() - 2]);
+      chunks_reordered.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Read whatever is available from one side.  Returns false when the
+  /// connection must be closed now (hard error).
+  bool pump_read(Conn& conn, bool from_client, Clock::time_point now) {
+    const int fd = from_client ? conn.client_fd : conn.upstream_fd;
+    bool& eof = from_client ? conn.client_eof : conn.upstream_eof;
+    if (eof) return true;
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        schedule_chunk(conn, from_client,
+                       std::string(buf, static_cast<std::size_t>(n)), now);
+        if (static_cast<std::size_t>(n) < sizeof(buf)) return true;
+        continue;
+      }
+      if (n == 0) {
+        eof = true;  // keep flushing what is queued, read no more
+        return true;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  /// Flush due chunks toward one side.  Returns false on a hard error.
+  bool pump_write(Conn& conn, bool to_upstream_dir, Clock::time_point now) {
+    std::deque<Chunk>& queue =
+        to_upstream_dir ? conn.to_upstream : conn.to_client;
+    const int fd = to_upstream_dir ? conn.upstream_fd : conn.client_fd;
+    while (!queue.empty() && queue.front().due <= now) {
+      Chunk& chunk = queue.front();
+      const ssize_t n =
+          ::send(fd, chunk.bytes.data(), chunk.bytes.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      conn.forwarded_bytes += static_cast<std::uint64_t>(n);
+      bytes_forwarded.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      const std::uint64_t cut = close_after.load(std::memory_order_relaxed);
+      if (cut != 0 && conn.forwarded_bytes >= cut) {
+        forced_closes.fetch_add(1, std::memory_order_relaxed);
+        return false;  // sever abruptly, mid-frame by construction
+      }
+      if (static_cast<std::size_t>(n) == chunk.bytes.size()) {
+        chunks_forwarded.fetch_add(1, std::memory_order_relaxed);
+        queue.pop_front();
+        continue;
+      }
+      chunk.bytes.erase(0, static_cast<std::size_t>(n));
+      return true;  // kernel buffer full; retry next round
+    }
+    // Source side gone and nothing left to flush: relay the half-close.
+    const bool source_eof =
+        to_upstream_dir ? conn.client_eof : conn.upstream_eof;
+    if (source_eof && queue.empty()) ::shutdown(fd, SHUT_WR);
+    return true;
+  }
+
+  void finish_upstream_connect(Conn& conn) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(conn.upstream_fd, SOL_SOCKET, SO_ERROR, &err, &len) !=
+            0 ||
+        err != 0) {
+      conn.upstream_eof = true;
+      conn.client_eof = true;
+      conn.to_client.clear();
+      conn.to_upstream.clear();
+      return;
+    }
+    conn.upstream_connecting = false;
+  }
+
+  void run() {
+    std::vector<pollfd> fds;
+    while (!stop_flag.load(std::memory_order_acquire)) {
+      if (kill_conns.exchange(false, std::memory_order_acq_rel)) {
+        for (Conn& conn : conns) close_conn(conn);
+        conns.clear();
+      }
+
+      fds.clear();
+      {
+        pollfd p{};
+        p.fd = listen_fd;
+        p.events = POLLIN;
+        fds.push_back(p);
+      }
+      for (const Conn& conn : conns) {
+        pollfd c{};
+        c.fd = conn.client_fd;
+        c.events = static_cast<short>(
+            (conn.client_eof ? 0 : POLLIN) |
+            (conn.to_client.empty() ? 0 : POLLOUT));
+        fds.push_back(c);
+        pollfd u{};
+        u.fd = conn.upstream_fd;
+        u.events = static_cast<short>(
+            conn.upstream_connecting
+                ? POLLOUT
+                : ((conn.upstream_eof ? 0 : POLLIN) |
+                   (conn.to_upstream.empty() ? 0 : POLLOUT)));
+        fds.push_back(u);
+      }
+      // Short timeout: delayed chunks come due without any readiness.
+      ::poll(fds.data(), fds.size(), 5);
+      const Clock::time_point now = Clock::now();
+
+      // Process the polled connections before accepting: accept_one()
+      // grows `conns`, and a connection accepted this round has no pollfd
+      // entry yet — indexing past `fds` for it would read garbage revents
+      // and condemn it at birth.
+      std::size_t fd_index = 1;
+      for (std::size_t polled = (fds.size() - 1) / 2; polled > 0; --polled) {
+        Conn& conn = conns[fd_index / 2];
+        const pollfd& client = fds[fd_index++];
+        const pollfd& upstream = fds[fd_index++];
+        bool ok = true;
+        if (conn.upstream_connecting &&
+            (upstream.revents & (POLLOUT | POLLERR | POLLHUP)) != 0)
+          finish_upstream_connect(conn);
+        if ((client.revents & (POLLERR | POLLNVAL)) != 0) ok = false;
+        if ((upstream.revents & (POLLERR | POLLNVAL)) != 0 &&
+            !conn.upstream_connecting)
+          ok = false;
+        if (ok && (client.revents & (POLLIN | POLLHUP)) != 0)
+          ok = pump_read(conn, true, now);
+        if (ok && !conn.upstream_connecting &&
+            (upstream.revents & (POLLIN | POLLHUP)) != 0)
+          ok = pump_read(conn, false, now);
+        if (ok && !conn.upstream_connecting)
+          ok = pump_write(conn, true, now);
+        if (ok) ok = pump_write(conn, false, now);
+        const bool drained = conn.client_eof && conn.upstream_eof &&
+                             conn.to_client.empty() &&
+                             conn.to_upstream.empty();
+        if (!ok || drained) {
+          close_conn(conn);
+        }
+      }
+      if ((fds[0].revents & POLLIN) != 0)
+        for (int i = 0; i < 16; ++i) accept_one();
+      std::erase_if(conns, [](const Conn& conn) { return conn.client_fd < 0; });
+    }
+
+    for (Conn& conn : conns) close_conn(conn);
+    conns.clear();
+  }
+};
+
+FaultProxy::FaultProxy(FaultProxyOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+FaultProxy::~FaultProxy() { stop(); }
+
+std::uint16_t FaultProxy::start() {
+  Impl& impl = *impl_;
+  FOSCIL_EXPECTS(impl.listen_fd < 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw ServeError("fault proxy: cannot create socket: " +
+                     std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl.options.listen_port);
+  if (::inet_pton(AF_INET, impl.options.listen_host.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    throw ServeError("fault proxy: bad listen host " +
+                     impl.options.listen_host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("fault proxy: cannot bind/listen: " + why);
+  }
+  set_nonblocking(fd);
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("fault proxy: getsockname failed: " + why);
+  }
+  impl.listen_fd = fd;
+  impl.port = ntohs(bound.sin_port);
+  impl.thread = std::thread([this] { impl_->run(); });
+  return impl.port;
+}
+
+void FaultProxy::stop() {
+  Impl& impl = *impl_;
+  impl.stop_flag.store(true, std::memory_order_release);
+  if (impl.thread.joinable()) impl.thread.join();
+  if (impl.listen_fd >= 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+  }
+}
+
+Endpoint FaultProxy::endpoint() const {
+  return Endpoint{impl_->options.listen_host, impl_->port};
+}
+
+void FaultProxy::set_upstream(const Endpoint& upstream) {
+  FOSCIL_EXPECTS(!upstream.host.empty() && upstream.port != 0);
+  const std::lock_guard<std::mutex> lock(impl_->upstream_mutex);
+  impl_->upstream_target = upstream;
+}
+
+void FaultProxy::set_partitioned(bool on) {
+  impl_->partitioned.store(on, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_drop_to_upstream(bool on) {
+  impl_->drop_up.store(on, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_drop_to_client(bool on) {
+  impl_->drop_down.store(on, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_corrupt_probability(double p) {
+  impl_->corrupt_p.store(p, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_corrupt_to_upstream(bool on) {
+  impl_->corrupt_up.store(on, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_corrupt_to_client(bool on) {
+  impl_->corrupt_down.store(on, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_drop_probability(double p) {
+  impl_->drop_p.store(p, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_reorder_probability(double p) {
+  impl_->reorder_p.store(p, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_delay(double seconds) {
+  impl_->delay.store(seconds, std::memory_order_relaxed);
+}
+
+void FaultProxy::set_close_after_bytes(std::uint64_t bytes) {
+  impl_->close_after.store(bytes, std::memory_order_relaxed);
+}
+
+void FaultProxy::drop_connections() {
+  impl_->kill_conns.store(true, std::memory_order_release);
+}
+
+FaultProxyStats FaultProxy::stats() const {
+  const Impl& impl = *impl_;
+  FaultProxyStats stats;
+  stats.connections = impl.connections.load(std::memory_order_relaxed);
+  stats.refused_connections =
+      impl.refused_connections.load(std::memory_order_relaxed);
+  stats.chunks_forwarded =
+      impl.chunks_forwarded.load(std::memory_order_relaxed);
+  stats.bytes_forwarded = impl.bytes_forwarded.load(std::memory_order_relaxed);
+  stats.chunks_corrupted =
+      impl.chunks_corrupted.load(std::memory_order_relaxed);
+  stats.chunks_dropped = impl.chunks_dropped.load(std::memory_order_relaxed);
+  stats.chunks_reordered =
+      impl.chunks_reordered.load(std::memory_order_relaxed);
+  stats.forced_closes = impl.forced_closes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace foscil::serve::net

@@ -1,0 +1,128 @@
+// Socket-level network fault injector for the planning tier's chaos tests.
+//
+// A FaultProxy listens on its own port and forwards every byte to one
+// upstream endpoint, running all traffic through a deterministic, seeded
+// fault schedule plus runtime toggles:
+//
+//   * partition      — a black hole: accepted bytes are consumed and never
+//                      delivered (the sender's send() succeeds, exactly
+//                      like packets vanishing on the wire), and new
+//                      connections are refused;
+//   * one-way drops  — the same, for a single direction (asymmetric
+//                      partitions: A hears B, B never hears A);
+//   * corruption     — with probability p per forwarded chunk, one bit is
+//                      flipped at a seeded position (exercising the frame
+//                      checksum, not just the length checks);
+//   * drops          — with probability p a chunk silently vanishes;
+//   * delay          — every chunk is held for delay_s before delivery;
+//   * reordering     — with probability p a chunk is queued *behind* the
+//                      chunk that arrives after it;
+//   * forced close   — the connection is severed abruptly after N
+//                      forwarded bytes (mid-frame disconnects).
+//
+// The schedule is driven by one mt19937_64 seeded from the options, so a
+// failing chaos run reproduces from its printed seed.  The proxy runs on
+// its own thread; every setter and stats() is safe from any thread.
+//
+// This is the test harness the robustness claims of DESIGN.md §15 are
+// proven against: servers and clients under test are pointed at proxy
+// ports (shards advertise the proxy endpoint as their identity), so every
+// protocol path can be exercised against a hostile network without
+// touching kernel facilities.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/net/ring.hpp"
+
+namespace foscil::serve::net {
+
+struct FaultProxyOptions {
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral; start() reports actual
+  /// Where clean traffic goes.  May be left unset (port 0) and supplied
+  /// later via set_upstream(): the proxy refuses connections until it has
+  /// a target.  This breaks the bootstrap circularity when a shard must
+  /// advertise the proxy's port — start the proxy, spawn the shard
+  /// advertising it, then point the proxy at the shard — and lets a
+  /// stable proxy identity be re-pointed at a replacement process.
+  Endpoint upstream;
+  std::uint64_t seed = 1;         ///< fault-schedule seed (print it)
+  double corrupt_probability = 0.0;
+  double drop_probability = 0.0;
+  double reorder_probability = 0.0;
+  double delay_s = 0.0;
+  /// Sever a connection after this many forwarded bytes (0: never).
+  /// Counted per connection, both directions together, so the cut lands
+  /// mid-frame for any non-trivial traffic.
+  std::uint64_t close_after_bytes = 0;
+
+  void check() const;
+};
+
+struct FaultProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t refused_connections = 0;  ///< refused while partitioned
+  std::uint64_t chunks_forwarded = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t chunks_corrupted = 0;
+  std::uint64_t chunks_dropped = 0;  ///< schedule drops + partition drops
+  std::uint64_t chunks_reordered = 0;
+  std::uint64_t forced_closes = 0;   ///< close_after_bytes cuts
+};
+
+class FaultProxy {
+ public:
+  explicit FaultProxy(FaultProxyOptions options);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Bind, listen, spawn the forwarding thread.  Returns the bound port.
+  std::uint16_t start();
+
+  /// Close the listener and every connection, join the thread.  Idempotent.
+  void stop();
+
+  /// The endpoint clients (and gossip) should use for the shard behind
+  /// this proxy.  Valid after start().
+  [[nodiscard]] Endpoint endpoint() const;
+
+  /// Re-point the proxy at a new upstream (effective for the next
+  /// accepted connection; live connections keep their old target).  The
+  /// chaos batteries use this to model a replacement process taking over
+  /// a stable ring identity.
+  void set_upstream(const Endpoint& upstream);
+
+  // Runtime fault toggles (all safe from any thread, effective for the
+  // next chunk).
+  void set_partitioned(bool on);
+  void set_drop_to_upstream(bool on);  ///< client -> shard bytes vanish
+  void set_drop_to_client(bool on);    ///< shard -> client bytes vanish
+  void set_corrupt_probability(double p);
+  /// Restrict schedule-driven corruption to one direction (both on by
+  /// default), so a battery can exercise one checksum path at a time:
+  /// reply corruption is rejected by the client's assembler, request
+  /// corruption condemns the stream server-side — both surface to the
+  /// caller as retryable transport errors, never as accepted bytes.
+  void set_corrupt_to_upstream(bool on);
+  void set_corrupt_to_client(bool on);
+  void set_drop_probability(double p);
+  void set_reorder_probability(double p);
+  void set_delay(double seconds);
+  void set_close_after_bytes(std::uint64_t bytes);
+  /// Sever every live connection now (the listener stays up).
+  void drop_connections();
+
+  [[nodiscard]] FaultProxyStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace foscil::serve::net

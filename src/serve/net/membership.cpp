@@ -1,0 +1,305 @@
+#include "serve/net/membership.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/contracts.hpp"
+
+namespace foscil::serve::net {
+
+const char* member_health_name(MemberHealth health) noexcept {
+  switch (health) {
+    case MemberHealth::kAlive: return "alive";
+    case MemberHealth::kSuspect: return "suspect";
+    case MemberHealth::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+void MembershipOptions::check() const {
+  FOSCIL_EXPECTS(heartbeat_interval_s > 0.0);
+  FOSCIL_EXPECTS(suspect_timeout_s > 0.0);
+  FOSCIL_EXPECTS(dead_timeout_s > suspect_timeout_s);
+  FOSCIL_EXPECTS(rejoin_probe_interval_s > 0.0);
+}
+
+std::uint64_t fresh_incarnation() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+MembershipTable::MembershipTable(MembershipOptions options,
+                                 std::vector<Endpoint> seeds, double now_s)
+    : options_(options) {
+  options_.check();
+  for (Endpoint& seed : seeds) {
+    if (find_locked(seed) != nullptr) continue;  // duplicate seed
+    Slot slot;
+    slot.record.endpoint = std::move(seed);
+    slot.record.health = MemberHealth::kAlive;
+    slot.record.incarnation = 0;  // the weakest claim: any gossip wins
+    slot.last_heard_s = now_s;
+    slots_.push_back(std::move(slot));
+  }
+}
+
+MembershipTable::Slot* MembershipTable::find_locked(const Endpoint& endpoint) {
+  for (Slot& slot : slots_)
+    if (slot.record.endpoint == endpoint) return &slot;
+  return nullptr;
+}
+
+const MembershipTable::Slot* MembershipTable::find_locked(
+    const Endpoint& endpoint) const {
+  for (const Slot& slot : slots_)
+    if (slot.record.endpoint == endpoint) return &slot;
+  return nullptr;
+}
+
+void MembershipTable::bump_epoch_locked(std::uint64_t at_least) {
+  epoch_ = std::max(epoch_, at_least) + 1;
+}
+
+bool MembershipTable::apply_locked(const MemberRecord& remote, double now_s) {
+  Slot* slot = find_locked(remote.endpoint);
+  if (slot == nullptr) {
+    // A join: first word of this endpoint's existence.
+    Slot fresh;
+    fresh.record = remote;
+    fresh.last_heard_s = now_s;
+    slots_.push_back(std::move(fresh));
+    ++stats_.joins;
+    // Only a live join changes the routable set.
+    return remote.health != MemberHealth::kDead;
+  }
+
+  // Self is not a rumor: nothing a peer says about this node overrides the
+  // node's own record (a higher remote incarnation of "us" would mean a
+  // misconfigured twin; routing stays pinned to our own claim).
+  if (slot->self) return false;
+
+  const MemberRecord before = slot->record;
+  if (remote.incarnation > slot->record.incarnation) {
+    slot->record = remote;  // a newer life overrides everything
+  } else if (remote.incarnation == slot->record.incarnation &&
+             static_cast<std::uint8_t>(remote.health) >
+                 static_cast<std::uint8_t>(slot->record.health)) {
+    slot->record.health = remote.health;  // worse news wins a tie
+  } else {
+    return false;
+  }
+  slot->last_heard_s = now_s;
+
+  const bool was_live = before.health != MemberHealth::kDead;
+  const bool is_live = slot->record.health != MemberHealth::kDead;
+  if (was_live && !is_live) ++stats_.deaths;
+  if (!was_live && is_live) ++stats_.revivals;
+  if (before.health == MemberHealth::kAlive &&
+      slot->record.health == MemberHealth::kSuspect)
+    ++stats_.suspects;
+  return was_live != is_live;
+}
+
+bool MembershipTable::merge(const MembershipView& remote, double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool live_changed = false;
+  for (const MemberRecord& record : remote.members)
+    live_changed = apply_locked(record, now_s) || live_changed;
+  if (live_changed) {
+    bump_epoch_locked(remote.epoch);
+    ++stats_.merges;
+  } else {
+    // Nothing structural changed, but never let the epoch run behind a
+    // view we have fully absorbed.
+    epoch_ = std::max(epoch_, remote.epoch);
+  }
+  return live_changed;
+}
+
+bool MembershipTable::observe_alive(const Endpoint& endpoint,
+                                    std::uint64_t incarnation, double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot* slot = find_locked(endpoint);
+  if (slot == nullptr) {
+    Slot fresh;
+    fresh.record.endpoint = endpoint;
+    fresh.record.health = MemberHealth::kAlive;
+    fresh.record.incarnation = incarnation;
+    fresh.last_heard_s = now_s;
+    slots_.push_back(std::move(fresh));
+    ++stats_.joins;
+    bump_epoch_locked(epoch_);
+    return true;
+  }
+  slot->last_heard_s = now_s;
+  if (slot->self) return false;
+
+  const MemberHealth before = slot->record.health;
+  // Direct contact beats any rumor — but a dead record can only be
+  // overridden by a *newer incarnation* (the restart itself), matching the
+  // merge rule that death is final per incarnation.
+  if (before == MemberHealth::kDead) {
+    if (incarnation <= slot->record.incarnation) return false;
+    slot->record.incarnation = incarnation;
+    slot->record.health = MemberHealth::kAlive;
+    ++stats_.revivals;
+    bump_epoch_locked(epoch_);
+    return true;
+  }
+  slot->record.incarnation = std::max(slot->record.incarnation, incarnation);
+  slot->record.health = MemberHealth::kAlive;  // suspect clears on contact
+  return false;  // alive/suspect are both routable: live set unchanged
+}
+
+bool MembershipTable::observe_unreachable(const Endpoint& endpoint,
+                                          double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot* slot = find_locked(endpoint);
+  if (slot == nullptr || slot->self) return false;
+  if (slot->record.health == MemberHealth::kAlive) {
+    slot->record.health = MemberHealth::kSuspect;
+    ++stats_.suspects;
+    return true;  // transition happened (routable set unchanged, though)
+  }
+  if (slot->record.health == MemberHealth::kSuspect &&
+      now_s - slot->last_heard_s > options_.dead_timeout_s) {
+    slot->record.health = MemberHealth::kDead;
+    ++stats_.deaths;
+    bump_epoch_locked(epoch_);
+    return true;
+  }
+  return false;
+}
+
+bool MembershipTable::tick(double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool live_changed = false;
+  for (Slot& slot : slots_) {
+    if (slot.self) continue;
+    const double silent_s = now_s - slot.last_heard_s;
+    if (slot.record.health == MemberHealth::kAlive &&
+        silent_s > options_.suspect_timeout_s) {
+      slot.record.health = MemberHealth::kSuspect;
+      ++stats_.suspects;
+    }
+    if (slot.record.health == MemberHealth::kSuspect &&
+        silent_s > options_.dead_timeout_s) {
+      slot.record.health = MemberHealth::kDead;
+      ++stats_.deaths;
+      live_changed = true;
+    }
+  }
+  if (live_changed) bump_epoch_locked(epoch_);
+  return live_changed;
+}
+
+bool MembershipTable::join(const Endpoint& endpoint,
+                           std::uint64_t incarnation, double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot* slot = find_locked(endpoint);
+  if (slot == nullptr) {
+    Slot fresh;
+    fresh.record.endpoint = endpoint;
+    fresh.record.health = MemberHealth::kAlive;
+    fresh.record.incarnation = incarnation;
+    fresh.last_heard_s = now_s;
+    slots_.push_back(std::move(fresh));
+    ++stats_.joins;
+    bump_epoch_locked(epoch_);
+    return true;
+  }
+  if (slot->self) return false;
+  if (slot->record.health == MemberHealth::kDead &&
+      incarnation <= slot->record.incarnation)
+    return false;  // a join cannot resurrect a dead incarnation
+  const bool was_dead = slot->record.health == MemberHealth::kDead;
+  slot->record.health = MemberHealth::kAlive;
+  slot->record.incarnation = std::max(slot->record.incarnation, incarnation);
+  slot->last_heard_s = now_s;
+  if (was_dead) {
+    ++stats_.revivals;
+    bump_epoch_locked(epoch_);
+  }
+  return was_dead;
+}
+
+std::vector<Endpoint> MembershipTable::live_endpoints() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Endpoint> live;
+  for (const Slot& slot : slots_)
+    if (slot.record.health != MemberHealth::kDead)
+      live.push_back(slot.record.endpoint);
+  return live;
+}
+
+std::vector<Endpoint> MembershipTable::due_probes(double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Endpoint> due;
+  for (Slot& slot : slots_) {
+    if (slot.self) continue;
+    const double interval = slot.record.health == MemberHealth::kDead
+                                ? options_.rejoin_probe_interval_s
+                                : options_.heartbeat_interval_s;
+    if (now_s - slot.last_probe_s >= interval) {
+      slot.last_probe_s = now_s;
+      due.push_back(slot.record.endpoint);
+    }
+  }
+  return due;
+}
+
+MembershipView MembershipTable::view() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MembershipView snapshot;
+  snapshot.epoch = epoch_;
+  snapshot.members.reserve(slots_.size());
+  for (const Slot& slot : slots_) snapshot.members.push_back(slot.record);
+  return snapshot;
+}
+
+std::uint64_t MembershipTable::epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+MembershipStats MembershipTable::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t MembershipTable::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+MemberHealth MembershipTable::health_of(const Endpoint& endpoint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Slot* slot = find_locked(endpoint);
+  return slot == nullptr ? MemberHealth::kDead : slot->record.health;
+}
+
+void MembershipTable::set_self(const Endpoint& endpoint,
+                               std::uint64_t incarnation) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  self_incarnation_ = incarnation;
+  Slot* slot = find_locked(endpoint);
+  if (slot == nullptr) {
+    Slot fresh;
+    fresh.record.endpoint = endpoint;
+    slots_.push_back(std::move(fresh));
+    slot = &slots_.back();
+  }
+  slot->record.health = MemberHealth::kAlive;
+  slot->record.incarnation = incarnation;
+  slot->self = true;
+  slot->last_heard_s = 1e300;  // never times out
+}
+
+std::uint64_t MembershipTable::self_incarnation() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return self_incarnation_;
+}
+
+}  // namespace foscil::serve::net

@@ -1,0 +1,176 @@
+// Shard membership and failure detection for the networked planning tier.
+//
+// The static endpoint list of DESIGN.md §13 is demoted to a *seed list*:
+// every node (shard server or client) maintains a MembershipTable — a live
+// view of the ring — and keeps it current by gossiping the table over the
+// existing wire format (kGossip/kGossipReply frames, serve/net/wire.hpp).
+// The table answers the two questions static configuration cannot:
+//
+//   * "who is alive?" — each member walks an alive -> suspect -> dead
+//     state machine driven by heartbeat probes and tunable timeouts, so a
+//     dead shard leaves the routing ring (it is only re-probed at a slow
+//     rejoin cadence, never in the request hot path) and a returning or
+//     freshly joined shard re-enters it;
+//   * "which view is newer?" — a monotonic *membership epoch* versions the
+//     live set.  Every liveness change bumps it, merges adopt the maximum,
+//     and cache handoff frames are fenced by it: a shard that streams plans
+//     under an epoch older than the receiver's is provably stale and is
+//     rejected (StatusCode::kStaleEpoch), so a partitioned former owner can
+//     never clobber entries the new topology already owns.
+//
+// Merge rules (the SWIM-style core, deterministic and order-independent):
+// members are keyed by endpoint; for one endpoint, a record with a higher
+// *incarnation* wins outright — a restarting shard announces itself with a
+// fresh, strictly larger incarnation (derived from its start time), which
+// is what lets "A is dead" be overridden only by A itself coming back.  At
+// equal incarnation the worse health wins (dead > suspect > alive):
+// declaring an incarnation dead is irreversible, so rumors cannot resurrect
+// a corpse.  Unknown endpoints are added (that is what a join looks like).
+//
+// Thread-safety: all methods are mutex-guarded — the server touches its
+// table from the event loop and from the handoff streamer thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/net/ring.hpp"
+
+namespace foscil::serve::net {
+
+/// Liveness states, ordered: a larger value wins a same-incarnation merge.
+enum class MemberHealth : std::uint8_t {
+  kAlive = 0,    ///< heard from recently; fully routable
+  kSuspect = 1,  ///< missed heartbeats; still routable, being confirmed
+  kDead = 2,     ///< timed out or gossiped dead; out of the ring
+};
+
+[[nodiscard]] const char* member_health_name(MemberHealth health) noexcept;
+
+/// One member as gossip carries it (no local bookkeeping crosses the wire).
+struct MemberRecord {
+  Endpoint endpoint;
+  MemberHealth health = MemberHealth::kAlive;
+  std::uint64_t incarnation = 0;
+
+  friend bool operator==(const MemberRecord&, const MemberRecord&) = default;
+};
+
+/// A whole table as gossip carries it: the epoch plus every member record.
+struct MembershipView {
+  std::uint64_t epoch = 0;
+  std::vector<MemberRecord> members;
+};
+
+struct MembershipOptions {
+  /// Probe cadence for alive/suspect members (seconds between heartbeats
+  /// per member, driven by the owner's tick()).
+  double heartbeat_interval_s = 0.25;
+  /// An alive member unheard for this long becomes suspect.
+  double suspect_timeout_s = 1.0;
+  /// A suspect member unheard for this long becomes dead.
+  double dead_timeout_s = 2.5;
+  /// Dead members are probed this often (only) so a returning shard is
+  /// noticed — the hot path never touches them.
+  double rejoin_probe_interval_s = 1.0;
+
+  void check() const;
+};
+
+/// Counters a table keeps about its own transitions (monotonic).
+struct MembershipStats {
+  std::uint64_t merges = 0;           ///< merge() calls that changed anything
+  std::uint64_t joins = 0;            ///< members first seen
+  std::uint64_t suspects = 0;         ///< alive -> suspect transitions
+  std::uint64_t deaths = 0;           ///< -> dead transitions
+  std::uint64_t revivals = 0;         ///< dead -> alive (rejoin/restart)
+};
+
+/// A fresh incarnation for this process: wall-clock nanoseconds at call
+/// time, so a restarted shard always outranks every record of its former
+/// life without persisting anything.
+[[nodiscard]] std::uint64_t fresh_incarnation();
+
+class MembershipTable {
+ public:
+  /// Seeds the table with `seeds` as alive members at incarnation 0 (the
+  /// weakest possible claim: any gossip about them wins).  `now_s` is the
+  /// caller's monotonic clock; every later call must use the same clock.
+  MembershipTable(MembershipOptions options, std::vector<Endpoint> seeds,
+                  double now_s);
+
+  /// Merge a remote view (see merge rules above).  Returns true when the
+  /// *live set* changed — members added, died, or returned — in which case
+  /// the epoch was bumped past both the old local and the remote epoch.
+  bool merge(const MembershipView& remote, double now_s);
+
+  /// Direct evidence of life (a successful probe or any frame from the
+  /// member).  `incarnation` 0 means "unknown, keep the current one".
+  /// Returns true when this changed the live set (a revival or join).
+  bool observe_alive(const Endpoint& endpoint, std::uint64_t incarnation,
+                     double now_s);
+
+  /// Direct evidence of trouble (a failed probe): an alive member becomes
+  /// suspect immediately.  Death still waits for dead_timeout_s so one
+  /// dropped packet cannot evict a shard.  Returns true on a transition.
+  bool observe_unreachable(const Endpoint& endpoint, double now_s);
+
+  /// Apply timeout transitions (alive -> suspect -> dead).  Returns true
+  /// when the live set changed (some member died).
+  bool tick(double now_s);
+
+  /// Add-or-revive a member by operator action (a join announcement): the
+  /// member enters alive with `incarnation` (0 = keep/weakest) and the
+  /// epoch bumps if the live set changed.  Returns true on change.
+  bool join(const Endpoint& endpoint, std::uint64_t incarnation,
+            double now_s);
+
+  /// Endpoints a router may use: alive and suspect members, in insertion
+  /// order (deterministic across nodes that learned the members in the
+  /// same order; the ring hashes labels, so order does not affect routing).
+  [[nodiscard]] std::vector<Endpoint> live_endpoints() const;
+
+  /// Members due a probe at `now_s`: alive/suspect past the heartbeat
+  /// interval, dead past the rejoin interval.  `self` (when tracked) is
+  /// never returned.  Calling this stamps the members probed so the next
+  /// due time moves — exactly one caller should drive probing.
+  [[nodiscard]] std::vector<Endpoint> due_probes(double now_s);
+
+  [[nodiscard]] MembershipView view() const;
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] MembershipStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  /// Health of one endpoint; kDead when unknown.
+  [[nodiscard]] MemberHealth health_of(const Endpoint& endpoint) const;
+
+  /// Mark one endpoint as this node itself: it is pinned alive (its own
+  /// liveness is not a rumor) and never probed.
+  void set_self(const Endpoint& endpoint, std::uint64_t incarnation);
+  [[nodiscard]] std::uint64_t self_incarnation() const;
+
+ private:
+  struct Slot {
+    MemberRecord record;
+    double last_heard_s = 0.0;
+    double last_probe_s = -1e300;  ///< long overdue: probe immediately
+    bool self = false;
+  };
+
+  [[nodiscard]] Slot* find_locked(const Endpoint& endpoint);
+  [[nodiscard]] const Slot* find_locked(const Endpoint& endpoint) const;
+  /// Apply one remote record under the merge rules; returns true when the
+  /// live set changed.  Caller holds the lock.
+  bool apply_locked(const MemberRecord& remote, double now_s);
+  void bump_epoch_locked(std::uint64_t at_least);
+
+  mutable std::mutex mutex_;
+  MembershipOptions options_;
+  std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t self_incarnation_ = 0;
+  MembershipStats stats_;
+};
+
+}  // namespace foscil::serve::net

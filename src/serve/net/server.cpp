@@ -13,10 +13,12 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <future>
 #include <iostream>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +32,18 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+/// Monotonic seconds for the membership table (same clock everywhere).
+double mono_seconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+int millis_until(Clock::time_point deadline) {
+  const double s = seconds_between(Clock::now(), deadline);
+  if (s <= 0.0) return 0;
+  return static_cast<int>(s * 1000.0) + 1;
 }
 
 void set_nonblocking(int fd) {
@@ -154,6 +168,96 @@ class Poller {
   std::unordered_map<int, Interest> interest_;
 };
 
+// ---- blocking peer I/O for the handoff streamer ---------------------------
+// The streamer runs on its own thread, so it uses plain deadline-bounded
+// blocking sockets instead of threading through the event loop.
+
+/// Connect to `peer` within `timeout_s`; returns a nonblocking fd or -1.
+int dial_peer(const Endpoint& peer, double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.port);
+  if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  set_nonblocking(fd);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    if (::poll(&p, 1, static_cast<int>(timeout_s * 1000.0) + 1) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all_by(int fd, const std::string& bytes, Clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int ms = millis_until(deadline);
+      if (ms <= 0) return false;
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLOUT;
+      if (::poll(&p, 1, ms) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool recv_frame_by(int fd, FrameAssembler& assembler, Frame* frame,
+                   Clock::time_point deadline) {
+  for (;;) {
+    const FrameAssembler::Result result = assembler.next(frame);
+    if (result == FrameAssembler::Result::kFrame) return true;
+    if (result == FrameAssembler::Result::kBad) return false;
+    const int ms = millis_until(deadline);
+    if (ms <= 0) return false;
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (::poll(&p, 1, ms) <= 0) return false;
+    char buf[16384];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      assembler.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return false;
+  }
+}
+
 }  // namespace
 
 void ServerOptions::check() const {
@@ -164,6 +268,11 @@ void ServerOptions::check() const {
   FOSCIL_EXPECTS(max_outbound_bytes >= kFrameHeaderSize);
   FOSCIL_EXPECTS(read_idle_timeout_s > 0.0);
   FOSCIL_EXPECTS(write_stall_timeout_s > 0.0);
+  FOSCIL_EXPECTS(ring_vnodes >= 1);
+  FOSCIL_EXPECTS(handoff_batch_plans >= 1);
+  FOSCIL_EXPECTS(handoff_io_timeout_s > 0.0);
+  FOSCIL_EXPECTS(handoff_retry_interval_s > 0.0);
+  membership.check();
 }
 
 struct PlanServer::Impl {
@@ -175,7 +284,8 @@ struct PlanServer::Impl {
         platform_fp(platform_fingerprint(platform)),
         poller(options.force_poll),
         ready(ready_flag),
-        draining(draining_flag) {}
+        draining(draining_flag),
+        membership(options.membership, {}, mono_seconds()) {}
 
   struct Pending {
     std::uint64_t request_id = 0;
@@ -213,6 +323,29 @@ struct PlanServer::Impl {
   std::atomic<std::size_t> open_connections{0};
   bool listener_closed = false;
 
+  // Membership: the table is rumor- and contact-driven on the server (no
+  // tick — see ServerOptions::membership).  `self_endpoint` is fixed at
+  // listen(); `incarnation` at construction, so a restarted shard always
+  // announces a strictly larger one.
+  MembershipTable membership;
+  Endpoint self_endpoint;
+  /// Atomic: bumped by SWIM refutation on the event loop, read by the
+  /// handoff streamer for its gossip hello.
+  std::atomic<std::uint64_t> incarnation{fresh_incarnation()};
+
+  // Handoff streamer: one long-lived worker, kicked whenever a merge grows
+  // the live set.  It owns its own blocking sockets; it shares only the
+  // membership table (mutexed), the cache (shard locks), and counters.
+  std::thread handoff_thread;
+  std::mutex handoff_mutex;
+  std::condition_variable handoff_cv;
+  bool handoff_pending = false;
+  bool handoff_stop = false;
+  /// Per-peer epoch whose entries were fully streamed (or were empty);
+  /// streamer thread only.  A sweep skips converged peers, so the retry
+  /// cadence costs nothing once the fleet is caught up.
+  std::unordered_map<std::string, std::uint64_t> handoff_done_epoch;
+
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> closed{0};
   std::atomic<std::uint64_t> shed_connections{0};
@@ -223,6 +356,14 @@ struct PlanServer::Impl {
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> responses{0};
   std::atomic<std::uint64_t> drains{0};
+  std::atomic<std::uint64_t> gossip_frames{0};
+  std::atomic<std::uint64_t> handoff_batches_received{0};
+  std::atomic<std::uint64_t> handoff_plans_received{0};
+  std::atomic<std::uint64_t> handoff_plans_skipped{0};
+  std::atomic<std::uint64_t> stale_handoff_rejections{0};
+  std::atomic<std::uint64_t> handoff_batches_sent{0};
+  std::atomic<std::uint64_t> handoff_plans_sent{0};
+  std::atomic<std::uint64_t> handoff_send_failures{0};
   std::array<std::atomic<std::uint64_t>, kStatusCodeCount> statuses{};
 
   std::uint64_t warm_plans = 0;
@@ -397,6 +538,12 @@ struct PlanServer::Impl {
         enqueue_frame(conn, FrameType::kDrainReply, frame.request_id, "", now);
         drain_requested.store(true, std::memory_order_release);
         return true;
+      case FrameType::kGossip:
+        handle_gossip(conn, frame, now);
+        return true;
+      case FrameType::kHandoff:
+        handle_handoff(conn, frame, now);
+        return true;
       default:
         // A server-to-client frame arriving at the server means the peer
         // is not speaking the protocol; same terminal handling as garbage.
@@ -472,6 +619,103 @@ struct PlanServer::Impl {
     }
   }
 
+  void handle_gossip(Connection& conn, const Frame& frame,
+                     Clock::time_point now) {
+    WireGossip gossip;
+    try {
+      gossip = decode_gossip(frame.body);
+    } catch (const MalformedFrameError& error) {
+      malformed_closes.fetch_add(1, std::memory_order_relaxed);
+      enqueue_status(conn, frame.request_id, StatusCode::kMalformed, 0.0,
+                     error.what(), now);
+      condemn(conn);
+      return;
+    }
+    gossip_frames.fetch_add(1, std::memory_order_relaxed);
+    const double mono_now = mono_seconds();
+    bool live_changed = membership.merge(gossip.view, mono_now);
+    if (gossip.sender_is_shard != 0)
+      live_changed = membership.observe_alive(gossip.sender,
+                                              gossip.sender_incarnation,
+                                              mono_now) ||
+                     live_changed;
+    // SWIM refutation: a rumor declaring *this* shard suspect/dead at (or
+    // past) its current incarnation would otherwise be irrefutable — death
+    // at an incarnation is final, so a shard falsely condemned during a
+    // partition could never rejoin the ring after the heal.  Answering
+    // with a strictly larger incarnation outranks the rumor everywhere it
+    // has spread.
+    for (const MemberRecord& record : gossip.view.members) {
+      if (record.endpoint != self_endpoint ||
+          record.health == MemberHealth::kAlive)
+        continue;
+      const std::uint64_t current =
+          incarnation.load(std::memory_order_relaxed);
+      if (record.incarnation >= current) {
+        incarnation.store(record.incarnation + 1, std::memory_order_relaxed);
+        membership.set_self(self_endpoint, record.incarnation + 1);
+      }
+    }
+    // A grown or changed live set may have moved key ranges off this
+    // shard: wake the streamer to push the affected hot entries to their
+    // new owner.
+    if (live_changed) schedule_handoff();
+
+    WireGossipReply reply;
+    reply.responder = self_endpoint;
+    reply.responder_incarnation =
+        incarnation.load(std::memory_order_relaxed);
+    reply.view = membership.view();
+    enqueue_frame(conn, FrameType::kGossipReply, frame.request_id,
+                  encode_gossip_reply(reply), now);
+  }
+
+  void handle_handoff(Connection& conn, const Frame& frame,
+                      Clock::time_point now) {
+    WireHandoff handoff;
+    try {
+      handoff = decode_handoff(frame.body);
+    } catch (const MalformedFrameError& error) {
+      malformed_closes.fetch_add(1, std::memory_order_relaxed);
+      enqueue_status(conn, frame.request_id, StatusCode::kMalformed, 0.0,
+                     error.what(), now);
+      condemn(conn);
+      return;
+    }
+    handoff_batches_received.fetch_add(1, std::memory_order_relaxed);
+    // The epoch fence: a sender whose view of the topology is older than
+    // ours is a stale owner (partitioned away across a membership change).
+    // Nothing it streams may land — not even insert-if-absent, because an
+    // absent key proves nothing about where that key now belongs.
+    if (handoff.epoch < membership.epoch()) {
+      stale_handoff_rejections.fetch_add(1, std::memory_order_relaxed);
+      enqueue_status(conn, frame.request_id, StatusCode::kStaleEpoch, 0.0,
+                     "handoff epoch " + std::to_string(handoff.epoch) +
+                         " behind local epoch " +
+                         std::to_string(membership.epoch()),
+                     now);
+      return;  // well-formed stream: the connection stays trusted
+    }
+    // Adopt the fence so our own later handoffs carry at least this epoch.
+    membership.merge(MembershipView{handoff.epoch, {}}, mono_seconds());
+
+    WireHandoffReply reply;
+    for (ServedPlan& plan : handoff.plans) {
+      if (service.insert_plan_if_absent(
+              std::make_shared<const ServedPlan>(std::move(plan))))
+        ++reply.accepted;
+      else
+        ++reply.skipped_existing;
+    }
+    handoff_plans_received.fetch_add(reply.accepted,
+                                     std::memory_order_relaxed);
+    handoff_plans_skipped.fetch_add(reply.skipped_existing,
+                                    std::memory_order_relaxed);
+    reply.epoch = membership.epoch();
+    enqueue_frame(conn, FrameType::kHandoffReply, frame.request_id,
+                  encode_handoff_reply(reply), now);
+  }
+
   /// Per-connection admission shrinks with the service's overload ladder
   /// so a client fleet feels DEGRADED/SHED as early backpressure.
   std::size_t in_flight_cap() const {
@@ -512,6 +756,159 @@ struct PlanServer::Impl {
       info.rejections_by_code[i] +=
           statuses[i].load(std::memory_order_relaxed);
     return info;
+  }
+
+  // ---- handoff streamer ---------------------------------------------------
+
+  void start_handoff_thread() {
+    if (!options.handoff_enabled || handoff_thread.joinable()) return;
+    handoff_thread = std::thread([this] { handoff_loop(); });
+  }
+
+  void stop_handoff_thread() {
+    {
+      const std::lock_guard<std::mutex> lock(handoff_mutex);
+      handoff_stop = true;
+    }
+    handoff_cv.notify_all();
+    if (handoff_thread.joinable()) handoff_thread.join();
+  }
+
+  void schedule_handoff() {
+    {
+      const std::lock_guard<std::mutex> lock(handoff_mutex);
+      handoff_pending = true;
+    }
+    handoff_cv.notify_all();
+  }
+
+  bool handoff_stopping() {
+    const std::lock_guard<std::mutex> lock(handoff_mutex);
+    return handoff_stop;
+  }
+
+  void handoff_loop() {
+    const auto retry = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(options.handoff_retry_interval_s));
+    std::unique_lock<std::mutex> lock(handoff_mutex);
+    for (;;) {
+      handoff_cv.wait_for(lock, retry,
+                          [this] { return handoff_pending || handoff_stop; });
+      if (handoff_stop) return;
+      handoff_pending = false;
+      lock.unlock();
+      stream_handoffs();
+      lock.lock();
+    }
+  }
+
+  /// Push every cached plan whose ring owner (under the *current* live
+  /// set) is another shard to that shard.  Batches are idempotent on the
+  /// receiving side (insert-if-absent) and epoch-fenced, so re-running
+  /// after any membership change — or on the retry sweep, when an earlier
+  /// attempt failed — is always safe.
+  void stream_handoffs() {
+    const std::vector<Endpoint> live = membership.live_endpoints();
+    if (live.size() < 2) return;
+    std::size_t self_index = live.size();
+    for (std::size_t i = 0; i < live.size(); ++i)
+      if (live[i] == self_endpoint) self_index = i;
+    if (self_index == live.size()) return;  // not in our own live view yet
+    const HashRing ring(live, options.ring_vnodes);
+
+    std::vector<std::vector<ServedPlan>> buckets(live.size());
+    for (const auto& plan : service.cache().export_entries()) {
+      const std::size_t owner = ring.owner(plan->key);
+      if (owner != self_index) buckets[owner].push_back(*plan);
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (i == self_index) continue;
+      if (handoff_stopping()) return;
+      // Skip peers already caught up to the current epoch: the sweep is
+      // free once converged.  The epoch is captured *before* streaming so
+      // a concurrent membership change forces another pass.
+      const std::uint64_t epoch_before = membership.epoch();
+      const std::string label = live[i].label();
+      const auto done = handoff_done_epoch.find(label);
+      if (done != handoff_done_epoch.end() && done->second == epoch_before)
+        continue;
+      if (buckets[i].empty() || send_handoff_to(live[i], buckets[i]))
+        handoff_done_epoch[label] = epoch_before;
+      else
+        handoff_send_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// One peer conversation: a gossip round trip first (converges both
+  /// epochs, so the fence below carries max(ours, theirs)), then the plan
+  /// batches.  Any defect — timeout, protocol surprise, a Status reply
+  /// (STALE_EPOCH included) — abandons the peer; the next membership
+  /// change retries from scratch.
+  bool send_handoff_to(const Endpoint& peer,
+                       const std::vector<ServedPlan>& plans) {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options.handoff_io_timeout_s));
+    const int fd = dial_peer(peer, options.handoff_io_timeout_s);
+    if (fd < 0) return false;
+
+    FrameAssembler assembler;
+    Frame reply;
+    std::uint64_t request_id = 1;
+
+    WireGossip hello;
+    hello.sender_is_shard = 1;
+    hello.sender = self_endpoint;
+    hello.sender_incarnation = incarnation;
+    hello.view = membership.view();
+    if (!send_all_by(fd,
+                     encode_frame(FrameType::kGossip, request_id,
+                                  encode_gossip(hello)),
+                     deadline) ||
+        !recv_frame_by(fd, assembler, &reply, deadline) ||
+        reply.type != FrameType::kGossipReply) {
+      ::close(fd);
+      return false;
+    }
+    try {
+      membership.merge(decode_gossip_reply(reply.body).view, mono_seconds());
+    } catch (const MalformedFrameError&) {
+      ::close(fd);
+      return false;
+    }
+
+    for (std::size_t offset = 0; offset < plans.size();
+         offset += options.handoff_batch_plans) {
+      const std::size_t count =
+          std::min(options.handoff_batch_plans, plans.size() - offset);
+      WireHandoff batch;
+      batch.epoch = membership.epoch();
+      batch.plans.assign(plans.begin() + static_cast<std::ptrdiff_t>(offset),
+                         plans.begin() +
+                             static_cast<std::ptrdiff_t>(offset + count));
+      ++request_id;
+      if (!send_all_by(fd,
+                       encode_frame(FrameType::kHandoff, request_id,
+                                    encode_handoff(batch)),
+                       deadline) ||
+          !recv_frame_by(fd, assembler, &reply, deadline) ||
+          reply.type != FrameType::kHandoffReply) {
+        ::close(fd);
+        return false;
+      }
+      try {
+        const WireHandoffReply outcome = decode_handoff_reply(reply.body);
+        handoff_batches_sent.fetch_add(1, std::memory_order_relaxed);
+        handoff_plans_sent.fetch_add(outcome.accepted,
+                                     std::memory_order_relaxed);
+      } catch (const MalformedFrameError&) {
+        ::close(fd);
+        return false;
+      }
+    }
+    ::close(fd);
+    return true;
   }
 
   // ---- completion and writes ---------------------------------------------
@@ -717,6 +1114,7 @@ PlanServer::PlanServer(PlanningService& service, core::Platform platform,
 PlanServer::~PlanServer() {
   shutdown();
   Impl& impl = *impl_;
+  impl.stop_handoff_thread();
   for (auto& [fd, conn] : impl.conns) ::close(fd);
   impl.conns.clear();
   if (impl.listen_fd >= 0) ::close(impl.listen_fd);
@@ -778,6 +1176,15 @@ std::uint16_t PlanServer::listen() {
   impl.listen_fd = fd;
   port_ = ntohs(bound.sin_port);
 
+  impl.self_endpoint.host = impl.options.advertised_host.empty()
+                                ? impl.options.listen_host
+                                : impl.options.advertised_host;
+  impl.self_endpoint.port = impl.options.advertised_port != 0
+                                ? impl.options.advertised_port
+                                : port_;
+  impl.membership.set_self(impl.self_endpoint, impl.incarnation);
+  impl.start_handoff_thread();
+
   impl.poller.add(impl.wake_read, true, false);
   impl.poller.add(impl.listen_fd, true, false);
   return port_;
@@ -816,6 +1223,22 @@ ServerStats PlanServer::stats() const {
   stats.requests = impl.requests.load(std::memory_order_relaxed);
   stats.responses = impl.responses.load(std::memory_order_relaxed);
   stats.drains = impl.drains.load(std::memory_order_relaxed);
+  stats.gossip_frames = impl.gossip_frames.load(std::memory_order_relaxed);
+  stats.handoff_batches_received =
+      impl.handoff_batches_received.load(std::memory_order_relaxed);
+  stats.handoff_plans_received =
+      impl.handoff_plans_received.load(std::memory_order_relaxed);
+  stats.handoff_plans_skipped =
+      impl.handoff_plans_skipped.load(std::memory_order_relaxed);
+  stats.stale_handoff_rejections =
+      impl.stale_handoff_rejections.load(std::memory_order_relaxed);
+  stats.handoff_batches_sent =
+      impl.handoff_batches_sent.load(std::memory_order_relaxed);
+  stats.handoff_plans_sent =
+      impl.handoff_plans_sent.load(std::memory_order_relaxed);
+  stats.handoff_send_failures =
+      impl.handoff_send_failures.load(std::memory_order_relaxed);
+  stats.membership_epoch = impl.membership.epoch();
   for (std::size_t i = 0; i < kStatusCodeCount; ++i)
     stats.statuses_by_code[i] =
         impl.statuses[i].load(std::memory_order_relaxed);
@@ -824,6 +1247,20 @@ ServerStats PlanServer::stats() const {
 
 std::size_t PlanServer::connection_count() const {
   return impl_->open_connections.load(std::memory_order_relaxed);
+}
+
+Endpoint PlanServer::advertised_endpoint() const {
+  return impl_->self_endpoint;
+}
+
+std::uint64_t PlanServer::incarnation() const { return impl_->incarnation; }
+
+MembershipView PlanServer::membership_view() const {
+  return impl_->membership.view();
+}
+
+std::uint64_t PlanServer::membership_epoch() const {
+  return impl_->membership.epoch();
 }
 
 }  // namespace foscil::serve::net

@@ -80,6 +80,35 @@ struct ServerOptions {
   /// Use the portable poll(2) backend even where epoll is available.
   bool force_poll = false;
 
+  // ---- membership & live cache handoff (DESIGN.md §15) --------------------
+
+  /// The shard identity this server advertises in gossip.  Empty host /
+  /// zero port default to the listen host and the bound port; set them
+  /// when the shard is reached through a different address than it binds
+  /// (a fault-injection proxy, NAT, a load balancer).
+  std::string advertised_host;
+  std::uint16_t advertised_port = 0;
+  /// Failure-detection timeouts for the server's membership table.  The
+  /// server is a *passive* gossiper: it merges views and marks gossiping
+  /// shards alive first-hand, but never ticks timeouts itself — clients
+  /// drive probing, so a shard with no client traffic does not spuriously
+  /// declare its peers dead.
+  MembershipOptions membership{};
+  /// Virtual nodes per endpoint when the handoff streamer rebuilds the
+  /// ring; must match the clients' ring_vnodes or ownership disagrees.
+  std::size_t ring_vnodes = 64;
+  /// Stream hot cache entries to their new owner when the live set grows
+  /// (a shard joined or returned).  Epoch-fenced on the receiving side.
+  bool handoff_enabled = true;
+  /// Plans per kHandoff frame.
+  std::size_t handoff_batch_plans = 64;
+  /// Connect/send/receive budget for one handoff peer conversation.
+  double handoff_io_timeout_s = 5.0;
+  /// The streamer sweeps at this cadence until every live peer has acked
+  /// the current epoch, so a peer that was briefly unreachable still gets
+  /// its entries (bounded staleness).  Converged sweeps send nothing.
+  double handoff_retry_interval_s = 0.5;
+
   void check() const;
 };
 
@@ -94,6 +123,16 @@ struct ServerStats {
   std::uint64_t requests = 0;           ///< plan requests admitted
   std::uint64_t responses = 0;          ///< plan responses delivered
   std::uint64_t drains = 0;             ///< DRAIN frames honored
+  // Membership & handoff (zero unless the fleet gossips).
+  std::uint64_t gossip_frames = 0;            ///< kGossip frames answered
+  std::uint64_t handoff_batches_received = 0;
+  std::uint64_t handoff_plans_received = 0;   ///< accepted (inserted)
+  std::uint64_t handoff_plans_skipped = 0;    ///< key already cached
+  std::uint64_t stale_handoff_rejections = 0; ///< epoch fence fired
+  std::uint64_t handoff_batches_sent = 0;
+  std::uint64_t handoff_plans_sent = 0;       ///< accepted by the peer
+  std::uint64_t handoff_send_failures = 0;    ///< peer conversations failed
+  std::uint64_t membership_epoch = 0;         ///< gauge, not a counter
   /// Status frames sent, by code (framing defects, shed, not-ready, and
   /// every service rejection relayed to a client), indexed by
   /// status_index().
@@ -141,6 +180,14 @@ class PlanServer {
   }
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] std::size_t connection_count() const;
+
+  /// The shard identity gossiped to peers (valid after listen()).
+  [[nodiscard]] Endpoint advertised_endpoint() const;
+  /// This process's incarnation (fresh per construction; a restart always
+  /// outranks every record of the former life).
+  [[nodiscard]] std::uint64_t incarnation() const;
+  [[nodiscard]] MembershipView membership_view() const;
+  [[nodiscard]] std::uint64_t membership_epoch() const;
 
  private:
   struct Impl;

@@ -141,6 +141,51 @@ class Reader {
 };
 
 constexpr std::uint64_t kMaxMessageBytes = 4096;  ///< diagnostic strings
+constexpr std::uint64_t kMaxHostBytes = 253;      ///< RFC 1035 name bound
+constexpr std::uint64_t kMaxMembers = 1024;       ///< gossip view cap
+constexpr std::uint64_t kMaxHandoffPlans = 4096;  ///< one batch's plan cap
+
+void write_endpoint(Writer& w, const Endpoint& endpoint) {
+  w.str(endpoint.host);
+  w.u16(endpoint.port);
+}
+
+Endpoint read_endpoint(Reader& r) {
+  Endpoint endpoint;
+  endpoint.host = r.str(kMaxHostBytes);
+  endpoint.port = r.u16();
+  return endpoint;
+}
+
+void write_view(Writer& w, const MembershipView& view) {
+  w.u64(view.epoch);
+  w.u64(view.members.size());
+  for (const MemberRecord& member : view.members) {
+    write_endpoint(w, member.endpoint);
+    w.u8(static_cast<std::uint8_t>(member.health));
+    w.u64(member.incarnation);
+  }
+}
+
+MembershipView read_view(Reader& r) {
+  MembershipView view;
+  view.epoch = r.u64();
+  const std::uint64_t count = r.u64();
+  if (count > kMaxMembers)
+    r.fail("membership view of " + std::to_string(count) + " members");
+  view.members.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MemberRecord member;
+    member.endpoint = read_endpoint(r);
+    const std::uint8_t health = r.u8();
+    if (health > static_cast<std::uint8_t>(MemberHealth::kDead))
+      r.fail("member health holds " + std::to_string(health));
+    member.health = static_cast<MemberHealth>(health);
+    member.incarnation = r.u64();
+    view.members.push_back(std::move(member));
+  }
+  return view;
+}
 
 }  // namespace
 
@@ -155,7 +200,27 @@ std::uint64_t fnv1a_bytes(const std::string& bytes) noexcept {
 
 bool frame_type_known(std::uint16_t raw) noexcept {
   return raw >= static_cast<std::uint16_t>(FrameType::kPlanRequest) &&
-         raw <= static_cast<std::uint16_t>(FrameType::kDrainReply);
+         raw <= static_cast<std::uint16_t>(FrameType::kHandoffReply);
+}
+
+std::uint64_t frame_checksum(std::uint16_t type, std::uint64_t request_id,
+                             std::uint32_t body_size,
+                             const std::string& body) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t value, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (value >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(type, 2);
+  mix(request_id, 8);
+  mix(body_size, 4);
+  for (const char c : body) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 std::string encode_frame(FrameType type, std::uint64_t request_id,
@@ -164,10 +229,12 @@ std::string encode_frame(FrameType type, std::uint64_t request_id,
   Writer w;
   w.raw(std::string(kFrameMagic, sizeof(kFrameMagic)));
   w.u16(kWireVersion);
-  w.u16(static_cast<std::uint16_t>(type));
+  const std::uint16_t raw_type = static_cast<std::uint16_t>(type);
+  w.u16(raw_type);
   w.u64(request_id);
   w.u32(static_cast<std::uint32_t>(body.size()));
-  w.u64(fnv1a_bytes(body));
+  w.u64(frame_checksum(raw_type, request_id,
+                       static_cast<std::uint32_t>(body.size()), body));
   w.raw(body);
   return w.take();
 }
@@ -245,8 +312,9 @@ FrameAssembler::Result FrameAssembler::next(Frame* frame) {
   if (buffer_.size() < kFrameHeaderSize + body_size) return Result::kNeedMore;
 
   std::string body = buffer_.substr(kFrameHeaderSize, body_size);
-  if (fnv1a_bytes(body) != declared_checksum)
-    return fail(StatusCode::kMalformed, "body checksum mismatch");
+  if (frame_checksum(raw_type, request_id, body_size, body) !=
+      declared_checksum)
+    return fail(StatusCode::kMalformed, "frame checksum mismatch");
 
   buffer_.erase(0, kFrameHeaderSize + body_size);
   frame->type = static_cast<FrameType>(raw_type);
@@ -453,6 +521,97 @@ HealthInfo decode_health(const std::string& body) {
   }
   r.expect_exhausted();
   return info;
+}
+
+// ---- gossip ----------------------------------------------------------------
+
+std::string encode_gossip(const WireGossip& gossip) {
+  Writer w;
+  w.u8(gossip.sender_is_shard);
+  write_endpoint(w, gossip.sender);
+  w.u64(gossip.sender_incarnation);
+  write_view(w, gossip.view);
+  return w.take();
+}
+
+WireGossip decode_gossip(const std::string& body) {
+  Reader r(body);
+  WireGossip gossip;
+  gossip.sender_is_shard = r.boolean() ? 1 : 0;
+  gossip.sender = read_endpoint(r);
+  gossip.sender_incarnation = r.u64();
+  gossip.view = read_view(r);
+  r.expect_exhausted();
+  return gossip;
+}
+
+std::string encode_gossip_reply(const WireGossipReply& reply) {
+  Writer w;
+  write_endpoint(w, reply.responder);
+  w.u64(reply.responder_incarnation);
+  write_view(w, reply.view);
+  return w.take();
+}
+
+WireGossipReply decode_gossip_reply(const std::string& body) {
+  Reader r(body);
+  WireGossipReply reply;
+  reply.responder = read_endpoint(r);
+  reply.responder_incarnation = r.u64();
+  reply.view = read_view(r);
+  r.expect_exhausted();
+  return reply;
+}
+
+// ---- handoff ---------------------------------------------------------------
+
+std::string encode_handoff(const WireHandoff& handoff) {
+  FOSCIL_EXPECTS(handoff.plans.size() <= kMaxHandoffPlans);
+  Writer w;
+  w.u64(handoff.epoch);
+  w.u64(handoff.plans.size());
+  for (const ServedPlan& plan : handoff.plans)
+    w.str(encode_plan_bytes(plan));
+  return w.take();
+}
+
+WireHandoff decode_handoff(const std::string& body) {
+  Reader r(body);
+  WireHandoff handoff;
+  handoff.epoch = r.u64();
+  const std::uint64_t count = r.u64();
+  if (count > kMaxHandoffPlans)
+    r.fail("handoff batch of " + std::to_string(count) + " plans");
+  handoff.plans.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string plan_bytes = r.str(kMaxBodyBytes);
+    try {
+      handoff.plans.push_back(
+          decode_plan_bytes(plan_bytes, "handoff plan"));
+    } catch (const SnapshotError& error) {
+      throw MalformedFrameError(error.what());
+    }
+  }
+  r.expect_exhausted();
+  return handoff;
+}
+
+std::string encode_handoff_reply(const WireHandoffReply& reply) {
+  Writer w;
+  w.u64(reply.epoch);
+  w.u64(reply.accepted);
+  w.u64(reply.skipped_existing);
+  return w.take();
+}
+
+WireHandoffReply decode_handoff_reply(const std::string& body) {
+  Reader r(body);
+  WireHandoffReply reply;
+  reply.epoch = r.u64();
+  reply.accepted = r.u64();
+  reply.skipped_existing = r.u64();
+  r.expect_exhausted();
+  return reply;
 }
 
 // ---- ready -----------------------------------------------------------------

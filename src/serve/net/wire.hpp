@@ -12,7 +12,11 @@
 //   8       8     u64 request id — chosen by the client, echoed verbatim in
 //                 the matching response so requests can be pipelined
 //   16      4     u32 body length in bytes (<= the receiver's cap)
-//   20      8     u64 FNV-1a checksum over the body bytes
+//   20      8     u64 FNV-1a checksum over type, request id, body length,
+//                 and the body bytes (in that order) — every semantic
+//                 header field is covered, so a single flipped bit cannot
+//                 silently turn one frame type (or request pairing) into
+//                 another; magic and version are validated directly
 //   28      ...   body
 //
 // Validation is strict and total: bad magic, unknown version, unknown
@@ -39,8 +43,11 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "serve/cache_key.hpp"
 #include "serve/errors.hpp"
+#include "serve/net/membership.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/service.hpp"
 
@@ -48,8 +55,11 @@ namespace foscil::serve::net {
 
 /// Protocol version.  Bump on ANY frame or body layout change; a receiver
 /// rejects every other version (no negotiation — plans are cheap to
-/// recompute, fleets roll forward).
-inline constexpr std::uint16_t kWireVersion = 1;
+/// recompute, fleets roll forward).  History: v1 checksummed only the
+/// body; v2 extended coverage to the type/request-id/length header fields
+/// after the fault-injection battery showed a single bit flip in the type
+/// field could relabel a frame as another valid type.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 inline constexpr char kFrameMagic[4] = {'F', 'P', 'L', 'N'};
 inline constexpr std::size_t kFrameHeaderSize = 4 + 2 + 2 + 8 + 4 + 8;
@@ -72,6 +82,10 @@ enum class FrameType : std::uint16_t {
   kReadyReply = 7,    ///< server -> client: ReadyInfo
   kDrain = 8,         ///< client -> server: begin graceful drain
   kDrainReply = 9,    ///< server -> client: drain acknowledged
+  kGossip = 10,       ///< any node -> server: sender's membership view
+  kGossipReply = 11,  ///< server -> sender: the merged membership view
+  kHandoff = 12,      ///< shard -> shard: epoch-fenced plan-cache batch
+  kHandoffReply = 13, ///< receiving shard -> sender: apply outcome
 };
 
 [[nodiscard]] bool frame_type_known(std::uint16_t raw) noexcept;
@@ -220,8 +234,68 @@ struct ReadyInfo {
 [[nodiscard]] std::string encode_ready(const ReadyInfo& info);
 [[nodiscard]] ReadyInfo decode_ready(const std::string& body);
 
-/// FNV-1a over raw bytes — corruption check for frame bodies (the same
-/// construction the snapshot file uses; not a security boundary).
+// ---- membership gossip -----------------------------------------------------
+
+/// kGossip body: who is speaking (servers advertise their shard endpoint
+/// and incarnation so the receiver can mark them alive first-hand; clients
+/// send an empty endpoint) plus the sender's full membership view.
+struct WireGossip {
+  std::uint8_t sender_is_shard = 0;
+  Endpoint sender;               ///< meaningful only when sender_is_shard
+  std::uint64_t sender_incarnation = 0;
+  MembershipView view;
+};
+
+[[nodiscard]] std::string encode_gossip(const WireGossip& gossip);
+[[nodiscard]] WireGossip decode_gossip(const std::string& body);
+
+/// kGossipReply body: the responder's identity plus its view *after*
+/// merging the sender's — one round trip converges both tables.
+struct WireGossipReply {
+  Endpoint responder;
+  std::uint64_t responder_incarnation = 0;
+  MembershipView view;
+};
+
+[[nodiscard]] std::string encode_gossip_reply(const WireGossipReply& reply);
+[[nodiscard]] WireGossipReply decode_gossip_reply(const std::string& body);
+
+// ---- live cache handoff ----------------------------------------------------
+
+/// kHandoff body: a batch of plan records (snapshot plan codec — the same
+/// bytes a snapshot file or a PlanResponse carries) fenced by the sender's
+/// membership epoch.  A receiver whose epoch is newer answers one Status
+/// frame with kStaleEpoch and applies nothing: a partitioned former owner
+/// can never clobber the new topology's entries.
+struct WireHandoff {
+  std::uint64_t epoch = 0;
+  std::vector<ServedPlan> plans;
+};
+
+[[nodiscard]] std::string encode_handoff(const WireHandoff& handoff);
+[[nodiscard]] WireHandoff decode_handoff(const std::string& body);
+
+/// kHandoffReply body: what the receiving shard did with the batch.
+/// Existing entries are never overwritten (`skipped_existing`) — a plan is
+/// a pure function of its key, so the entry already there is the truth.
+struct WireHandoffReply {
+  std::uint64_t epoch = 0;  ///< receiver's epoch after adopting the fence
+  std::uint64_t accepted = 0;
+  std::uint64_t skipped_existing = 0;
+};
+
+[[nodiscard]] std::string encode_handoff_reply(const WireHandoffReply& r);
+[[nodiscard]] WireHandoffReply decode_handoff_reply(const std::string& body);
+
+/// FNV-1a over raw bytes (the same construction the snapshot file uses;
+/// not a security boundary).
 [[nodiscard]] std::uint64_t fnv1a_bytes(const std::string& bytes) noexcept;
+
+/// The frame checksum: FNV-1a over the semantic header fields (type,
+/// request id, body length, little-endian) followed by the body bytes.
+[[nodiscard]] std::uint64_t frame_checksum(std::uint16_t type,
+                                           std::uint64_t request_id,
+                                           std::uint32_t body_size,
+                                           const std::string& body) noexcept;
 
 }  // namespace foscil::serve::net

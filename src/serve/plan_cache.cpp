@@ -100,6 +100,23 @@ void PlanCache::insert(const CacheKey& key,
   }
 }
 
+bool PlanCache::insert_if_absent(const CacheKey& key,
+                                 std::shared_ptr<const ServedPlan> plan) {
+  FOSCIL_EXPECTS(plan != nullptr);
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.index.find(key) != shard.index.end()) return false;
+  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.inserts;
+  while (shard.lru.size() > shard.capacity) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return true;
+}
+
 std::vector<std::shared_ptr<const ServedPlan>> PlanCache::export_entries()
     const {
   std::vector<std::shared_ptr<const ServedPlan>> out;

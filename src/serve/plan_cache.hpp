@@ -84,6 +84,14 @@ class PlanCache {
   /// evicting from the tail while the shard exceeds its capacity.
   void insert(const CacheKey& key, std::shared_ptr<const ServedPlan> plan);
 
+  /// Insert only when the key is absent; an existing entry is left exactly
+  /// as it is (no value replacement, no LRU promotion).  Returns true when
+  /// the entry was inserted.  This is the cache-handoff primitive: a plan
+  /// is a pure function of its key, so whatever is already cached is the
+  /// truth and a streamed-in copy must never replace it.
+  bool insert_if_absent(const CacheKey& key,
+                        std::shared_ptr<const ServedPlan> plan);
+
   /// All entries, least recently used first within each shard, so feeding
   /// the list back through insert() in order reproduces the LRU ordering.
   /// Taken shard by shard under each shard's lock; concurrent mutation in

@@ -113,6 +113,41 @@ net::ServerOptions server_options_from_config(const Config& config) {
   options.force_poll = config.has("net.force_poll")
                            ? config.get_bool("net.force_poll")
                            : options.force_poll;
+
+  options.advertised_host =
+      config.get_string_or("net.advertised_host", options.advertised_host);
+  const long advertised_port = config.get_int_or("net.advertised_port", 0);
+  FOSCIL_EXPECTS(advertised_port >= 0 && advertised_port <= 65535);
+  options.advertised_port = static_cast<std::uint16_t>(advertised_port);
+
+  net::MembershipOptions& membership = options.membership;
+  membership.heartbeat_interval_s = config.get_double_or(
+      "net.heartbeat_interval_s", membership.heartbeat_interval_s);
+  membership.suspect_timeout_s = config.get_double_or(
+      "net.suspect_timeout_s", membership.suspect_timeout_s);
+  membership.dead_timeout_s =
+      config.get_double_or("net.dead_timeout_s", membership.dead_timeout_s);
+  membership.rejoin_probe_interval_s = config.get_double_or(
+      "net.rejoin_probe_interval_s", membership.rejoin_probe_interval_s);
+  membership.check();
+
+  const long vnodes = config.get_int_or("net.ring_vnodes",
+                                        static_cast<long>(options.ring_vnodes));
+  FOSCIL_EXPECTS(vnodes >= 1);
+  options.ring_vnodes = static_cast<std::size_t>(vnodes);
+  options.handoff_enabled = config.has("net.handoff_enabled")
+                                ? config.get_bool("net.handoff_enabled")
+                                : options.handoff_enabled;
+  const long batch = config.get_int_or(
+      "net.handoff_batch_plans",
+      static_cast<long>(options.handoff_batch_plans));
+  FOSCIL_EXPECTS(batch >= 1);
+  options.handoff_batch_plans = static_cast<std::size_t>(batch);
+  options.handoff_io_timeout_s = config.get_double_or(
+      "net.handoff_io_timeout_s", options.handoff_io_timeout_s);
+  options.handoff_retry_interval_s = config.get_double_or(
+      "net.handoff_retry_interval_s", options.handoff_retry_interval_s);
+
   options.check();
   return options;
 }
@@ -148,6 +183,17 @@ std::vector<std::string> serve_known_config_keys() {
       "net.warm_snapshot_path",
       "net.drain_snapshot_path",
       "net.force_poll",
+      "net.advertised_host",
+      "net.advertised_port",
+      "net.heartbeat_interval_s",
+      "net.suspect_timeout_s",
+      "net.dead_timeout_s",
+      "net.rejoin_probe_interval_s",
+      "net.ring_vnodes",
+      "net.handoff_enabled",
+      "net.handoff_batch_plans",
+      "net.handoff_io_timeout_s",
+      "net.handoff_retry_interval_s",
   };
 }
 

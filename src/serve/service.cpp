@@ -486,7 +486,11 @@ void PlanningService::snapshot_loop() {
     if (impl.stopping) return;  // stop() writes the final snapshot itself
     lock.unlock();
     try {
-      save_snapshot_file(impl.options.snapshot_path);
+      // Never publish an empty snapshot: a tick that fires before the
+      // first plan lands (or before a warm restore begins) would clobber
+      // a good on-disk snapshot with nothing.
+      if (cache_.stats().entries > 0)
+        save_snapshot_file(impl.options.snapshot_path);
     } catch (const SnapshotError& snapshot_error) {
       // Periodic flushes are best-effort; the next tick retries.
       std::cerr << "foscil-serve: periodic snapshot failed: "
@@ -525,6 +529,13 @@ void PlanningService::load_snapshot_file(const std::string& path) {
     impl_->loaded_identify = std::move(data.identify);
   }
   impl_->snapshot_loads.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool PlanningService::insert_plan_if_absent(
+    std::shared_ptr<const ServedPlan> plan) {
+  FOSCIL_EXPECTS(plan != nullptr);
+  const CacheKey key = plan->key;
+  return cache_.insert_if_absent(key, std::move(plan));
 }
 
 std::optional<core::IdentifyState> PlanningService::loaded_identify_state()

@@ -177,6 +177,12 @@ class PlanningService {
   /// persist it alongside the cached plans.
   void set_identify_state(core::IdentifyState state);
 
+  /// Warm-inject one plan received from a peer shard (live cache handoff):
+  /// inserted only when the key is absent — whatever this shard already
+  /// cached is the truth and is never overwritten.  Returns true when the
+  /// plan was inserted.  Thread-safe (the cache's own shard locks).
+  bool insert_plan_if_absent(std::shared_ptr<const ServedPlan> plan);
+
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const PlanCache& cache() const { return cache_; }
   [[nodiscard]] unsigned worker_count() const;

@@ -1,0 +1,329 @@
+// The network fault injector, proven against the real client/server pair,
+// plus the FrameAssembler's contract under the faults the proxy produces:
+// truncated frames, mid-frame disconnects, single-bit corruption, and
+// interleaved partial writes all surface as clean protocol errors — the
+// stack never hangs and never accepts garbage as a plan.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net/client.hpp"
+#include "serve/net/fault_proxy.hpp"
+#include "serve/net/server.hpp"
+#include "serve/service.hpp"
+#include "../../test_support.hpp"
+
+namespace foscil::serve::net {
+namespace {
+
+core::Platform small_platform() { return testing::grid_platform(1, 2); }
+
+WirePlanRequest small_request(double t_max_c) {
+  WirePlanRequest request;
+  request.t_max_c = t_max_c;
+  request.ao.max_m = 8;
+  return request;
+}
+
+PlanRequest direct_equivalent(const WirePlanRequest& wire) {
+  PlanRequest request;
+  request.platform = small_platform();
+  request.t_max_c = wire.t_max_c;
+  request.kind = wire.kind;
+  request.ao = wire.ao;
+  request.pco = wire.pco;
+  return request;
+}
+
+class Shard {
+ public:
+  explicit Shard(ServerOptions server_options = {},
+                 ServiceOptions service_options = {}) {
+    if (service_options.workers == 0) service_options.workers = 2;
+    service_options.warm_load_at_construction = false;
+    service_ = std::make_unique<PlanningService>(service_options);
+    server_ = std::make_unique<PlanServer>(*service_, small_platform(),
+                                           server_options);
+    port_ = server_->listen();
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~Shard() {
+    if (thread_.joinable()) {
+      server_->shutdown();
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] Endpoint endpoint() const { return {"127.0.0.1", port_}; }
+  [[nodiscard]] PlanServer& server() { return *server_; }
+
+ private:
+  std::unique_ptr<PlanningService> service_;
+  std::unique_ptr<PlanServer> server_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Client tuned for fault tests: tight timeouts so injected faults surface
+/// in milliseconds, few retries so failures are cheap to assert.
+ClientOptions impatient_client_options() {
+  ClientOptions options;
+  options.connect_timeout_s = 0.5;
+  options.io_timeout_s = 0.4;
+  options.max_retries = 1;
+  options.backoff_initial_s = 0.005;
+  options.backoff_max_s = 0.02;
+  options.backoff_seed = 7;  // deterministic sleeps
+  return options;
+}
+
+struct ProxiedFixture {
+  explicit ProxiedFixture(FaultProxyOptions faults = {}) {
+    faults.upstream = shard.endpoint();
+    proxy = std::make_unique<FaultProxy>(faults);
+    (void)proxy->start();
+  }
+  ~ProxiedFixture() { proxy->stop(); }
+
+  Shard shard;
+  std::unique_ptr<FaultProxy> proxy;
+};
+
+// ---- transparency ----------------------------------------------------------
+
+TEST(FaultProxy, CleanProxyIsInvisibleToTheProtocol) {
+  ProxiedFixture fixture;
+  NetClient client({fixture.proxy->endpoint()}, small_platform(),
+                   impatient_client_options());
+  const WirePlanRequest request = small_request(55.0);
+  const WirePlanResponse response = client.plan(request);
+  const std::shared_ptr<const ServedPlan> direct =
+      plan_direct(direct_equivalent(request));
+  EXPECT_TRUE(plans_bit_identical(response.plan.result, direct->result));
+
+  const FaultProxyStats stats = fixture.proxy->stats();
+  EXPECT_GE(stats.connections, 1u);
+  EXPECT_GT(stats.chunks_forwarded, 0u);
+  EXPECT_GT(stats.bytes_forwarded, 0u);
+  EXPECT_EQ(stats.chunks_corrupted, 0u);
+  EXPECT_EQ(stats.chunks_dropped, 0u);
+  EXPECT_EQ(stats.forced_closes, 0u);
+}
+
+TEST(FaultProxy, UpstreamCanBeSuppliedAfterStart) {
+  // The bootstrap order the chaos battery needs: proxy first (so the
+  // shard can advertise its port), shard second, then point the proxy at
+  // it.  Until then the proxy refuses connections instead of hanging.
+  FaultProxy proxy({});
+  (void)proxy.start();
+  Shard shard;
+  NetClient client({proxy.endpoint()}, small_platform(),
+                   impatient_client_options());
+  EXPECT_THROW((void)client.plan(small_request(55.0)), NetClientError);
+  EXPECT_GE(proxy.stats().refused_connections, 1u);
+
+  proxy.set_upstream(shard.endpoint());
+  EXPECT_TRUE(client.plan(small_request(55.0)).plan.certified_safe);
+}
+
+// ---- partitions ------------------------------------------------------------
+
+TEST(FaultProxy, PartitionBlackHolesTrafficAndHealsCleanly) {
+  ProxiedFixture fixture;
+  NetClient client({fixture.proxy->endpoint()}, small_platform(),
+                   impatient_client_options());
+  (void)client.plan(small_request(55.0));  // healthy before the fault
+
+  fixture.proxy->set_partitioned(true);
+  fixture.proxy->drop_connections();
+  EXPECT_THROW((void)client.plan(small_request(56.0)), NetClientError);
+  EXPECT_GE(fixture.proxy->stats().refused_connections, 1u);
+
+  fixture.proxy->set_partitioned(false);
+  const WirePlanResponse healed = client.plan(small_request(56.0));
+  EXPECT_TRUE(healed.plan.certified_safe);
+}
+
+TEST(FaultProxy, AsymmetricDropTimesOutRequestsUntilHealed) {
+  ProxiedFixture fixture;
+  NetClient client({fixture.proxy->endpoint()}, small_platform(),
+                   impatient_client_options());
+  (void)client.plan(small_request(55.0));
+
+  // Requests vanish on the way to the shard; the reply direction is fine.
+  fixture.proxy->set_drop_to_upstream(true);
+  EXPECT_THROW((void)client.plan(small_request(57.0)), NetClientError);
+  EXPECT_GE(fixture.proxy->stats().chunks_dropped, 1u);
+
+  fixture.proxy->set_drop_to_upstream(false);
+  fixture.proxy->drop_connections();
+  EXPECT_TRUE(client.plan(small_request(57.0)).plan.certified_safe);
+}
+
+// ---- corruption ------------------------------------------------------------
+
+TEST(FaultProxy, BitCorruptionIsAlwaysDetectedNeverServed) {
+  FaultProxyOptions faults;
+  faults.seed = 42;
+  faults.corrupt_probability = 1.0;  // every chunk loses one bit
+  ProxiedFixture fixture(faults);
+  NetClient client({fixture.proxy->endpoint()}, small_platform(),
+                   impatient_client_options());
+
+  EXPECT_THROW((void)client.plan(small_request(55.0)), NetClientError);
+  EXPECT_GE(fixture.proxy->stats().chunks_corrupted, 1u);
+
+  fixture.proxy->set_corrupt_probability(0.0);
+  fixture.proxy->drop_connections();
+  const WirePlanRequest request = small_request(55.0);
+  const WirePlanResponse healed = client.plan(request);
+  const std::shared_ptr<const ServedPlan> direct =
+      plan_direct(direct_equivalent(request));
+  // The healed answer is the planner's bytes — nothing corrupted was ever
+  // accepted into a cache or a response.
+  EXPECT_TRUE(plans_bit_identical(healed.plan.result, direct->result));
+}
+
+TEST(FaultProxy, CorruptionCanBeRestrictedByDirection) {
+  FaultProxyOptions faults;
+  faults.seed = 9;
+  faults.corrupt_probability = 1.0;
+  ProxiedFixture fixture(faults);
+  // Both directions exempted: p = 1 corrupts nothing.
+  fixture.proxy->set_corrupt_to_upstream(false);
+  fixture.proxy->set_corrupt_to_client(false);
+  NetClient client({fixture.proxy->endpoint()}, small_platform(),
+                   impatient_client_options());
+  EXPECT_TRUE(client.plan(small_request(55.0)).plan.certified_safe);
+  EXPECT_EQ(fixture.proxy->stats().chunks_corrupted, 0u);
+}
+
+TEST(FaultProxy, RequestCorruptionIsCaughtServerSideAndNeverPlanned) {
+  // Corrupt only the client -> shard direction: the shard's frame
+  // checksum condemns the stream (it cannot even trust the request id to
+  // address an error reply), so nothing reaches the planner and the
+  // client sees a retryable transport-level failure — never a corrupted
+  // plan, never a spurious verdict pinned to the wrong request.
+  FaultProxyOptions faults;
+  faults.seed = 11;
+  faults.corrupt_probability = 1.0;
+  ProxiedFixture fixture(faults);
+  fixture.proxy->set_corrupt_to_client(false);
+  NetClient client({fixture.proxy->endpoint()}, small_platform(),
+                   impatient_client_options());
+  EXPECT_THROW((void)client.plan(small_request(55.0)), NetClientError);
+  EXPECT_GE(fixture.proxy->stats().chunks_corrupted, 1u);
+  EXPECT_GE(fixture.shard.server().stats().malformed_closes, 1u);
+  EXPECT_GE(client.stats().transport_errors, 1u);
+  EXPECT_EQ(fixture.shard.server().stats().requests, 0u);
+
+  fixture.proxy->set_corrupt_probability(0.0);
+  fixture.proxy->drop_connections();
+  EXPECT_TRUE(client.plan(small_request(55.0)).plan.certified_safe);
+}
+
+// ---- delay -----------------------------------------------------------------
+
+TEST(FaultProxy, DelayedLinkStillServesCorrectPlans) {
+  FaultProxyOptions faults;
+  faults.delay_s = 0.05;
+  ProxiedFixture fixture(faults);
+  NetClient client({fixture.proxy->endpoint()}, small_platform(),
+                   impatient_client_options());
+  const auto start = std::chrono::steady_clock::now();
+  const WirePlanResponse response = client.plan(small_request(55.0));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(response.plan.certified_safe);
+  EXPECT_GE(elapsed, 0.05);  // at least one delayed hop each way
+}
+
+// ---- mid-frame disconnects -------------------------------------------------
+
+TEST(FaultProxy, MidFrameSeveranceIsACleanTransportError) {
+  FaultProxyOptions faults;
+  faults.close_after_bytes = 40;  // inside the first frame's header+body
+  ProxiedFixture fixture(faults);
+  NetClient client({fixture.proxy->endpoint()}, small_platform(),
+                   impatient_client_options());
+
+  EXPECT_THROW((void)client.plan(small_request(55.0)), NetClientError);
+  EXPECT_GE(fixture.proxy->stats().forced_closes, 1u);
+  EXPECT_GE(client.stats().transport_errors, 1u);
+
+  fixture.proxy->set_close_after_bytes(0);
+  EXPECT_TRUE(client.plan(small_request(55.0)).plan.certified_safe);
+}
+
+// ---- the assembler under proxy-shaped faults -------------------------------
+
+std::string sample_frame_bytes() {
+  return encode_frame(FrameType::kStatus, 99,
+                      encode_status({StatusCode::kShed, 1.5, "busy"}));
+}
+
+TEST(FrameAssembler, InterleavedPartialWritesDecodeIdentically) {
+  const std::string bytes = sample_frame_bytes() + sample_frame_bytes();
+  for (const std::size_t step : {std::size_t{1}, std::size_t{3},
+                                 std::size_t{7}, bytes.size()}) {
+    FrameAssembler assembler;
+    std::vector<Frame> frames;
+    Frame frame;
+    for (std::size_t at = 0; at < bytes.size(); at += step) {
+      assembler.feed(bytes.data() + at, std::min(step, bytes.size() - at));
+      while (assembler.next(&frame) == FrameAssembler::Result::kFrame)
+        frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 2u) << "step " << step;
+    for (const Frame& decoded : frames) {
+      EXPECT_EQ(decoded.type, FrameType::kStatus);
+      EXPECT_EQ(decoded.request_id, 99u);
+      EXPECT_EQ(decode_status(decoded.body).code, StatusCode::kShed);
+    }
+  }
+}
+
+TEST(FrameAssembler, TruncatedFrameNeverYieldsAFrameOrHangs) {
+  const std::string bytes = sample_frame_bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameAssembler assembler;
+    assembler.feed(bytes.data(), cut);
+    Frame frame;
+    // A mid-frame disconnect leaves the assembler waiting for bytes that
+    // will never come; the caller's timeout handles it — the assembler
+    // itself reports "need more", deterministically, forever.
+    EXPECT_EQ(assembler.next(&frame), FrameAssembler::Result::kNeedMore)
+        << "cut " << cut;
+    EXPECT_EQ(assembler.next(&frame), FrameAssembler::Result::kNeedMore)
+        << "cut " << cut;
+  }
+}
+
+TEST(FrameAssembler, EverySingleBitFlipIsRejectedNeverAccepted) {
+  // The frame checksum covers type, request id, length, and body, so one
+  // flipped bit anywhere must yield a classified rejection (or a wait for
+  // bytes that will never arrive, when the flip grew the length field) —
+  // the exact corruption FaultProxy::set_corrupt_probability injects.
+  const std::string bytes = sample_frame_bytes();
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::string corrupted = bytes;
+    corrupted[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(corrupted[bit / 8]) ^ (1u << (bit % 8)));
+    FrameAssembler assembler;
+    assembler.feed(corrupted.data(), corrupted.size());
+    Frame frame;
+    const FrameAssembler::Result result = assembler.next(&frame);
+    EXPECT_TRUE(result == FrameAssembler::Result::kBad ||
+                result == FrameAssembler::Result::kNeedMore)
+        << "bit " << bit << " was accepted as a frame";
+  }
+}
+
+}  // namespace
+}  // namespace foscil::serve::net

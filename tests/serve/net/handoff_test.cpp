@@ -1,0 +1,395 @@
+// Membership + live cache handoff, end to end on real sockets: a joining
+// shard is discovered through gossip, the former owner streams the hot
+// entries whose keys moved, the new owner serves them as warm hits — and
+// the epoch fence provably rejects a stale owner's writes (the DESIGN.md
+// §15 invariants, asserted on counters and on cache contents).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
+#include "serve/service.hpp"
+#include "../../test_support.hpp"
+
+namespace foscil::serve::net {
+namespace {
+
+core::Platform small_platform() { return testing::grid_platform(1, 2); }
+
+WirePlanRequest small_request(double t_max_c) {
+  WirePlanRequest request;
+  request.t_max_c = t_max_c;
+  request.ao.max_m = 8;  // keep the search cheap: handoff tests, not planning
+  return request;
+}
+
+PlanRequest direct_equivalent(const WirePlanRequest& wire) {
+  PlanRequest request;
+  request.platform = small_platform();
+  request.t_max_c = wire.t_max_c;
+  request.kind = wire.kind;
+  request.ao = wire.ao;
+  request.pco = wire.pco;
+  return request;
+}
+
+MembershipOptions fast_membership() {
+  MembershipOptions options;
+  options.heartbeat_interval_s = 0.05;
+  options.suspect_timeout_s = 0.2;
+  options.dead_timeout_s = 0.6;
+  options.rejoin_probe_interval_s = 0.2;
+  return options;
+}
+
+ServerOptions gossiping_server_options() {
+  ServerOptions options;
+  options.membership = fast_membership();
+  options.handoff_retry_interval_s = 0.05;
+  return options;
+}
+
+/// One shard: service + server + event-loop thread, torn down in order.
+class Shard {
+ public:
+  explicit Shard(ServerOptions server_options = {},
+                 ServiceOptions service_options = {}) {
+    if (service_options.workers == 0) service_options.workers = 2;
+    service_options.warm_load_at_construction = false;
+    service_ = std::make_unique<PlanningService>(service_options);
+    server_ = std::make_unique<PlanServer>(*service_, small_platform(),
+                                           server_options);
+    port_ = server_->listen();
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~Shard() { stop(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      server_->shutdown();
+      thread_.join();
+    }
+  }
+
+  /// Hard kill as the fleet experiences it: connections die mid-life.
+  void kill() { stop(); }
+
+  [[nodiscard]] Endpoint endpoint() const { return {"127.0.0.1", port_}; }
+  [[nodiscard]] PlanServer& server() { return *server_; }
+  [[nodiscard]] PlanningService& service() { return *service_; }
+
+ private:
+  std::unique_ptr<PlanningService> service_;
+  std::unique_ptr<PlanServer> server_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+ClientOptions gossiping_client_options() {
+  ClientOptions options;
+  options.backoff_initial_s = 0.005;
+  options.backoff_max_s = 0.05;
+  options.membership_enabled = true;
+  options.membership = fast_membership();
+  return options;
+}
+
+/// Drive the client's failure detector until `done` or the deadline.
+template <typename Pred>
+bool tick_until(NetClient& client, double timeout_s, Pred done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    client.tick();
+    if (done()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+// ---- raw frame plumbing (epoch-fence tests speak the wire directly) -------
+
+class RawConnection {
+ public:
+  explicit RawConnection(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_bytes(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Read until one whole frame decodes (or the timeout passes).
+  Frame read_frame(int timeout_ms = 2000) {
+    Frame frame;
+    char chunk[4096];
+    for (;;) {
+      if (assembler_.next(&frame) == FrameAssembler::Result::kFrame)
+        return frame;
+      pollfd probe{fd_, POLLIN, 0};
+      if (::poll(&probe, 1, timeout_ms) <= 0) break;
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      assembler_.feed(chunk, static_cast<std::size_t>(n));
+    }
+    ADD_FAILURE() << "no frame arrived";
+    return frame;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameAssembler assembler_;
+};
+
+// ---- live handoff on join --------------------------------------------------
+
+TEST(Handoff, JoiningShardReceivesItsKeysAndServesThemWarm) {
+  Shard a(gossiping_server_options());
+  NetClient client({a.endpoint()}, small_platform(),
+                   gossiping_client_options());
+
+  // Warm shard A with a spread of distinct keys and keep the ground truth.
+  std::vector<WirePlanRequest> warmed;
+  std::vector<std::shared_ptr<const ServedPlan>> truth;
+  for (int i = 0; i < 12; ++i) {
+    warmed.push_back(small_request(50.0 + i));
+    const WirePlanResponse response = client.plan(warmed.back());
+    EXPECT_FALSE(response.cache_hit);
+    truth.push_back(plan_direct(direct_equivalent(warmed.back())));
+    ASSERT_TRUE(
+        plans_bit_identical(response.plan.result, truth.back()->result));
+  }
+
+  // Shard B joins.  The client announces it; shard A only learns of it
+  // through gossip (the client's probes carry the view) — then A's handoff
+  // streamer must push every reassigned hot entry to B.
+  Shard b(gossiping_server_options());
+  client.join(b.endpoint());
+  const std::size_t b_index = client.index_of(b.endpoint());
+
+  std::size_t moved = 0;  // keys whose ownership moved to B
+  for (const WirePlanRequest& request : warmed)
+    if (client.route(request) == b_index) ++moved;
+
+  ASSERT_TRUE(tick_until(client, 15.0, [&] {
+    const ServerStats stats = b.server().stats();
+    return stats.handoff_plans_received + stats.handoff_plans_skipped >=
+           moved;
+  })) << "handoff did not converge; moved=" << moved;
+
+  // Every warmed key is now a warm hit somewhere: A kept its range, B was
+  // handed the reassigned range — and the bytes are the planner's bytes.
+  for (std::size_t i = 0; i < warmed.size(); ++i) {
+    const WirePlanResponse again = client.plan(warmed[i]);
+    EXPECT_TRUE(again.cache_hit) << "key " << i << " went cold";
+    EXPECT_TRUE(plans_bit_identical(again.plan.result, truth[i]->result))
+        << "key " << i;
+  }
+
+  // B never planned anything itself: its hits are pure handoff.
+  if (moved > 0) {
+    const HealthInfo b_health = client.health(client.index_of(b.endpoint()));
+    EXPECT_EQ(b_health.planned, 0u);
+    EXPECT_GE(b_health.cache_hits, 1u);
+  }
+
+  const ServerStats a_stats = a.server().stats();
+  const ServerStats b_stats = b.server().stats();
+  EXPECT_GE(a_stats.handoff_batches_sent, moved > 0 ? 1u : 0u);
+  EXPECT_GE(a_stats.handoff_plans_sent, moved);
+  EXPECT_EQ(a_stats.stale_handoff_rejections, 0u);
+  EXPECT_EQ(b_stats.stale_handoff_rejections, 0u);
+  EXPECT_GT(a_stats.membership_epoch, 0u);
+  EXPECT_GE(client.stats().ring_rebuilds, 1u);
+}
+
+TEST(Handoff, DeadShardLeavesTheRingAndTheFleetKeepsServing) {
+  Shard a(gossiping_server_options());
+  auto b = std::make_unique<Shard>(gossiping_server_options());
+  NetClient client({a.endpoint(), b->endpoint()}, small_platform(),
+                   gossiping_client_options());
+  const Endpoint b_endpoint = b->endpoint();
+  (void)client.plan(small_request(55.0));  // fleet is up and serving
+
+  b->kill();
+  b.reset();
+
+  // The failure detector walks B through suspect to dead and drops it from
+  // the ring — no manual reconfiguration.
+  ASSERT_TRUE(tick_until(client, 10.0, [&] {
+    for (const MemberRecord& record : client.membership_view().members)
+      if (record.endpoint == b_endpoint)
+        return record.health == MemberHealth::kDead;
+    return false;
+  }));
+  EXPECT_THROW((void)client.index_of(b_endpoint), NetClientError);
+  EXPECT_GE(client.stats().ring_rebuilds, 1u);
+
+  // Every key now routes to the survivor; nothing client-visible fails.
+  for (int i = 0; i < 8; ++i) {
+    const WirePlanResponse response = client.plan(small_request(60.0 + i));
+    EXPECT_TRUE(response.plan.certified_safe);
+  }
+}
+
+// ---- refutation ------------------------------------------------------------
+
+TEST(Handoff, ServerRefutesItsOwnReportedDeath) {
+  // A partition can leave the rest of the fleet gossiping that this shard
+  // is dead at its current incarnation.  Death at an incarnation is final,
+  // so without refutation the shard could never rejoin after the heal: it
+  // must answer the rumor with a strictly larger incarnation.
+  Shard shard(gossiping_server_options());
+  const Endpoint self = shard.server().advertised_endpoint();
+  const std::uint64_t slandered = shard.server().incarnation();
+
+  RawConnection raw(shard.server().port());
+  WireGossip gossip;
+  gossip.view.members.push_back({self, MemberHealth::kDead, slandered});
+  raw.send_bytes(encode_frame(FrameType::kGossip, 3, encode_gossip(gossip)));
+  const Frame reply_frame = raw.read_frame();
+  ASSERT_EQ(reply_frame.type, FrameType::kGossipReply);
+  const WireGossipReply reply = decode_gossip_reply(reply_frame.body);
+
+  EXPECT_GT(reply.responder_incarnation, slandered);
+  bool found_self = false;
+  for (const MemberRecord& record : reply.view.members) {
+    if (record.endpoint != self) continue;
+    found_self = true;
+    EXPECT_EQ(record.health, MemberHealth::kAlive);
+    EXPECT_GT(record.incarnation, slandered);
+  }
+  EXPECT_TRUE(found_self);
+  EXPECT_GT(shard.server().incarnation(), slandered);
+}
+
+// ---- the epoch fence -------------------------------------------------------
+
+TEST(Handoff, StaleEpochWriteIsRejectedAndNeverClobbers) {
+  ServerOptions options = gossiping_server_options();
+  options.handoff_enabled = false;  // quiet streamer; receiving always works
+  Shard shard(options);
+  ClientOptions plain;
+  plain.backoff_initial_s = 0.005;
+  plain.backoff_max_s = 0.05;
+  NetClient client({shard.endpoint()}, small_platform(), plain);
+
+  // Warm the entry a stale owner will try to clobber.
+  const WirePlanRequest warm = small_request(55.0);
+  (void)client.plan(warm);
+  const std::shared_ptr<const ServedPlan> truth =
+      plan_direct(direct_equivalent(warm));
+
+  // Advance the shard's membership epoch past 0: gossip it a view in which
+  // a (fake) member joined.
+  RawConnection raw(shard.server().port());
+  WireGossip gossip;
+  gossip.view.members.push_back(
+      {Endpoint{"127.0.0.1", 1}, MemberHealth::kAlive, 1});
+  raw.send_bytes(encode_frame(FrameType::kGossip, 1, encode_gossip(gossip)));
+  const Frame gossip_reply_frame = raw.read_frame();
+  ASSERT_EQ(gossip_reply_frame.type, FrameType::kGossipReply);
+  const WireGossipReply merged = decode_gossip_reply(gossip_reply_frame.body);
+  ASSERT_GT(merged.view.epoch, 0u);
+
+  // A different plan wearing the warmed key — what a partitioned former
+  // owner with diverged state would stream.
+  const std::shared_ptr<const ServedPlan> other =
+      plan_direct(direct_equivalent(small_request(60.0)));
+  ServedPlan imposter = *other;
+  imposter.key = truth->key;
+  ASSERT_FALSE(plans_bit_identical(imposter.result, truth->result));
+
+  // Epoch 0 < the shard's epoch: the fence must fire, applying nothing.
+  WireHandoff stale;
+  stale.epoch = 0;
+  stale.plans.push_back(imposter);
+  raw.send_bytes(encode_frame(FrameType::kHandoff, 2, encode_handoff(stale)));
+  const Frame fence = raw.read_frame();
+  ASSERT_EQ(fence.type, FrameType::kStatus);
+  const WireStatus fence_status = decode_status(fence.body);
+  EXPECT_EQ(fence_status.code, StatusCode::kStaleEpoch);
+  EXPECT_EQ(shard.server().stats().stale_handoff_rejections, 1u);
+
+  // The cached entry is untouched: still a hit, still the planner's bytes.
+  const WirePlanResponse after = client.plan(warm);
+  EXPECT_TRUE(after.cache_hit);
+  EXPECT_TRUE(plans_bit_identical(after.plan.result, truth->result));
+}
+
+TEST(Handoff, CurrentEpochBatchInsertsAbsentKeysAndSkipsExistingOnes) {
+  ServerOptions options = gossiping_server_options();
+  options.handoff_enabled = false;
+  Shard shard(options);
+  ClientOptions plain;
+  plain.backoff_initial_s = 0.005;
+  plain.backoff_max_s = 0.05;
+  NetClient client({shard.endpoint()}, small_platform(), plain);
+
+  const WirePlanRequest warm = small_request(55.0);
+  (void)client.plan(warm);
+  const std::shared_ptr<const ServedPlan> truth =
+      plan_direct(direct_equivalent(warm));
+
+  // One existing key under a different plan (must be skipped, not
+  // clobbered) and one genuinely new entry (must be warm-inserted).
+  const std::shared_ptr<const ServedPlan> other =
+      plan_direct(direct_equivalent(small_request(60.0)));
+  ServedPlan imposter = *other;
+  imposter.key = truth->key;
+  const WirePlanRequest fresh_request = small_request(62.0);
+  const std::shared_ptr<const ServedPlan> fresh =
+      plan_direct(direct_equivalent(fresh_request));
+
+  WireHandoff batch;
+  batch.epoch = shard.server().membership_epoch();
+  batch.plans.push_back(imposter);
+  batch.plans.push_back(*fresh);
+
+  RawConnection raw(shard.server().port());
+  raw.send_bytes(encode_frame(FrameType::kHandoff, 7, encode_handoff(batch)));
+  const Frame reply_frame = raw.read_frame();
+  ASSERT_EQ(reply_frame.type, FrameType::kHandoffReply);
+  const WireHandoffReply reply = decode_handoff_reply(reply_frame.body);
+  EXPECT_EQ(reply.accepted, 1u);
+  EXPECT_EQ(reply.skipped_existing, 1u);
+
+  // The existing entry survived; the new one serves as a warm hit without
+  // the shard ever planning it.
+  const WirePlanResponse kept = client.plan(warm);
+  EXPECT_TRUE(kept.cache_hit);
+  EXPECT_TRUE(plans_bit_identical(kept.plan.result, truth->result));
+
+  const WirePlanResponse injected = client.plan(fresh_request);
+  EXPECT_TRUE(injected.cache_hit);
+  EXPECT_TRUE(plans_bit_identical(injected.plan.result, fresh->result));
+  EXPECT_EQ(client.health(0).planned, 1u);  // only the warm-up plan
+}
+
+}  // namespace
+}  // namespace foscil::serve::net

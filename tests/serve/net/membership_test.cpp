@@ -1,0 +1,313 @@
+// Unit battery for the SWIM-style membership table and the gossip/handoff
+// wire codecs.  Time is passed in explicitly, so every state-machine
+// transition (alive -> suspect -> dead, rejoin, epoch bumps) is pinned
+// deterministically — no sleeps, no real clock.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/net/membership.hpp"
+#include "serve/net/wire.hpp"
+#include "serve/service.hpp"
+#include "../../test_support.hpp"
+
+namespace foscil::serve::net {
+namespace {
+
+Endpoint ep(std::uint16_t port) { return Endpoint{"127.0.0.1", port}; }
+
+MembershipOptions fast_options() {
+  MembershipOptions options;
+  options.heartbeat_interval_s = 0.25;
+  options.suspect_timeout_s = 1.0;
+  options.dead_timeout_s = 2.5;
+  options.rejoin_probe_interval_s = 1.0;
+  return options;
+}
+
+// ---- seeding and the basic view -------------------------------------------
+
+TEST(Membership, SeedsStartAliveAtIncarnationZero) {
+  MembershipTable table(fast_options(), {ep(1), ep(2), ep(2)}, 0.0);
+  EXPECT_EQ(table.size(), 2u);  // duplicate seed collapses
+  EXPECT_EQ(table.epoch(), 0u);
+  const MembershipView view = table.view();
+  for (const MemberRecord& record : view.members) {
+    EXPECT_EQ(record.health, MemberHealth::kAlive);
+    EXPECT_EQ(record.incarnation, 0u);
+  }
+  EXPECT_EQ(table.live_endpoints().size(), 2u);
+}
+
+// ---- merge precedence ------------------------------------------------------
+
+TEST(Membership, HigherIncarnationWinsOutright) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+  MembershipView rumor;
+  rumor.members.push_back({ep(1), MemberHealth::kDead, 5});
+  EXPECT_TRUE(table.merge(rumor, 1.0));  // live set shrank
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kDead);
+
+  // The member restarts: a fresh (larger) incarnation revives it.
+  MembershipView rebirth;
+  rebirth.members.push_back({ep(1), MemberHealth::kAlive, 6});
+  EXPECT_TRUE(table.merge(rebirth, 2.0));
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kAlive);
+  EXPECT_EQ(table.stats().revivals, 1u);
+}
+
+TEST(Membership, EqualIncarnationWorseHealthWins) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+  MembershipView suspect;
+  suspect.members.push_back({ep(1), MemberHealth::kSuspect, 0});
+  EXPECT_FALSE(table.merge(suspect, 1.0));  // still routable: no live change
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kSuspect);
+
+  // Good news at the same incarnation does not clear bad news.
+  MembershipView alive;
+  alive.members.push_back({ep(1), MemberHealth::kAlive, 0});
+  EXPECT_FALSE(table.merge(alive, 2.0));
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kSuspect);
+}
+
+TEST(Membership, DeathIsFinalPerIncarnation) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+  MembershipView dead;
+  dead.members.push_back({ep(1), MemberHealth::kDead, 3});
+  EXPECT_TRUE(table.merge(dead, 1.0));
+
+  MembershipView rumor;
+  rumor.members.push_back({ep(1), MemberHealth::kAlive, 3});
+  EXPECT_FALSE(table.merge(rumor, 2.0));  // a corpse cannot be gossiped back
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kDead);
+}
+
+TEST(Membership, UnknownEndpointIsAJoin) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+  MembershipView view;
+  view.members.push_back({ep(2), MemberHealth::kAlive, 7});
+  EXPECT_TRUE(table.merge(view, 1.0));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.stats().joins, 1u);
+  EXPECT_GT(table.epoch(), 0u);
+}
+
+TEST(Membership, MergeIsOrderIndependent) {
+  const MemberRecord a{ep(1), MemberHealth::kDead, 4};
+  const MemberRecord b{ep(1), MemberHealth::kAlive, 6};
+  MembershipTable forward(fast_options(), {}, 0.0);
+  MembershipTable backward(fast_options(), {}, 0.0);
+  forward.merge(MembershipView{0, {a}}, 1.0);
+  forward.merge(MembershipView{0, {b}}, 2.0);
+  backward.merge(MembershipView{0, {b}}, 1.0);
+  backward.merge(MembershipView{0, {a}}, 2.0);
+  EXPECT_EQ(forward.health_of(ep(1)), backward.health_of(ep(1)));
+  EXPECT_EQ(forward.health_of(ep(1)), MemberHealth::kAlive);
+}
+
+// ---- epochs ----------------------------------------------------------------
+
+TEST(Membership, EpochBumpsOnlyOnLiveSetChangesAndAdoptsRemoteMax) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+
+  // A structurally empty view with a huge epoch: absorbed, not exceeded.
+  EXPECT_FALSE(table.merge(MembershipView{100, {}}, 1.0));
+  EXPECT_EQ(table.epoch(), 100u);
+
+  // A live-set change bumps past both the local and the remote epoch.
+  MembershipView join;
+  join.epoch = 250;
+  join.members.push_back({ep(2), MemberHealth::kAlive, 1});
+  EXPECT_TRUE(table.merge(join, 2.0));
+  EXPECT_GT(table.epoch(), 250u);
+}
+
+// ---- self ------------------------------------------------------------------
+
+TEST(Membership, SelfIsNeverOverriddenByRumor) {
+  MembershipTable table(fast_options(), {}, 0.0);
+  table.set_self(ep(9), 42);
+  EXPECT_EQ(table.self_incarnation(), 42u);
+
+  MembershipView slander;
+  slander.members.push_back({ep(9), MemberHealth::kDead, 99});
+  EXPECT_FALSE(table.merge(slander, 1.0));
+  EXPECT_EQ(table.health_of(ep(9)), MemberHealth::kAlive);
+
+  // Self never times out either.
+  EXPECT_FALSE(table.tick(1e6));
+  EXPECT_EQ(table.health_of(ep(9)), MemberHealth::kAlive);
+}
+
+// ---- the failure-detector state machine ------------------------------------
+
+TEST(Membership, TickWalksAliveThroughSuspectToDead) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+
+  EXPECT_FALSE(table.tick(0.5));  // inside suspect_timeout
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kAlive);
+
+  EXPECT_FALSE(table.tick(1.5));  // silent past 1.0s: suspect, still live
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kSuspect);
+  EXPECT_EQ(table.live_endpoints().size(), 1u);
+
+  EXPECT_TRUE(table.tick(3.0));  // silent past 2.5s: dead, live set changed
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kDead);
+  EXPECT_TRUE(table.live_endpoints().empty());
+  EXPECT_GT(table.epoch(), 0u);
+}
+
+TEST(Membership, ObserveUnreachableSuspectsImmediatelyButKillsSlowly) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+  EXPECT_TRUE(table.observe_unreachable(ep(1), 0.1));
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kSuspect);
+
+  // A second failed probe inside dead_timeout_s does not kill.
+  EXPECT_FALSE(table.observe_unreachable(ep(1), 1.0));
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kSuspect);
+
+  // One past it does.
+  EXPECT_TRUE(table.observe_unreachable(ep(1), 3.0));
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kDead);
+}
+
+TEST(Membership, ContactClearsSuspicionButOnlyARestartRevivesTheDead) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+  table.observe_unreachable(ep(1), 0.1);
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kSuspect);
+  EXPECT_FALSE(table.observe_alive(ep(1), 0, 0.2));
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kAlive);
+
+  table.merge(MembershipView{0, {{ep(1), MemberHealth::kDead, 5}}}, 0.3);
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kDead);
+  EXPECT_FALSE(table.observe_alive(ep(1), 5, 0.4));  // same life: still dead
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kDead);
+  EXPECT_TRUE(table.observe_alive(ep(1), 6, 0.5));  // restarted: revived
+  EXPECT_EQ(table.health_of(ep(1)), MemberHealth::kAlive);
+}
+
+TEST(Membership, JoinAddsOrRevives) {
+  MembershipTable table(fast_options(), {}, 0.0);
+  EXPECT_TRUE(table.join(ep(3), 0, 0.1));
+  EXPECT_EQ(table.health_of(ep(3)), MemberHealth::kAlive);
+  EXPECT_FALSE(table.join(ep(3), 0, 0.2));  // already alive: no change
+
+  table.merge(MembershipView{0, {{ep(3), MemberHealth::kDead, 4}}}, 0.3);
+  EXPECT_FALSE(table.join(ep(3), 4, 0.4));  // dead incarnation stays dead
+  EXPECT_TRUE(table.join(ep(3), 5, 0.5));
+  EXPECT_EQ(table.health_of(ep(3)), MemberHealth::kAlive);
+}
+
+// ---- probe scheduling ------------------------------------------------------
+
+TEST(Membership, DueProbesStampsAndPacesPerMember) {
+  MembershipTable table(fast_options(), {ep(1), ep(2)}, 0.0);
+  EXPECT_EQ(table.due_probes(0.0).size(), 2u);  // never probed: all due
+  EXPECT_TRUE(table.due_probes(0.1).empty());   // just stamped
+  EXPECT_EQ(table.due_probes(0.3).size(), 2u);  // past heartbeat_interval
+
+  // A dead member is probed only at the (slower) rejoin cadence.
+  table.merge(MembershipView{0, {{ep(1), MemberHealth::kDead, 1}}}, 0.3);
+  EXPECT_EQ(table.due_probes(0.6).size(), 1u);  // only ep(2) due
+  const std::vector<Endpoint> late = table.due_probes(1.4);
+  EXPECT_EQ(late.size(), 2u);  // rejoin interval elapsed for the corpse
+}
+
+TEST(Membership, SelfIsNeverProbed) {
+  MembershipTable table(fast_options(), {ep(1)}, 0.0);
+  table.set_self(ep(9), 1);
+  for (const Endpoint& due : table.due_probes(10.0)) EXPECT_NE(due, ep(9));
+}
+
+// ---- gossip / handoff wire codecs -----------------------------------------
+
+TEST(MembershipWire, GossipRoundTripsExactly) {
+  WireGossip gossip;
+  gossip.sender_is_shard = 1;
+  gossip.sender = ep(4242);
+  gossip.sender_incarnation = 777;
+  gossip.view.epoch = 31;
+  gossip.view.members.push_back({ep(1), MemberHealth::kAlive, 10});
+  gossip.view.members.push_back({ep(2), MemberHealth::kSuspect, 20});
+  gossip.view.members.push_back({ep(3), MemberHealth::kDead, 30});
+
+  const WireGossip decoded = decode_gossip(encode_gossip(gossip));
+  EXPECT_EQ(decoded.sender_is_shard, 1);
+  EXPECT_EQ(decoded.sender, gossip.sender);
+  EXPECT_EQ(decoded.sender_incarnation, 777u);
+  EXPECT_EQ(decoded.view.epoch, 31u);
+  ASSERT_EQ(decoded.view.members.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(decoded.view.members[i], gossip.view.members[i]) << i;
+}
+
+TEST(MembershipWire, GossipReplyRoundTripsExactly) {
+  WireGossipReply reply;
+  reply.responder = ep(7);
+  reply.responder_incarnation = 99;
+  reply.view.epoch = 5;
+  reply.view.members.push_back({ep(7), MemberHealth::kAlive, 99});
+  const WireGossipReply decoded =
+      decode_gossip_reply(encode_gossip_reply(reply));
+  EXPECT_EQ(decoded.responder, reply.responder);
+  EXPECT_EQ(decoded.responder_incarnation, 99u);
+  ASSERT_EQ(decoded.view.members.size(), 1u);
+  EXPECT_EQ(decoded.view.members[0], reply.view.members[0]);
+}
+
+TEST(MembershipWire, TruncatedAndCorruptBodiesThrowMalformed) {
+  WireGossip gossip;
+  gossip.view.members.push_back({ep(1), MemberHealth::kAlive, 1});
+  const std::string body = encode_gossip(gossip);
+  for (const std::size_t cut : {std::size_t{0}, body.size() / 2,
+                                body.size() - 1})
+    EXPECT_THROW((void)decode_gossip(body.substr(0, cut)),
+                 MalformedFrameError)
+        << "cut at " << cut;
+  // Trailing garbage is a defect too (strict exhaustion).
+  EXPECT_THROW((void)decode_gossip(body + "x"), MalformedFrameError);
+
+  // An out-of-range health byte must not decode into an enum.
+  WireGossip bad = gossip;
+  bad.view.members[0].health = static_cast<MemberHealth>(3);
+  EXPECT_THROW((void)decode_gossip(encode_gossip(bad)), MalformedFrameError);
+}
+
+TEST(MembershipWire, HandoffCarriesPlansBitIdentically) {
+  PlanRequest request;
+  request.platform = testing::grid_platform(1, 2);
+  request.t_max_c = 55.0;
+  request.ao.max_m = 8;
+  const std::shared_ptr<const ServedPlan> plan = plan_direct(request);
+
+  WireHandoff handoff;
+  handoff.epoch = 12;
+  handoff.plans.push_back(*plan);
+  const WireHandoff decoded = decode_handoff(encode_handoff(handoff));
+  EXPECT_EQ(decoded.epoch, 12u);
+  ASSERT_EQ(decoded.plans.size(), 1u);
+  EXPECT_EQ(decoded.plans[0].key, plan->key);
+  EXPECT_TRUE(plans_bit_identical(decoded.plans[0].result, plan->result));
+
+  WireHandoffReply reply;
+  reply.epoch = 13;
+  reply.accepted = 2;
+  reply.skipped_existing = 3;
+  const WireHandoffReply reply_decoded =
+      decode_handoff_reply(encode_handoff_reply(reply));
+  EXPECT_EQ(reply_decoded.epoch, 13u);
+  EXPECT_EQ(reply_decoded.accepted, 2u);
+  EXPECT_EQ(reply_decoded.skipped_existing, 3u);
+}
+
+TEST(MembershipWire, NewFrameTypesAreKnownToTheAssembler) {
+  for (const std::uint16_t raw :
+       {std::uint16_t{10}, std::uint16_t{11}, std::uint16_t{12},
+        std::uint16_t{13}})
+    EXPECT_TRUE(frame_type_known(raw)) << raw;
+  EXPECT_FALSE(frame_type_known(14));
+}
+
+}  // namespace
+}  // namespace foscil::serve::net

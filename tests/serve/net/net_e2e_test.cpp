@@ -289,8 +289,10 @@ TEST(NetE2E, MalformedStreamGetsOneStatusThenClose) {
   const WireStatus status = decode_status(frame.body);
   EXPECT_EQ(status.code, StatusCode::kMalformed);
 
-  // ... and the connection is gone, counted as a malformed close.
-  for (int i = 0; i < 100 && shard.server().stats().malformed_closes == 0;
+  // ... and the connection is gone, counted as a malformed close. The
+  // counter ticks before the connection object is erased, so wait for both.
+  for (int i = 0; i < 100 && (shard.server().stats().malformed_closes == 0 ||
+                              shard.server().connection_count() != 0);
        ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   EXPECT_EQ(shard.server().stats().malformed_closes, 1u);

@@ -101,6 +101,43 @@ TEST(ServeConfig, RobustnessKeysParseIntoOptions) {
                ContractViolation);
 }
 
+TEST(ServeConfig, MembershipAndHandoffKeysParseIntoServerOptions) {
+  const Config config = Config::parse(
+      "[net]\n"
+      "advertised_host = 10.0.0.7\n"
+      "advertised_port = 7777\n"
+      "heartbeat_interval_s = 0.1\n"
+      "suspect_timeout_s = 0.5\n"
+      "dead_timeout_s = 1.5\n"
+      "rejoin_probe_interval_s = 0.4\n"
+      "ring_vnodes = 128\n"
+      "handoff_enabled = false\n"
+      "handoff_batch_plans = 16\n"
+      "handoff_io_timeout_s = 2.5\n"
+      "handoff_retry_interval_s = 0.2\n");
+  const net::ServerOptions options = server_options_from_config(config);
+  EXPECT_EQ(options.advertised_host, "10.0.0.7");
+  EXPECT_EQ(options.advertised_port, 7777);
+  EXPECT_DOUBLE_EQ(options.membership.heartbeat_interval_s, 0.1);
+  EXPECT_DOUBLE_EQ(options.membership.suspect_timeout_s, 0.5);
+  EXPECT_DOUBLE_EQ(options.membership.dead_timeout_s, 1.5);
+  EXPECT_DOUBLE_EQ(options.membership.rejoin_probe_interval_s, 0.4);
+  EXPECT_EQ(options.ring_vnodes, 128u);
+  EXPECT_FALSE(options.handoff_enabled);
+  EXPECT_EQ(options.handoff_batch_plans, 16u);
+  EXPECT_DOUBLE_EQ(options.handoff_io_timeout_s, 2.5);
+  EXPECT_DOUBLE_EQ(options.handoff_retry_interval_s, 0.2);
+
+  // Timeouts must order sanely; the loader enforces it at parse time.
+  EXPECT_THROW(
+      (void)server_options_from_config(Config::parse(
+          "[net]\nsuspect_timeout_s = 3.0\ndead_timeout_s = 1.0\n")),
+      ContractViolation);
+  EXPECT_THROW((void)server_options_from_config(
+                   Config::parse("[net]\nring_vnodes = 0\n")),
+               ContractViolation);
+}
+
 TEST(ServeConfig, KnownKeyListCoversEveryKeyTheLoaderReads) {
   // Feed a config that sets every advertised key (the serve layer owns
   // both [serve] and [net]); none of them may come back as unknown, and a

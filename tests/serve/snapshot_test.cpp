@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "../test_support.hpp"
@@ -23,7 +25,10 @@ namespace foscil::serve {
 namespace {
 
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "foscil_" + name;
+  // ctest runs each test case as its own process, possibly in parallel;
+  // the pid keeps concurrently-running cases off each other's files.
+  return ::testing::TempDir() + "foscil_" + std::to_string(::getpid()) +
+         "_" + name;
 }
 
 PlanRequest request_2x2(double t_max_c, PlannerKind kind = PlannerKind::kAo) {
@@ -343,6 +348,9 @@ TEST(SnapshotService, ConcurrentFlushersNeverCorruptTheSnapshotFile) {
     options.snapshot_period_s = 0.005;  // aggressive periodic flusher
     PlanningService service(options);
     (void)service.submit(request_2x2(55.0)).get();
+    // Seed the file before any concurrent reader looks: a not-yet-created
+    // file is a legal state but not the torn-write defect under test.
+    service.save_snapshot_file(path);
 
     std::atomic<bool> done{false};
     std::vector<std::thread> writers;
